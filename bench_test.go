@@ -1,0 +1,370 @@
+// Benchmark harness: one benchmark per table and figure of the
+// paper's evaluation (§3 Fig. 5, §5 Fig. 10a–f), plus ablations of the
+// design choices DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each Fig. 10 benchmark measures the full compile-and-place pipeline
+// for the three compiler versions and reports the resulting message
+// counts and estimated times as benchmark metrics, so `go test -bench`
+// regenerates the paper's numbers alongside wall-clock compile cost.
+package gcao_test
+
+import (
+	"fmt"
+	"testing"
+
+	"gcao"
+	"gcao/internal/bench"
+	"gcao/internal/core"
+	"gcao/internal/machine"
+	"gcao/internal/spmd"
+)
+
+// BenchmarkFig5Curves evaluates the three §3 profiling curves across
+// the log-spaced sizes of Fig. 5 on both machine models.
+func BenchmarkFig5Curves(b *testing.B) {
+	for _, m := range []machine.Machine{machine.SP2(), machine.NOW()} {
+		b.Run(m.Name, func(b *testing.B) {
+			sink := 0.0
+			for i := 0; i < b.N; i++ {
+				for bytes := 16; bytes <= 1<<20; bytes *= 2 {
+					sink += m.BcopyBandwidth(bytes) + m.InjectBandwidth(bytes) + m.NetworkBandwidth(bytes)
+				}
+			}
+			_ = sink
+			b.ReportMetric(float64(m.HalfPowerPoint()), "halfpower-bytes")
+		})
+	}
+}
+
+// benchFig10a compiles and places one benchmark routine under all
+// three versions, reporting the static message counts as metrics.
+func benchFig10a(b *testing.B, benchName, routine string) {
+	pr, err := bench.ByName(benchName, routine)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var counts [3]int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := pr.Compile(pr.DefaultN, 25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for vi, v := range []core.Version{core.VersionOrig, core.VersionRedund, core.VersionCombine} {
+			res, err := a.Place(core.Options{Version: v})
+			if err != nil {
+				b.Fatal(err)
+			}
+			counts[vi] = res.TotalMessages()
+		}
+	}
+	b.ReportMetric(float64(counts[0]), "orig-msgs")
+	b.ReportMetric(float64(counts[1]), "nored-msgs")
+	b.ReportMetric(float64(counts[2]), "comb-msgs")
+}
+
+func BenchmarkFig10aShallow(b *testing.B)        { benchFig10a(b, "shallow", "main") }
+func BenchmarkFig10aGravity(b *testing.B)        { benchFig10a(b, "gravity", "main") }
+func BenchmarkFig10aTrimeshNormdot(b *testing.B) { benchFig10a(b, "trimesh", "normdot") }
+func BenchmarkFig10aTrimeshGauss(b *testing.B)   { benchFig10a(b, "trimesh", "gauss") }
+func BenchmarkFig10aHydfloFlux(b *testing.B)     { benchFig10a(b, "hydflo", "flux") }
+func BenchmarkFig10aHydfloHydro(b *testing.B)    { benchFig10a(b, "hydflo", "hydro") }
+
+// benchChart regenerates one Fig. 10(b–f) chart per iteration and
+// reports the mid-size normalized comb total and comb/orig network
+// ratio.
+func benchChart(b *testing.B, id string) {
+	var spec bench.Chart
+	found := false
+	for _, s := range bench.ChartSpecs() {
+		if s.ID == id {
+			spec, found = s, true
+		}
+	}
+	if !found {
+		b.Fatalf("no chart %q", id)
+	}
+	var c bench.Chart
+	var err error
+	for i := 0; i < b.N; i++ {
+		c, err = bench.RunChart(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	mid := len(c.Points) / 2
+	combBar := c.Points[mid].Bars[2]
+	b.ReportMetric(combBar.CPU+combBar.Net, "comb-norm-total")
+	b.ReportMetric(c.CommRatio[mid], "comb/orig-net")
+}
+
+func BenchmarkFig10bSP2Shallow(b *testing.B) { benchChart(b, "b") }
+func BenchmarkFig10cSP2Gravity(b *testing.B) { benchChart(b, "c") }
+func BenchmarkFig10dNOWShallow(b *testing.B) { benchChart(b, "d") }
+func BenchmarkFig10eNOWGravity(b *testing.B) { benchChart(b, "e") }
+func BenchmarkFig10fNOWTrimesh(b *testing.B) { benchChart(b, "f") }
+
+// BenchmarkFunctionalSimulation runs the verified functional simulator
+// on the shallow benchmark — the end-to-end cost of executing a placed
+// program with validity tracking.
+func BenchmarkFunctionalSimulation(b *testing.B) {
+	pr, err := bench.ByName("shallow", "main")
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := pr.Compile(16, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := a.Place(core.Options{Version: core.VersionCombine})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := machine.SP2()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spmd.Run(res, m, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablations (DESIGN.md §5)
+
+// BenchmarkThresholdAblation sweeps the combining threshold on the
+// hydflo flux routine, whose large strips make the threshold bite: a
+// tiny threshold forbids combining, the paper's 20 KB recovers it.
+func BenchmarkThresholdAblation(b *testing.B) {
+	pr, err := bench.ByName("hydflo", "flux")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// n=44 puts the seven-array strips just past 20 KB combined, so the
+	// paper's 20 KB threshold splits the direction groups while a
+	// loose threshold recovers full combining.
+	const n = 44
+	for _, kb := range []int{1, 4, 20, 1024} {
+		b.Run(fmt.Sprintf("%dKB", kb), func(b *testing.B) {
+			var msgs int
+			for i := 0; i < b.N; i++ {
+				a, err := pr.Compile(n, 25)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := a.Place(core.Options{Version: core.VersionCombine, CombineThresholdBytes: kb << 10})
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs = res.TotalMessages()
+			}
+			b.ReportMetric(float64(msgs), "comb-msgs")
+		})
+	}
+}
+
+// BenchmarkGreedyOrderAblation compares the most-constrained-first
+// greedy order of Fig. 9(g) against naive program order.
+func BenchmarkGreedyOrderAblation(b *testing.B) {
+	pr, err := bench.ByName("shallow", "main")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, naive := range []bool{false, true} {
+		name := "constrained-first"
+		if naive {
+			name = "program-order"
+		}
+		b.Run(name, func(b *testing.B) {
+			var msgs int
+			for i := 0; i < b.N; i++ {
+				a, err := pr.Compile(pr.DefaultN, 25)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := a.Place(core.Options{Version: core.VersionCombine, NaiveGreedyOrder: naive})
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs = res.TotalMessages()
+			}
+			b.ReportMetric(float64(msgs), "comb-msgs")
+		})
+	}
+}
+
+// BenchmarkSubsetElimAblation measures §4.5 on and off across the
+// whole suite (message totals; §6 predicts dropping it can only hurt).
+func BenchmarkSubsetElimAblation(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "on"
+		if disable {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			var total int
+			for i := 0; i < b.N; i++ {
+				total = 0
+				for _, pr := range bench.Programs() {
+					a, err := pr.Compile(pr.DefaultN, 25)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := a.Place(core.Options{Version: core.VersionCombine, DisableSubsetElim: disable})
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += res.TotalMessages()
+				}
+			}
+			b.ReportMetric(float64(total), "total-comb-msgs")
+		})
+	}
+}
+
+// optimalKernel is small enough for the exhaustive §6.1 search: two
+// fields with two-direction stencils updated across a timestep loop.
+const optimalKernel = `
+routine opt(n, steps)
+real a(n, n), b(n, n), ra(n, n), rb(n, n)
+!hpf$ distribute (block, block) :: a, b, ra, rb
+do i = 1, n
+do j = 1, n
+a(i, j) = i
+b(i, j) = j
+ra(i, j) = 0
+rb(i, j) = 0
+enddo
+enddo
+do it = 1, steps
+do i = 2, n - 1
+do j = 2, n - 1
+ra(i, j) = a(i - 1, j) + a(i + 1, j)
+enddo
+enddo
+do i = 2, n - 1
+do j = 2, n - 1
+rb(i, j) = b(i - 1, j) + b(i + 1, j)
+enddo
+enddo
+do i = 2, n - 1
+do j = 2, n - 1
+a(i, j) = a(i, j) + 0.1 * ra(i, j)
+b(i, j) = b(i, j) + 0.1 * rb(i, j)
+enddo
+enddo
+enddo
+end
+`
+
+// BenchmarkOptimalAblation runs the exhaustive optimal placement on a
+// small kernel and reports greedy vs optimal dynamic message counts
+// (Claim 6.1 motivates the heuristic; here it matches the optimum).
+func BenchmarkOptimalAblation(b *testing.B) {
+	c, err := gcao.Compile(optimalKernel, gcao.Config{Params: map[string]int{"n": 16, "steps": 4}, Procs: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := c.Analysis
+	var gd, od float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		greedy, err := a.Place(core.Options{Version: core.VersionCombine})
+		if err != nil {
+			b.Fatal(err)
+		}
+		optimal, err := a.PlaceOptimal(core.Options{Version: core.VersionCombine}, 2_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if gd, err = a.DynamicMessages(greedy); err != nil {
+			b.Fatal(err)
+		}
+		if od, err = a.DynamicMessages(optimal); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(gd, "greedy-dyn-msgs")
+	b.ReportMetric(od, "optimal-dyn-msgs")
+}
+
+// BenchmarkCompile measures the raw analysis pipeline cost on the
+// largest benchmark source.
+func BenchmarkCompile(b *testing.B) {
+	pr, err := bench.ByName("hydflo", "flux")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := pr.Compile(64, 25); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPartialRedundancyAblation measures the §7 extension on a
+// kernel where combining is threshold-blocked, reporting the estimated
+// bytes moved with and without section trimming.
+func BenchmarkPartialRedundancyAblation(b *testing.B) {
+	const src = `
+routine pr(n, steps)
+real a(0:n+1, 0:n+1), c(0:n+1, 0:n+1), d(0:n+1, 0:n+1)
+!hpf$ distribute (block, block) :: a, c, d
+do i = 0, n + 1
+do j = 0, n + 1
+a(i, j) = i + j
+c(i, j) = 0
+d(i, j) = 0
+enddo
+enddo
+do it = 1, steps
+do i = 1, n
+do j = 1, n
+c(i, j) = a(i - 1, j)
+enddo
+enddo
+do i = 2, n + 1
+do j = 1, n
+d(i, j) = a(i - 1, j)
+enddo
+enddo
+do i = 1, n
+do j = 1, n
+a(i, j) = 0.5 * (c(i, j) + d(i, j))
+enddo
+enddo
+enddo
+end
+`
+	comp, err := gcao.Compile(src, gcao.Config{Params: map[string]int{"n": 64, "steps": 8}, Procs: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := machine.SP2()
+	for _, partial := range []bool{false, true} {
+		name := "off"
+		if partial {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			var bytes float64
+			for i := 0; i < b.N; i++ {
+				placed, err := comp.PlaceOptions(gcao.Combine, gcao.PlacementOptions{
+					CombineThresholdBytes: 200,
+					PartialRedundancy:     partial,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost, err := placed.Estimate(m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bytes = cost.Bytes
+			}
+			b.ReportMetric(bytes, "est-bytes")
+		})
+	}
+}

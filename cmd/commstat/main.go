@@ -1,0 +1,44 @@
+// commstat regenerates the compile-time static message-count table of
+// Fig. 10(a): for every benchmark routine, the number of communication
+// call sites under the three compiler versions (orig / nored / comb),
+// side by side with the numbers published in the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gcao/internal/bench"
+)
+
+func main() {
+	procs := flag.Int("procs", 25, "processor count (the paper used P=25 on the SP2)")
+	n := flag.Int("n", 0, "problem size override (0: per-benchmark default)")
+	flag.Parse()
+
+	fmt.Printf("Fig. 10(a): static communication call sites per routine (P=%d)\n\n", *procs)
+	fmt.Printf("%-9s %-9s %-5s | %6s %6s %6s | %6s %6s %6s\n",
+		"Benchmark", "Routine", "Comm", "orig", "nored", "comb", "paper", "paper", "paper")
+	for _, pr := range bench.Programs() {
+		size := pr.DefaultN
+		if *n > 0 {
+			size = *n
+		}
+		rows, err := bench.StaticCounts(pr, size, *procs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "commstat:", err)
+			os.Exit(1)
+		}
+		for _, r := range rows {
+			po, pn, pc := "-", "-", "-"
+			for _, p := range bench.PaperCounts {
+				if p.Bench == r.Bench && p.Routine == r.Routine && p.CommType == r.CommType {
+					po, pn, pc = fmt.Sprint(p.Orig), fmt.Sprint(p.NoRed), fmt.Sprint(p.Comb)
+				}
+			}
+			fmt.Printf("%-9s %-9s %-5s | %6d %6d %6d | %6s %6s %6s\n",
+				r.Bench, r.Routine, r.CommType, r.Orig, r.NoRed, r.Comb, po, pn, pc)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// hpfc is the compiler driver: it parses a mini-HPF routine, runs the
+// global communication analysis, and reports the chosen communication
+// placement under one of the three strategies — the human-readable
+// trace the paper's prototype emitted for hand compilation (Fig. 6).
+//
+// Usage:
+//
+//	hpfc -version comb -procs 16 -param n=256 -param steps=10 file.hpf
+//
+// With -dump the scalarized program, CFG, and per-entry analysis
+// (earliest / latest / candidate positions) are printed too.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gcao"
+	"gcao/internal/ast"
+	"gcao/internal/codegen"
+	"gcao/internal/core"
+)
+
+type paramList map[string]int
+
+func (p paramList) String() string { return fmt.Sprint(map[string]int(p)) }
+
+func (p paramList) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want name=value, got %q", s)
+	}
+	v, err := strconv.Atoi(val)
+	if err != nil {
+		return err
+	}
+	p[strings.ToLower(strings.TrimSpace(name))] = v
+	return nil
+}
+
+func main() {
+	params := paramList{}
+	version := flag.String("version", "comb", "placement strategy: orig, nored, comb")
+	procs := flag.Int("procs", 4, "processor count (overridden by a PROCESSORS directive)")
+	dump := flag.Bool("dump", false, "dump scalarized program and per-entry analysis")
+	annotate := flag.Bool("annotate", false, "emit the annotated SPMD listing (the paper's Fig. 6 trace dump)")
+	mainName := flag.String("main", "", "main routine of a multi-routine file; calls are inlined (interprocedural analysis)")
+	flag.Var(params, "param", "routine parameter binding name=value (repeatable)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hpfc [flags] file.hpf")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	var strat gcao.Strategy
+	switch *version {
+	case "orig":
+		strat = gcao.Vectorize
+	case "nored":
+		strat = gcao.EarliestRedundancy
+	case "comb":
+		strat = gcao.Combine
+	default:
+		fatal(fmt.Errorf("unknown -version %q (want orig, nored, comb)", *version))
+	}
+
+	var c *gcao.Compilation
+	if *mainName != "" {
+		c, err = gcao.CompileProgram(string(src), *mainName, gcao.Config{Params: params, Procs: *procs})
+	} else {
+		c, err = gcao.Compile(string(src), gcao.Config{Params: params, Procs: *procs})
+	}
+	if err != nil {
+		fatal(err)
+	}
+	a := c.Analysis
+
+	if *dump {
+		fmt.Println("== scalarized program ==")
+		for _, s := range a.Scal.Body {
+			fmt.Println(ast.StmtString(s))
+		}
+		fmt.Println("\n== control flow graph ==")
+		fmt.Print(a.G.String())
+		fmt.Println("== communication entries ==")
+		for _, e := range a.CommEntries() {
+			fmt.Printf("%v\n  section(latest) = %v\n  mapping  = %v\n  earliest = %v  latest = %v  candidates = %d\n",
+				e, e.SectionAt(a, e.Latest.Level()), e.Map, e.Earliest, e.Latest, len(e.Candidates))
+		}
+		fmt.Println()
+	}
+
+	placed, err := c.Place(strat)
+	if err != nil {
+		fatal(err)
+	}
+	if *annotate {
+		fmt.Print(codegen.Emit(placed.Result))
+		return
+	}
+	fmt.Printf("routine %q on %s: %d communication operations under %s\n",
+		a.Unit.Routine.Name, a.Unit.Grid, placed.Messages(), strat)
+	counts := placed.MessageCounts()
+	var kinds []core.CommKind
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Printf("  %-6s %d\n", k, counts[k])
+	}
+	fmt.Println()
+	for _, g := range placed.Result.Groups {
+		arrays := map[string]bool{}
+		for _, e := range g.Entries {
+			arrays[e.Array] = true
+		}
+		var names []string
+		for n := range arrays {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Printf("COMM %-5s at %-18s {%s}", g.Kind, g.Pos, strings.Join(names, ", "))
+		if len(g.Attached) > 0 {
+			fmt.Printf("  (+%d redundant eliminated)", len(g.Attached))
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hpfc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,33 @@
+// netprobe regenerates the network and buffer-copy profiling study of
+// Fig. 5: for the SP2/MPL and NOW/MPICH cost models it prints bcopy
+// bandwidth, sender injection bandwidth and end-to-end receive
+// bandwidth as functions of size (log-spaced, as in the paper's
+// x-axis), plus the derived facts the placement algorithm relies on —
+// the half-power point and the combining threshold.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"gcao/internal/machine"
+)
+
+func main() {
+	flag.Parse()
+	for _, m := range []machine.Machine{machine.SP2(), machine.NOW()} {
+		fmt.Printf("== %s ==\n", m.Name)
+		fmt.Printf("%10s %14s %14s %14s\n", "bytes", "bcopy MB/s", "inject MB/s", "recv MB/s")
+		for bytes := 16; bytes <= 4<<20; bytes *= 4 {
+			b := m.BcopyBandwidth(bytes) / 1e6
+			i := m.InjectBandwidth(bytes) / 1e6
+			r := m.NetworkBandwidth(bytes) / 1e6
+			bar := strings.Repeat("*", int(r/2+0.5))
+			fmt.Printf("%10d %14.1f %14.1f %14.1f  %s\n", bytes, b, i, r, bar)
+		}
+		fmt.Printf("half-power point: %d bytes (startup amortized well below the %d KB cache)\n",
+			m.HalfPowerPoint(), m.CacheBytes>>10)
+		fmt.Printf("combining threshold: %d KB\n\n", m.CombineThresholdBytes>>10)
+	}
+}

@@ -1,0 +1,86 @@
+// runbench regenerates the normalized running-time charts of
+// Fig. 10(b)–(f): for each chart's problem-size sweep it compiles the
+// benchmark, places communication under the three compiler versions,
+// and prints the estimated normalized CPU/network bars on the chart's
+// machine model. With -functional it additionally executes a small
+// instance on the functional simulator and verifies numerical
+// equivalence against a sequential run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gcao/internal/bench"
+	"gcao/internal/core"
+	"gcao/internal/machine"
+	"gcao/internal/spmd"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "chart to run: b, c, d, e, f, or all")
+	functional := flag.Bool("functional", false, "also run a small functional simulation with verification")
+	flag.Parse()
+
+	for _, spec := range bench.ChartSpecs() {
+		if *fig != "all" && !strings.EqualFold(*fig, spec.ID) {
+			continue
+		}
+		c, err := bench.RunChart(spec)
+		if err != nil {
+			fatal(err)
+		}
+		bench.WriteChart(os.Stdout, c)
+		for i, n := range c.Sizes {
+			fmt.Printf("  n=%-5d network-cost ratio comb/orig = %.2f (paper reports ~1/2 to 1/3)\n", n, c.CommRatio[i])
+		}
+		fmt.Println()
+	}
+
+	if *functional {
+		fmt.Println("functional verification (small instances, P=4):")
+		m := machine.SP2()
+		for _, pr := range bench.Programs() {
+			n := 6
+			if pr.Bench == "shallow" || pr.Bench == "trimesh" {
+				n = 8
+			}
+			a, err := pr.Compile(n, 4)
+			if err != nil {
+				fatal(err)
+			}
+			res, err := a.Place(core.Options{Version: core.VersionCombine})
+			if err != nil {
+				fatal(err)
+			}
+			run, err := spmd.Run(res, m, 4)
+			if err != nil {
+				fatal(fmt.Errorf("%s/%s: %w", pr.Bench, pr.Routine, err))
+			}
+			seqA, err := pr.Compile(n, 1)
+			if err != nil {
+				fatal(err)
+			}
+			seqRes, err := seqA.Place(core.Options{Version: core.VersionCombine})
+			if err != nil {
+				fatal(err)
+			}
+			seq, err := spmd.Run(seqRes, m, 1)
+			if err != nil {
+				fatal(err)
+			}
+			if err := spmd.VerifyAgainstSequential(run, seq); err != nil {
+				fatal(fmt.Errorf("%s/%s: %w", pr.Bench, pr.Routine, err))
+			}
+			fmt.Printf("  %-18s ok (%d dynamic messages, %d barriers)\n",
+				pr.Bench+"/"+pr.Routine, run.Ledger.DynMessages, run.Ledger.Barriers)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "runbench:", err)
+	os.Exit(1)
+}

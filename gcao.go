@@ -1,0 +1,243 @@
+// Package gcao is a from-scratch reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996): an
+// HPF-style compiler pass that chooses communication placements for
+// all non-local array references of a procedure globally and
+// interdependently, eliminating redundancy and combining messages in a
+// unified framework, together with the substrates the paper's
+// evaluation needs — a mini-HPF front end, array SSA and dependence
+// analysis, Available Section Descriptors, and a simulated
+// distributed-memory machine with IBM SP2 and Berkeley NOW cost
+// models.
+//
+// The typical flow is:
+//
+//	c, err := gcao.Compile(source, gcao.Config{Params: map[string]int{"n": 256}, Procs: 16})
+//	placed, err := c.Place(gcao.Combine)          // the paper's algorithm
+//	baseline, err := c.Place(gcao.Vectorize)      // the "orig" baseline
+//	run, err := placed.Simulate(gcao.SP2(), 16)   // functional simulation
+//	cost, err := placed.Estimate(gcao.SP2())      // analytic cost model
+//
+// Compile parses and analyzes one routine; Place runs a placement
+// strategy; Simulate executes the program elementwise on a
+// bulk-synchronous simulator that verifies every remote access was
+// actually communicated; Estimate computes per-processor CPU/network
+// time without touching data, for paper-scale problem sizes.
+package gcao
+
+import (
+	"fmt"
+
+	"gcao/internal/core"
+	"gcao/internal/inline"
+	"gcao/internal/machine"
+	"gcao/internal/parser"
+	"gcao/internal/sem"
+	"gcao/internal/spmd"
+)
+
+// Strategy selects a communication placement strategy.
+type Strategy int
+
+const (
+	// Vectorize is the baseline: message vectorization to the
+	// outermost possible loop with per-statement coalescing, no
+	// redundancy elimination, no combining ("orig" in the paper).
+	Vectorize Strategy = iota
+	// EarliestRedundancy adds redundancy elimination via earliest
+	// placement, the prior state of the art ("nored").
+	EarliestRedundancy
+	// Combine is the paper's global algorithm ("comb").
+	Combine
+)
+
+func (s Strategy) String() string { return s.version().String() }
+
+func (s Strategy) version() core.Version {
+	switch s {
+	case Vectorize:
+		return core.VersionOrig
+	case EarliestRedundancy:
+		return core.VersionRedund
+	default:
+		return core.VersionCombine
+	}
+}
+
+// Machine re-exports the platform cost model.
+type Machine = machine.Machine
+
+// SP2 returns the IBM SP2 cost model (P=25 in the paper's runs).
+func SP2() Machine { return machine.SP2() }
+
+// NOW returns the Berkeley NOW cost model (P=8 in the paper's runs).
+func NOW() Machine { return machine.NOW() }
+
+// MachineByName resolves "SP2" or "NOW".
+func MachineByName(name string) (Machine, error) { return machine.ByName(name) }
+
+// Config configures compilation.
+type Config struct {
+	// Params binds the routine's integer parameters (problem sizes,
+	// step counts). Every declared parameter must be bound.
+	Params map[string]int
+	// Procs is the processor count; a PROCESSORS directive in the
+	// source takes precedence.
+	Procs int
+}
+
+// Compilation is an analyzed routine ready for placement.
+type Compilation struct {
+	// Analysis exposes the full analysis pipeline for inspection:
+	// scalarized body, CFG, dominators, SSA, and the communication
+	// entries with their earliest/latest/candidate positions.
+	Analysis *core.Analysis
+}
+
+// Compile parses, semantically analyzes, scalarizes and
+// communication-analyzes a mini-HPF routine.
+func Compile(source string, cfg Config) (*Compilation, error) {
+	r, err := parser.ParseRoutine(source)
+	if err != nil {
+		return nil, err
+	}
+	u, err := sem.Analyze(r, cfg.Params, sem.Options{Procs: cfg.Procs})
+	if err != nil {
+		return nil, err
+	}
+	a, err := core.NewAnalysis(u)
+	if err != nil {
+		return nil, err
+	}
+	return &Compilation{Analysis: a}, nil
+}
+
+// CompileProgram compiles a multi-routine program: every CALL
+// reachable from the named main routine is inlined first (package
+// inline), so the global communication analysis — and therefore
+// redundancy elimination and message combining — works across
+// procedure boundaries, the §7 interprocedural direction.
+func CompileProgram(source, main string, cfg Config) (*Compilation, error) {
+	prog, err := parser.Parse(source)
+	if err != nil {
+		return nil, err
+	}
+	flat, err := inline.Flatten(prog, main)
+	if err != nil {
+		return nil, err
+	}
+	u, err := sem.Analyze(flat, cfg.Params, sem.Options{Procs: cfg.Procs})
+	if err != nil {
+		return nil, err
+	}
+	a, err := core.NewAnalysis(u)
+	if err != nil {
+		return nil, err
+	}
+	return &Compilation{Analysis: a}, nil
+}
+
+// Entries returns the communication requirements found in the routine
+// (excluding diagonal NNC already coalesced into axis exchanges).
+func (c *Compilation) Entries() []*core.Entry { return c.Analysis.CommEntries() }
+
+// Place runs a placement strategy with default options.
+func (c *Compilation) Place(s Strategy) (*Placed, error) {
+	return c.PlaceOptions(s, PlacementOptions{})
+}
+
+// PlacementOptions exposes the paper's tunables for ablation studies.
+type PlacementOptions struct {
+	// CombineThresholdBytes bounds combined message size (default the
+	// paper's 20 KB).
+	CombineThresholdBytes int
+	// MaxHullBlowup bounds single-descriptor union padding (default
+	// 1.25).
+	MaxHullBlowup float64
+	// DisableSubsetElim turns off §4.5 subset elimination.
+	DisableSubsetElim bool
+	// NaiveGreedyOrder processes entries in program order instead of
+	// most-constrained-first.
+	NaiveGreedyOrder bool
+	// DisableCombining keeps global placement but emits one message
+	// per entry.
+	DisableCombining bool
+	// PartialRedundancy enables the paper's §7 future-work extension:
+	// later messages are trimmed to the section an earlier exchange
+	// does not already deliver.
+	PartialRedundancy bool
+}
+
+// PlaceOptions runs a placement strategy with explicit options.
+func (c *Compilation) PlaceOptions(s Strategy, opt PlacementOptions) (*Placed, error) {
+	res, err := c.Analysis.Place(core.Options{
+		Version:               s.version(),
+		CombineThresholdBytes: opt.CombineThresholdBytes,
+		MaxHullBlowup:         opt.MaxHullBlowup,
+		DisableSubsetElim:     opt.DisableSubsetElim,
+		NaiveGreedyOrder:      opt.NaiveGreedyOrder,
+		DisableCombining:      opt.DisableCombining,
+		PartialRedundancy:     opt.PartialRedundancy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Placed{Compilation: c, Result: res}, nil
+}
+
+// Placed is a routine with chosen communication placements.
+type Placed struct {
+	Compilation *Compilation
+	Result      *core.Result
+}
+
+// Messages returns the number of placed communication operations —
+// the static call-site count of Fig. 10(a).
+func (p *Placed) Messages() int { return p.Result.TotalMessages() }
+
+// MessageCounts returns placed operation counts by communication kind.
+func (p *Placed) MessageCounts() map[core.CommKind]int { return p.Result.Counts() }
+
+// Simulate executes the program on the functional bulk-synchronous
+// simulator with the given machine model and processor count (which
+// must match the compilation's grid). The run fails if any processor
+// reads remote data the placement failed to deliver.
+func (p *Placed) Simulate(m Machine, procs int) (*spmd.RunResult, error) {
+	return spmd.Run(p.Result, m, procs)
+}
+
+// Estimate computes the analytic per-processor cost under the machine
+// model.
+func (p *Placed) Estimate(m Machine) (spmd.Cost, error) {
+	return spmd.Estimate(p.Result, m)
+}
+
+// CompareStrategies compiles nothing new: it places the routine under
+// all three strategies and returns their normalized cost bars, the
+// quantity plotted in Fig. 10(b)–(f).
+func (c *Compilation) CompareStrategies(m Machine) ([]spmd.Bar, error) {
+	return spmd.EstimateVersions(c.Analysis, m)
+}
+
+// Verify runs the placed program and an independent single-processor
+// reference and compares all array contents elementwise.
+func (p *Placed) Verify(source string, cfg Config, m Machine, procs int) error {
+	run, err := p.Simulate(m, procs)
+	if err != nil {
+		return err
+	}
+	seqCfg := cfg
+	seqCfg.Procs = 1
+	seqC, err := Compile(source, seqCfg)
+	if err != nil {
+		return fmt.Errorf("gcao: sequential reference compile: %w", err)
+	}
+	seqP, err := seqC.Place(Combine)
+	if err != nil {
+		return err
+	}
+	seq, err := seqP.Simulate(m, 1)
+	if err != nil {
+		return err
+	}
+	return spmd.VerifyAgainstSequential(run, seq)
+}

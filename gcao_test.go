@@ -1,0 +1,230 @@
+package gcao_test
+
+import (
+	"strings"
+	"testing"
+
+	"gcao"
+	"gcao/internal/spmd"
+)
+
+const apiSrc = `
+routine relax(n, steps)
+real a(n, n), b(n, n)
+!hpf$ distribute (block, block) :: a, b
+do i = 1, n
+do j = 1, n
+a(i, j) = i + j
+b(i, j) = 0
+enddo
+enddo
+do it = 1, steps
+do i = 2, n - 1
+do j = 2, n - 1
+b(i, j) = a(i - 1, j) + a(i + 1, j) + b(i, j)
+enddo
+enddo
+do i = 2, n - 1
+do j = 2, n - 1
+a(i, j) = b(i, j) * 0.5
+enddo
+enddo
+enddo
+end
+`
+
+func TestPublicAPI(t *testing.T) {
+	cfg := gcao.Config{Params: map[string]int{"n": 12, "steps": 2}, Procs: 4}
+	c, err := gcao.Compile(apiSrc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Entries()) != 2 {
+		t.Fatalf("entries = %d, want 2 (a up and down)", len(c.Entries()))
+	}
+
+	orig, err := c.Place(gcao.Vectorize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comb, err := c.Place(gcao.Combine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comb.Messages() > orig.Messages() {
+		t.Errorf("comb %d messages > orig %d", comb.Messages(), orig.Messages())
+	}
+
+	run, err := comb.Simulate(gcao.SP2(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Ledger.DynMessages == 0 {
+		t.Error("expected dynamic messages")
+	}
+	if err := comb.Verify(apiSrc, cfg, gcao.SP2(), 4); err != nil {
+		t.Fatal(err)
+	}
+
+	cost, err := comb.Estimate(gcao.NOW())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.Total() <= 0 || cost.Net <= 0 {
+		t.Errorf("cost = %+v", cost)
+	}
+
+	bars, err := c.CompareStrategies(gcao.SP2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bars) != 3 || bars[2].Net > bars[0].Net {
+		t.Errorf("bars = %+v", bars)
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	if gcao.Vectorize.String() != "orig" ||
+		gcao.EarliestRedundancy.String() != "nored" ||
+		gcao.Combine.String() != "comb" {
+		t.Error("strategy names must match the paper's table")
+	}
+}
+
+func TestPlacementOptions(t *testing.T) {
+	cfg := gcao.Config{Params: map[string]int{"n": 12, "steps": 1}, Procs: 4}
+	c, err := gcao.Compile(apiSrc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := c.PlaceOptions(gcao.Combine, gcao.PlacementOptions{DisableCombining: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := c.Place(gcao.Combine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Messages() < on.Messages() {
+		t.Errorf("combining disabled yielded fewer messages (%d) than enabled (%d)", off.Messages(), on.Messages())
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := gcao.Compile("routine f(\n", gcao.Config{}); err == nil {
+		t.Error("parse error must propagate")
+	}
+	_, err := gcao.Compile(apiSrc, gcao.Config{Params: map[string]int{"n": 8}, Procs: 4})
+	if err == nil || !strings.Contains(err.Error(), "steps") {
+		t.Errorf("missing parameter must be reported: %v", err)
+	}
+}
+
+func TestMachineByName(t *testing.T) {
+	if _, err := gcao.MachineByName("SP2"); err != nil {
+		t.Error(err)
+	}
+	if _, err := gcao.MachineByName("paragon"); err == nil {
+		t.Error("unknown machine must fail")
+	}
+}
+
+const interprocSrc = `
+routine main(n, steps)
+real a(n, n), b(n, n), ra(n, n), rb(n, n)
+!hpf$ distribute (block, block) :: a, b, ra, rb
+do i = 1, n
+do j = 1, n
+a(i, j) = i + 2 * j
+b(i, j) = 3 * i - j
+ra(i, j) = 0
+rb(i, j) = 0
+enddo
+enddo
+do it = 1, steps
+call relaxstep(a, ra, n)
+call relaxstep(b, rb, n)
+do i = 2, n - 1
+do j = 2, n - 1
+a(i, j) = a(i, j) + 0.1 * ra(i, j)
+b(i, j) = b(i, j) + 0.1 * rb(i, j)
+enddo
+enddo
+enddo
+end
+
+routine relaxstep(q, r, n)
+real q(n, n), r(n, n)
+do i = 2, n - 1
+do j = 2, n - 1
+r(i, j) = q(i - 1, j) + q(i + 1, j) + q(i, j - 1) + q(i, j + 1) - 4 * q(i, j)
+enddo
+enddo
+end
+`
+
+// TestInterprocedural exercises the §7 interprocedural direction:
+// after inlining, the global algorithm combines the exchanges of the
+// two relaxstep invocations across the former procedure boundary
+// (a and b travel together per direction), and the result is verified
+// functionally.
+func TestInterprocedural(t *testing.T) {
+	cfg := gcao.Config{Params: map[string]int{"n": 12, "steps": 2}, Procs: 4}
+	c, err := gcao.CompileProgram(interprocSrc, "main", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Entries()); got != 8 {
+		t.Fatalf("entries = %d, want 8 (2 arrays x 4 directions)", got)
+	}
+	orig, err := c.Place(gcao.Vectorize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comb, err := c.Place(gcao.Combine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Messages() != 8 {
+		t.Errorf("orig = %d messages, want 8", orig.Messages())
+	}
+	if comb.Messages() != 4 {
+		for _, g := range comb.Result.Groups {
+			t.Logf("%v", g)
+		}
+		t.Errorf("comb = %d messages, want 4 (cross-procedure combining)", comb.Messages())
+	}
+	// Each combined exchange carries both arrays.
+	for _, g := range comb.Result.Groups {
+		arrays := map[string]bool{}
+		for _, e := range g.Entries {
+			arrays[e.Array] = true
+		}
+		if !arrays["a"] || !arrays["b"] {
+			t.Errorf("group %v does not span the two call sites", g)
+		}
+	}
+	// Functional verification: the parallel run matches a sequential
+	// one (compile the flattened program at P=1 independently).
+	run, err := comb.Simulate(gcao.SP2(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqCfg := cfg
+	seqCfg.Procs = 1
+	seqC, err := gcao.CompileProgram(interprocSrc, "main", seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqP, err := seqC.Place(gcao.Combine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := seqP.Simulate(gcao.SP2(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spmd.VerifyAgainstSequential(run, seq); err != nil {
+		t.Fatal(err)
+	}
+}

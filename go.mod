@@ -1,0 +1,3 @@
+module gcao
+
+go 1.22

@@ -1,0 +1,352 @@
+// Package cfg builds the augmented control flow graph of §4.1 / Fig. 7
+// of the paper: a graph of basic blocks in which every loop has an
+// explicit preheader node (dominating the whole loop), a header node, a
+// postexit node per exit target, and a zero-trip edge from the
+// preheader to the postexit. The extra nodes give the dataflow
+// analyses convenient summary points and give the placement algorithm
+// positions "just before the loop" to hoist communication to.
+//
+// The input language is structured (DO and IF/ELSE only), so the graph
+// is reducible by construction; every loop has exactly one backedge and
+// one postexit.
+package cfg
+
+import (
+	"fmt"
+	"strings"
+
+	"gcao/internal/ast"
+)
+
+// BlockKind classifies blocks for diagnostics and for the placement
+// pass (preheaders are preferred hoisting points).
+type BlockKind int
+
+const (
+	Plain BlockKind = iota
+	Entry
+	Exit
+	PreHeader
+	Header
+	PostExit
+	Join
+)
+
+func (k BlockKind) String() string {
+	switch k {
+	case Plain:
+		return "plain"
+	case Entry:
+		return "entry"
+	case Exit:
+		return "exit"
+	case PreHeader:
+		return "preheader"
+	case Header:
+		return "header"
+	case PostExit:
+		return "postexit"
+	case Join:
+		return "join"
+	}
+	return fmt.Sprintf("BlockKind(%d)", int(k))
+}
+
+// Stmt is a statement placed in the CFG: an assignment (possibly a
+// reduction) from the scalarized AST. Control constructs do not appear
+// as statements; they are encoded in the graph structure.
+type Stmt struct {
+	ID     int
+	Assign *ast.AssignStmt
+	Block  *Block
+	Index  int // position within Block.Stmts
+	// Loops lists the enclosing loops, outermost first.
+	Loops []*Loop
+}
+
+// NL returns the statement's nesting level: the number of loops
+// containing it (paper notation NL(v)).
+func (s *Stmt) NL() int { return len(s.Loops) }
+
+// Label returns the statement's source label for diagnostics.
+func (s *Stmt) Label() string {
+	if s.Assign != nil && s.Assign.Label != "" {
+		return s.Assign.Label
+	}
+	return fmt.Sprintf("s%d", s.ID)
+}
+
+func (s *Stmt) String() string {
+	if s.Assign == nil {
+		return fmt.Sprintf("stmt#%d", s.ID)
+	}
+	return fmt.Sprintf("%s: %s = %s", s.Label(), ast.ExprString(s.Assign.LHS), ast.ExprString(s.Assign.RHS))
+}
+
+// Block is a basic block.
+type Block struct {
+	ID    int
+	Kind  BlockKind
+	Stmts []*Stmt
+	Succs []*Block
+	Preds []*Block
+	// Loop is the innermost loop containing this block, nil at top
+	// level. A loop's header and body blocks belong to the loop; its
+	// preheader and postexit belong to the enclosing loop.
+	Loop *Loop
+	// Branch holds the IF statement whose condition terminates this
+	// block; Succs[0] is the then-entry and Succs[1] the else-entry
+	// (or the join when there is no else). Interpreters use it to pick
+	// a successor.
+	Branch *ast.IfStmt
+}
+
+// NL returns the block's nesting level.
+func (b *Block) NL() int {
+	n := 0
+	for l := b.Loop; l != nil; l = l.Parent {
+		n++
+	}
+	return n
+}
+
+func (b *Block) String() string {
+	return fmt.Sprintf("B%d<%s>", b.ID, b.Kind)
+}
+
+// Loop is a DO loop with its augmented nodes.
+type Loop struct {
+	ID     int
+	Do     *ast.DoStmt
+	Parent *Loop
+	// Depth is the paper's NL(L) counting the loop itself: the
+	// outermost loop has Depth 1.
+	Depth     int
+	PreHeader *Block
+	Header    *Block
+	PostExit  *Block
+	Children  []*Loop
+}
+
+// Var returns the loop index variable name.
+func (l *Loop) Var() string { return l.Do.Var }
+
+// Contains reports whether the loop (transitively) contains the other
+// loop o, or l == o.
+func (l *Loop) Contains(o *Loop) bool {
+	for ; o != nil; o = o.Parent {
+		if o == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Graph is the augmented CFG of one routine body.
+type Graph struct {
+	EntryBlock *Block
+	ExitBlock  *Block
+	Blocks     []*Block
+	Loops      []*Loop // all loops, preorder
+	Stmts      []*Stmt // all statements, program order
+}
+
+type builder struct {
+	g         *Graph
+	loopStack []*Loop
+}
+
+// Build constructs the augmented CFG for a (scalarized) routine body.
+func Build(body []ast.Stmt) *Graph {
+	b := &builder{g: &Graph{}}
+	entry := b.newBlock(Entry)
+	b.g.EntryBlock = entry
+	last := b.build(body, entry)
+	exit := b.newBlock(Exit)
+	b.g.ExitBlock = exit
+	b.edge(last, exit)
+	return b.g
+}
+
+func (b *builder) newBlock(kind BlockKind) *Block {
+	blk := &Block{ID: len(b.g.Blocks), Kind: kind}
+	if n := len(b.loopStack); n > 0 {
+		blk.Loop = b.loopStack[n-1]
+	}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+func (b *builder) curLoops() []*Loop {
+	return append([]*Loop(nil), b.loopStack...)
+}
+
+// build appends the CFG for stmts starting in cur and returns the block
+// where control continues.
+func (b *builder) build(stmts []ast.Stmt, cur *Block) *Block {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			st := &Stmt{
+				ID:     len(b.g.Stmts),
+				Assign: s,
+				Block:  cur,
+				Index:  len(cur.Stmts),
+				Loops:  b.curLoops(),
+			}
+			cur.Stmts = append(cur.Stmts, st)
+			b.g.Stmts = append(b.g.Stmts, st)
+
+		case *ast.IfStmt:
+			cur.Branch = s
+			thenB := b.newBlock(Plain)
+			join := b.newBlock(Join)
+			b.edge(cur, thenB)
+			thenEnd := b.build(s.Then, thenB)
+			b.edge(thenEnd, join)
+			if len(s.Else) > 0 {
+				elseB := b.newBlock(Plain)
+				b.edge(cur, elseB)
+				elseEnd := b.build(s.Else, elseB)
+				b.edge(elseEnd, join)
+			} else {
+				b.edge(cur, join)
+			}
+			cur = join
+
+		case *ast.DoStmt:
+			var parent *Loop
+			if n := len(b.loopStack); n > 0 {
+				parent = b.loopStack[n-1]
+			}
+			loop := &Loop{
+				ID:     len(b.g.Loops),
+				Do:     s,
+				Parent: parent,
+				Depth:  len(b.loopStack) + 1,
+			}
+			if parent != nil {
+				parent.Children = append(parent.Children, loop)
+			}
+			b.g.Loops = append(b.g.Loops, loop)
+
+			pre := b.newBlock(PreHeader) // belongs to enclosing loop
+			b.edge(cur, pre)
+			loop.PreHeader = pre
+
+			b.loopStack = append(b.loopStack, loop)
+			hdr := b.newBlock(Header)
+			loop.Header = hdr
+			b.edge(pre, hdr)
+			bodyB := b.newBlock(Plain)
+			b.edge(hdr, bodyB)
+			bodyEnd := b.build(s.Body, bodyB)
+			b.edge(bodyEnd, hdr) // backedge
+			b.loopStack = b.loopStack[:len(b.loopStack)-1]
+
+			post := b.newBlock(PostExit) // belongs to enclosing loop
+			loop.PostExit = post
+			b.edge(hdr, post) // loop exit edge
+			b.edge(pre, post) // zero-trip edge
+			cur = post
+
+		default:
+			panic(fmt.Sprintf("cfg: unexpected statement type %T", s))
+		}
+	}
+	return cur
+}
+
+// CommonLoops returns the loops containing both statements, outermost
+// first.
+func CommonLoops(a, d *Stmt) []*Loop {
+	n := min(len(a.Loops), len(d.Loops))
+	var out []*Loop
+	for i := 0; i < n; i++ {
+		if a.Loops[i] != d.Loops[i] {
+			break
+		}
+		out = append(out, a.Loops[i])
+	}
+	return out
+}
+
+// CNL returns the common nesting level of two statements: the depth of
+// the deepest loop containing both (paper notation CNL(u, v)).
+func CNL(a, d *Stmt) int { return len(CommonLoops(a, d)) }
+
+// LoopAtLevel returns the statement's enclosing loop with Depth == lvl
+// (1-based), or nil.
+func (s *Stmt) LoopAtLevel(lvl int) *Loop {
+	if lvl < 1 || lvl > len(s.Loops) {
+		return nil
+	}
+	return s.Loops[lvl-1]
+}
+
+// String renders the graph for debugging.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "%s (NL=%d)", blk, blk.NL())
+		if len(blk.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range blk.Succs {
+				fmt.Fprintf(&sb, " B%d", s.ID)
+			}
+		}
+		sb.WriteByte('\n')
+		for _, st := range blk.Stmts {
+			fmt.Fprintf(&sb, "  %s\n", st)
+		}
+	}
+	return sb.String()
+}
+
+// Validate checks structural invariants; it is used by tests and
+// returns a descriptive error on violation.
+func (g *Graph) Validate() error {
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			if !contains(s.Preds, blk) {
+				return fmt.Errorf("cfg: %s -> %s missing pred backlink", blk, s)
+			}
+		}
+		for _, p := range blk.Preds {
+			if !contains(p.Succs, blk) {
+				return fmt.Errorf("cfg: %s <- %s missing succ link", blk, p)
+			}
+		}
+		for i, st := range blk.Stmts {
+			if st.Block != blk || st.Index != i {
+				return fmt.Errorf("cfg: statement %s has stale block/index", st)
+			}
+		}
+	}
+	for _, l := range g.Loops {
+		if l.PreHeader == nil || l.Header == nil || l.PostExit == nil {
+			return fmt.Errorf("cfg: loop %d missing augmented nodes", l.ID)
+		}
+		if l.Header.Loop != l {
+			return fmt.Errorf("cfg: loop %d header not inside loop", l.ID)
+		}
+		if l.PreHeader.Loop == l || l.PostExit.Loop == l {
+			return fmt.Errorf("cfg: loop %d preheader/postexit inside loop", l.ID)
+		}
+	}
+	return nil
+}
+
+func contains(bs []*Block, b *Block) bool {
+	for _, x := range bs {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,162 @@
+// Package codegen renders a placed program as the annotated scalarized
+// listing the paper's prototype emitted for hand compilation (Fig. 6:
+// "Trace dump to listing file"): the scalarized statements interleaved
+// with COMM pseudo-calls at their chosen positions, each naming the
+// runtime operation, the mapping, the array sections moved, and the
+// redundant references riding along. The listing doubles as this
+// implementation's code generator output: the functional simulator in
+// package spmd executes exactly the operation sequence printed here.
+package codegen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gcao/internal/ast"
+	"gcao/internal/cfg"
+	"gcao/internal/core"
+)
+
+// Emit renders the annotated SPMD listing for a placement result.
+func Emit(res *core.Result) string {
+	e := &emitter{
+		a:        res.Analysis,
+		groupsAt: map[core.Position][]*core.Group{},
+	}
+	for _, g := range res.Groups {
+		e.groupsAt[g.Pos] = append(e.groupsAt[g.Pos], g)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "! routine %s on %s, %s placement: %d communication operations\n",
+		e.a.Unit.Routine.Name, e.a.Unit.Grid, res.Version, len(res.Groups))
+	e.block(&b, e.a.G.EntryBlock, nil, 0)
+	return b.String()
+}
+
+type emitter struct {
+	a        *core.Analysis
+	groupsAt map[core.Position][]*core.Group
+	emitted  map[*cfg.Block]bool
+}
+
+// block walks the structured CFG in source order, emitting statements
+// and the communication groups attached to each position.
+func (e *emitter) block(b *strings.Builder, blk *cfg.Block, stop *cfg.Block, depth int) {
+	if blk == nil || blk == stop {
+		return
+	}
+	e.comm(b, core.Position{Block: blk, After: -1}, depth)
+	for k, st := range blk.Stmts {
+		e.stmt(b, st, depth)
+		e.comm(b, core.Position{Block: blk, After: k}, depth)
+	}
+	switch {
+	case blk.Branch != nil:
+		fmt.Fprintf(b, "%sif (%s) then\n", indent(depth), ast.ExprString(blk.Branch.Cond))
+		thenB, elseB := blk.Succs[0], blk.Succs[1]
+		join := findJoin(thenB)
+		e.block(b, thenB, join, depth+1)
+		if elseB != join {
+			fmt.Fprintf(b, "%selse\n", indent(depth))
+			e.block(b, elseB, join, depth+1)
+		}
+		fmt.Fprintf(b, "%sendif\n", indent(depth))
+		e.block(b, join, stop, depth)
+	case blk.Kind == cfg.PreHeader:
+		loop := e.loopOfPreheader(blk)
+		step := ""
+		if loop.Do.Step != nil {
+			step = ", " + ast.ExprString(loop.Do.Step)
+		}
+		fmt.Fprintf(b, "%sdo %s = %s, %s%s\n", indent(depth), loop.Var(),
+			ast.ExprString(loop.Do.Lo), ast.ExprString(loop.Do.Hi), step)
+		// Header-top communication executes once per iteration.
+		e.comm(b, core.Position{Block: loop.Header, After: -1}, depth+1)
+		body := loop.Header.Succs[0]
+		e.block(b, body, loop.Header, depth+1)
+		fmt.Fprintf(b, "%senddo\n", indent(depth))
+		e.block(b, loop.PostExit, stop, depth)
+	case len(blk.Succs) > 0:
+		e.block(b, blk.Succs[0], stop, depth)
+	}
+}
+
+func (e *emitter) loopOfPreheader(blk *cfg.Block) *cfg.Loop {
+	for _, l := range e.a.G.Loops {
+		if l.PreHeader == blk {
+			return l
+		}
+	}
+	panic("codegen: preheader without loop")
+}
+
+// findJoin locates the join block that closes an if: the nearest
+// common post-dominator approximated structurally — the first Join
+// block reachable by following single successors from the then-entry.
+func findJoin(thenB *cfg.Block) *cfg.Block {
+	seen := map[*cfg.Block]bool{}
+	blk := thenB
+	for blk != nil && !seen[blk] {
+		if blk.Kind == cfg.Join {
+			return blk
+		}
+		seen[blk] = true
+		if blk.Branch != nil {
+			// Nested if: skip to its join first.
+			blk = findJoin(blk.Succs[0])
+			continue
+		}
+		switch blk.Kind {
+		case cfg.PreHeader:
+			// Skip over the whole loop via the zero-trip edge target.
+			blk = blk.Succs[1]
+		default:
+			if len(blk.Succs) == 0 {
+				return nil
+			}
+			blk = blk.Succs[0]
+		}
+	}
+	return blk
+}
+
+func (e *emitter) stmt(b *strings.Builder, st *cfg.Stmt, depth int) {
+	fmt.Fprintf(b, "%s%s = %s\n", indent(depth),
+		ast.ExprString(st.Assign.LHS), ast.ExprString(st.Assign.RHS))
+}
+
+func (e *emitter) comm(b *strings.Builder, pos core.Position, depth int) {
+	for _, g := range e.groupsAt[pos] {
+		var parts []string
+		for _, en := range g.Entries {
+			parts = append(parts, fmt.Sprintf("%s%s", en.Array, en.SectionAt(e.a, pos.Level())))
+		}
+		sort.Strings(parts)
+		line := fmt.Sprintf("%sCOMM %s %s {%s}", indent(depth), opName(g), g.Map, strings.Join(parts, ", "))
+		if len(g.Attached) > 0 {
+			var rs []string
+			for _, r := range g.Attached {
+				rs = append(rs, r.Array)
+			}
+			sort.Strings(rs)
+			line += fmt.Sprintf("  ! subsumes redundant {%s}", strings.Join(rs, ", "))
+		}
+		b.WriteString(line + "\n")
+	}
+}
+
+func opName(g *core.Group) string {
+	switch g.Kind {
+	case core.KindShift:
+		return "exchange"
+	case core.KindReduce:
+		return "global-sum"
+	case core.KindBcast:
+		return "broadcast"
+	default:
+		return "gather"
+	}
+}
+
+func indent(depth int) string { return strings.Repeat("  ", depth) }

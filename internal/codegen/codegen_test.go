@@ -1,0 +1,146 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"gcao/internal/core"
+	"gcao/internal/parser"
+	"gcao/internal/sem"
+)
+
+func emit(t *testing.T, src string, params map[string]int, procs int, v core.Version) string {
+	t.Helper()
+	r, err := parser.ParseRoutine(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	u, err := sem.Analyze(r, params, sem.Options{Procs: procs})
+	if err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	a, err := core.NewAnalysis(u)
+	if err != nil {
+		t.Fatalf("analysis: %v", err)
+	}
+	res, err := a.Place(core.Options{Version: v})
+	if err != nil {
+		t.Fatalf("place: %v", err)
+	}
+	return Emit(res)
+}
+
+const src = `
+routine st(n)
+real a(n, n), b(n, n)
+real x
+!hpf$ distribute (block, block) :: a, b
+do i = 1, n
+do j = 1, n
+a(i, j) = i + j
+enddo
+enddo
+if (x > 0) then
+do i = 2, n
+do j = 1, n
+b(i, j) = a(i - 1, j)
+enddo
+enddo
+endif
+x = sum(a(1, 1:n))
+end
+`
+
+func TestEmitStructure(t *testing.T) {
+	out := emit(t, src, map[string]int{"n": 8}, 4, core.VersionCombine)
+	for _, want := range []string{
+		"do i = 1, n",
+		"enddo",
+		"if ((x > 0)) then",
+		"endif",
+		"COMM exchange shift[dim0-1]",
+		"COMM global-sum reduce",
+		"a(1,1:8)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q:\n%s", want, out)
+		}
+	}
+	// The exchange must be printed before the consuming loop nest.
+	commIdx := strings.Index(out, "COMM exchange")
+	useIdx := strings.Index(out, "b(i,j) = a((i - 1),j)")
+	if commIdx < 0 || useIdx < 0 || commIdx > useIdx {
+		t.Errorf("exchange not emitted before its use:\n%s", out)
+	}
+	// Every statement of the routine appears.
+	for _, want := range []string{"a(i,j) = (i + j)", "x = sum(a(1,1:n))"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing statement %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmitCountsMatchPlacement(t *testing.T) {
+	for _, v := range []core.Version{core.VersionOrig, core.VersionRedund, core.VersionCombine} {
+		out := emit(t, src, map[string]int{"n": 8}, 4, v)
+		got := strings.Count(out, "COMM ")
+		r, _ := parser.ParseRoutine(src)
+		u, _ := sem.Analyze(r, map[string]int{"n": 8}, sem.Options{Procs: 4})
+		a, _ := core.NewAnalysis(u)
+		res, _ := a.Place(core.Options{Version: v})
+		if got != res.TotalMessages() {
+			t.Errorf("%v: %d COMM lines vs %d groups:\n%s", v, got, res.TotalMessages(), out)
+		}
+	}
+}
+
+func TestEmitElseBranch(t *testing.T) {
+	src2 := `
+routine br(n)
+real a(n)
+real x
+if (x > 0) then
+a(1) = 1
+else
+a(2) = 2
+endif
+end
+`
+	out := emit(t, src2, map[string]int{"n": 8}, 2, core.VersionCombine)
+	if !strings.Contains(out, "else") {
+		t.Errorf("else branch missing:\n%s", out)
+	}
+	if strings.Count(out, "a(1) = 1") != 1 || strings.Count(out, "a(2) = 2") != 1 {
+		t.Errorf("branch statements wrong:\n%s", out)
+	}
+}
+
+func TestEmitRedundantAnnotation(t *testing.T) {
+	fig4 := `
+routine fig4(n)
+real a(n,n), b(n,n), c(n,n), d(n,n)
+real cond
+!hpf$ processors p(4)
+!hpf$ distribute (block,*) :: a, b, c, d
+b(1:n, 1:n:2) = 1
+b(1:n, 2:n:2) = 2
+if (cond > 0) then
+a(1:n, 1:n) = 3
+else
+a(1:n, 1:n) = d(1:n, 1:n)
+endif
+do i = 2, n
+do j = 1, n, 2
+c(i, j) = a(i-1, j) + b(i-1, j)
+enddo
+do j = 1, n
+c(i, j) = a(i-1, j) + b(i-1, j)
+enddo
+enddo
+end
+`
+	out := emit(t, fig4, map[string]int{"n": 16}, 4, core.VersionCombine)
+	if !strings.Contains(out, "subsumes redundant") {
+		t.Errorf("redundancy annotation missing:\n%s", out)
+	}
+}

@@ -1,0 +1,544 @@
+package core
+
+import (
+	"fmt"
+
+	"gcao/internal/asd"
+	"gcao/internal/ast"
+	"gcao/internal/cfg"
+	"gcao/internal/dep"
+	"gcao/internal/dom"
+	"gcao/internal/scalarize"
+	"gcao/internal/sem"
+	"gcao/internal/ssa"
+)
+
+// Analysis holds the full communication analysis of one routine: the
+// scalarized body, augmented CFG, dominator tree, SSA form, dependence
+// context, and the classified communication entries with their
+// earliest/latest/candidate positions. One Analysis can be placed
+// under several strategies (Place) without re-analysis.
+type Analysis struct {
+	Unit *sem.Unit
+	Scal *scalarize.Result
+	G    *cfg.Graph
+	Dom  *dom.Tree
+	SSA  *ssa.Info
+	Dep  *dep.Analysis
+
+	// Entries lists every communication requirement, including entries
+	// later coalesced into axis exchanges.
+	Entries []*Entry
+
+	loopBoundCache map[*cfg.Loop][4]int // lo, hi, step, ok(1/0)
+}
+
+// NewAnalysis runs the front half of the compiler on an analyzed
+// routine: scalarization, CFG construction, dominators, SSA,
+// classification, and the earliest/latest/candidate computation for
+// every entry.
+func NewAnalysis(u *sem.Unit) (*Analysis, error) {
+	scal, err := scalarize.Scalarize(u)
+	if err != nil {
+		return nil, err
+	}
+	g := cfg.Build(scal.Body)
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	t := dom.New(g)
+	info := ssa.Build(g, t, func(name string) bool {
+		_, ok := u.Arrays[name]
+		return ok
+	})
+	if err := info.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Analysis{
+		Unit:           u,
+		Scal:           scal,
+		G:              g,
+		Dom:            t,
+		SSA:            info,
+		Dep:            dep.New(u),
+		loopBoundCache: map[*cfg.Loop][4]int{},
+	}
+	if err := a.buildEntries(); err != nil {
+		return nil, err
+	}
+	a.coalesceDiagonals()
+	for _, e := range a.Entries {
+		if e.Coalesced {
+			continue
+		}
+		if err := a.computePlacementRange(e); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// loopBounds evaluates a loop's bounds at compile time.
+func (a *Analysis) loopBounds(l *cfg.Loop) (lo, hi, step int, ok bool) {
+	if v, hit := a.loopBoundCache[l]; hit {
+		return v[0], v[1], v[2], v[3] == 1
+	}
+	store := func(lo, hi, step int, ok bool) (int, int, int, bool) {
+		f := 0
+		if ok {
+			f = 1
+		}
+		a.loopBoundCache[l] = [4]int{lo, hi, step, f}
+		return lo, hi, step, ok
+	}
+	lov, err1 := a.Unit.EvalInt(l.Do.Lo)
+	hiv, err2 := a.Unit.EvalInt(l.Do.Hi)
+	if err1 != nil || err2 != nil {
+		return store(0, 0, 1, false)
+	}
+	stepv := 1
+	if l.Do.Step != nil {
+		s, err := a.Unit.EvalInt(l.Do.Step)
+		if err != nil || s == 0 {
+			return store(0, 0, 1, false)
+		}
+		stepv = s
+	}
+	if stepv < 0 {
+		lov, hiv, stepv = hiv, lov, -stepv
+	}
+	return store(lov, hiv, stepv, true)
+}
+
+// LoopTrip returns the compile-time trip count of a loop, when its
+// bounds are constant under the routine parameters.
+func (a *Analysis) LoopTrip(l *cfg.Loop) (int, bool) {
+	lo, hi, step, ok := a.loopBounds(l)
+	if !ok {
+		return 0, false
+	}
+	if lo > hi {
+		return 0, true
+	}
+	return (hi-lo)/step + 1, true
+}
+
+// ---------------------------------------------------------------------
+// Latest position (§4.2)
+
+// computeLatest determines CommLevel(u) and the latest position for an
+// entry, which is as shallow as possible: just before the outermost
+// loop with no true dependence on the use, or just before the
+// statement when dependences pin it at full depth.
+func (a *Analysis) computeLatest(e *Entry) {
+	level := 0
+	for _, u := range e.Uses {
+		regs, _ := dep.ReachingRegularDefs(u)
+		for _, d := range regs {
+			if l := a.Dep.DepLevel(d, u); l > level {
+				level = l
+			}
+		}
+	}
+	u := e.Use()
+	if level > u.Stmt.NL() {
+		level = u.Stmt.NL()
+	}
+	e.CommLevel = level
+	if level == u.Stmt.NL() {
+		e.Latest = Position{Block: u.Stmt.Block, After: u.Stmt.Index - 1}
+		return
+	}
+	loop := u.Stmt.Loops[level] // loop at Depth level+1
+	pre := loop.PreHeader
+	e.Latest = Position{Block: pre, After: len(pre.Stmts) - 1}
+}
+
+// ---------------------------------------------------------------------
+// Earliest position (§4.3, Fig. 8)
+
+// computeEarliest finds the earliest single dominating communication
+// point for the entry: the first definition, in a depth-first preorder
+// walk back through the SSA chain from the use, for which Test returns
+// true (Claim 4.1).
+func (a *Analysis) computeEarliest(e *Entry) error {
+	var best ssa.Def
+	var bestPos Position
+	for _, u := range e.Uses {
+		d := a.earliestDef(u)
+		if d == nil {
+			return fmt.Errorf("core: no earliest def for %s", u)
+		}
+		if !a.Dom.Dominates(d.DefBlock(), u.Stmt.Block) {
+			return fmt.Errorf("core: earliest def %s does not dominate %s", d, u)
+		}
+		pos := a.defPosition(d)
+		// Merged uses: keep the latest (most dominated) earliest point,
+		// which is safe for every member.
+		if best == nil || a.posDominates(bestPos, pos) {
+			best, bestPos = d, pos
+		}
+	}
+	e.EarliestDef = best
+	e.Earliest = bestPos
+	return nil
+}
+
+// earliestDef implements the walk of Fig. 8(a): visit defs backward
+// from Reaching(u) in depth-first preorder; the first def passing Test
+// is Earliest(u). The ENTRY pseudo-def always passes.
+func (a *Analysis) earliestDef(u *ssa.Use) ssa.Def {
+	visited := map[ssa.Def]bool{}
+	var found ssa.Def
+	var dfs func(d ssa.Def) bool
+	dfs = func(d ssa.Def) bool {
+		if d == nil || visited[d] {
+			return false
+		}
+		visited[d] = true
+		if a.test(d, u) {
+			found = d
+			return true
+		}
+		switch d := d.(type) {
+		case *ssa.RegularDef:
+			return dfs(d.Input)
+		case *ssa.PhiDef:
+			for _, arg := range d.Args {
+				if dfs(arg) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	dfs(u.Reaching)
+	return found
+}
+
+// test implements Fig. 8(b): a regular def is the earliest point when
+// it carries a dependence at the common nesting level; a φ-def is the
+// earliest point when two or more of its parameters reach distinct
+// dependence sources over node-disjoint backpaths (counted by Rcount
+// with a shared visit set).
+func (a *Analysis) test(d ssa.Def, u *ssa.Use) bool {
+	switch d := d.(type) {
+	case *ssa.EntryDef:
+		return true
+	case *ssa.RegularDef:
+		return a.Dep.IsArrayDep(d, u, ssa.CNL(d, u))
+	case *ssa.PhiDef:
+		// The visit set is shared across parameters so two positive
+		// counts certify node-disjoint backpaths (Lemma 4.3). The
+		// greedy order in which parameters consume shared prefixes
+		// matters — e.g. at a φExit the zero-trip parameter must claim
+		// the ENTRY-side path before the through-the-loop parameter
+		// walks it — so we accept the test if any parameter ordering
+		// yields two positives. Blocks in this structured CFG have at
+		// most two predecessors, so this is at most two trials.
+		level := ssa.CNL(d, u)
+		n := len(d.Args)
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		var try func(k int) bool
+		try = func(k int) bool {
+			if k == n {
+				visit := map[ssa.Def]bool{d: true}
+				positives := 0
+				for _, i := range order {
+					if a.rcount(d.Args[i], u, level, visit) > 0 {
+						positives++
+					}
+				}
+				return positives >= 2
+			}
+			for i := k; i < n; i++ {
+				order[k], order[i] = order[i], order[k]
+				if try(k + 1) {
+					return true
+				}
+				order[k], order[i] = order[i], order[k]
+			}
+			return false
+		}
+		return try(0)
+	}
+	return false
+}
+
+// rcount implements Fig. 8(c): it counts dependence sources reachable
+// through a φ parameter, visiting every definition at most once so
+// that two positive parameter counts certify node-disjoint paths.
+func (a *Analysis) rcount(d ssa.Def, u *ssa.Use, level int, visit map[ssa.Def]bool) int {
+	if d == nil || visit[d] {
+		return 0
+	}
+	visit[d] = true
+	switch d := d.(type) {
+	case *ssa.EntryDef:
+		return 1 // IsArrayDep is TRUE for the pseudo-def at ENTRY
+	case *ssa.PhiDef:
+		n := 0
+		for _, arg := range d.Args {
+			n += a.rcount(arg, u, level, visit)
+		}
+		return n
+	case *ssa.RegularDef:
+		if a.Dep.IsArrayDep(d, u, level) {
+			return 1
+		}
+		// All regular array defs are preserving: look through.
+		return a.rcount(d.Input, u, level, visit)
+	}
+	return 0
+}
+
+// defPosition returns the position "immediately after d".
+func (a *Analysis) defPosition(d ssa.Def) Position {
+	switch d := d.(type) {
+	case *ssa.EntryDef:
+		return Position{Block: a.G.EntryBlock, After: -1}
+	case *ssa.RegularDef:
+		return Position{Block: d.Stmt.Block, After: d.Stmt.Index}
+	case *ssa.PhiDef:
+		return Position{Block: d.Blk, After: -1}
+	}
+	panic("core: unknown def kind")
+}
+
+// ---------------------------------------------------------------------
+// Candidate positions (§4.4, Fig. 9e)
+
+// posDominates reports whether position p dominates (executes no later
+// than) position q.
+func (a *Analysis) posDominates(p, q Position) bool {
+	if p.Block == q.Block {
+		return p.After <= q.After
+	}
+	return a.Dom.StrictlyDominates(p.Block, q.Block)
+}
+
+// computeCandidates marks every statement on the dominator-tree path
+// from Latest(u) up to Earliest(u) (Claims 4.5–4.6). Candidates are
+// ordered earliest-first.
+func (a *Analysis) computeCandidates(e *Entry) error {
+	var cands []Position
+	c := e.Latest.Block
+	if c == e.Earliest.Block {
+		for k := e.Earliest.After; k <= e.Latest.After; k++ {
+			cands = append(cands, Position{Block: c, After: k})
+		}
+		e.Candidates = cands
+		return nil
+	}
+	// Latest's block: positions from block top through Latest.
+	var below [][]Position
+	var blk []Position
+	for k := -1; k <= e.Latest.After; k++ {
+		blk = append(blk, Position{Block: c, After: k})
+	}
+	below = append(below, blk)
+	c = a.Dom.IDom(c)
+	for c != nil && c != e.Earliest.Block {
+		blk = nil
+		for k := -1; k < len(c.Stmts); k++ {
+			blk = append(blk, Position{Block: c, After: k})
+		}
+		below = append(below, blk)
+		c = a.Dom.IDom(c)
+	}
+	if c == nil {
+		return fmt.Errorf("core: dominator walk from %s missed earliest %s for %s", e.Latest, e.Earliest, e)
+	}
+	blk = nil
+	for k := e.Earliest.After; k < len(c.Stmts); k++ {
+		blk = append(blk, Position{Block: c, After: k})
+	}
+	below = append(below, blk)
+	// Assemble earliest-first.
+	for i := len(below) - 1; i >= 0; i-- {
+		cands = append(cands, below[i]...)
+	}
+	e.Candidates = cands
+	return nil
+}
+
+func (a *Analysis) computePlacementRange(e *Entry) error {
+	if e.Kind == KindReduce {
+		a.computeReduceRange(e)
+		return nil
+	}
+	a.computeLatest(e)
+	if err := a.computeEarliest(e); err != nil {
+		return err
+	}
+	// The earliest point may sit deeper than or past Latest only when
+	// a dependence pins communication next to the use; clamp so the
+	// candidate walk is well formed.
+	if !a.posDominates(e.Earliest, e.Latest) && e.Earliest != e.Latest {
+		e.Earliest = e.Latest
+		e.EarliestDef = nil
+	}
+	return a.computeCandidates(e)
+}
+
+// computeReduceRange places reduction communication per §6.2: the
+// partial result is computed at the reduction statement, so the global
+// combine may happen anywhere between that statement and the first use
+// of the result — intervening redefinitions of the summed array cannot
+// stale the already-computed partial. The prototype (like the paper's)
+// sinks only within the defining basic block, which is exactly enough
+// for adjacent reductions to land on a common point and combine ("as
+// in gravity").
+func (a *Analysis) computeReduceRange(e *Entry) {
+	st := e.Use().Stmt
+	e.CommLevel = st.NL()
+	e.EarliestDef = nil
+	e.Earliest = Position{Block: st.Block, After: st.Index}
+	lhs := st.Assign.LHS.Name
+	last := st.Index
+	for k := st.Index + 1; k < len(st.Block.Stmts); k++ {
+		if stmtReadsScalar(st.Block.Stmts[k], lhs) {
+			break
+		}
+		last = k
+	}
+	e.Latest = Position{Block: st.Block, After: last}
+	e.Candidates = nil
+	for k := st.Index; k <= last; k++ {
+		e.Candidates = append(e.Candidates, Position{Block: st.Block, After: k})
+	}
+}
+
+// stmtReadsScalar reports whether a statement's RHS or subscripts
+// mention the named scalar.
+func stmtReadsScalar(st *cfg.Stmt, name string) bool {
+	found := false
+	check := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		if r, ok := e.(*ast.Ref); ok && r.Name == name {
+			found = true
+		}
+	}
+	ast.WalkExprs(st.Assign.RHS, check)
+	for _, sub := range st.Assign.LHS.Subs {
+		ast.WalkExprs(sub.X, check)
+		ast.WalkExprs(sub.Lo, check)
+		ast.WalkExprs(sub.Hi, check)
+		ast.WalkExprs(sub.Step, check)
+	}
+	return found
+}
+
+// ---------------------------------------------------------------------
+// Diagonal coalescing and identical-entry merging (pHPF front-end
+// optimizations the paper assumes: message coalescing subsumes
+// diagonal NNC using augmented axis exchanges, §2.2).
+
+func (a *Analysis) coalesceDiagonals() {
+	// Collect axis entries by (array, grid dim, sign, home loop).
+	type key struct {
+		array string
+		dim   int
+		sign  int
+		loop  *cfg.Loop
+	}
+	axis := map[key]*Entry{}
+	homeLoop := func(e *Entry) *cfg.Loop {
+		st := e.Use().Stmt
+		if len(st.Loops) == 0 {
+			return nil
+		}
+		return st.Loops[len(st.Loops)-1] // innermost loop = the nest
+	}
+	for _, e := range a.Entries {
+		if e.Kind != KindShift {
+			continue
+		}
+		if nz := nonZeroCount(e.Offsets); nz == 1 {
+			k := key{e.Array, e.Map.GridDim, e.Map.Sign, homeLoop(e)}
+			if old, ok := axis[k]; !ok || e.Map.Width > old.Map.Width {
+				axis[k] = e
+			}
+		}
+	}
+	for _, e := range a.Entries {
+		if e.Kind != KindShift || nonZeroCount(e.Offsets) < 2 {
+			continue
+		}
+		e.Coalesced = true
+		for g, c := range e.Offsets {
+			if c == 0 {
+				continue
+			}
+			sign := 1
+			if c < 0 {
+				sign = -1
+			}
+			k := key{e.Array, g, sign, homeLoop(e)}
+			carrier, ok := axis[k]
+			if !ok {
+				// Synthesize the axis exchange the diagonal rides on.
+				carrier = &Entry{
+					ID:      len(a.Entries),
+					Array:   e.Array,
+					Kind:    KindShift,
+					Uses:    e.Uses,
+					Offsets: axisOffsets(len(e.Offsets), g, c),
+					Map:     shiftMapping(a.Unit.Grid.Shape, g, c),
+					dims:    e.dims,
+				}
+				a.Entries = append(a.Entries, carrier)
+				axis[k] = carrier
+			} else {
+				// The carrier now also serves the diagonal's reads, so
+				// its placement range must honour the diagonal's
+				// dependences too (a same-sweep carried diagonal pins
+				// the exchange inside the carrying loop).
+				carrier.Uses = append(carrier.Uses, e.Uses...)
+			}
+			if w := abs(c); w > carrier.Map.Width {
+				carrier.Map.Width = w
+			}
+			// Augment the carrier's section so the axis exchanges
+			// cover the diagonal's corner data (the "augmented form of
+			// the NNC along the two axes", §2.2).
+			if hull, _, ok := (asd.SymSection{Dims: carrier.dims}).Hull(asd.SymSection{Dims: e.dims}); ok {
+				carrier.dims = hull.Dims
+			}
+			e.Carriers = append(e.Carriers, carrier)
+		}
+	}
+}
+
+func axisOffsets(n, dim, c int) []int {
+	out := make([]int, n)
+	out[dim] = c
+	return out
+}
+
+func nonZeroCount(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		if x != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// CommEntries returns the entries that require placement (excluding
+// coalesced diagonals).
+func (a *Analysis) CommEntries() []*Entry {
+	var out []*Entry
+	for _, e := range a.Entries {
+		if !e.Coalesced {
+			out = append(out, e)
+		}
+	}
+	return out
+}

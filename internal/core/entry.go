@@ -1,0 +1,582 @@
+// Package core implements the paper's contribution: global analysis
+// and optimization of communication placement. For every non-local
+// array reference it derives a communication entry with its earliest
+// and latest safe positions (§4.2–4.3), marks the dominator-path
+// candidate set (§4.4), performs subset elimination (§4.5) and global
+// redundancy elimination over ASDs (§4.6), and finally chooses
+// positions with the greedy combining heuristic (§4.7). Baseline
+// strategies reproducing the paper's "orig" and "nored" compiler
+// versions are provided for the evaluation harness.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gcao/internal/asd"
+	"gcao/internal/ast"
+	"gcao/internal/cfg"
+	"gcao/internal/dist"
+	"gcao/internal/lin"
+	"gcao/internal/sem"
+	"gcao/internal/ssa"
+)
+
+// Position identifies a point in the CFG where communication code can
+// be inserted: immediately after statement Block.Stmts[After], or at
+// the top of the block when After is −1. The paper's "communication is
+// placed at d means immediately after d" (§4.1).
+type Position struct {
+	Block *cfg.Block
+	After int
+}
+
+// Valid reports whether the position indexes its block consistently.
+func (p Position) Valid() bool {
+	return p.Block != nil && p.After >= -1 && p.After < len(p.Block.Stmts)
+}
+
+// Level returns the loop nesting level of the position.
+func (p Position) Level() int { return p.Block.NL() }
+
+func (p Position) String() string {
+	if p.Block == nil {
+		return "<nil>"
+	}
+	if p.After < 0 {
+		return fmt.Sprintf("B%d.top", p.Block.ID)
+	}
+	return fmt.Sprintf("B%d.after(%s)", p.Block.ID, p.Block.Stmts[p.After].Label())
+}
+
+// CommKind classifies the communication needed by a use.
+type CommKind int
+
+const (
+	// KindNone marks accesses that are purely local (owner-computes
+	// alignment) or reads of replicated data.
+	KindNone CommKind = iota
+	// KindShift is nearest-neighbour communication (NNC).
+	KindShift
+	// KindReduce is a global reduction.
+	KindReduce
+	// KindBcast replicates one owner's data everywhere.
+	KindBcast
+	// KindGeneral is any other pattern (transpose, gather).
+	KindGeneral
+)
+
+func (k CommKind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindShift:
+		return "NNC"
+	case KindReduce:
+		return "SUM"
+	case KindBcast:
+		return "BCAST"
+	case KindGeneral:
+		return "GEN"
+	}
+	return fmt.Sprintf("CommKind(%d)", int(k))
+}
+
+// Entry is one communication requirement: a non-local use together
+// with the analysis results that drive placement.
+type Entry struct {
+	ID    int
+	Array string
+	Kind  CommKind
+	// Uses are the SSA uses this entry serves (coalescing can merge
+	// several identical references).
+	Uses []*ssa.Use
+	// Map is the sender→receiver mapping.
+	Map asd.Mapping
+	// Offsets is the raw per-grid-dim element offset vector for shift
+	// communication before diagonal coalescing.
+	Offsets []int
+	// dims holds the symbolic per-array-dimension section of the
+	// reference with all loop variables symbolic; SectionAt expands it
+	// for a placement level.
+	dims []asd.SymDim
+
+	// CommLevel is the paper's CommLevel(u) (§4.2).
+	CommLevel int
+	// Latest is the latest safe position (§4.2); Earliest the earliest
+	// single dominating def point (§4.3) and its position.
+	Latest      Position
+	EarliestDef ssa.Def
+	Earliest    Position
+	// Candidates is the dominator-path candidate set (§4.4), ordered
+	// from Earliest to Latest.
+	Candidates []Position
+
+	// Coalesced marks diagonal NNC subsumed by axis exchanges; the
+	// carriers satisfy this entry's use.
+	Coalesced bool
+	Carriers  []*Entry
+
+	// Placement results (per Result, reset between strategies):
+	// nothing is stored on the entry so one Analysis can be placed
+	// under several strategies.
+}
+
+// ASDAt returns the entry's Available Section Descriptor as it would
+// be communicated at the given loop level.
+func (e *Entry) ASDAt(a *Analysis, level int) asd.ASD {
+	return asd.ASD{Array: e.Array, Data: e.SectionAt(a, level), Map: e.Map}
+}
+
+// String renders the entry for diagnostics.
+func (e *Entry) String() string {
+	var labels []string
+	for _, u := range e.Uses {
+		labels = append(labels, u.Stmt.Label())
+	}
+	return fmt.Sprintf("e%d[%s %s @%s]", e.ID, e.Array, e.Kind, strings.Join(labels, ","))
+}
+
+// Use returns the entry's primary use.
+func (e *Entry) Use() *ssa.Use { return e.Uses[0] }
+
+// SectionAt returns the section communicated when the entry is placed
+// at the given loop level: subscripts over loop variables of loops
+// deeper than level are expanded ("message vectorization") using the
+// loop bounds; shallower loop variables remain symbolic.
+func (e *Entry) SectionAt(a *Analysis, level int) asd.SymSection {
+	out := asd.SymSection{Dims: make([]asd.SymDim, len(e.dims))}
+	copy(out.Dims, e.dims)
+	u := e.Use()
+	for li := len(u.Stmt.Loops) - 1; li >= level; li-- {
+		loop := u.Stmt.Loops[li]
+		lo, hi, step, ok := a.loopBounds(loop)
+		if !ok {
+			continue // symbolic bounds: leave per-iteration (conservative)
+		}
+		for di := range out.Dims {
+			out.Dims[di] = expandDim(out.Dims[di], loop.Var(), lo, hi, step)
+		}
+	}
+	return out
+}
+
+// expandDim expands one loop variable out of a symbolic dimension.
+func expandDim(d asd.SymDim, v string, vlo, vhi, vstep int) asd.SymDim {
+	cLo := d.Lo.CoefOf(v)
+	cHi := d.Hi.CoefOf(v)
+	if cLo == 0 && cHi == 0 {
+		return d
+	}
+	if vstep < 1 {
+		vstep = 1
+	}
+	sub := func(f lin.Form, c int, val int) lin.Form {
+		// f with v -> val: f - c*v + c*val
+		return f.Add(lin.Var(v).Scale(-c)).AddConst(c * val)
+	}
+	var lo, hi lin.Form
+	if cLo >= 0 {
+		lo = sub(d.Lo, cLo, vlo)
+	} else {
+		lo = sub(d.Lo, cLo, vhi)
+	}
+	if cHi >= 0 {
+		hi = sub(d.Hi, cHi, vhi)
+	} else {
+		hi = sub(d.Hi, cHi, vlo)
+	}
+	step := d.Step
+	if d.Lo.Equal(d.Hi) && cLo == cHi {
+		// A point dimension indexed by the loop: stride follows the
+		// loop step and coefficient.
+		step = abs(cLo) * vstep
+		if step == 0 {
+			step = 1
+		}
+	} else {
+		// Already a range: expansion makes it denser; a unit stride
+		// hull is the safe single-descriptor approximation.
+		step = 1
+	}
+	return asd.SymDim{Lo: lo, Hi: hi, Step: step}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// BytesAt estimates the per-processor message volume in bytes when the
+// entry is placed at the given level. Unknown sizes return ok=false;
+// the caller then applies the paper's rule of thumb (NNC and
+// reductions are assumed combinable).
+func (e *Entry) BytesAt(a *Analysis, level int) (int, bool) {
+	return e.BytesForSection(a, e.SectionAt(a, level))
+}
+
+// BytesForSection estimates the per-processor message volume for an
+// explicit section (used by the partial-redundancy extension, which
+// trims the communicated section below SectionAt's).
+func (e *Entry) BytesForSection(a *Analysis, sec asd.SymSection) (int, bool) {
+	arr := a.Unit.Arrays[e.Array]
+	if arr == nil {
+		return 0, false
+	}
+	switch e.Kind {
+	case KindReduce:
+		// The global combine moves one partial result per reduction.
+		return arr.ElemBytes(), true
+	case KindShift:
+		// Ghost strip: the section's rows inside the partition-boundary
+		// bands of the shifted grid dim (at most Width per boundary)
+		// times the local extent of every other dimension.
+		bytes := a.stripRows(e, arr, sec) * arr.ElemBytes()
+		for di, d := range sec.Dims {
+			if a.gridDimOfArrayDim(arr, di) == e.Map.GridDim && arr.Dist != nil && arr.Dist.Dims[di].Kind != 0 {
+				continue // the shifted dimension contributes the strip rows
+			}
+			n, ok := d.Count()
+			if !ok {
+				return 0, false
+			}
+			// A distributed dimension contributes only its local part.
+			if arr.Dist != nil && arr.Dist.Dims[di].Kind != 0 {
+				g := arr.Dist.Grid.Shape[arr.Dist.Dims[di].GridDim]
+				n = (n + g - 1) / g
+			}
+			if n < 1 {
+				n = 1
+			}
+			bytes *= n
+		}
+		return bytes, true
+	default:
+		n, ok := sec.NumElems()
+		if !ok {
+			return 0, false
+		}
+		return n * arr.ElemBytes(), true
+	}
+}
+
+// stripRows counts the shifted-dimension rows one exchange message
+// carries: the average, over neighbour pairs, of the section's
+// intersection with each partition-boundary band. With a full-extent
+// section this is exactly Map.Width (the classic ghost strip); a
+// section trimmed away from the boundaries (partial redundancy)
+// contributes nothing. Symbolic bounds fall back to Width.
+func (a *Analysis) stripRows(e *Entry, arr *sem.Array, sec asd.SymSection) int {
+	// Find the array dim mapped to the shifted grid dim.
+	ad := -1
+	for k := range arr.Lo {
+		if a.gridDimOfArrayDim(arr, k) == e.Map.GridDim {
+			ad = k
+			break
+		}
+	}
+	if ad < 0 || ad >= len(sec.Dims) || arr.Dist == nil {
+		return e.Map.Width
+	}
+	lo, ok1 := sec.Dims[ad].Lo.IsConst()
+	hi, ok2 := sec.Dims[ad].Hi.IsConst()
+	if !ok1 || !ok2 {
+		return e.Map.Width
+	}
+	shape := a.Unit.Grid.Shape[e.Map.GridDim]
+	if shape <= 1 {
+		return 0
+	}
+	total := 0
+	pairs := 0
+	for c := 0; c < shape; c++ {
+		blo, bhi, ok := arr.Dist.LocalRange(ad, c)
+		if !ok {
+			continue
+		}
+		var bandLo, bandHi int
+		if e.Map.Sign > 0 {
+			if c == 0 {
+				continue // no lower neighbour to send to
+			}
+			bandLo, bandHi = blo, min(blo+e.Map.Width-1, bhi)
+		} else {
+			if c == shape-1 {
+				continue // no upper neighbour
+			}
+			bandLo, bandHi = max(bhi-e.Map.Width+1, blo), bhi
+		}
+		pairs++
+		l, h := max(bandLo, lo), min(bandHi, hi)
+		if l <= h {
+			total += h - l + 1
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	// Average rows per neighbour message, rounded up.
+	return (total + pairs - 1) / pairs
+}
+
+// gridDimOfArrayDim returns the grid dimension an array dimension is
+// distributed onto, or −1.
+func (a *Analysis) gridDimOfArrayDim(arr *sem.Array, dim int) int {
+	if arr.Dist == nil || arr.Dist.Dims[dim].Kind == 0 {
+		return -1
+	}
+	return arr.Dist.Dims[dim].GridDim
+}
+
+// buildEntries classifies every SSA use and constructs communication
+// entries. Local and replicated accesses yield no entry.
+func (a *Analysis) buildEntries() error {
+	for _, u := range a.SSA.Uses {
+		arr := a.Unit.Arrays[u.Var]
+		if arr == nil {
+			continue
+		}
+		e, err := a.classifyUse(u, arr)
+		if err != nil {
+			return err
+		}
+		if e == nil {
+			continue
+		}
+		e.ID = len(a.Entries)
+		a.Entries = append(a.Entries, e)
+	}
+	return nil
+}
+
+// classifyUse determines the communication kind, mapping and symbolic
+// section for one use, or nil when the access is local.
+func (a *Analysis) classifyUse(u *ssa.Use, arr *sem.Array) (*Entry, error) {
+	dims, err := a.refSection(u.Ref, arr)
+	if err != nil {
+		return nil, err
+	}
+
+	if u.InReduction {
+		if arr.Dist == nil {
+			return nil, nil // replicated: reduction is local
+		}
+		return &Entry{
+			Array: u.Var,
+			Kind:  KindReduce,
+			Uses:  []*ssa.Use{u},
+			Map:   asd.Mapping{Kind: asd.MapReduce, GridShape: a.Unit.Grid.Shape},
+			dims:  dims,
+		}, nil
+	}
+	if arr.Dist == nil {
+		return nil, nil // replicated data is always local
+	}
+
+	lhs := u.Stmt.Assign.LHS
+	lhsArr := a.Unit.Arrays[lhs.Name]
+	if lhsArr == nil || lhsArr.Dist == nil {
+		// Scalar or replicated target: every processor evaluates the
+		// statement, so the distributed operand must be broadcast.
+		sig := fmt.Sprintf("bcast:%s:%v", arr.Dist.String(), subsSignature(a, u.Ref))
+		return &Entry{
+			Array: u.Var,
+			Kind:  KindBcast,
+			Uses:  []*ssa.Use{u},
+			Map:   asd.Mapping{Kind: asd.MapBcast, GridShape: a.Unit.Grid.Shape, Signature: sig},
+			dims:  dims,
+		}, nil
+	}
+
+	// Owner-computes: compare the use's subscript in each distributed
+	// dimension against the LHS subscript aligned to the same grid dim.
+	offsets := make([]int, a.Unit.Grid.Rank())
+	general := false
+	for k := range arr.Lo {
+		g := a.gridDimOfArrayDim(arr, k)
+		if g < 0 {
+			continue
+		}
+		ldim := -1
+		for m := range lhsArr.Lo {
+			if a.gridDimOfArrayDim(lhsArr, m) == g {
+				ldim = m
+				break
+			}
+		}
+		if ldim < 0 || len(u.Ref.Subs) == 0 || len(lhs.Subs) == 0 {
+			general = true
+			break
+		}
+		if u.Ref.Subs[k].Kind == ast.SubRange || lhs.Subs[ldim].Kind == ast.SubRange {
+			general = true
+			break
+		}
+		uf, ok1 := a.Dep.SubForm(u.Ref.Subs[k].X)
+		lf, ok2 := a.Dep.SubForm(lhs.Subs[ldim].X)
+		if !ok1 || !ok2 {
+			general = true
+			break
+		}
+		c, ok := uf.ConstDiff(lf)
+		if !ok {
+			general = true
+			break
+		}
+		// Constant offsets are neighbour strips only under BLOCK; on a
+		// CYCLIC dimension every element's neighbour lives on another
+		// processor, so the pattern is a general (whole-set) transfer.
+		if c != 0 && arr.Dist.Dims[k].Kind != dist.Block {
+			general = true
+			break
+		}
+		// The partitionings must agree for the offset to be a uniform
+		// neighbour relation.
+		if arr.Lo[k] != lhsArr.Lo[ldim] || arr.Hi[k] != lhsArr.Hi[ldim] {
+			general = true
+			break
+		}
+		// Offsets reaching past the neighbour's block (including the
+		// wrap-around copies of periodic boundary code) are not NNC.
+		procs := a.Unit.Grid.Shape[g]
+		blockSize := (arr.Hi[k] - arr.Lo[k] + procs) / procs
+		if abs(c) >= blockSize {
+			general = true
+			break
+		}
+		offsets[g] = c
+	}
+	if general {
+		sig := fmt.Sprintf("gen:%s->%s:%v", arr.Dist.String(), lhsArr.Dist.String(), subsSignature(a, u.Ref))
+		return &Entry{
+			Array: u.Var,
+			Kind:  KindGeneral,
+			Uses:  []*ssa.Use{u},
+			Map:   asd.Mapping{Kind: asd.MapGeneral, GridShape: a.Unit.Grid.Shape, Signature: sig},
+			dims:  dims,
+		}, nil
+	}
+	allZero := true
+	for _, c := range offsets {
+		if c != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		return nil, nil // perfectly aligned: local access
+	}
+	e := &Entry{
+		Array:   u.Var,
+		Kind:    KindShift,
+		Uses:    []*ssa.Use{u},
+		Offsets: offsets,
+		dims:    dims,
+	}
+	// Single-axis shifts get their mapping now; diagonals are
+	// coalesced into axis exchanges by coalesceDiagonals.
+	nz := 0
+	axis := 0
+	for g, c := range offsets {
+		if c != 0 {
+			nz++
+			axis = g
+		}
+	}
+	if nz == 1 {
+		e.Map = shiftMapping(a.Unit.Grid.Shape, axis, offsets[axis])
+	}
+	return e, nil
+}
+
+func shiftMapping(gridShape []int, gridDim, offset int) asd.Mapping {
+	sign := 1
+	if offset < 0 {
+		sign = -1
+	}
+	return asd.Mapping{
+		Kind:      asd.MapShift,
+		GridShape: gridShape,
+		GridDim:   gridDim,
+		Sign:      sign,
+		Width:     abs(offset),
+	}
+}
+
+// refSection builds the symbolic section of a reference.
+func (a *Analysis) refSection(r *ast.Ref, arr *sem.Array) ([]asd.SymDim, error) {
+	if len(r.Subs) == 0 {
+		dims := make([]asd.SymDim, arr.Rank())
+		for i := range dims {
+			dims[i] = asd.ConstDim(arr.Lo[i], arr.Hi[i], 1)
+		}
+		return dims, nil
+	}
+	dims := make([]asd.SymDim, len(r.Subs))
+	for i, sub := range r.Subs {
+		if sub.Kind == ast.SubExpr {
+			f, ok := a.Dep.SubForm(sub.X)
+			if !ok {
+				// Non-affine subscript: conservatively the whole dim.
+				dims[i] = asd.ConstDim(arr.Lo[i], arr.Hi[i], 1)
+				continue
+			}
+			dims[i] = asd.Point(f)
+			continue
+		}
+		lo, hi, step := arr.Lo[i], arr.Hi[i], 1
+		var err error
+		if sub.Lo != nil {
+			lo, err = a.Unit.EvalInt(sub.Lo)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if sub.Hi != nil {
+			hi, err = a.Unit.EvalInt(sub.Hi)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if sub.Step != nil {
+			step, err = a.Unit.EvalInt(sub.Step)
+			if err != nil {
+				return nil, err
+			}
+		}
+		dims[i] = asd.ConstDim(lo, hi, step)
+	}
+	return dims, nil
+}
+
+// subsSignature canonicalizes subscripts for mapping signatures.
+func subsSignature(a *Analysis, r *ast.Ref) string {
+	var parts []string
+	for _, sub := range r.Subs {
+		if sub.Kind == ast.SubRange {
+			parts = append(parts, ":")
+			continue
+		}
+		if f, ok := a.Dep.SubForm(sub.X); ok {
+			// Canonicalize loop variables positionally so that
+			// different nests with the same shape compare equal.
+			parts = append(parts, canonForm(f, r))
+		} else {
+			parts = append(parts, ast.ExprString(sub.X))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+func canonForm(f lin.Form, r *ast.Ref) string {
+	vars := f.Vars()
+	sort.Strings(vars)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d", f.Const)
+	for i, v := range vars {
+		fmt.Fprintf(&b, "+%d*v%d", f.CoefOf(v), i)
+	}
+	return b.String()
+}

@@ -1,0 +1,836 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"gcao/internal/asd"
+	"gcao/internal/cfg"
+)
+
+// Version selects the compilation strategy, matching the paper's three
+// measured compiler versions (§5).
+type Version int
+
+const (
+	// VersionOrig pulls communication into the outermost possible
+	// loops (message vectorization to the latest/shallowest position)
+	// but performs no redundancy elimination or message scheduling.
+	VersionOrig Version = iota
+	// VersionRedund adds redundancy elimination via earliest
+	// placement — the prior state of the art the paper compares
+	// against ("nored" in Fig. 10).
+	VersionRedund
+	// VersionCombine is the paper's global algorithm: candidate
+	// marking, subset elimination, global redundancy elimination, and
+	// greedy combining with latest-common placement ("comb").
+	VersionCombine
+)
+
+func (v Version) String() string {
+	switch v {
+	case VersionOrig:
+		return "orig"
+	case VersionRedund:
+		return "nored"
+	case VersionCombine:
+		return "comb"
+	}
+	return fmt.Sprintf("Version(%d)", int(v))
+}
+
+// Options configures placement.
+type Options struct {
+	Version Version
+	// CombineThresholdBytes bounds the combined message size (§4.7);
+	// 0 selects the paper's 20 KB.
+	CombineThresholdBytes int
+	// MaxHullBlowup bounds how much larger the single-descriptor union
+	// may be than the two sections combined; 0 selects 1.25.
+	MaxHullBlowup float64
+	// DisableSubsetElim turns off §4.5 (ablation; §6 notes it must be
+	// dropped when overlap matters).
+	DisableSubsetElim bool
+	// NaiveGreedyOrder processes entries in program order instead of
+	// most-constrained-first (ablation).
+	NaiveGreedyOrder bool
+	// DisableCombining turns off message combining while keeping the
+	// global placement machinery (ablation).
+	DisableCombining bool
+	// PartialRedundancy enables the §7 future-work extension: when an
+	// earlier-placed exchange already moves part of a later entry's
+	// section (and no definition intervenes), the later message is
+	// trimmed to the single-descriptor difference.
+	PartialRedundancy bool
+	// Trace, when non-nil, receives a human-readable log of the
+	// elimination and greedy decisions (the analog of the paper's
+	// trace dump to a listing file, Fig. 6).
+	Trace io.Writer
+}
+
+func (o Options) tracef(format string, args ...any) {
+	if o.Trace != nil {
+		fmt.Fprintf(o.Trace, format+"\n", args...)
+	}
+}
+
+func (o Options) threshold() int {
+	if o.CombineThresholdBytes > 0 {
+		return o.CombineThresholdBytes
+	}
+	return 20 << 10
+}
+
+func (o Options) maxBlowup() float64 {
+	if o.MaxHullBlowup > 0 {
+		return o.MaxHullBlowup
+	}
+	return 1.25
+}
+
+// Group is one placed communication operation: one runtime call that
+// moves the data of all member entries (plus any entries eliminated as
+// redundant, which ride along for free).
+type Group struct {
+	ID       int
+	Pos      Position
+	Kind     CommKind
+	Entries  []*Entry
+	Attached []*Entry
+	// Map is the union mapping of the members.
+	Map asd.Mapping
+}
+
+func (g *Group) String() string {
+	return fmt.Sprintf("group%d@%s %s x%d", g.ID, g.Pos, g.Kind, len(g.Entries))
+}
+
+// Result is the outcome of placement under one strategy.
+type Result struct {
+	Analysis *Analysis
+	Version  Version
+	Groups   []*Group
+	// Redundant maps eliminated entries to their subsumers.
+	Redundant map[*Entry]*Entry
+	// PosOf maps every live entry to its group's position.
+	PosOf map[*Entry]Position
+	// Reduced maps entries whose communicated section was trimmed by
+	// partial redundancy elimination to the section actually moved.
+	Reduced map[*Entry]asd.SymSection
+}
+
+// Counts returns the number of placed communication operations by
+// kind — the static call-site counts of Fig. 10(a).
+func (r *Result) Counts() map[CommKind]int {
+	out := map[CommKind]int{}
+	for _, g := range r.Groups {
+		out[g.Kind]++
+	}
+	return out
+}
+
+// Count returns the number of placed groups of one kind.
+func (r *Result) Count(kind CommKind) int { return r.Counts()[kind] }
+
+// TotalMessages returns the total number of placed groups.
+func (r *Result) TotalMessages() int { return len(r.Groups) }
+
+// Place runs the selected placement strategy over the analysis.
+func (a *Analysis) Place(opts Options) (*Result, error) {
+	res := &Result{
+		Analysis:  a,
+		Version:   opts.Version,
+		Redundant: map[*Entry]*Entry{},
+		PosOf:     map[*Entry]Position{},
+	}
+	entries := a.CommEntries()
+	switch opts.Version {
+	case VersionOrig:
+		a.placeVectorized(entries, res)
+	case VersionRedund:
+		a.placeEarliestRedundant(entries, res)
+	case VersionCombine:
+		if err := a.placeGlobal(entries, res, opts); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown version %v", opts.Version)
+	}
+	a.sortGroups(res)
+	if opts.PartialRedundancy {
+		a.reducePartial(res, opts)
+	}
+	return res, nil
+}
+
+// CommSection returns the section an entry actually communicates at a
+// level: the partial-redundancy-trimmed section when one was recorded,
+// the full section otherwise.
+func (r *Result) CommSection(e *Entry, level int) asd.SymSection {
+	if sec, ok := r.Reduced[e]; ok {
+		return sec
+	}
+	return e.SectionAt(r.Analysis, level)
+}
+
+// reducePartial implements the §7 extension: for every pair of placed
+// shift entries of the same array where an earlier (dominating)
+// exchange with an at-least-as-wide mapping already moves part of a
+// later entry's section — and the data is already fully available at
+// the earlier point (its Earliest dominates it), so nothing can stale
+// the overlap — the later message shrinks to the single-descriptor
+// difference. The functional simulator's validity tracking verifies
+// the soundness of every trim the tests exercise.
+func (a *Analysis) reducePartial(res *Result, opts Options) {
+	res.Reduced = map[*Entry]asd.SymSection{}
+	for _, gLate := range res.Groups {
+		if gLate.Kind != KindShift {
+			continue
+		}
+		for _, eLate := range gLate.Entries {
+			for _, gEarly := range res.Groups {
+				if gEarly == gLate || gEarly.Kind != KindShift {
+					continue
+				}
+				if !a.posDominates(gEarly.Pos, gLate.Pos) || gEarly.Pos == gLate.Pos {
+					continue
+				}
+				if gEarly.Pos.Level() != gLate.Pos.Level() {
+					continue // sections live in different symbolic bases
+				}
+				if !a.posDominates(eLate.Earliest, gEarly.Pos) {
+					continue // a constraining def intervenes
+				}
+				for _, eEarly := range gEarly.Entries {
+					if eEarly.Array != eLate.Array || !eLate.Map.SubsetOf(eEarly.Map) {
+						continue
+					}
+					late := res.CommSection(eLate, gLate.Pos.Level())
+					early := res.CommSection(eEarly, gEarly.Pos.Level())
+					diff, ok := late.Subtract(early)
+					if !ok {
+						continue
+					}
+					nl, okl := late.NumElems()
+					nd, okd := diff.NumElems()
+					if okl && okd && nd < nl {
+						res.Reduced[eLate] = diff
+						opts.tracef("partial-redundancy: %v trimmed from %v to %v (covered by %v)",
+							eLate, late, diff, eEarly)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (r *Result) addGroup(pos Position, members, attached []*Entry) *Group {
+	g := &Group{ID: len(r.Groups), Pos: pos, Kind: members[0].Kind, Entries: members, Attached: attached, Map: members[0].Map}
+	for _, e := range members[1:] {
+		g.Map = g.Map.Union(e.Map)
+	}
+	for _, e := range members {
+		r.PosOf[e] = pos
+	}
+	r.Groups = append(r.Groups, g)
+	return g
+}
+
+// sortGroups orders groups deterministically by position (dominance,
+// then block/slot) for stable output.
+func (a *Analysis) sortGroups(res *Result) {
+	sort.SliceStable(res.Groups, func(i, j int) bool {
+		p, q := res.Groups[i].Pos, res.Groups[j].Pos
+		if p.Block != q.Block {
+			if a.posDominates(p, q) {
+				return true
+			}
+			if a.posDominates(q, p) {
+				return false
+			}
+			return p.Block.ID < q.Block.ID
+		}
+		if p.After != q.After {
+			return p.After < q.After
+		}
+		return res.Groups[i].Entries[0].ID < res.Groups[j].Entries[0].ID
+	})
+	for i, g := range res.Groups {
+		g.ID = i
+	}
+}
+
+// ---------------------------------------------------------------------
+// "orig": message vectorization with single-nest coalescing.
+
+// placeVectorized reproduces the baseline compiler: every reference's
+// communication is vectorized to its latest (outermost-possible)
+// position, and references of the same array with the same pattern in
+// the same statement share one exchange via an overlap region sized to
+// the widest offset (classic per-statement message coalescing [15] /
+// overlap analysis [30]). No redundancy is detected across statements
+// and no messages are combined across arrays — that is exactly what
+// the paper's "orig" compiler did.
+func (a *Analysis) placeVectorized(entries []*Entry, res *Result) {
+	type bucketKey struct {
+		stmt  *cfg.Stmt
+		array string
+		kind  CommKind
+		pos   Position
+		dim   int
+		sign  int
+		sig   string
+		uniq  int // distinct reductions never share
+	}
+	order := make([]bucketKey, 0, len(entries))
+	buckets := map[bucketKey][]*Entry{}
+	for _, e := range entries {
+		k := bucketKey{stmt: e.Use().Stmt, array: e.Array, kind: e.Kind, pos: e.Latest}
+		switch e.Kind {
+		case KindShift:
+			k.dim, k.sign = e.Map.GridDim, e.Map.Sign
+		case KindReduce:
+			k.uniq = e.ID
+		default:
+			k.sig = e.Map.Signature
+		}
+		if _, ok := buckets[k]; !ok {
+			order = append(order, k)
+		}
+		buckets[k] = append(buckets[k], e)
+	}
+	for _, k := range order {
+		res.addGroup(k.pos, buckets[k], nil)
+	}
+}
+
+// ---------------------------------------------------------------------
+// "nored": earliest placement with pairwise redundancy elimination.
+
+func (a *Analysis) placeEarliestRedundant(entries []*Entry, res *Result) {
+	// Order entries so that dominating positions come first; an entry
+	// is redundant when an earlier-placed live entry subsumes it.
+	order := append([]*Entry(nil), entries...)
+	sort.SliceStable(order, func(i, j int) bool {
+		p, q := order[i].Earliest, order[j].Earliest
+		if p == q {
+			// Wider strips and larger sections first, so that an
+			// entry subsumed by a co-located bigger one is seen after
+			// its subsumer.
+			if order[i].Map.Width != order[j].Map.Width {
+				return order[i].Map.Width > order[j].Map.Width
+			}
+			ni, oki := order[i].SectionAt(a, p.Level()).NumElems()
+			nj, okj := order[j].SectionAt(a, p.Level()).NumElems()
+			if oki && okj && ni != nj {
+				return ni > nj
+			}
+			return order[i].ID < order[j].ID
+		}
+		return a.posDominates(p, q)
+	})
+	var live []*Entry
+	for _, e := range order {
+		level := e.Earliest.Level()
+		redundant := false
+		for _, prev := range live {
+			// Only co-located communications deduplicate safely here:
+			// e's Earliest sits immediately after its last
+			// constraining definition, so data fetched by an exchange
+			// at any strictly earlier point may be overwritten before
+			// e's use. (The global algorithm does better because its
+			// candidate sets encode exactly which positions are
+			// kill-free; this locality is the fundamental limitation
+			// of earliest placement the paper exploits.)
+			if prev.Earliest != e.Earliest {
+				continue
+			}
+			if prev.ASDAt(a, level).Subsumes(e.ASDAt(a, level)) {
+				res.Redundant[e] = prev
+				redundant = true
+				break
+			}
+		}
+		if redundant {
+			continue
+		}
+		live = append(live, e)
+	}
+	// Attach eliminated entries to their subsumer's group.
+	attached := map[*Entry][]*Entry{}
+	for e, by := range res.Redundant {
+		attached[by] = append(attached[by], e)
+	}
+	for _, e := range live {
+		res.addGroup(e.Earliest, []*Entry{e}, attached[e])
+	}
+}
+
+// ---------------------------------------------------------------------
+// "comb": the paper's global algorithm (§4.5–4.7, Fig. 9e–g).
+
+type posKey = Position
+
+func (a *Analysis) placeGlobal(entries []*Entry, res *Result, opts Options) error {
+	// CommSet(S): entries with S among their candidates (Fig. 9e).
+	commSet := map[posKey]map[*Entry]bool{}
+	for _, e := range entries {
+		for _, p := range e.Candidates {
+			if commSet[p] == nil {
+				commSet[p] = map[*Entry]bool{}
+			}
+			commSet[p][e] = true
+		}
+	}
+
+	// Subset elimination (§4.5): CommSet(S1) ⊆ CommSet(S2) empties S1;
+	// for equal sets keep the later position (the final step pushes
+	// communication as late as possible anyway).
+	if !opts.DisableSubsetElim {
+		positions := a.sortedPositions(commSet)
+		for _, p := range positions {
+			if len(commSet[p]) == 0 {
+				continue
+			}
+			for _, q := range positions {
+				if p == q || len(commSet[p]) == 0 {
+					continue
+				}
+				if len(commSet[q]) == 0 {
+					continue
+				}
+				if isSubset(commSet[p], commSet[q]) {
+					if setEqual(commSet[p], commSet[q]) {
+						// Empty the dominating (earlier) one.
+						if a.posDominates(p, q) {
+							opts.tracef("subset-elim: CommSet(%v) == CommSet(%v): drop %v", p, q, p)
+							commSet[p] = nil
+						} else {
+							opts.tracef("subset-elim: CommSet(%v) == CommSet(%v): drop %v", p, q, q)
+							commSet[q] = nil
+						}
+						continue
+					}
+					opts.tracef("subset-elim: CommSet(%v) subset of CommSet(%v): drop %v", p, q, p)
+					commSet[p] = nil
+				}
+			}
+		}
+	}
+
+	// Global redundancy elimination (§4.6, Fig. 9f): when c2 subsumes
+	// c1 at S, disable c1 at S and every position S dominates; iterate
+	// to fixpoint. An entry with no remaining position is eliminated
+	// entirely and attached to its subsumer.
+	subsumer := map[*Entry]*Entry{}
+	for changed := true; changed; {
+		changed = false
+		for _, p := range a.sortedPositions(commSet) {
+			set := commSet[p]
+			if len(set) < 2 {
+				continue
+			}
+			es := sortedEntries(set)
+			for _, c1 := range es {
+				if subsumer[c1] != nil {
+					continue
+				}
+				for _, c2 := range es {
+					if c1 == c2 || subsumer[c2] != nil {
+						continue
+					}
+					level := p.Level()
+					if !c2.ASDAt(a, level).Subsumes(c1.ASDAt(a, level)) {
+						continue
+					}
+					// Disable c1 here and everywhere dominated by p.
+					removed := false
+					for q, qset := range commSet {
+						if qset[c1] && (q == p || a.posDominates(p, q)) {
+							delete(qset, c1)
+							removed = true
+						}
+					}
+					if removed {
+						changed = true
+					}
+					if len(positionsOf(commSet, c1)) == 0 {
+						opts.tracef("redundancy: %v fully subsumed by %v at %v", c1, c2, p)
+						subsumer[c1] = c2
+						res.Redundant[c1] = c2
+					}
+					break
+				}
+			}
+		}
+	}
+
+	// GreedyChoose (Fig. 9g): consider the most constrained entry
+	// first; pin it at the position compatible with the most other
+	// candidates.
+	live := make([]*Entry, 0, len(entries))
+	for _, e := range entries {
+		if subsumer[e] == nil {
+			live = append(live, e)
+		}
+	}
+	order := append([]*Entry(nil), live...)
+	if !opts.NaiveGreedyOrder {
+		sort.SliceStable(order, func(i, j int) bool {
+			ni := len(positionsOf(commSet, order[i]))
+			nj := len(positionsOf(commSet, order[j]))
+			if ni != nj {
+				return ni < nj
+			}
+			return order[i].ID < order[j].ID
+		})
+	}
+	pinned := map[*Entry]Position{}
+	for _, c := range order {
+		stmtSet := positionsOf(commSet, c)
+		if len(stmtSet) == 0 {
+			// Defensive: should not happen for live entries.
+			stmtSet = []Position{c.Latest}
+		}
+		best := stmtSet[0]
+		bestCount := -1
+		for _, s := range stmtSet {
+			count := 0
+			for e2 := range commSet[s] {
+				if e2 != c && a.canCombine(c, e2, s.Level(), opts) {
+					count++
+				}
+			}
+			// Ties prefer the later (most dominated) position to
+			// reduce buffer/cache pressure, as §4.7 prescribes.
+			if count > bestCount || (count == bestCount && a.posDominates(best, s)) {
+				best, bestCount = s, count
+			}
+		}
+		opts.tracef("greedy: pin %v at %v (combinable partners %d of %d positions)", c, best, bestCount, len(stmtSet))
+		pinned[c] = best
+		for q, qset := range commSet {
+			if q != best {
+				delete(qset, c)
+			}
+		}
+	}
+
+	// Partition each position's entries into combine groups.
+	byPos := map[Position][]*Entry{}
+	for _, e := range live {
+		byPos[pinned[e]] = append(byPos[pinned[e]], e)
+	}
+	// Subsumption can chain (e1 ⊆ e2 ⊆ e3 with e2 itself eliminated);
+	// every eliminated entry attaches to its live root so the final
+	// group position honours the whole chain's candidate sets.
+	root := func(e *Entry) *Entry {
+		for subsumer[e] != nil {
+			e = subsumer[e]
+		}
+		return e
+	}
+	attached := map[*Entry][]*Entry{}
+	for e := range subsumer {
+		attached[root(e)] = append(attached[root(e)], e)
+	}
+	// entryCommon is the candidate-position set of an entry intersected
+	// with those of the redundant entries riding on it; a group must
+	// keep the intersection of its members' sets non-empty so the
+	// final "latest common position" exists.
+	entryCommon := func(e *Entry) map[Position]bool {
+		set := map[Position]bool{}
+		for _, p := range e.Candidates {
+			set[p] = true
+		}
+		for _, r := range attached[e] {
+			rset := map[Position]bool{}
+			for _, p := range r.Candidates {
+				rset[p] = true
+			}
+			for p := range set {
+				if !rset[p] {
+					delete(set, p)
+				}
+			}
+		}
+		return set
+	}
+	intersect := func(a, b map[Position]bool) map[Position]bool {
+		out := map[Position]bool{}
+		for p := range a {
+			if b[p] {
+				out[p] = true
+			}
+		}
+		return out
+	}
+
+	for _, p := range a.sortedPosList(byPos) {
+		es := byPos[p]
+		sort.SliceStable(es, func(i, j int) bool { return es[i].ID < es[j].ID })
+		var groups [][]*Entry
+		var commons []map[Position]bool
+		for _, e := range es {
+			ec := entryCommon(e)
+			placedInGroup := false
+			if !opts.DisableCombining {
+				for gi := range groups {
+					ok := true
+					for _, m := range groups[gi] {
+						if !a.canCombine(e, m, p.Level(), opts) {
+							ok = false
+							break
+						}
+					}
+					if !ok {
+						continue
+					}
+					if !a.groupFits(groups[gi], e, p.Level(), opts) {
+						continue // combined size beyond the threshold
+					}
+					merged := intersect(commons[gi], ec)
+					if len(merged) == 0 {
+						continue // no shared placement point
+					}
+					groups[gi] = append(groups[gi], e)
+					commons[gi] = merged
+					placedInGroup = true
+					break
+				}
+			}
+			if !placedInGroup {
+				groups = append(groups, []*Entry{e})
+				commons = append(commons, ec)
+			}
+		}
+		for gi, members := range groups {
+			// Final position: the latest candidate position common to
+			// every member and every attached redundant entry.
+			pos := a.latestOf(commons[gi], members[0].Latest)
+			var att []*Entry
+			for _, m := range members {
+				att = append(att, attached[m]...)
+			}
+			res.addGroup(pos, members, att)
+		}
+	}
+	return nil
+}
+
+// latestOf picks the most dominated position of a non-empty set, or
+// the fallback when the set is empty (defensive; the grouping keeps
+// sets non-empty).
+func (a *Analysis) latestOf(set map[Position]bool, fallback Position) Position {
+	var best Position
+	first := true
+	for p := range set {
+		if first || a.posDominates(best, p) {
+			best = p
+			first = false
+		}
+	}
+	if first {
+		return fallback
+	}
+	return best
+}
+
+// canCombine implements the §4.7 compatibility criteria: mappings
+// identical or one a subset of the other, combined size under the
+// machine threshold (with the NNC/reduction rule of thumb when sizes
+// are unknown), and a bounded single-descriptor union.
+func (a *Analysis) canCombine(e1, e2 *Entry, level int, opts Options) bool {
+	if e1.Kind != e2.Kind {
+		return false
+	}
+	if !e1.Map.CompatibleWith(e2.Map) {
+		return false
+	}
+	if e1.Kind == KindReduce {
+		return true // partial results concatenate into one message
+	}
+	b1, ok1 := e1.BytesAt(a, level)
+	b2, ok2 := e2.BytesAt(a, level)
+	if ok1 && ok2 {
+		if b1+b2 > opts.threshold() {
+			return false
+		}
+	} else if e1.Kind != KindShift {
+		return false // unknown size: only NNC gets the rule of thumb
+	}
+	s1 := e1.SectionAt(a, level)
+	s2 := e2.SectionAt(a, level)
+	if e1.Array == e2.Array {
+		_, blowup, ok := s1.Hull(s2)
+		return ok && blowup <= opts.maxBlowup()
+	}
+	if e1.Kind == KindShift {
+		// Cross-array NNC compares the sections projected onto the
+		// distributed (grid) dimensions: a 3-d g(i,1:ny,1:nz) plane
+		// combines with a 2-d glast(1:ny,1:nz) because their template
+		// footprints coincide (Fig. 1). Footprints may differ by a
+		// bounded hull (sections of stencil operands are offset by a
+		// point or two), matching the paper's single-descriptor rule.
+		g1, ok1 := a.gridSection(e1, level)
+		g2, ok2 := a.gridSection(e2, level)
+		if !ok1 || !ok2 {
+			return false
+		}
+		hull, blowup, ok := g1.Hull(g2)
+		if !ok {
+			return false
+		}
+		n1, ok1 := g1.NumElems()
+		n2, ok2 := g2.NumElems()
+		nh, okh := hull.NumElems()
+		if ok1 && ok2 && okh {
+			// The shared descriptor covers the hull for both arrays:
+			// bound the padding on each.
+			return float64(2*nh) <= opts.maxBlowup()*float64(n1+n2)
+		}
+		_ = blowup
+		return g1.Equal(g2)
+	}
+	// Other kinds share one descriptor across arrays: the hull must
+	// cover both without excessive padding on either.
+	hull, _, ok := s1.Hull(s2)
+	if !ok {
+		return false
+	}
+	n1, ok1 := s1.NumElems()
+	n2, ok2 := s2.NumElems()
+	nh, okh := hull.NumElems()
+	if !ok1 || !ok2 || !okh {
+		// Unknown sizes: require provably identical sections.
+		return s1.Equal(s2)
+	}
+	return float64(2*nh) <= opts.maxBlowup()*float64(n1+n2)
+}
+
+// gridSection projects an entry's section onto the processor grid
+// dimensions of its array's distribution.
+func (a *Analysis) gridSection(e *Entry, level int) (asd.SymSection, bool) {
+	arr := a.Unit.Arrays[e.Array]
+	if arr == nil || arr.Dist == nil {
+		return asd.SymSection{}, false
+	}
+	sec := e.SectionAt(a, level)
+	out := asd.SymSection{Dims: make([]asd.SymDim, a.Unit.Grid.Rank())}
+	found := make([]bool, a.Unit.Grid.Rank())
+	for k := range arr.Lo {
+		g := a.gridDimOfArrayDim(arr, k)
+		if g < 0 || k >= len(sec.Dims) {
+			continue
+		}
+		out.Dims[g] = sec.Dims[k]
+		found[g] = true
+	}
+	for _, f := range found {
+		if !f {
+			return asd.SymSection{}, false
+		}
+	}
+	return out, true
+}
+
+// ---------------------------------------------------------------------
+// small helpers
+
+func (a *Analysis) sortedPositions(m map[posKey]map[*Entry]bool) []Position {
+	out := make([]Position, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Block != out[j].Block {
+			return out[i].Block.ID < out[j].Block.ID
+		}
+		return out[i].After < out[j].After
+	})
+	return out
+}
+
+func (a *Analysis) sortedPosList(m map[Position][]*Entry) []Position {
+	out := make([]Position, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Block != out[j].Block {
+			return out[i].Block.ID < out[j].Block.ID
+		}
+		return out[i].After < out[j].After
+	})
+	return out
+}
+
+func sortedEntries(set map[*Entry]bool) []*Entry {
+	out := make([]*Entry, 0, len(set))
+	for e := range set {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func positionsOf(commSet map[posKey]map[*Entry]bool, e *Entry) []Position {
+	var out []Position
+	for p, set := range commSet {
+		if set[e] {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Block != out[j].Block {
+			return out[i].Block.ID < out[j].Block.ID
+		}
+		return out[i].After < out[j].After
+	})
+	return out
+}
+
+func isSubset(a, b map[*Entry]bool) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for e := range a {
+		if !b[e] {
+			return false
+		}
+	}
+	return true
+}
+
+func setEqual(a, b map[*Entry]bool) bool {
+	return len(a) == len(b) && isSubset(a, b)
+}
+
+// CanCombineForTest exposes the combining predicate for tests and
+// diagnostic tools.
+func (a *Analysis) CanCombineForTest(e1, e2 *Entry, level int, opts Options) bool {
+	return a.canCombine(e1, e2, level, opts)
+}
+
+// groupFits bounds the total packed size of a combined message by the
+// machine threshold (§4.7): the pairwise test alone would let a group
+// of individually small strips grow past the point where combining
+// stops paying.
+func (a *Analysis) groupFits(members []*Entry, e *Entry, level int, opts Options) bool {
+	if e.Kind == KindReduce {
+		return true // reductions move one partial per member
+	}
+	total, ok := e.BytesAt(a, level)
+	if !ok {
+		return true // unknown sizes: the NNC rule of thumb applies
+	}
+	for _, m := range members {
+		b, okm := m.BytesAt(a, level)
+		if !okm {
+			return true
+		}
+		total += b
+	}
+	return total <= opts.threshold()
+}

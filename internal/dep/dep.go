@@ -1,0 +1,401 @@
+// Package dep implements the array dependence testing the placement
+// algorithm needs: affine subscript extraction, direction vectors over
+// the common loops of a definition and a use, and the IsArrayDep
+// predicate of Fig. 8(d). Subscripts are affine forms over loop
+// variables with routine parameters folded to constants; the tester
+// handles ZIV and strong-SIV pairs exactly and is conservative (all
+// directions possible) otherwise, which is safe for placement: a
+// spurious dependence only forfeits an optimization.
+package dep
+
+import (
+	"gcao/internal/ast"
+	"gcao/internal/cfg"
+	"gcao/internal/lin"
+	"gcao/internal/sem"
+	"gcao/internal/ssa"
+)
+
+// DirSet is the set of possible dependence directions at one loop
+// level. The sign convention follows the paper: a direction is the
+// sign of (use iteration − def iteration), so Gt means the definition
+// executes in an earlier iteration than the use (a carried true
+// dependence, "v > 0" in Fig. 8d).
+type DirSet uint8
+
+const (
+	DirLt DirSet = 1 << iota // use iteration earlier than def iteration
+	DirEq                    // same iteration
+	DirGt                    // def iteration earlier than use iteration
+)
+
+// DirAll is the unconstrained direction set.
+const DirAll = DirLt | DirEq | DirGt
+
+// Has reports whether the set admits direction d.
+func (s DirSet) Has(d DirSet) bool { return s&d != 0 }
+
+func (s DirSet) String() string {
+	switch s {
+	case 0:
+		return "∅"
+	case DirLt:
+		return "<"
+	case DirEq:
+		return "="
+	case DirGt:
+		return ">"
+	case DirAll:
+		return "*"
+	case DirEq | DirGt:
+		return ">="
+	case DirEq | DirLt:
+		return "<="
+	case DirLt | DirGt:
+		return "<>"
+	}
+	return "?"
+}
+
+// Analysis holds per-routine context for dependence queries.
+type Analysis struct {
+	Unit *sem.Unit
+}
+
+// New builds a dependence analysis for a routine.
+func New(u *sem.Unit) *Analysis { return &Analysis{Unit: u} }
+
+// SubForm extracts the affine form of an element subscript expression,
+// folding routine parameters and literals to constants and keeping
+// loop variables symbolic. ok is false when the expression is not
+// affine (division, products of variables, intrinsic calls, array
+// refs).
+func (a *Analysis) SubForm(e ast.Expr) (lin.Form, bool) {
+	switch e := e.(type) {
+	case nil:
+		return lin.Form{}, false
+	case *ast.NumLit:
+		if !e.IsInt {
+			return lin.Form{}, false
+		}
+		return lin.ConstForm(int(e.Value)), true
+	case *ast.Ident:
+		if v, ok := a.Unit.Params[e.Name]; ok {
+			return lin.ConstForm(v), true
+		}
+		return lin.Var(e.Name), true
+	case *ast.UnaryExpr:
+		f, ok := a.SubForm(e.X)
+		if !ok {
+			return lin.Form{}, false
+		}
+		return f.Scale(-1), true
+	case *ast.BinExpr:
+		x, okx := a.SubForm(e.X)
+		y, oky := a.SubForm(e.Y)
+		if !okx || !oky {
+			return lin.Form{}, false
+		}
+		switch e.Op {
+		case ast.Add:
+			return x.Add(y), true
+		case ast.Sub_:
+			return x.Sub(y), true
+		case ast.Mul:
+			if c, ok := x.IsConst(); ok {
+				return y.Scale(c), true
+			}
+			if c, ok := y.IsConst(); ok {
+				return x.Scale(c), true
+			}
+			return lin.Form{}, false
+		case ast.Div:
+			cx, okx := x.IsConst()
+			cy, oky := y.IsConst()
+			if okx && oky && cy != 0 && cx%cy == 0 {
+				return lin.ConstForm(cx / cy), true
+			}
+			return lin.Form{}, false
+		}
+		return lin.Form{}, false
+	}
+	return lin.Form{}, false
+}
+
+// Directions computes the per-common-loop direction sets for a
+// dependence from the definition statement (writing dref) to the use
+// statement (reading uref), both references to the same array.
+// feasible=false means the subscripts can never name the same element,
+// so there is no dependence at all. The returned slice has one entry
+// per common loop, outermost first.
+func (a *Analysis) Directions(dstmt *cfg.Stmt, dref *ast.Ref, ustmt *cfg.Stmt, uref *ast.Ref) (dirs []DirSet, feasible bool) {
+	common := cfg.CommonLoops(ustmt, dstmt)
+	dirs = make([]DirSet, len(common))
+	for i := range dirs {
+		dirs[i] = DirAll
+	}
+	if len(dref.Subs) == 0 || len(uref.Subs) == 0 || len(dref.Subs) != len(uref.Subs) {
+		// Whole-array or rank-mismatched references: conservative.
+		return dirs, true
+	}
+	commonVar := map[string]int{} // loop var -> level index (0-based)
+	for i, l := range common {
+		commonVar[l.Var()] = i
+	}
+
+	// fixed[i] holds a required distance at level i once constrained.
+	type constraint struct {
+		set  bool
+		dist int
+	}
+	fixed := make([]constraint, len(common))
+
+	for k := range dref.Subs {
+		dsub, usub := dref.Subs[k], uref.Subs[k]
+		if dsub.Kind == ast.SubRange || usub.Kind == ast.SubRange {
+			continue // section subscript (reduction use): unconstrained
+		}
+		df, okd := a.SubForm(dsub.X)
+		uf, oku := a.SubForm(usub.X)
+		if !okd || !oku {
+			continue // non-affine: unconstrained
+		}
+		dc, dConst := df.IsConst()
+		uc, uConst := uf.IsConst()
+		switch {
+		case dConst && uConst:
+			if dc != uc {
+				return nil, false // ZIV: never the same element
+			}
+		case dConst || uConst:
+			// One side fixed: check the constant lies in the other
+			// side's value lattice at all; if not, the subscripts can
+			// never meet (stride/range disjointness).
+			if a.latticesDisjoint(df, dstmt, uf, ustmt) {
+				return nil, false
+			}
+			// Otherwise the distance is unconstrained.
+			continue
+		default:
+			dv, dcoef, dk, dok := df.SingleVar()
+			uv, ucoef, uk, uok := uf.SingleVar()
+			if !dok || !uok {
+				continue // multi-variable: unconstrained
+			}
+			di, dCommon := commonVar[dv]
+			ui, uCommon := commonVar[uv]
+			if !dCommon || !uCommon || dv != uv {
+				// Different loops or private loop variables: the inner
+				// loop may satisfy the equation — unless the two value
+				// lattices are provably disjoint (e.g. the Fig. 4 odd
+				// vs even column sections).
+				if a.latticesDisjoint(df, dstmt, uf, ustmt) {
+					return nil, false
+				}
+				continue
+			}
+			if dcoef != ucoef {
+				if a.latticesDisjoint(df, dstmt, uf, ustmt) {
+					return nil, false
+				}
+				continue // weak SIV: conservative
+			}
+			if dcoef == 0 {
+				if dk != uk {
+					return nil, false
+				}
+				continue
+			}
+			// dcoef*vd + dk == dcoef*vu + uk  =>  vu - vd = (dk-uk)/dcoef
+			num := dk - uk
+			if num%dcoef != 0 {
+				return nil, false // non-integral distance: independent
+			}
+			dist := num / dcoef
+			lvl := di
+			_ = ui
+			if fixed[lvl].set && fixed[lvl].dist != dist {
+				return nil, false // conflicting constraints
+			}
+			fixed[lvl] = constraint{set: true, dist: dist}
+		}
+	}
+	for i, c := range fixed {
+		if !c.set {
+			continue
+		}
+		switch {
+		case c.dist > 0:
+			dirs[i] = DirGt
+		case c.dist < 0:
+			dirs[i] = DirLt
+		default:
+			dirs[i] = DirEq
+		}
+	}
+	return dirs, true
+}
+
+// valueLattice bounds the values a subscript form can take over the
+// full range of its (single) loop variable: the arithmetic set
+// lo:hi:step. ok=false when the form is not a constant or a single
+// loop variable with compile-time loop bounds.
+func (a *Analysis) valueLattice(f lin.Form, stmt *cfg.Stmt) (lo, hi, step int, ok bool) {
+	if c, isConst := f.IsConst(); isConst {
+		return c, c, 1, true
+	}
+	v, coef, k, single := f.SingleVar()
+	if !single || coef == 0 {
+		return 0, 0, 0, false
+	}
+	var loop *cfg.Loop
+	for _, l := range stmt.Loops {
+		if l.Var() == v {
+			loop = l
+		}
+	}
+	if loop == nil {
+		return 0, 0, 0, false
+	}
+	llo, err1 := a.Unit.EvalInt(loop.Do.Lo)
+	lhi, err2 := a.Unit.EvalInt(loop.Do.Hi)
+	if err1 != nil || err2 != nil || llo > lhi {
+		return 0, 0, 0, false
+	}
+	lstep := 1
+	if loop.Do.Step != nil {
+		s, err := a.Unit.EvalInt(loop.Do.Step)
+		if err != nil || s < 1 {
+			return 0, 0, 0, false
+		}
+		lstep = s
+	}
+	v1 := coef*llo + k
+	v2 := coef*lhi + k
+	if v1 > v2 {
+		v1, v2 = v2, v1
+	}
+	st := coef * lstep
+	if st < 0 {
+		st = -st
+	}
+	if st == 0 {
+		st = 1
+	}
+	return v1, v2, st, true
+}
+
+// latticesDisjoint soundly reports that two subscript value sets can
+// never intersect: either their ranges do not overlap or their strides
+// and offsets are incompatible modulo the gcd.
+func (a *Analysis) latticesDisjoint(df lin.Form, dstmt *cfg.Stmt, uf lin.Form, ustmt *cfg.Stmt) bool {
+	dlo, dhi, dstep, ok1 := a.valueLattice(df, dstmt)
+	ulo, uhi, ustep, ok2 := a.valueLattice(uf, ustmt)
+	if !ok1 || !ok2 {
+		return false
+	}
+	if dhi < ulo || uhi < dlo {
+		return true
+	}
+	g := gcd(dstep, ustep)
+	if g > 1 && (dlo-ulo)%g != 0 {
+		return true
+	}
+	return false
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// IsArrayDep implements Fig. 8(d): it reports whether a true
+// dependence from def d to use u exists with direction vector
+// v_i = 0 for i < level and v_i >= 0 for i >= level, over the common
+// loops of d and u. The pseudo-def at ENTRY always depends (first line
+// of the figure). level is 1-based; level 0 asks only for
+// feasibility.
+func (a *Analysis) IsArrayDep(d ssa.Def, u *ssa.Use, level int) bool {
+	switch d := d.(type) {
+	case *ssa.EntryDef:
+		return true
+	case *ssa.RegularDef:
+		dirs, feasible := a.Directions(d.Stmt, d.LHS, u.Stmt, u.Ref)
+		if !feasible {
+			return false
+		}
+		if level > len(dirs) {
+			return false
+		}
+		// A qualifying flow vector has v_i = 0 for i < level and is
+		// lexicographically positive from position level on (the
+		// first non-"=" component must be ">"; components after it
+		// are unconstrained), or is all-"=" — the conservative
+		// loop-independent reading the paper's counts rely on.
+		for i := 0; i < level-1 && i < len(dirs); i++ {
+			if !dirs[i].Has(DirEq) {
+				return false
+			}
+		}
+		for i := max(level-1, 0); i < len(dirs); i++ {
+			if dirs[i].Has(DirGt) {
+				return true // carried at level i+1; the rest is free
+			}
+			if !dirs[i].Has(DirEq) {
+				return false // forced "<" before any ">" is possible
+			}
+		}
+		return true // the all-"=" (loop-independent) vector
+	default:
+		return false // φ-defs carry no direct dependence
+	}
+}
+
+// DepLevel returns the deepest loop level that carries (or, for
+// loop-independent dependences, contains) a dependence from d to u —
+// max_l { IsArrayDep(d, u, l) } in the paper's notation — or 0 when no
+// dependence constrains placement.
+func (a *Analysis) DepLevel(d ssa.Def, u *ssa.Use) int {
+	rd, ok := d.(*ssa.RegularDef)
+	if !ok {
+		return 0
+	}
+	cnl := ssa.CNL(rd, u)
+	for l := cnl; l >= 1; l-- {
+		if a.IsArrayDep(d, u, l) {
+			return l
+		}
+	}
+	return 0
+}
+
+// ReachingRegularDefs collects every regular definition transitively
+// reachable from the use's SSA chain (through φ arguments and the
+// inputs of preserving defs), plus the ENTRY pseudo-def if reached.
+// This is the set "d ranges over the reaching regular defs of u" of
+// §4.2.
+func ReachingRegularDefs(u *ssa.Use) (regs []*ssa.RegularDef, entry *ssa.EntryDef) {
+	seen := map[ssa.Def]bool{}
+	var walk func(d ssa.Def)
+	walk = func(d ssa.Def) {
+		if d == nil || seen[d] {
+			return
+		}
+		seen[d] = true
+		switch d := d.(type) {
+		case *ssa.EntryDef:
+			entry = d
+		case *ssa.RegularDef:
+			regs = append(regs, d)
+			walk(d.Input)
+		case *ssa.PhiDef:
+			for _, a := range d.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(u.Reaching)
+	return regs, entry
+}

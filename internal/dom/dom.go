@@ -1,0 +1,311 @@
+// Package dom computes dominators and the dominator tree of an
+// augmented CFG using the iterative algorithm of Cooper, Harvey and
+// Kennedy ("A Simple, Fast Dominance Algorithm"). The placement pass
+// uses dominance three ways: Earliest(u) must dominate the use, the
+// candidate set is the dominator-tree path from Latest(u) to
+// Earliest(u), and redundancy elimination propagates along dominance.
+package dom
+
+import (
+	"fmt"
+
+	"gcao/internal/cfg"
+)
+
+// Tree is the dominator tree of a graph.
+type Tree struct {
+	g *cfg.Graph
+	// idom[b.ID] is the immediate dominator block ID; entry maps to
+	// itself.
+	idom []int
+	// children[b.ID] lists dominator-tree children.
+	children [][]int
+	// pre and post are DFS numbers over the dominator tree, giving
+	// O(1) Dominates queries.
+	pre, post []int
+	rpo       []*cfg.Block // reverse postorder of the CFG
+}
+
+// New computes dominators for g. Unreachable blocks (there are none in
+// graphs built by cfg.Build) would be given the entry as idom.
+func New(g *cfg.Graph) *Tree {
+	t := &Tree{g: g}
+	n := len(g.Blocks)
+	t.idom = make([]int, n)
+	for i := range t.idom {
+		t.idom[i] = -1
+	}
+
+	// Reverse postorder.
+	seen := make([]bool, n)
+	var order []*cfg.Block
+	var dfs func(b *cfg.Block)
+	dfs = func(b *cfg.Block) {
+		seen[b.ID] = true
+		for _, s := range b.Succs {
+			if !seen[s.ID] {
+				dfs(s)
+			}
+		}
+		order = append(order, b)
+	}
+	dfs(g.EntryBlock)
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	t.rpo = order
+
+	rpoNum := make([]int, n)
+	for i, b := range order {
+		rpoNum[b.ID] = i
+	}
+
+	t.idom[g.EntryBlock.ID] = g.EntryBlock.ID
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range order {
+			if b == g.EntryBlock {
+				continue
+			}
+			newIdom := -1
+			for _, p := range b.Preds {
+				if t.idom[p.ID] == -1 {
+					continue // not yet processed
+				}
+				if newIdom == -1 {
+					newIdom = p.ID
+					continue
+				}
+				newIdom = t.intersect(p.ID, newIdom, rpoNum)
+			}
+			if newIdom != -1 && t.idom[b.ID] != newIdom {
+				t.idom[b.ID] = newIdom
+				changed = true
+			}
+		}
+	}
+
+	// Children lists and DFS numbering for O(1) dominance queries.
+	t.children = make([][]int, n)
+	for _, b := range g.Blocks {
+		if b == g.EntryBlock || t.idom[b.ID] == -1 {
+			continue
+		}
+		p := t.idom[b.ID]
+		t.children[p] = append(t.children[p], b.ID)
+	}
+	t.pre = make([]int, n)
+	t.post = make([]int, n)
+	clock := 0
+	var number func(id int)
+	number = func(id int) {
+		clock++
+		t.pre[id] = clock
+		for _, c := range t.children[id] {
+			number(c)
+		}
+		clock++
+		t.post[id] = clock
+	}
+	number(g.EntryBlock.ID)
+	return t
+}
+
+func (t *Tree) intersect(b1, b2 int, rpoNum []int) int {
+	for b1 != b2 {
+		for rpoNum[b1] > rpoNum[b2] {
+			b1 = t.idom[b1]
+		}
+		for rpoNum[b2] > rpoNum[b1] {
+			b2 = t.idom[b2]
+		}
+	}
+	return b1
+}
+
+// IDom returns the immediate dominator of b, or nil for the entry.
+func (t *Tree) IDom(b *cfg.Block) *cfg.Block {
+	if b == t.g.EntryBlock {
+		return nil
+	}
+	id := t.idom[b.ID]
+	if id < 0 {
+		return nil
+	}
+	return t.g.Blocks[id]
+}
+
+// Dominates reports whether a dominates b (reflexively).
+func (t *Tree) Dominates(a, b *cfg.Block) bool {
+	if t.pre[a.ID] == 0 || t.pre[b.ID] == 0 {
+		return false // unreachable
+	}
+	return t.pre[a.ID] <= t.pre[b.ID] && t.post[b.ID] <= t.post[a.ID]
+}
+
+// StrictlyDominates reports whether a dominates b and a != b.
+func (t *Tree) StrictlyDominates(a, b *cfg.Block) bool {
+	return a != b && t.Dominates(a, b)
+}
+
+// Children returns the dominator-tree children of b.
+func (t *Tree) Children(b *cfg.Block) []*cfg.Block {
+	ids := t.children[b.ID]
+	out := make([]*cfg.Block, len(ids))
+	for i, id := range ids {
+		out[i] = t.g.Blocks[id]
+	}
+	return out
+}
+
+// RPO returns the blocks in reverse postorder.
+func (t *Tree) RPO() []*cfg.Block { return t.rpo }
+
+// Frontier computes the dominance frontier of every block (Cytron et
+// al.), used for φ insertion by the SSA builder.
+func (t *Tree) Frontier() map[*cfg.Block][]*cfg.Block {
+	df := map[*cfg.Block][]*cfg.Block{}
+	for _, b := range t.g.Blocks {
+		if len(b.Preds) < 2 {
+			continue
+		}
+		for _, p := range b.Preds {
+			runner := p
+			for runner != nil && runner != t.IDom(b) {
+				if !blockIn(df[runner], b) {
+					df[runner] = append(df[runner], b)
+				}
+				runner = t.IDom(runner)
+			}
+		}
+	}
+	return df
+}
+
+func blockIn(bs []*cfg.Block, b *cfg.Block) bool {
+	for _, x := range bs {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// DominatesStmt reports whether statement a dominates statement b:
+// either a's block strictly dominates b's, or they share a block and a
+// comes first (a statement dominates itself).
+func (t *Tree) DominatesStmt(a, b *cfg.Stmt) bool {
+	if a.Block == b.Block {
+		return a.Index <= b.Index
+	}
+	return t.Dominates(a.Block, b.Block)
+}
+
+// Verify checks the dominator tree against a reference O(n^2)
+// computation; used by property tests.
+func (t *Tree) Verify() error {
+	ref := slowDominators(t.g)
+	for _, a := range t.g.Blocks {
+		for _, b := range t.g.Blocks {
+			want := ref[a.ID][b.ID]
+			got := t.Dominates(a, b)
+			if want != got {
+				return fmt.Errorf("dom: Dominates(B%d, B%d) = %v, reference says %v", a.ID, b.ID, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+// slowDominators computes dominance by the classic dataflow fixpoint.
+func slowDominators(g *cfg.Graph) [][]bool {
+	n := len(g.Blocks)
+	dom := make([][]bool, n) // dom[b][a]: a is in Dom(b)? We store dom[a][b] = a dominates b.
+	in := make([]map[int]bool, n)
+	all := map[int]bool{}
+	for i := 0; i < n; i++ {
+		all[i] = true
+	}
+	for i := 0; i < n; i++ {
+		if i == g.EntryBlock.ID {
+			in[i] = map[int]bool{i: true}
+		} else {
+			m := map[int]bool{}
+			for k := range all {
+				m[k] = true
+			}
+			in[i] = m
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range g.Blocks {
+			if b == g.EntryBlock {
+				continue
+			}
+			var m map[int]bool
+			for _, p := range b.Preds {
+				if m == nil {
+					m = map[int]bool{}
+					for k := range in[p.ID] {
+						m[k] = true
+					}
+				} else {
+					for k := range m {
+						if !in[p.ID][k] {
+							delete(m, k)
+						}
+					}
+				}
+			}
+			if m == nil {
+				m = map[int]bool{}
+			}
+			m[b.ID] = true
+			if len(m) != len(in[b.ID]) {
+				in[b.ID] = m
+				changed = true
+				continue
+			}
+			for k := range m {
+				if !in[b.ID][k] {
+					in[b.ID] = m
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		dom[i] = make([]bool, n)
+	}
+	for b := 0; b < n; b++ {
+		for a := range in[b] {
+			dom[a][b] = true
+		}
+	}
+	// Unreachable blocks: nothing dominates them except per init; the
+	// fast algorithm reports false, so clear rows/cols for blocks with
+	// no path from entry.
+	reach := make([]bool, n)
+	var mark func(b *cfg.Block)
+	mark = func(b *cfg.Block) {
+		reach[b.ID] = true
+		for _, s := range b.Succs {
+			if !reach[s.ID] {
+				mark(s)
+			}
+		}
+	}
+	mark(g.EntryBlock)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if !reach[a] || !reach[b] {
+				dom[a][b] = false
+			}
+		}
+	}
+	return dom
+}

@@ -1,0 +1,242 @@
+package dom
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gcao/internal/cfg"
+	"gcao/internal/parser"
+)
+
+func buildGraph(t *testing.T, src string) *cfg.Graph {
+	t.Helper()
+	r, err := parser.ParseRoutine(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return cfg.Build(r.Body)
+}
+
+func TestAgainstReference(t *testing.T) {
+	srcs := []string{
+		`
+routine a()
+real x
+x = 1
+end
+`, `
+routine b()
+real x
+do i = 1, 3
+do j = 1, 3
+x = 1
+enddo
+enddo
+end
+`, `
+routine c()
+real x
+if (x > 0) then
+do i = 1, 2
+x = 1
+enddo
+else
+x = 2
+endif
+do k = 1, 2
+if (x > 1) then
+x = 3
+endif
+enddo
+end
+`,
+	}
+	for i, src := range srcs {
+		g := buildGraph(t, src)
+		tr := New(g)
+		if err := tr.Verify(); err != nil {
+			t.Errorf("case %d: %v", i, err)
+		}
+	}
+}
+
+// randomProgram builds a random structured routine for property
+// testing the dominator computation.
+func randomProgram(rng *rand.Rand, depth int) string {
+	var b strings.Builder
+	b.WriteString("routine r()\nreal x\n")
+	var gen func(d int)
+	stmts := 0
+	gen = func(d int) {
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n && stmts < 30; i++ {
+			switch {
+			case d < depth && rng.Intn(3) == 0:
+				fmt.Fprintf(&b, "do v%d = 1, 3\n", stmts)
+				stmts++
+				gen(d + 1)
+				b.WriteString("enddo\n")
+			case d < depth && rng.Intn(3) == 0:
+				b.WriteString("if (x > 0) then\n")
+				stmts++
+				gen(d + 1)
+				if rng.Intn(2) == 0 {
+					b.WriteString("else\n")
+					gen(d + 1)
+				}
+				b.WriteString("endif\n")
+			default:
+				b.WriteString("x = 1\n")
+				stmts++
+			}
+		}
+	}
+	gen(0)
+	b.WriteString("end\n")
+	return b.String()
+}
+
+func TestRandomStructuredPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		src := randomProgram(rng, 3)
+		g := buildGraph(t, src)
+		tr := New(g)
+		if err := tr.Verify(); err != nil {
+			t.Fatalf("trial %d (%s): %v", trial, src, err)
+		}
+	}
+}
+
+func TestTreeProperties(t *testing.T) {
+	g := buildGraph(t, `
+routine f()
+real x
+do i = 1, 3
+if (x > 0) then
+x = 1
+endif
+enddo
+x = 2
+end
+`)
+	tr := New(g)
+	// Entry dominates everything.
+	for _, b := range g.Blocks {
+		if !tr.Dominates(g.EntryBlock, b) {
+			t.Errorf("entry should dominate %v", b)
+		}
+	}
+	// IDom is a strict dominator and dominance is transitive through it.
+	for _, b := range g.Blocks {
+		id := tr.IDom(b)
+		if b == g.EntryBlock {
+			if id != nil {
+				t.Error("entry has no idom")
+			}
+			continue
+		}
+		if id == nil || !tr.StrictlyDominates(id, b) {
+			t.Errorf("idom(%v) = %v not a strict dominator", b, id)
+		}
+	}
+	// Children lists are consistent with IDom.
+	for _, b := range g.Blocks {
+		for _, c := range tr.Children(b) {
+			if tr.IDom(c) != b {
+				t.Errorf("child %v of %v has idom %v", c, b, tr.IDom(c))
+			}
+		}
+	}
+	// A loop preheader dominates its header and postexit.
+	l := g.Loops[0]
+	if !tr.StrictlyDominates(l.PreHeader, l.Header) || !tr.StrictlyDominates(l.PreHeader, l.PostExit) {
+		t.Error("preheader must dominate header and postexit")
+	}
+	// The header does NOT dominate the postexit (zero-trip bypass).
+	if tr.Dominates(l.Header, l.PostExit) {
+		t.Error("zero-trip edge should break header's dominance of postexit")
+	}
+}
+
+func TestDominatesStmt(t *testing.T) {
+	g := buildGraph(t, `
+routine f()
+real x, y
+x = 1
+y = 2
+end
+`)
+	tr := New(g)
+	s0, s1 := g.Stmts[0], g.Stmts[1]
+	if !tr.DominatesStmt(s0, s1) || tr.DominatesStmt(s1, s0) {
+		t.Error("in-block statement dominance by index failed")
+	}
+	if !tr.DominatesStmt(s0, s0) {
+		t.Error("statement dominates itself")
+	}
+}
+
+func TestFrontier(t *testing.T) {
+	g := buildGraph(t, `
+routine f()
+real x
+if (x > 0) then
+x = 1
+else
+x = 2
+endif
+end
+`)
+	tr := New(g)
+	df := tr.Frontier()
+	// Both branch blocks have the join in their frontier.
+	entry := g.EntryBlock
+	thenB, elseB := entry.Succs[0], entry.Succs[1]
+	for _, b := range []*cfg.Block{thenB, elseB} {
+		found := false
+		for _, f := range df[b] {
+			if f.Kind == cfg.Join {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("join missing from frontier of %v: %v", b, df[b])
+		}
+	}
+	// The join is not in its own frontier here (single-level if).
+	for _, f := range df[entry] {
+		if f == entry {
+			t.Error("entry in its own frontier")
+		}
+	}
+}
+
+func TestLoopFrontierContainsHeader(t *testing.T) {
+	g := buildGraph(t, `
+routine f()
+real x
+do i = 1, 3
+x = 1
+enddo
+end
+`)
+	tr := New(g)
+	df := tr.Frontier()
+	l := g.Loops[0]
+	// The body (which contains the backedge source) has the header in
+	// its frontier — that is where φEntry goes.
+	foundHeader := false
+	for _, bs := range df {
+		for _, f := range bs {
+			if f == l.Header {
+				foundHeader = true
+			}
+		}
+	}
+	if !foundHeader {
+		t.Error("loop header must appear in some dominance frontier")
+	}
+}

@@ -1,0 +1,461 @@
+// Package runtime is the message-passing runtime of the simulated
+// distributed-memory machine. It provides per-processor memories for
+// block/cyclic-distributed arrays with validity tracking (an element a
+// processor does not own is readable only after a communication
+// operation delivered it — reading a stale copy is an error, which is
+// how the test suite proves that a communication placement is
+// sufficient), the communication operations the compiler emits (ghost
+// exchange for NNC, broadcast, general gather, reduction accounting),
+// and a ledger charging every operation to the machine cost model.
+package runtime
+
+import (
+	"fmt"
+
+	"gcao/internal/machine"
+	"gcao/internal/section"
+	"gcao/internal/sem"
+)
+
+// Ledger accumulates per-processor time and message statistics.
+type Ledger struct {
+	P       int
+	Machine machine.Machine
+	// CPU and Net are per-processor accumulated seconds.
+	CPU []float64
+	Net []float64
+	// MsgsRecv counts point-to-point messages received per processor.
+	MsgsRecv []int
+	// BytesMoved is the total payload transferred.
+	BytesMoved int
+	// DynMessages counts all point-to-point messages.
+	DynMessages int
+	// Barriers counts synchronization events.
+	Barriers int
+}
+
+// NewLedger builds a ledger for p processors on the given machine.
+func NewLedger(p int, m machine.Machine) *Ledger {
+	return &Ledger{
+		P:        p,
+		Machine:  m,
+		CPU:      make([]float64, p),
+		Net:      make([]float64, p),
+		MsgsRecv: make([]int, p),
+	}
+}
+
+// Barrier synchronizes all processor clocks to the maximum, modeling
+// the bulk-synchronous execution the paper measures (overlap
+// disabled).
+func (l *Ledger) Barrier() {
+	l.Barriers++
+	maxT := 0.0
+	for p := 0; p < l.P; p++ {
+		if t := l.CPU[p] + l.Net[p]; t > maxT {
+			maxT = t
+		}
+	}
+	for p := 0; p < l.P; p++ {
+		slack := maxT - (l.CPU[p] + l.Net[p])
+		l.Net[p] += slack // waiting time is charged to the network bar
+	}
+}
+
+// Message charges one point-to-point message of the given payload from
+// src to dst, including packing and unpacking copies.
+func (l *Ledger) Message(src, dst, bytes int) {
+	m := l.Machine
+	l.Net[src] += m.InjectTime(bytes) + m.BcopyTime(bytes)
+	l.Net[dst] += m.RecvOverhead + m.Latency + float64(bytes)*m.PerByte + m.BcopyTime(bytes)
+	l.MsgsRecv[dst]++
+	l.DynMessages++
+	l.BytesMoved += bytes
+}
+
+// Reduce charges a global combining tree moving the given payload.
+func (l *Ledger) Reduce(bytes int) {
+	t := l.Machine.ReduceTime(bytes, l.P)
+	for p := 0; p < l.P; p++ {
+		l.Net[p] += t
+	}
+	depth := 0
+	for n := 1; n < l.P; n *= 2 {
+		depth++
+	}
+	l.DynMessages += depth * 2 // combine down, result back up
+	l.BytesMoved += bytes * depth
+	for p := 0; p < l.P; p++ {
+		l.MsgsRecv[p] += depth
+	}
+}
+
+// Broadcast charges a binomial-tree broadcast of the payload.
+func (l *Ledger) Broadcast(bytes int) {
+	depth := 0
+	for n := 1; n < l.P; n *= 2 {
+		depth++
+	}
+	t := float64(depth) * l.Machine.MsgTime(bytes)
+	for p := 0; p < l.P; p++ {
+		l.Net[p] += t
+	}
+	l.DynMessages += l.P - 1
+	l.BytesMoved += bytes * depth
+	for p := 0; p < l.P; p++ {
+		l.MsgsRecv[p] += depth
+	}
+}
+
+// Compute charges flop-count floating point operations to a processor.
+func (l *Ledger) Compute(proc, flops int) {
+	l.CPU[proc] += float64(flops) * l.Machine.FlopTime
+}
+
+// ElapsedTime returns the bulk-synchronous completion time: the
+// maximum per-processor clock.
+func (l *Ledger) ElapsedTime() float64 {
+	maxT := 0.0
+	for p := 0; p < l.P; p++ {
+		if t := l.CPU[p] + l.Net[p]; t > maxT {
+			maxT = t
+		}
+	}
+	return maxT
+}
+
+// CPUTime and NetTime return the maximum per-processor component
+// clocks, the two segments of the paper's normalized bars.
+func (l *Ledger) CPUTime() float64 {
+	maxT := 0.0
+	for p := 0; p < l.P; p++ {
+		if l.CPU[p] > maxT {
+			maxT = l.CPU[p]
+		}
+	}
+	return maxT
+}
+
+func (l *Ledger) NetTime() float64 {
+	maxT := 0.0
+	for p := 0; p < l.P; p++ {
+		if l.Net[p] > maxT {
+			maxT = l.Net[p]
+		}
+	}
+	return maxT
+}
+
+// StaleReadError reports a processor reading an element it neither
+// owns nor received — evidence of insufficient communication.
+type StaleReadError struct {
+	Proc  int
+	Array string
+	Index []int
+}
+
+func (e *StaleReadError) Error() string {
+	return fmt.Sprintf("runtime: processor %d read stale %s%v (element not owned and never delivered)", e.Proc, e.Array, e.Index)
+}
+
+// Memory is the distributed memory: every processor holds a full-size
+// image of each distributed array, but only owned or delivered
+// elements are valid. Replicated arrays are stored once.
+type Memory struct {
+	Unit *sem.Unit
+	P    int
+
+	data    map[string][][]float64
+	valid   map[string][][]bool
+	strides map[string][]int
+}
+
+// NewMemory allocates memories for all arrays of the unit.
+func NewMemory(u *sem.Unit, p int) *Memory {
+	m := &Memory{
+		Unit:    u,
+		P:       p,
+		data:    map[string][][]float64{},
+		valid:   map[string][][]bool{},
+		strides: map[string][]int{},
+	}
+	for name, arr := range u.Arrays {
+		size := arr.Size()
+		strides := make([]int, arr.Rank())
+		s := 1
+		for i := arr.Rank() - 1; i >= 0; i-- {
+			strides[i] = s
+			s *= arr.Hi[i] - arr.Lo[i] + 1
+		}
+		m.strides[name] = strides
+		copies := p
+		if arr.Dist == nil {
+			copies = 1
+		}
+		d := make([][]float64, copies)
+		v := make([][]bool, copies)
+		for c := 0; c < copies; c++ {
+			d[c] = make([]float64, size)
+			v[c] = make([]bool, size)
+		}
+		m.data[name] = d
+		m.valid[name] = v
+		// Owned (or replicated) elements start valid with value zero.
+		if arr.Dist == nil {
+			for i := range v[0] {
+				v[0][i] = true
+			}
+			continue
+		}
+		m.forEachIndex(arr, func(idx []int) {
+			o := arr.Dist.Owner(idx)
+			v[o][m.offset(name, idx)] = true
+		})
+	}
+	return m
+}
+
+func (m *Memory) forEachIndex(arr *sem.Array, f func(idx []int)) {
+	idx := make([]int, arr.Rank())
+	copy(idx, arr.Lo)
+	for {
+		f(idx)
+		k := arr.Rank() - 1
+		for k >= 0 {
+			idx[k]++
+			if idx[k] <= arr.Hi[k] {
+				break
+			}
+			idx[k] = arr.Lo[k]
+			k--
+		}
+		if k < 0 {
+			return
+		}
+	}
+}
+
+func (m *Memory) offset(name string, idx []int) int {
+	arr := m.Unit.Arrays[name]
+	off := 0
+	for i, x := range idx {
+		if x < arr.Lo[i] || x > arr.Hi[i] {
+			panic(fmt.Sprintf("runtime: %s%v out of bounds", name, idx))
+		}
+		off += (x - arr.Lo[i]) * m.strides[name][i]
+	}
+	return off
+}
+
+func (m *Memory) slot(name string, proc int) int {
+	if m.Unit.Arrays[name].Dist == nil {
+		return 0
+	}
+	return proc
+}
+
+// Owner returns the owning processor of an element (0 for replicated
+// arrays).
+func (m *Memory) Owner(name string, idx []int) int {
+	arr := m.Unit.Arrays[name]
+	if arr.Dist == nil {
+		return 0
+	}
+	return arr.Dist.Owner(idx)
+}
+
+// Read returns a processor's view of an element, failing on stale
+// copies.
+func (m *Memory) Read(proc int, name string, idx []int) (float64, error) {
+	off := m.offset(name, idx)
+	s := m.slot(name, proc)
+	if !m.valid[name][s][off] {
+		return 0, &StaleReadError{Proc: proc, Array: name, Index: append([]int(nil), idx...)}
+	}
+	return m.data[name][s][off], nil
+}
+
+// ReadOwner returns the canonical (owner's) value of an element.
+func (m *Memory) ReadOwner(name string, idx []int) float64 {
+	off := m.offset(name, idx)
+	return m.data[name][m.slot(name, m.Owner(name, idx))][off]
+}
+
+// Write stores an element at its owner and invalidates every other
+// processor's copy (the killing semantics that make stale-read
+// detection sound).
+func (m *Memory) Write(name string, idx []int, v float64) {
+	off := m.offset(name, idx)
+	arr := m.Unit.Arrays[name]
+	if arr.Dist == nil {
+		m.data[name][0][off] = v
+		return
+	}
+	o := arr.Dist.Owner(idx)
+	for p := 0; p < m.P; p++ {
+		if p == o {
+			m.data[name][p][off] = v
+			m.valid[name][p][off] = true
+		} else {
+			m.valid[name][p][off] = false
+		}
+	}
+}
+
+// deliver copies an element from its owner's memory into dst's memory.
+func (m *Memory) deliver(name string, idx []int, dst int) {
+	off := m.offset(name, idx)
+	o := m.Owner(name, idx)
+	m.data[name][dst][off] = m.data[name][o][off]
+	m.valid[name][dst][off] = true
+}
+
+// Canonical assembles the owner values of an array into one flat
+// row-major slice, for comparison against a sequential reference run.
+func (m *Memory) Canonical(name string) []float64 {
+	arr := m.Unit.Arrays[name]
+	out := make([]float64, arr.Size())
+	m.forEachIndex(arr, func(idx []int) {
+		out[m.offset(name, idx)] = m.ReadOwner(name, idx)
+	})
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Communication operations
+
+// Shift performs a ghost exchange for one array section along one
+// grid dimension: every processor sends the strip of width elements at
+// its sign-side block boundary — including ghost copies it received in
+// earlier exchanges, which is how diagonal data reaches its corner in
+// the classic two-phase augmented exchange — to the neighbouring
+// processor opposite the data movement. The strip spans the
+// receiver's local region plus a ghost margin in the other dimensions
+// (Zima-style overlap regions). It returns per-(src,dst) byte counts
+// which the caller charges as one message per pair (that is the whole
+// point of combining).
+func (m *Memory) Shift(name string, sec section.Section, gridDim, sign, width int) map[[2]int]int {
+	arr := m.Unit.Arrays[name]
+	if arr.Dist == nil {
+		return nil
+	}
+	// Find the array dimension mapped to gridDim.
+	ad := -1
+	for k := range arr.Lo {
+		if arr.Dist.Dims[k].Kind != 0 && arr.Dist.Dims[k].GridDim == gridDim {
+			ad = k
+			break
+		}
+	}
+	if ad < 0 {
+		return nil
+	}
+	grid := arr.Dist.Grid
+	shape := grid.Shape[gridDim]
+	elemBytes := arr.ElemBytes()
+	margin := width // overlap allowance in the other dimensions
+	pairs := map[[2]int]int{}
+	sec.Elems(func(idx []int) bool {
+		x := idx[ad]
+		srcCoord := arr.Dist.OwnerDim(ad, x)
+		lo, hi, ok := arr.Dist.LocalRange(ad, srcCoord)
+		if !ok {
+			return true
+		}
+		inStrip := false
+		if sign > 0 {
+			inStrip = x >= lo && x < lo+width
+		} else {
+			inStrip = x <= hi && x > hi-width
+		}
+		if !inStrip {
+			return true
+		}
+		dstCoord := srcCoord - sign
+		if dstCoord < 0 || dstCoord >= shape {
+			return true // non-periodic boundary
+		}
+		// The element travels between every (src,dst) pair that agrees
+		// on the other grid coordinates, provided src holds a current
+		// copy (its own or a previously delivered ghost) and dst's
+		// extended local region covers the element.
+		off := m.offset(name, idx)
+		for src := 0; src < m.P; src++ {
+			coords := grid.Coords(src)
+			if coords[gridDim] != srcCoord {
+				continue
+			}
+			if !m.valid[name][src][off] {
+				continue
+			}
+			coords[gridDim] = dstCoord
+			dst := grid.PID(coords)
+			if !m.inExtendedRegion(arr, coords, idx, ad, margin) {
+				continue
+			}
+			if dst != src {
+				// The strip is sent unconditionally — a compiled
+				// exchange does not know what the receiver already
+				// holds — so bytes are charged even for re-deliveries.
+				m.data[name][dst][off] = m.data[name][src][off]
+				m.valid[name][dst][off] = true
+				pairs[[2]int{src, dst}] += elemBytes
+			}
+		}
+		return true
+	})
+	return pairs
+}
+
+// inExtendedRegion reports whether an element lies within a
+// processor's local block extended by the ghost margin in every
+// distributed dimension other than ad.
+func (m *Memory) inExtendedRegion(arr *sem.Array, coords []int, idx []int, ad, margin int) bool {
+	for k := range arr.Lo {
+		if k == ad || arr.Dist.Dims[k].Kind == 0 {
+			continue
+		}
+		g := arr.Dist.Dims[k].GridDim
+		lo, hi, ok := arr.Dist.LocalRange(k, coords[g])
+		if !ok {
+			return false
+		}
+		if idx[k] < lo-margin || idx[k] > hi+margin {
+			return false
+		}
+	}
+	return true
+}
+
+// Broadcast delivers a section from its owners to every processor.
+func (m *Memory) Broadcast(name string, sec section.Section) int {
+	arr := m.Unit.Arrays[name]
+	if arr.Dist == nil {
+		return 0
+	}
+	bytes := 0
+	sec.Elems(func(idx []int) bool {
+		for p := 0; p < m.P; p++ {
+			if p != m.Owner(name, idx) {
+				m.deliver(name, idx, p)
+			}
+		}
+		bytes += arr.ElemBytes()
+		return true
+	})
+	return bytes
+}
+
+// SumSection computes the global sum of a section from owner values
+// and returns the per-processor owned element counts for CPU
+// accounting.
+func (m *Memory) SumSection(name string, sec section.Section) (float64, []int) {
+	counts := make([]int, m.P)
+	total := 0.0
+	sec.Elems(func(idx []int) bool {
+		total += m.ReadOwner(name, idx)
+		counts[m.Owner(name, idx)]++
+		return true
+	})
+	return total, counts
+}

@@ -1,0 +1,226 @@
+package runtime
+
+import (
+	"errors"
+	"testing"
+
+	"gcao/internal/machine"
+	"gcao/internal/parser"
+	"gcao/internal/section"
+	"gcao/internal/sem"
+)
+
+func unit(t *testing.T, src string, params map[string]int, procs int) *sem.Unit {
+	t.Helper()
+	r, err := parser.ParseRoutine(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	u, err := sem.Analyze(r, params, sem.Options{Procs: procs})
+	if err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	return u
+}
+
+const memSrc = `
+routine m(n)
+real a(n, n), r(n)
+!hpf$ processors p(2, 2)
+!hpf$ distribute a(block, block)
+a(1, 1) = 0
+end
+`
+
+func TestOwnershipAndValidity(t *testing.T) {
+	u := unit(t, memSrc, map[string]int{"n": 8}, 4)
+	m := NewMemory(u, 4)
+
+	// Owners partition the array; owned elements start valid.
+	for i := 1; i <= 8; i++ {
+		for j := 1; j <= 8; j++ {
+			o := m.Owner("a", []int{i, j})
+			if v, err := m.Read(o, "a", []int{i, j}); err != nil || v != 0 {
+				t.Fatalf("owner read a[%d %d]: %v %v", i, j, v, err)
+			}
+			for p := 0; p < 4; p++ {
+				if p == o {
+					continue
+				}
+				if _, err := m.Read(p, "a", []int{i, j}); err == nil {
+					t.Fatalf("non-owner read of a[%d %d] by %d should be stale", i, j, p)
+				}
+			}
+		}
+	}
+	// Replicated arrays are valid everywhere.
+	for p := 0; p < 4; p++ {
+		if _, err := m.Read(p, "r", []int{3}); err != nil {
+			t.Fatalf("replicated read: %v", err)
+		}
+	}
+}
+
+func TestWriteInvalidates(t *testing.T) {
+	u := unit(t, memSrc, map[string]int{"n": 8}, 4)
+	m := NewMemory(u, 4)
+	idx := []int{4, 4} // owned by proc 0 (blocks of 4)
+	owner := m.Owner("a", idx)
+
+	// Deliver a ghost copy everywhere via Broadcast, then overwrite:
+	// the ghosts must go stale.
+	m.Broadcast("a", section.Point(4, 4))
+	for p := 0; p < 4; p++ {
+		if _, err := m.Read(p, "a", idx); err != nil {
+			t.Fatalf("post-broadcast read by %d: %v", p, err)
+		}
+	}
+	m.Write("a", idx, 42)
+	if v, err := m.Read(owner, "a", idx); err != nil || v != 42 {
+		t.Fatalf("owner sees %v, %v", v, err)
+	}
+	for p := 0; p < 4; p++ {
+		if p == owner {
+			continue
+		}
+		_, err := m.Read(p, "a", idx)
+		var stale *StaleReadError
+		if !errors.As(err, &stale) {
+			t.Fatalf("proc %d should see stale after redefinition, got %v", p, err)
+		}
+		if stale.Proc != p || stale.Array != "a" {
+			t.Errorf("stale error fields = %+v", stale)
+		}
+	}
+}
+
+func TestShiftDeliversStrip(t *testing.T) {
+	u := unit(t, memSrc, map[string]int{"n": 8}, 4)
+	m := NewMemory(u, 4)
+	// Fill with distinct values.
+	for i := 1; i <= 8; i++ {
+		for j := 1; j <= 8; j++ {
+			m.Write("a", []int{i, j}, float64(10*i+j))
+		}
+	}
+	// Use a(i-1, j): data moves toward higher coords: sign -1 on grid
+	// dim 0 (rows). Proc rows 1 need row 4 from proc rows 0.
+	sec := section.Whole([]int{1, 1}, []int{8, 8})
+	pairs := m.Shift("a", sec, 0, -1, 1)
+	if len(pairs) == 0 {
+		t.Fatal("no transfers")
+	}
+	// Reader (1,0) = pid 2 owns rows 5..8, cols 1..4 and reads row 4.
+	pid := u.Grid.PID([]int{1, 0})
+	for j := 1; j <= 4; j++ {
+		v, err := m.Read(pid, "a", []int{4, j})
+		if err != nil || v != float64(40+j) {
+			t.Fatalf("ghost a[4 %d] on proc %d = %v, %v", j, pid, v, err)
+		}
+	}
+	// Rows outside the strip stay stale.
+	if _, err := m.Read(pid, "a", []int{3, 1}); err == nil {
+		t.Error("row 3 should not be delivered with width 1")
+	}
+	// Bytes accounted per pair: row strip of 4 elements = 32 bytes.
+	for pair, b := range pairs {
+		if b != 32 {
+			t.Errorf("pair %v moved %d bytes, want 32", pair, b)
+		}
+	}
+}
+
+func TestShiftForwardsGhosts(t *testing.T) {
+	// Corner forwarding: after a dim-1 exchange, a dim-0 exchange must
+	// forward the received ghosts so diagonal corners arrive (the
+	// two-phase augmented exchange of §2.2).
+	u := unit(t, memSrc, map[string]int{"n": 8}, 4)
+	m := NewMemory(u, 4)
+	for i := 1; i <= 8; i++ {
+		for j := 1; j <= 8; j++ {
+			m.Write("a", []int{i, j}, float64(10*i+j))
+		}
+	}
+	sec := section.Whole([]int{1, 1}, []int{8, 8})
+	// Reading a(i-1, j-1) on proc (1,1): needs corner a[4 4] owned by
+	// (0,0). Exchange dim 1 then dim 0.
+	m.Shift("a", sec, 1, -1, 1)
+	m.Shift("a", sec, 0, -1, 1)
+	pid := u.Grid.PID([]int{1, 1}) // owns rows 5..8, cols 5..8
+	v, err := m.Read(pid, "a", []int{4, 4})
+	if err != nil || v != 44 {
+		t.Fatalf("corner a[4 4] on proc %d = %v, %v", pid, v, err)
+	}
+}
+
+func TestBroadcastAndSum(t *testing.T) {
+	u := unit(t, memSrc, map[string]int{"n": 8}, 4)
+	m := NewMemory(u, 4)
+	total := 0.0
+	for j := 1; j <= 8; j++ {
+		m.Write("a", []int{1, j}, float64(j))
+		total += float64(j)
+	}
+	sec := section.New(section.Dim{Lo: 1, Hi: 1, Step: 1}, section.Dim{Lo: 1, Hi: 8, Step: 1})
+	got, counts := m.SumSection("a", sec)
+	if got != total {
+		t.Errorf("SumSection = %v, want %v", got, total)
+	}
+	sum := 0
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != 8 {
+		t.Errorf("owned counts sum = %d, want 8", sum)
+	}
+	bytes := m.Broadcast("a", sec)
+	if bytes != 8*8 {
+		t.Errorf("broadcast bytes = %d", bytes)
+	}
+	for p := 0; p < 4; p++ {
+		if _, err := m.Read(p, "a", []int{1, 5}); err != nil {
+			t.Errorf("post-broadcast read by %d: %v", p, err)
+		}
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	u := unit(t, memSrc, map[string]int{"n": 8}, 4)
+	m := NewMemory(u, 4)
+	m.Write("a", []int{2, 3}, 7)
+	flat := m.Canonical("a")
+	if flat[(2-1)*8+(3-1)] != 7 {
+		t.Error("Canonical did not pick up the owner value")
+	}
+}
+
+func TestLedgerAccounting(t *testing.T) {
+	l := NewLedger(4, machine.SP2())
+	l.Compute(0, 1000)
+	l.Message(0, 1, 4096)
+	if l.DynMessages != 1 || l.MsgsRecv[1] != 1 || l.BytesMoved != 4096 {
+		t.Errorf("ledger = %+v", l)
+	}
+	if l.Net[0] == 0 || l.Net[1] == 0 {
+		t.Error("both endpoints pay for a message")
+	}
+	before := l.ElapsedTime()
+	l.Barrier()
+	if l.ElapsedTime() != before {
+		t.Error("barrier must not change the max clock")
+	}
+	// After a barrier all processors are at the same time.
+	for p := 0; p < 4; p++ {
+		if got := l.CPU[p] + l.Net[p]; got != before {
+			t.Errorf("proc %d clock %v after barrier, want %v", p, got, before)
+		}
+	}
+	l.Reduce(32)
+	l.Broadcast(128)
+	if l.DynMessages <= 1 {
+		t.Error("collectives must account messages")
+	}
+	if l.CPUTime() <= 0 || l.NetTime() <= 0 {
+		t.Error("component clocks must advance")
+	}
+}

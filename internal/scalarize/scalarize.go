@@ -1,0 +1,409 @@
+// Package scalarize rewrites F90 array-section assignments into
+// elementwise DO loops, reproducing the behaviour of the pHPF
+// scalarizer described in §2.3 of the paper: each array statement
+// becomes its own loop nest (no fusion), which is precisely what makes
+// earliest-placement redundancy elimination syntax-sensitive (Fig. 3,
+// middle column) and what the global placement algorithm is robust to.
+//
+// Reduction statements — assignments whose right-hand side contains a
+// SUM over an array section — are deliberately left unscalarized: the
+// compiler treats reduction communication specially (§6.2), and the
+// runtime executes SUM natively.
+package scalarize
+
+import (
+	"fmt"
+
+	"gcao/internal/ast"
+	"gcao/internal/sem"
+	"gcao/internal/source"
+)
+
+// Result carries the scalarized body and statistics.
+type Result struct {
+	Body []ast.Stmt
+	// LoopsCreated counts the DO loops the scalarizer introduced.
+	LoopsCreated int
+	// StmtsExpanded counts array statements that were expanded.
+	StmtsExpanded int
+}
+
+type scalarizer struct {
+	u       *sem.Unit
+	counter int
+	res     *Result
+}
+
+// Scalarize returns a new routine body in which every F90 array
+// statement has been rewritten as a scalar loop nest. The input body
+// is not modified. Statement labels are propagated so later analyses
+// can report against original source lines.
+func Scalarize(u *sem.Unit) (*Result, error) {
+	s := &scalarizer{u: u, res: &Result{}}
+	body, err := s.body(u.Routine.Body)
+	if err != nil {
+		return nil, err
+	}
+	s.res.Body = body
+	return s.res, nil
+}
+
+func (s *scalarizer) freshVar() string {
+	s.counter++
+	return fmt.Sprintf("i$%d", s.counter)
+}
+
+func (s *scalarizer) body(stmts []ast.Stmt) ([]ast.Stmt, error) {
+	var out []ast.Stmt
+	for _, st := range stmts {
+		switch st := st.(type) {
+		case *ast.AssignStmt:
+			ns, err := s.assign(st)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ns...)
+		case *ast.DoStmt:
+			b, err := s.body(st.Body)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, &ast.DoStmt{Var: st.Var, Lo: st.Lo, Hi: st.Hi, Step: st.Step, Body: b, Pos: st.Pos})
+		case *ast.IfStmt:
+			t, err := s.body(st.Then)
+			if err != nil {
+				return nil, err
+			}
+			e, err := s.body(st.Else)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, &ast.IfStmt{Cond: st.Cond, Then: t, Else: e, Pos: st.Pos})
+		default:
+			out = append(out, st)
+		}
+	}
+	return out, nil
+}
+
+// expandWhole turns a bare array name reference (no subscripts) into a
+// full-section reference.
+func (s *scalarizer) expandWhole(r *ast.Ref) *ast.Ref {
+	a := s.u.Arrays[r.Name]
+	if a == nil || len(r.Subs) > 0 {
+		return r
+	}
+	subs := make([]ast.Sub, a.Rank())
+	for i := range subs {
+		subs[i] = ast.Sub{Kind: ast.SubRange}
+	}
+	return &ast.Ref{Name: r.Name, Subs: subs, Pos: r.Pos}
+}
+
+// rangeInfo is one resolved triplet of a section subscript.
+type rangeInfo struct {
+	dim          int // array dimension index
+	lo, hi, step int
+}
+
+// resolveRanges evaluates the range subscripts of a reference.
+func (s *scalarizer) resolveRanges(r *ast.Ref) ([]rangeInfo, error) {
+	a := s.u.Arrays[r.Name]
+	if a == nil {
+		return nil, nil
+	}
+	var out []rangeInfo
+	for d, sub := range r.Subs {
+		if sub.Kind != ast.SubRange {
+			continue
+		}
+		ri := rangeInfo{dim: d, lo: a.Lo[d], hi: a.Hi[d], step: 1}
+		var err error
+		if sub.Lo != nil {
+			ri.lo, err = s.u.EvalInt(sub.Lo)
+			if err != nil {
+				return nil, source.Errorf(r.Pos, "scalarize: section bound of %q must be a compile-time integer: %v", r.Name, err)
+			}
+		}
+		if sub.Hi != nil {
+			ri.hi, err = s.u.EvalInt(sub.Hi)
+			if err != nil {
+				return nil, source.Errorf(r.Pos, "scalarize: section bound of %q must be a compile-time integer: %v", r.Name, err)
+			}
+		}
+		if sub.Step != nil {
+			ri.step, err = s.u.EvalInt(sub.Step)
+			if err != nil {
+				return nil, source.Errorf(r.Pos, "scalarize: section step of %q must be a compile-time integer: %v", r.Name, err)
+			}
+			if ri.step < 1 {
+				return nil, source.Errorf(r.Pos, "scalarize: section step of %q must be >= 1", r.Name)
+			}
+		}
+		out = append(out, ri)
+	}
+	return out, nil
+}
+
+func rangeCount(ri rangeInfo) int {
+	if ri.lo > ri.hi {
+		return 0
+	}
+	return (ri.hi-ri.lo)/ri.step + 1
+}
+
+// containsSum reports whether the expression contains a SUM call.
+func containsSum(e ast.Expr) bool {
+	found := false
+	ast.WalkExprs(e, func(e ast.Expr) {
+		if c, ok := e.(*ast.Call); ok && c.Func == "sum" {
+			found = true
+		}
+	})
+	return found
+}
+
+// isArrayStmt reports whether the assignment needs scalarization.
+func (s *scalarizer) isArrayStmt(st *ast.AssignStmt) bool {
+	if a := s.u.Arrays[st.LHS.Name]; a != nil {
+		if len(st.LHS.Subs) == 0 {
+			return true // whole-array assignment
+		}
+		if st.LHS.HasSection() {
+			return true
+		}
+	}
+	// RHS whole-array or section refs also force expansion only when
+	// the LHS is an array element written elementwise; an RHS section
+	// with a scalar LHS is only legal under SUM, handled separately.
+	return false
+}
+
+func (s *scalarizer) assign(st *ast.AssignStmt) ([]ast.Stmt, error) {
+	label := st.Label
+	if label == "" {
+		label = fmt.Sprintf("L%d", st.Pos.Line)
+	}
+	if !s.isArrayStmt(st) {
+		// Still expand bare array names on the RHS under SUM.
+		out := &ast.AssignStmt{LHS: st.LHS, RHS: s.expandRHSWholes(st.RHS), Pos: st.Pos, Label: label}
+		return []ast.Stmt{out}, nil
+	}
+	if containsSum(st.RHS) {
+		return nil, source.Errorf(st.Pos, "scalarize: SUM on the right-hand side of an array statement is not supported")
+	}
+
+	lhs := s.expandWhole(st.LHS)
+	lranges, err := s.resolveRanges(lhs)
+	if err != nil {
+		return nil, err
+	}
+	if len(lranges) == 0 {
+		return nil, source.Errorf(st.Pos, "scalarize: internal: array statement without ranges")
+	}
+
+	// Check whether every RHS section conforms with matching steps, so
+	// we can use the readable direct-bounds form; otherwise normalize.
+	type refRanges struct {
+		ref    *ast.Ref
+		ranges []rangeInfo
+	}
+	var rhsRefs []refRanges
+	var walkErr error
+	rhs := s.expandRHSWholes(st.RHS)
+	ast.WalkExprs(rhs, func(e ast.Expr) {
+		if walkErr != nil {
+			return
+		}
+		r, ok := e.(*ast.Ref)
+		if !ok || s.u.Arrays[r.Name] == nil {
+			return
+		}
+		rr, err := s.resolveRanges(r)
+		if err != nil {
+			walkErr = err
+			return
+		}
+		if len(rr) == 0 {
+			return
+		}
+		if len(rr) != len(lranges) {
+			walkErr = source.Errorf(r.Pos, "scalarize: %q has %d section dims, LHS has %d", r.Name, len(rr), len(lranges))
+			return
+		}
+		for i := range rr {
+			if rangeCount(rr[i]) != rangeCount(lranges[i]) {
+				walkErr = source.Errorf(r.Pos, "scalarize: non-conforming sections: %q dim %d has %d elements, LHS has %d",
+					r.Name, rr[i].dim, rangeCount(rr[i]), rangeCount(lranges[i]))
+				return
+			}
+		}
+		rhsRefs = append(rhsRefs, refRanges{ref: r, ranges: rr})
+	})
+	if walkErr != nil {
+		return nil, walkErr
+	}
+
+	direct := true
+	for _, rr := range rhsRefs {
+		for i := range rr.ranges {
+			if rr.ranges[i].step != lranges[i].step {
+				direct = false
+			}
+		}
+	}
+
+	// Allocate one loop variable per sectioned LHS dimension.
+	vars := make([]string, len(lranges))
+	for i := range vars {
+		vars[i] = s.freshVar()
+	}
+
+	// Build the index expression substitutions. In direct form the loop
+	// variable runs over the LHS triplet and an RHS index is v + (rlo -
+	// llo). In normalized form the variable runs 0..count-1 and indexes
+	// are lo + v*step on both sides.
+	num := func(v int, pos source.Pos) ast.Expr {
+		return &ast.NumLit{Text: fmt.Sprint(v), Value: float64(v), IsInt: true, Pos: pos}
+	}
+	mkIdx := func(v string, base, coef int, pos source.Pos) ast.Expr {
+		ve := ast.Expr(&ast.Ident{Name: v, Pos: pos})
+		if coef != 1 {
+			ve = &ast.BinExpr{Op: ast.Mul, X: num(coef, pos), Y: ve, Pos: pos}
+		}
+		if base == 0 {
+			return ve
+		}
+		if base > 0 {
+			return &ast.BinExpr{Op: ast.Add, X: ve, Y: num(base, pos), Pos: pos}
+		}
+		return &ast.BinExpr{Op: ast.Sub_, X: ve, Y: num(-base, pos), Pos: pos}
+	}
+
+	// New LHS with element subscripts.
+	newLHS := &ast.Ref{Name: lhs.Name, Pos: lhs.Pos, Subs: append([]ast.Sub(nil), lhs.Subs...)}
+	{
+		k := 0
+		for d, sub := range lhs.Subs {
+			if sub.Kind != ast.SubRange {
+				continue
+			}
+			var idx ast.Expr
+			if direct {
+				idx = &ast.Ident{Name: vars[k], Pos: lhs.Pos}
+			} else {
+				idx = mkIdx(vars[k], lranges[k].lo, lranges[k].step, lhs.Pos)
+			}
+			newLHS.Subs[d] = ast.Sub{Kind: ast.SubExpr, X: idx}
+			k++
+			_ = d
+		}
+	}
+
+	// Rewrite the RHS, substituting each sectioned ref.
+	newRHS := s.rewriteRHS(rhs, lranges, vars, direct, mkIdx)
+
+	inner := &ast.AssignStmt{LHS: newLHS, RHS: newRHS, Pos: st.Pos, Label: label}
+	s.res.StmtsExpanded++
+
+	// Wrap in loops, first sectioned dimension outermost (matching the
+	// pHPF scalarizer's row-major order for these examples).
+	var out ast.Stmt = inner
+	for k := len(lranges) - 1; k >= 0; k-- {
+		var lo, hi ast.Expr
+		var step ast.Expr
+		if direct {
+			lo = num(lranges[k].lo, st.Pos)
+			hi = num(lranges[k].hi, st.Pos)
+			if lranges[k].step != 1 {
+				step = num(lranges[k].step, st.Pos)
+			}
+		} else {
+			lo = num(0, st.Pos)
+			hi = num(rangeCount(lranges[k])-1, st.Pos)
+		}
+		out = &ast.DoStmt{Var: vars[k], Lo: lo, Hi: hi, Step: step, Body: []ast.Stmt{out}, Pos: st.Pos}
+		s.res.LoopsCreated++
+	}
+	return []ast.Stmt{out}, nil
+}
+
+// expandRHSWholes replaces bare array-name identifiers in an
+// expression with full-section references.
+func (s *scalarizer) expandRHSWholes(e ast.Expr) ast.Expr {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *ast.Ident:
+		if a := s.u.Arrays[e.Name]; a != nil {
+			subs := make([]ast.Sub, a.Rank())
+			for i := range subs {
+				subs[i] = ast.Sub{Kind: ast.SubRange}
+			}
+			return &ast.Ref{Name: e.Name, Subs: subs, Pos: e.Pos}
+		}
+		return e
+	case *ast.BinExpr:
+		return &ast.BinExpr{Op: e.Op, X: s.expandRHSWholes(e.X), Y: s.expandRHSWholes(e.Y), Pos: e.Pos}
+	case *ast.UnaryExpr:
+		return &ast.UnaryExpr{X: s.expandRHSWholes(e.X), Pos: e.Pos}
+	case *ast.Call:
+		args := make([]ast.Expr, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = s.expandRHSWholes(a)
+		}
+		return &ast.Call{Func: e.Func, Args: args, Pos: e.Pos}
+	default:
+		return e
+	}
+}
+
+type idxMaker func(v string, base, coef int, pos source.Pos) ast.Expr
+
+// rewriteRHS substitutes loop variables into every sectioned reference
+// of the RHS expression tree.
+func (s *scalarizer) rewriteRHS(e ast.Expr, lranges []rangeInfo, vars []string, direct bool, mkIdx idxMaker) ast.Expr {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *ast.Ref:
+		if s.u.Arrays[e.Name] == nil || !e.HasSection() {
+			return e
+		}
+		rr, err := s.resolveRanges(e)
+		if err != nil || len(rr) != len(lranges) {
+			return e // validated earlier; defensive
+		}
+		out := &ast.Ref{Name: e.Name, Pos: e.Pos, Subs: append([]ast.Sub(nil), e.Subs...)}
+		k := 0
+		for d, sub := range e.Subs {
+			if sub.Kind != ast.SubRange {
+				continue
+			}
+			var idx ast.Expr
+			if direct {
+				idx = mkIdx(vars[k], rr[k].lo-lranges[k].lo, 1, e.Pos)
+			} else {
+				idx = mkIdx(vars[k], rr[k].lo, rr[k].step, e.Pos)
+			}
+			out.Subs[d] = ast.Sub{Kind: ast.SubExpr, X: idx}
+			k++
+			_ = d
+		}
+		return out
+	case *ast.BinExpr:
+		return &ast.BinExpr{Op: e.Op,
+			X: s.rewriteRHS(e.X, lranges, vars, direct, mkIdx),
+			Y: s.rewriteRHS(e.Y, lranges, vars, direct, mkIdx), Pos: e.Pos}
+	case *ast.UnaryExpr:
+		return &ast.UnaryExpr{X: s.rewriteRHS(e.X, lranges, vars, direct, mkIdx), Pos: e.Pos}
+	case *ast.Call:
+		args := make([]ast.Expr, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = s.rewriteRHS(a, lranges, vars, direct, mkIdx)
+		}
+		return &ast.Call{Func: e.Func, Args: args, Pos: e.Pos}
+	default:
+		return e
+	}
+}

@@ -1,0 +1,363 @@
+// Package section implements regular array section descriptors (RSDs):
+// per-dimension triplets lo:hi:step describing rectangular, strided
+// subsections of Fortran-style arrays. Sections are the "D" component of
+// the Available Section Descriptors (ASDs) of Gupta, Schonberg and
+// Srinivasan that the placement algorithm of Chakrabarti, Gupta and Choi
+// (PLDI 1996) manipulates: redundancy elimination needs containment
+// tests, and message combining needs approximate unions with a bounded
+// blow-up check (the paper requires that |D1 ∪ D2|, as approximated by a
+// single descriptor, not exceed |D1| + |D2| by more than a small
+// constant).
+//
+// All bounds are inclusive, matching Fortran triplet notation. A
+// dimension with Lo > Hi is empty, and a section with any empty
+// dimension is empty.
+package section
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dim is a single dimension of a section: the triplet Lo:Hi:Step with
+// inclusive bounds. Step must be >= 1 for non-empty dimensions.
+type Dim struct {
+	Lo, Hi, Step int
+}
+
+// Section is a rectangular, possibly strided array section. The zero
+// value is the empty zero-dimensional section.
+type Section struct {
+	Dims []Dim
+}
+
+// New builds a section from dimension triplets.
+func New(dims ...Dim) Section {
+	return Section{Dims: dims}
+}
+
+// Whole returns the section covering an entire array with the given
+// inclusive per-dimension bounds [lo[i], hi[i]].
+func Whole(lo, hi []int) Section {
+	if len(lo) != len(hi) {
+		panic("section: Whole: mismatched bound ranks")
+	}
+	d := make([]Dim, len(lo))
+	for i := range lo {
+		d[i] = Dim{Lo: lo[i], Hi: hi[i], Step: 1}
+	}
+	return Section{Dims: d}
+}
+
+// Point returns the degenerate section holding a single element.
+func Point(idx ...int) Section {
+	d := make([]Dim, len(idx))
+	for i, v := range idx {
+		d[i] = Dim{Lo: v, Hi: v, Step: 1}
+	}
+	return Section{Dims: d}
+}
+
+// Rank reports the number of dimensions.
+func (s Section) Rank() int { return len(s.Dims) }
+
+// normDim canonicalizes one dimension: an empty range becomes the
+// canonical empty dim, a single-point range gets Step 1, and Hi is
+// clamped down to the last element actually reached by the stride.
+func normDim(d Dim) Dim {
+	if d.Step <= 0 {
+		d.Step = 1
+	}
+	if d.Lo > d.Hi {
+		return Dim{Lo: 1, Hi: 0, Step: 1}
+	}
+	n := (d.Hi - d.Lo) / d.Step
+	d.Hi = d.Lo + n*d.Step
+	if d.Lo == d.Hi {
+		d.Step = 1
+	}
+	return d
+}
+
+// Normalize returns the canonical form of s: strides positive, Hi
+// clamped to the last reached element, empty dims in canonical form.
+func (s Section) Normalize() Section {
+	out := Section{Dims: make([]Dim, len(s.Dims))}
+	for i, d := range s.Dims {
+		out.Dims[i] = normDim(d)
+	}
+	return out
+}
+
+// IsEmpty reports whether the section contains no elements. A rank-0
+// section is considered empty.
+func (s Section) IsEmpty() bool {
+	if len(s.Dims) == 0 {
+		return true
+	}
+	for _, d := range s.Dims {
+		if d.Lo > d.Hi {
+			return true
+		}
+	}
+	return false
+}
+
+// NumElems returns the number of elements in the section.
+func (s Section) NumElems() int {
+	if s.IsEmpty() {
+		return 0
+	}
+	n := 1
+	for _, d := range s.Dims {
+		dd := normDim(d)
+		n *= (dd.Hi-dd.Lo)/dd.Step + 1
+	}
+	return n
+}
+
+// dimCount returns the element count of a single normalized dimension.
+func dimCount(d Dim) int {
+	if d.Lo > d.Hi {
+		return 0
+	}
+	return (d.Hi-d.Lo)/d.Step + 1
+}
+
+// Equal reports whether s and t denote the same set of elements.
+func (s Section) Equal(t Section) bool {
+	if len(s.Dims) != len(t.Dims) {
+		return false
+	}
+	if s.IsEmpty() && t.IsEmpty() {
+		return true
+	}
+	if s.IsEmpty() != t.IsEmpty() {
+		return false
+	}
+	sn, tn := s.Normalize(), t.Normalize()
+	for i := range sn.Dims {
+		if sn.Dims[i] != tn.Dims[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// dimContains reports whether normalized dim a contains normalized dim b
+// as sets of integers.
+func dimContains(a, b Dim) bool {
+	if b.Lo > b.Hi {
+		return true
+	}
+	if a.Lo > a.Hi {
+		return false
+	}
+	if b.Lo < a.Lo || b.Hi > a.Hi {
+		return false
+	}
+	// Every point of b must be on a's lattice: b.Lo ≡ a.Lo (mod a.Step)
+	// and b.Step a multiple of a.Step (unless b is a single point).
+	if (b.Lo-a.Lo)%a.Step != 0 {
+		return false
+	}
+	if dimCount(b) == 1 {
+		return true
+	}
+	return b.Step%a.Step == 0
+}
+
+// Contains reports whether s ⊇ t elementwise. Sections of different
+// rank are incomparable (returns false) unless t is empty.
+func (s Section) Contains(t Section) bool {
+	if t.IsEmpty() {
+		return true
+	}
+	if len(s.Dims) != len(t.Dims) || s.IsEmpty() {
+		return false
+	}
+	sn, tn := s.Normalize(), t.Normalize()
+	for i := range sn.Dims {
+		if !dimContains(sn.Dims[i], tn.Dims[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// gcd of two non-negative ints.
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// dimIntersect intersects two normalized dims exactly when both strides
+// are 1 or the lattices line up; otherwise it returns a conservative
+// overapproximation flag. ok=false means the exact intersection is not
+// representable as a single triplet and the returned dim overapproximates.
+func dimIntersect(a, b Dim) (Dim, bool) {
+	if a.Lo > a.Hi || b.Lo > b.Hi {
+		return Dim{Lo: 1, Hi: 0, Step: 1}, true
+	}
+	lo := max(a.Lo, b.Lo)
+	hi := min(a.Hi, b.Hi)
+	if lo > hi {
+		return Dim{Lo: 1, Hi: 0, Step: 1}, true
+	}
+	if a.Step == 1 && b.Step == 1 {
+		return Dim{Lo: lo, Hi: hi, Step: 1}, true
+	}
+	// Solve x ≡ a.Lo (mod a.Step), x ≡ b.Lo (mod b.Step) by search over
+	// one period; strides in compiler-generated sections are tiny.
+	step := a.Step / gcd(a.Step, b.Step) * b.Step
+	for x := lo; x < lo+step && x <= hi; x++ {
+		if (x-a.Lo)%a.Step == 0 && (x-b.Lo)%b.Step == 0 {
+			d := normDim(Dim{Lo: x, Hi: hi, Step: step})
+			return d, true
+		}
+	}
+	return Dim{Lo: 1, Hi: 0, Step: 1}, true
+}
+
+// Intersect returns the exact intersection of s and t when both have
+// the same rank. For mismatched ranks it returns the empty section.
+func (s Section) Intersect(t Section) Section {
+	if len(s.Dims) != len(t.Dims) || s.IsEmpty() || t.IsEmpty() {
+		return Section{Dims: []Dim{{Lo: 1, Hi: 0, Step: 1}}}
+	}
+	sn, tn := s.Normalize(), t.Normalize()
+	out := Section{Dims: make([]Dim, len(sn.Dims))}
+	for i := range sn.Dims {
+		d, _ := dimIntersect(sn.Dims[i], tn.Dims[i])
+		out.Dims[i] = d
+	}
+	return out.Normalize()
+}
+
+// Overlaps reports whether s ∩ t is non-empty.
+func (s Section) Overlaps(t Section) bool {
+	return !s.Intersect(t).IsEmpty()
+}
+
+// UnionBound returns the smallest single descriptor covering both s and
+// t, together with the "blow-up": covered elements divided by
+// |s| + |t| (>= 0.5 when s, t overlap fully; large when the hull covers
+// many elements in neither section). The placement pass refuses to
+// combine sections whose hull blows up past a small constant, exactly
+// as required in §4.7 of the paper. Mismatched ranks return ok=false.
+func (s Section) UnionBound(t Section) (hull Section, blowup float64, ok bool) {
+	if len(s.Dims) != len(t.Dims) {
+		return Section{}, 0, false
+	}
+	if s.IsEmpty() {
+		return t.Normalize(), 1, true
+	}
+	if t.IsEmpty() {
+		return s.Normalize(), 1, true
+	}
+	sn, tn := s.Normalize(), t.Normalize()
+	out := Section{Dims: make([]Dim, len(sn.Dims))}
+	for i := range sn.Dims {
+		a, b := sn.Dims[i], tn.Dims[i]
+		lo := min(a.Lo, b.Lo)
+		hi := max(a.Hi, b.Hi)
+		step := gcd(a.Step, b.Step)
+		if step == 0 {
+			step = 1
+		}
+		// The offsets of the two lattices must agree modulo the merged
+		// step; otherwise fall back to step 1.
+		if (a.Lo-b.Lo)%step != 0 {
+			step = 1
+		}
+		out.Dims[i] = normDim(Dim{Lo: lo, Hi: hi, Step: step})
+	}
+	total := s.NumElems() + t.NumElems()
+	if total == 0 {
+		return out, 1, true
+	}
+	return out, float64(out.NumElems()) / float64(total), true
+}
+
+// Shift translates the section by the given per-dimension offsets.
+func (s Section) Shift(off []int) Section {
+	if len(off) != len(s.Dims) {
+		panic(fmt.Sprintf("section: Shift: rank %d section with %d offsets", len(s.Dims), len(off)))
+	}
+	out := Section{Dims: make([]Dim, len(s.Dims))}
+	for i, d := range s.Dims {
+		out.Dims[i] = Dim{Lo: d.Lo + off[i], Hi: d.Hi + off[i], Step: d.Step}
+	}
+	return out
+}
+
+// Clip restricts the section to the box [lo, hi] (inclusive).
+func (s Section) Clip(lo, hi []int) Section {
+	if len(lo) != len(s.Dims) || len(hi) != len(s.Dims) {
+		panic("section: Clip: rank mismatch")
+	}
+	box := Whole(lo, hi)
+	return s.Intersect(box)
+}
+
+// String renders the section in Fortran triplet notation.
+func (s Section) String() string {
+	if len(s.Dims) == 0 {
+		return "()"
+	}
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, d := range s.Dims {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if d.Lo > d.Hi {
+			b.WriteString("empty")
+			continue
+		}
+		if d.Lo == d.Hi {
+			fmt.Fprintf(&b, "%d", d.Lo)
+			continue
+		}
+		fmt.Fprintf(&b, "%d:%d", d.Lo, d.Hi)
+		if d.Step != 1 {
+			fmt.Fprintf(&b, ":%d", d.Step)
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Elems enumerates all element index vectors of the section in
+// row-major order, calling f for each. f must not retain the slice.
+// Enumeration stops early if f returns false.
+func (s Section) Elems(f func(idx []int) bool) {
+	if s.IsEmpty() {
+		return
+	}
+	sn := s.Normalize()
+	idx := make([]int, len(sn.Dims))
+	for i, d := range sn.Dims {
+		idx[i] = d.Lo
+	}
+	for {
+		if !f(idx) {
+			return
+		}
+		// Advance the last dimension fastest.
+		k := len(idx) - 1
+		for k >= 0 {
+			idx[k] += sn.Dims[k].Step
+			if idx[k] <= sn.Dims[k].Hi {
+				break
+			}
+			idx[k] = sn.Dims[k].Lo
+			k--
+		}
+		if k < 0 {
+			return
+		}
+	}
+}

@@ -1,0 +1,466 @@
+// Package sem performs semantic analysis of a parsed routine: it binds
+// declarations and HPF directives into symbol tables, evaluates array
+// bounds for the compile-time parameter values (the compiler, like
+// pHPF in the paper's experiments, specializes on the problem size and
+// processor count), and validates references.
+package sem
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gcao/internal/ast"
+	"gcao/internal/dist"
+	"gcao/internal/source"
+)
+
+// Array is a declared array with concrete bounds and an optional
+// distribution. A nil Dist means the array is replicated on every
+// processor (the HPF default for undistributed arrays in this model).
+type Array struct {
+	Name   string
+	Type   ast.ElemType
+	Lo, Hi []int
+	Dist   *dist.Dist
+}
+
+// Rank returns the array's dimensionality.
+func (a *Array) Rank() int { return len(a.Lo) }
+
+// Size returns the total element count.
+func (a *Array) Size() int {
+	n := 1
+	for i := range a.Lo {
+		n *= a.Hi[i] - a.Lo[i] + 1
+	}
+	return n
+}
+
+// ElemBytes returns the storage size of one element (the paper's
+// benchmarks are all double precision: 8 bytes).
+func (a *Array) ElemBytes() int { return 8 }
+
+// Scalar is a declared scalar variable or routine parameter.
+type Scalar struct {
+	Name    string
+	Type    ast.ElemType
+	IsParam bool
+}
+
+// Unit is the analyzed routine: the result of semantic analysis and
+// the input to scalarization and communication analysis.
+type Unit struct {
+	Routine *ast.Routine
+	Params  map[string]int
+	Arrays  map[string]*Array
+	Scalars map[string]*Scalar
+	Grid    dist.Grid
+	// ArrayNames lists arrays in declaration order for deterministic
+	// iteration.
+	ArrayNames []string
+}
+
+// Options configures analysis.
+type Options struct {
+	// Procs is the processor count used when the routine lacks a
+	// PROCESSORS directive. Ignored when a directive is present.
+	Procs int
+}
+
+// Analyze checks the routine and builds its symbol tables. params
+// supplies compile-time values for the routine's integer parameters.
+func Analyze(r *ast.Routine, params map[string]int, opt Options) (*Unit, error) {
+	u := &Unit{
+		Routine: r,
+		Params:  map[string]int{},
+		Arrays:  map[string]*Array{},
+		Scalars: map[string]*Scalar{},
+	}
+	for _, p := range r.Params {
+		v, ok := params[p]
+		if !ok {
+			return nil, fmt.Errorf("sem: routine %q: no value supplied for parameter %q", r.Name, p)
+		}
+		u.Params[p] = v
+		u.Scalars[p] = &Scalar{Name: p, Type: ast.Integer, IsParam: true}
+	}
+
+	// Declarations.
+	for _, d := range r.Decls {
+		for _, item := range d.Items {
+			if _, dup := u.Arrays[item.Name]; dup {
+				return nil, source.Errorf(d.Pos, "sem: %q declared twice", item.Name)
+			}
+			if _, dup := u.Scalars[item.Name]; dup {
+				return nil, source.Errorf(d.Pos, "sem: %q declared twice", item.Name)
+			}
+			if len(item.Bounds) == 0 {
+				u.Scalars[item.Name] = &Scalar{Name: item.Name, Type: d.Type}
+				continue
+			}
+			a := &Array{Name: item.Name, Type: d.Type}
+			for _, b := range item.Bounds {
+				lo := 1
+				if b.Lo != nil {
+					v, err := u.EvalInt(b.Lo)
+					if err != nil {
+						return nil, err
+					}
+					lo = v
+				}
+				hi, err := u.EvalInt(b.Hi)
+				if err != nil {
+					return nil, err
+				}
+				if hi < lo {
+					return nil, source.Errorf(d.Pos, "sem: array %q has empty dimension %d:%d", item.Name, lo, hi)
+				}
+				a.Lo = append(a.Lo, lo)
+				a.Hi = append(a.Hi, hi)
+			}
+			u.Arrays[item.Name] = a
+			u.ArrayNames = append(u.ArrayNames, item.Name)
+		}
+	}
+
+	// Processor grid: from a PROCESSORS directive if present, else a
+	// default grid sized by opt.Procs and the maximum distributed rank.
+	var gridShape []int
+	maxDistRank := 0
+	for _, dir := range r.Dirs {
+		switch dir := dir.(type) {
+		case *ast.ProcessorsDir:
+			if gridShape != nil {
+				return nil, source.Errorf(dir.Pos, "sem: multiple PROCESSORS directives")
+			}
+			for _, e := range dir.Shape {
+				v, err := u.EvalInt(e)
+				if err != nil {
+					return nil, err
+				}
+				gridShape = append(gridShape, v)
+			}
+		case *ast.DistributeDir:
+			n := 0
+			for _, k := range dir.Kinds {
+				if k != ast.DistStar {
+					n++
+				}
+			}
+			if n > maxDistRank {
+				maxDistRank = n
+			}
+		}
+	}
+	switch {
+	case gridShape != nil:
+		g, err := dist.NewGrid(gridShape...)
+		if err != nil {
+			return nil, err
+		}
+		u.Grid = g
+	case maxDistRank >= 2:
+		g, err := dist.SquareGrid(maxProcs(opt))
+		if err != nil {
+			return nil, err
+		}
+		u.Grid = g
+	default:
+		g, err := dist.NewGrid(maxProcs(opt))
+		if err != nil {
+			return nil, err
+		}
+		u.Grid = g
+	}
+
+	// Distribute directives.
+	for _, dir := range r.Dirs {
+		dd, ok := dir.(*ast.DistributeDir)
+		if !ok {
+			continue
+		}
+		for _, name := range dd.Arrays {
+			a, ok := u.Arrays[name]
+			if !ok {
+				return nil, source.Errorf(dd.Pos, "sem: DISTRIBUTE names undeclared array %q", name)
+			}
+			if len(dd.Kinds) != a.Rank() {
+				return nil, source.Errorf(dd.Pos, "sem: DISTRIBUTE rank %d for rank-%d array %q", len(dd.Kinds), a.Rank(), name)
+			}
+			kinds := make([]dist.Kind, len(dd.Kinds))
+			for i, k := range dd.Kinds {
+				switch k {
+				case ast.DistStar:
+					kinds[i] = dist.Star
+				case ast.DistBlock:
+					kinds[i] = dist.Block
+				case ast.DistCyclic:
+					kinds[i] = dist.Cyclic
+				}
+			}
+			grid := u.Grid
+			// A distribution using fewer grid dims than the full grid
+			// uses a prefix; dist.New validates.
+			nd := 0
+			for _, k := range kinds {
+				if k != dist.Star {
+					nd++
+				}
+			}
+			if nd < grid.Rank() {
+				// Collapse onto the leading nd grid dims when possible:
+				// flatten the grid so NumProcs is preserved only if the
+				// trailing dims are 1; otherwise build a sub-grid.
+				shape := append([]int(nil), grid.Shape[:nd]...)
+				rest := 1
+				for _, s := range grid.Shape[nd:] {
+					rest *= s
+				}
+				if nd > 0 {
+					shape[nd-1] *= rest
+				} else {
+					shape = []int{rest}
+				}
+				g2, err := dist.NewGrid(shape...)
+				if err != nil {
+					return nil, err
+				}
+				grid = g2
+			}
+			dv, err := dist.New(grid, a.Lo, a.Hi, kinds...)
+			if err != nil {
+				return nil, source.Errorf(dd.Pos, "sem: %q: %v", name, err)
+			}
+			a.Dist = &dv
+		}
+	}
+
+	// Validate statements.
+	if err := u.checkBody(r.Body, map[string]bool{}); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+func maxProcs(opt Options) int {
+	if opt.Procs > 0 {
+		return opt.Procs
+	}
+	return 4
+}
+
+// checkBody validates references and collects implicitly declared loop
+// index variables as integer scalars.
+func (u *Unit) checkBody(body []ast.Stmt, loopVars map[string]bool) error {
+	for _, s := range body {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			if err := u.checkRef(s.LHS, loopVars, true); err != nil {
+				return err
+			}
+			if err := u.checkExpr(s.RHS, loopVars); err != nil {
+				return err
+			}
+		case *ast.DoStmt:
+			for _, e := range []ast.Expr{s.Lo, s.Hi, s.Step} {
+				if e == nil {
+					continue
+				}
+				if err := u.checkExpr(e, loopVars); err != nil {
+					return err
+				}
+			}
+			if _, isArr := u.Arrays[s.Var]; isArr {
+				return source.Errorf(s.Pos, "sem: loop index %q is an array", s.Var)
+			}
+			inner := map[string]bool{}
+			for k := range loopVars {
+				inner[k] = true
+			}
+			inner[s.Var] = true
+			if err := u.checkBody(s.Body, inner); err != nil {
+				return err
+			}
+		case *ast.IfStmt:
+			if err := u.checkExpr(s.Cond, loopVars); err != nil {
+				return err
+			}
+			if err := u.checkBody(s.Then, loopVars); err != nil {
+				return err
+			}
+			if err := u.checkBody(s.Else, loopVars); err != nil {
+				return err
+			}
+		case *ast.CallStmt:
+			return source.Errorf(s.Pos, "sem: call to %q not inlined (run inline.Flatten on multi-routine programs)", s.Name)
+		}
+	}
+	return nil
+}
+
+func (u *Unit) checkExpr(e ast.Expr, loopVars map[string]bool) error {
+	var err error
+	ast.WalkExprs(e, func(e ast.Expr) {
+		if err != nil {
+			return
+		}
+		switch e := e.(type) {
+		case *ast.Ident:
+			if !u.known(e.Name, loopVars) {
+				err = source.Errorf(e.Pos, "sem: undeclared variable %q", e.Name)
+			}
+		case *ast.Ref:
+			err = u.checkRef(e, loopVars, false)
+		case *ast.Call:
+			if !ast.Intrinsics[e.Func] {
+				err = source.Errorf(e.Pos, "sem: unknown intrinsic %q", e.Func)
+			}
+		}
+	})
+	return err
+}
+
+func (u *Unit) known(name string, loopVars map[string]bool) bool {
+	if loopVars[name] {
+		return true
+	}
+	if _, ok := u.Scalars[name]; ok {
+		return true
+	}
+	if _, ok := u.Arrays[name]; ok {
+		return true
+	}
+	return false
+}
+
+func (u *Unit) checkRef(r *ast.Ref, loopVars map[string]bool, isLHS bool) error {
+	a, isArr := u.Arrays[r.Name]
+	if !isArr {
+		if len(r.Subs) > 0 {
+			return source.Errorf(r.Pos, "sem: %q subscripted but not an array", r.Name)
+		}
+		if !u.known(r.Name, loopVars) {
+			return source.Errorf(r.Pos, "sem: undeclared variable %q", r.Name)
+		}
+		if isLHS {
+			if loopVars[r.Name] {
+				return source.Errorf(r.Pos, "sem: assignment to loop index %q", r.Name)
+			}
+			if sc := u.Scalars[r.Name]; sc != nil && sc.IsParam {
+				return source.Errorf(r.Pos, "sem: assignment to parameter %q", r.Name)
+			}
+		}
+		return nil
+	}
+	if len(r.Subs) != 0 && len(r.Subs) != a.Rank() {
+		return source.Errorf(r.Pos, "sem: %q has rank %d, subscripted with %d", r.Name, a.Rank(), len(r.Subs))
+	}
+	for _, sub := range r.Subs {
+		for _, e := range []ast.Expr{sub.X, sub.Lo, sub.Hi, sub.Step} {
+			if e == nil {
+				continue
+			}
+			if err := u.checkExpr(e, loopVars); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// EvalInt evaluates an integer-valued constant expression using the
+// routine parameters. Loop variables are not in scope.
+func (u *Unit) EvalInt(e ast.Expr) (int, error) {
+	v, err := u.evalIntEnv(e, nil)
+	return v, err
+}
+
+// EvalIntEnv evaluates an integer expression with extra bindings (loop
+// variable values during simulation, for example).
+func (u *Unit) EvalIntEnv(e ast.Expr, env map[string]int) (int, error) {
+	return u.evalIntEnv(e, env)
+}
+
+func (u *Unit) evalIntEnv(e ast.Expr, env map[string]int) (int, error) {
+	switch e := e.(type) {
+	case *ast.NumLit:
+		if !e.IsInt {
+			return 0, source.Errorf(e.Pos, "sem: real literal %q where integer expected", e.Text)
+		}
+		return int(e.Value), nil
+	case *ast.Ident:
+		if env != nil {
+			if v, ok := env[e.Name]; ok {
+				return v, nil
+			}
+		}
+		if v, ok := u.Params[e.Name]; ok {
+			return v, nil
+		}
+		return 0, source.Errorf(e.Pos, "sem: %q is not a compile-time integer", e.Name)
+	case *ast.UnaryExpr:
+		v, err := u.evalIntEnv(e.X, env)
+		return -v, err
+	case *ast.BinExpr:
+		x, err := u.evalIntEnv(e.X, env)
+		if err != nil {
+			return 0, err
+		}
+		y, err := u.evalIntEnv(e.Y, env)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case ast.Add:
+			return x + y, nil
+		case ast.Sub_:
+			return x - y, nil
+		case ast.Mul:
+			return x * y, nil
+		case ast.Div:
+			if y == 0 {
+				return 0, source.Errorf(e.Pos, "sem: division by zero")
+			}
+			return x / y, nil
+		case ast.Pow:
+			return int(math.Pow(float64(x), float64(y))), nil
+		}
+		return 0, source.Errorf(e.Pos, "sem: operator %s in integer expression", e.Op)
+	case *ast.Call:
+		if e.Func == "mod" && len(e.Args) == 2 {
+			x, err := u.evalIntEnv(e.Args[0], env)
+			if err != nil {
+				return 0, err
+			}
+			y, err := u.evalIntEnv(e.Args[1], env)
+			if err != nil {
+				return 0, err
+			}
+			if y == 0 {
+				return 0, source.Errorf(e.Pos, "sem: mod by zero")
+			}
+			return x % y, nil
+		}
+	}
+	return 0, source.Errorf(exprPos(e), "sem: not a compile-time integer expression: %s", ast.ExprString(e))
+}
+
+func exprPos(e ast.Expr) source.Pos {
+	if e == nil {
+		return source.Pos{}
+	}
+	return e.ExprPos()
+}
+
+// DistributedArrays returns the names of distributed arrays, sorted.
+func (u *Unit) DistributedArrays() []string {
+	var out []string
+	for name, a := range u.Arrays {
+		if a.Dist != nil {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,586 @@
+// Package spmd executes compiled programs on the simulated
+// distributed-memory machine. It provides two engines:
+//
+//   - Run, a functional bulk-synchronous interpreter that executes the
+//     scalarized program elementwise over per-processor memories with
+//     validity tracking. It proves a communication placement correct
+//     (a stale read aborts the run) and produces exact per-processor
+//     time and message statistics under the machine cost model.
+//
+//   - Estimate, an analytic walker that computes the same per-processor
+//     CPU/network time split without touching data, so the paper's
+//     problem sizes (up to 325³ gravity grids) are simulated in
+//     microseconds.
+//
+// Both engines consume a placement Result from package core, so the
+// three compiler versions (orig / nored / comb) can be compared on
+// identical programs.
+package spmd
+
+import (
+	"fmt"
+	"math"
+
+	"gcao/internal/ast"
+	"gcao/internal/cfg"
+	"gcao/internal/core"
+	"gcao/internal/machine"
+	"gcao/internal/runtime"
+	"gcao/internal/section"
+)
+
+// Local aliases keep the evaluator readable.
+type (
+	sectionT    = section.Section
+	sectionDimT = section.Dim
+)
+
+// RunResult is the outcome of a functional simulation.
+type RunResult struct {
+	Ledger  *runtime.Ledger
+	Mem     *runtime.Memory
+	Scalars map[string]float64
+}
+
+type interp struct {
+	a        *core.Analysis
+	res      *core.Result
+	mem      *runtime.Memory
+	led      *runtime.Ledger
+	scalars  map[string]float64
+	ienv     map[string]int
+	groupsAt map[core.Position][]*core.Group
+	flops    map[*cfg.Stmt]int
+	frames   map[*cfg.Loop]*frame
+}
+
+type frame struct {
+	lo, hi, step, cur int
+}
+
+// Run executes the program under the given placement on p processors.
+func Run(res *core.Result, m machine.Machine, procs int) (*RunResult, error) {
+	a := res.Analysis
+	if got := a.Unit.Grid.NumProcs(); got != procs {
+		return nil, fmt.Errorf("spmd: unit compiled for %d processors, run requested %d", got, procs)
+	}
+	it := &interp{
+		a:        a,
+		res:      res,
+		mem:      runtime.NewMemory(a.Unit, procs),
+		led:      runtime.NewLedger(procs, m),
+		scalars:  map[string]float64{},
+		ienv:     map[string]int{},
+		groupsAt: map[core.Position][]*core.Group{},
+		flops:    map[*cfg.Stmt]int{},
+		frames:   map[*cfg.Loop]*frame{},
+	}
+	for name, v := range a.Unit.Params {
+		it.scalars[name] = float64(v)
+	}
+	for _, g := range res.Groups {
+		it.groupsAt[g.Pos] = append(it.groupsAt[g.Pos], g)
+	}
+	for _, st := range a.G.Stmts {
+		it.flops[st] = countFlops(st.Assign.RHS)
+	}
+	if err := it.run(); err != nil {
+		return nil, err
+	}
+	it.led.Barrier()
+	return &RunResult{Ledger: it.led, Mem: it.mem, Scalars: it.scalars}, nil
+}
+
+func (it *interp) run() error {
+	cur := it.a.G.EntryBlock
+	var prev *cfg.Block
+	for cur != nil {
+		next, err := it.execBlock(cur, prev)
+		if err != nil {
+			return err
+		}
+		prev, cur = cur, next
+	}
+	return nil
+}
+
+func (it *interp) execBlock(b *cfg.Block, prev *cfg.Block) (*cfg.Block, error) {
+	switch b.Kind {
+	case cfg.Header:
+		loop := b.Loop
+		fr := it.frames[loop]
+		if prev == loop.PreHeader {
+			fr.cur = fr.lo
+		} else {
+			fr.cur += fr.step
+		}
+		it.ienv[loop.Var()] = fr.cur
+		cont := fr.cur <= fr.hi
+		if fr.step < 0 {
+			cont = fr.cur >= fr.hi
+		}
+		if !cont {
+			return b.Succs[1], nil // postexit
+		}
+		// Communication placed at the loop header executes once per
+		// iteration, after the φ point.
+		if err := it.execComm(core.Position{Block: b, After: -1}); err != nil {
+			return nil, err
+		}
+		return b.Succs[0], nil
+
+	case cfg.PreHeader:
+		loop := findLoopByPreheader(it.a.G, b)
+		if err := it.execComm(core.Position{Block: b, After: -1}); err != nil {
+			return nil, err
+		}
+		lo, err1 := it.evalInt(loop.Do.Lo)
+		hi, err2 := it.evalInt(loop.Do.Hi)
+		if err1 != nil {
+			return nil, err1
+		}
+		if err2 != nil {
+			return nil, err2
+		}
+		step := 1
+		if loop.Do.Step != nil {
+			s, err := it.evalInt(loop.Do.Step)
+			if err != nil {
+				return nil, err
+			}
+			if s == 0 {
+				return nil, fmt.Errorf("spmd: zero loop step at %s", loop.Do.Pos)
+			}
+			step = s
+		}
+		it.frames[loop] = &frame{lo: lo, hi: hi, step: step}
+		empty := lo > hi
+		if step < 0 {
+			empty = lo < hi
+		}
+		if empty {
+			return b.Succs[1], nil // zero-trip edge
+		}
+		return b.Succs[0], nil
+
+	default:
+		if err := it.execComm(core.Position{Block: b, After: -1}); err != nil {
+			return nil, err
+		}
+		for k, st := range b.Stmts {
+			if err := it.execStmt(st); err != nil {
+				return nil, err
+			}
+			if err := it.execComm(core.Position{Block: b, After: k}); err != nil {
+				return nil, err
+			}
+		}
+		if b.Branch != nil {
+			v, err := it.evalCond(b.Branch.Cond)
+			if err != nil {
+				return nil, err
+			}
+			// Every processor evaluates the replicated condition.
+			for p := 0; p < it.led.P; p++ {
+				it.led.Compute(p, 1)
+			}
+			if v {
+				return b.Succs[0], nil
+			}
+			return b.Succs[1], nil
+		}
+		if len(b.Succs) == 0 {
+			return nil, nil
+		}
+		return b.Succs[0], nil
+	}
+}
+
+func findLoopByPreheader(g *cfg.Graph, b *cfg.Block) *cfg.Loop {
+	for _, l := range g.Loops {
+		if l.PreHeader == b {
+			return l
+		}
+	}
+	panic("spmd: preheader without loop")
+}
+
+// ---------------------------------------------------------------------
+// statement execution
+
+func (it *interp) execStmt(st *cfg.Stmt) error {
+	as := st.Assign
+	lhs := as.LHS
+	arr := it.a.Unit.Arrays[lhs.Name]
+	flops := it.flops[st]
+
+	if arr == nil {
+		// Scalar target: every processor computes the replicated value.
+		v, perProc, err := it.evalOnAll(as.RHS)
+		if err != nil {
+			return err
+		}
+		it.scalars[lhs.Name] = v
+		for p := 0; p < it.led.P; p++ {
+			it.led.Compute(p, flops+perProc[p])
+		}
+		return nil
+	}
+
+	idx := make([]int, len(lhs.Subs))
+	for i, sub := range lhs.Subs {
+		if sub.Kind != ast.SubExpr {
+			return fmt.Errorf("spmd: unscalarized section on LHS at %s", as.Pos)
+		}
+		x, err := it.evalInt(sub.X)
+		if err != nil {
+			return err
+		}
+		idx[i] = x
+	}
+
+	if arr.Dist == nil {
+		// Replicated array: every processor computes and stores.
+		v, perProc, err := it.evalOnAll(as.RHS)
+		if err != nil {
+			return err
+		}
+		it.mem.Write(lhs.Name, idx, v)
+		for p := 0; p < it.led.P; p++ {
+			it.led.Compute(p, flops+perProc[p])
+		}
+		return nil
+	}
+
+	// Owner-computes.
+	owner := it.mem.Owner(lhs.Name, idx)
+	v, extra, err := it.evalOn(owner, as.RHS)
+	if err != nil {
+		return err
+	}
+	it.mem.Write(lhs.Name, idx, v)
+	it.led.Compute(owner, flops+extra)
+	return nil
+}
+
+// evalOnAll evaluates a replicated expression on every processor,
+// verifying agreement; it returns the value and per-processor extra
+// flop counts (from reductions).
+func (it *interp) evalOnAll(e ast.Expr) (float64, []int, error) {
+	perProc := make([]int, it.led.P)
+	var v0 float64
+	for p := 0; p < it.led.P; p++ {
+		v, extra, err := it.evalOn(p, e)
+		if err != nil {
+			return 0, nil, err
+		}
+		perProc[p] += extra
+		if p == 0 {
+			v0 = v
+		} else if v != v0 && !(math.IsNaN(v) && math.IsNaN(v0)) {
+			return 0, nil, fmt.Errorf("spmd: replicated computation diverged: %g vs %g", v0, v)
+		}
+	}
+	return v0, perProc, nil
+}
+
+// evalOn evaluates an expression from one processor's point of view.
+// extra counts the processor's share of reduction flops.
+func (it *interp) evalOn(p int, e ast.Expr) (val float64, extra int, err error) {
+	switch e := e.(type) {
+	case *ast.NumLit:
+		return e.Value, 0, nil
+	case *ast.Ident:
+		if v, ok := it.ienv[e.Name]; ok {
+			return float64(v), 0, nil
+		}
+		if v, ok := it.scalars[e.Name]; ok {
+			return v, 0, nil
+		}
+		return 0, 0, fmt.Errorf("spmd: unbound scalar %q", e.Name)
+	case *ast.UnaryExpr:
+		v, ex, err := it.evalOn(p, e.X)
+		return -v, ex, err
+	case *ast.BinExpr:
+		x, ex1, err := it.evalOn(p, e.X)
+		if err != nil {
+			return 0, 0, err
+		}
+		y, ex2, err := it.evalOn(p, e.Y)
+		if err != nil {
+			return 0, 0, err
+		}
+		switch e.Op {
+		case ast.Add:
+			return x + y, ex1 + ex2, nil
+		case ast.Sub_:
+			return x - y, ex1 + ex2, nil
+		case ast.Mul:
+			return x * y, ex1 + ex2, nil
+		case ast.Div:
+			return x / y, ex1 + ex2, nil
+		case ast.Pow:
+			return math.Pow(x, y), ex1 + ex2, nil
+		case ast.CmpLt:
+			return b2f(x < y), ex1 + ex2, nil
+		case ast.CmpGt:
+			return b2f(x > y), ex1 + ex2, nil
+		case ast.CmpLe:
+			return b2f(x <= y), ex1 + ex2, nil
+		case ast.CmpGe:
+			return b2f(x >= y), ex1 + ex2, nil
+		case ast.CmpEq:
+			return b2f(x == y), ex1 + ex2, nil
+		case ast.CmpNe:
+			return b2f(x != y), ex1 + ex2, nil
+		}
+		return 0, 0, fmt.Errorf("spmd: bad operator %v", e.Op)
+	case *ast.Ref:
+		arr := it.a.Unit.Arrays[e.Name]
+		if arr == nil {
+			if v, ok := it.ienv[e.Name]; ok {
+				return float64(v), 0, nil
+			}
+			return it.scalars[e.Name], 0, nil
+		}
+		idx := make([]int, len(e.Subs))
+		for i, sub := range e.Subs {
+			if sub.Kind != ast.SubExpr {
+				return 0, 0, fmt.Errorf("spmd: section read outside SUM at %s", e.Pos)
+			}
+			x, err := it.evalInt(sub.X)
+			if err != nil {
+				return 0, 0, err
+			}
+			idx[i] = x
+		}
+		v, err := it.mem.Read(p, e.Name, idx)
+		return v, 0, err
+	case *ast.Call:
+		if e.Func == "sum" {
+			return it.evalSum(p, e)
+		}
+		args := make([]float64, len(e.Args))
+		var extra int
+		for i, a := range e.Args {
+			v, ex, err := it.evalOn(p, a)
+			if err != nil {
+				return 0, 0, err
+			}
+			args[i] = v
+			extra += ex
+		}
+		switch e.Func {
+		case "sqrt":
+			return math.Sqrt(args[0]), extra, nil
+		case "abs":
+			return math.Abs(args[0]), extra, nil
+		case "exp":
+			return math.Exp(args[0]), extra, nil
+		case "min":
+			return math.Min(args[0], args[1]), extra, nil
+		case "max":
+			return math.Max(args[0], args[1]), extra, nil
+		case "mod":
+			return math.Mod(args[0], args[1]), extra, nil
+		}
+		return 0, 0, fmt.Errorf("spmd: unknown intrinsic %q", e.Func)
+	}
+	return 0, 0, fmt.Errorf("spmd: cannot evaluate %T", e)
+}
+
+// evalSum evaluates SUM over an array section: partial sums are
+// computed by the owners (charged to extra on processor p as its
+// share) and the combine is charged by the reduction group.
+func (it *interp) evalSum(p int, e *ast.Call) (float64, int, error) {
+	if len(e.Args) != 1 {
+		return 0, 0, fmt.Errorf("spmd: sum wants 1 argument")
+	}
+	ref, ok := e.Args[0].(*ast.Ref)
+	if !ok {
+		return 0, 0, fmt.Errorf("spmd: sum argument must be an array section")
+	}
+	arr := it.a.Unit.Arrays[ref.Name]
+	if arr == nil {
+		return 0, 0, fmt.Errorf("spmd: sum over non-array %q", ref.Name)
+	}
+	sec, err := it.concreteRefSection(ref)
+	if err != nil {
+		return 0, 0, err
+	}
+	if arr.Dist == nil {
+		total := 0.0
+		n := 0
+		sec.Elems(func(idx []int) bool {
+			v, _ := it.mem.Read(0, ref.Name, idx)
+			total += v
+			n++
+			return true
+		})
+		return total, n, nil
+	}
+	total, counts := it.mem.SumSection(ref.Name, sec)
+	return total, counts[p], nil
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (it *interp) evalCond(e ast.Expr) (bool, error) {
+	v, _, err := it.evalOn(0, e)
+	return v != 0, err
+}
+
+func (it *interp) evalInt(e ast.Expr) (int, error) {
+	return it.a.Unit.EvalIntEnv(e, it.ienv)
+}
+
+// concreteRefSection resolves a (possibly sectioned) reference to a
+// concrete section under the current loop environment.
+func (it *interp) concreteRefSection(ref *ast.Ref) (sec sectionT, err error) {
+	arr := it.a.Unit.Arrays[ref.Name]
+	dims := make([]sectionDimT, arr.Rank())
+	if len(ref.Subs) == 0 {
+		for i := range dims {
+			dims[i] = sectionDimT{Lo: arr.Lo[i], Hi: arr.Hi[i], Step: 1}
+		}
+		return sectionT{Dims: dims}, nil
+	}
+	for i, sub := range ref.Subs {
+		if sub.Kind == ast.SubExpr {
+			x, err := it.evalInt(sub.X)
+			if err != nil {
+				return sectionT{}, err
+			}
+			dims[i] = sectionDimT{Lo: x, Hi: x, Step: 1}
+			continue
+		}
+		lo, hi, step := arr.Lo[i], arr.Hi[i], 1
+		if sub.Lo != nil {
+			if lo, err = it.evalInt(sub.Lo); err != nil {
+				return sectionT{}, err
+			}
+		}
+		if sub.Hi != nil {
+			if hi, err = it.evalInt(sub.Hi); err != nil {
+				return sectionT{}, err
+			}
+		}
+		if sub.Step != nil {
+			if step, err = it.evalInt(sub.Step); err != nil {
+				return sectionT{}, err
+			}
+		}
+		dims[i] = sectionDimT{Lo: lo, Hi: hi, Step: step}
+	}
+	return sectionT{Dims: dims}, nil
+}
+
+// ---------------------------------------------------------------------
+// communication execution
+
+func (it *interp) execComm(pos core.Position) error {
+	groups := it.groupsAt[pos]
+	if len(groups) == 0 {
+		return nil
+	}
+	for _, g := range groups {
+		it.led.Barrier()
+		switch g.Kind {
+		case core.KindShift:
+			// One message per (src,dst) pair for the whole group: the
+			// member strips are packed together.
+			pairBytes := map[[2]int]int{}
+			for _, e := range g.Entries {
+				sec, ok := it.concreteEntrySection(e, pos)
+				if !ok {
+					continue
+				}
+				for pair, b := range it.mem.Shift(e.Array, sec, g.Map.GridDim, g.Map.Sign, g.Map.Width) {
+					pairBytes[pair] += b
+				}
+			}
+			for pair, b := range pairBytes {
+				it.led.Message(pair[0], pair[1], b)
+			}
+		case core.KindReduce:
+			// Functionally the SUM statement computes the value; the
+			// group charges one combined message of k partials.
+			it.led.Reduce(len(g.Entries) * 8)
+		case core.KindBcast, core.KindGeneral:
+			bytes := 0
+			for _, e := range g.Entries {
+				sec, ok := it.concreteEntrySection(e, pos)
+				if !ok {
+					continue
+				}
+				bytes += it.mem.Broadcast(e.Array, sec)
+			}
+			it.led.Broadcast(bytes)
+		}
+	}
+	return nil
+}
+
+func (it *interp) concreteEntrySection(e *core.Entry, pos core.Position) (sectionT, bool) {
+	sym := it.res.CommSection(e, pos.Level())
+	env := map[string]int{}
+	for k, v := range it.ienv {
+		env[k] = v
+	}
+	sec, ok := sym.Concrete(env)
+	if !ok {
+		return sectionT{}, false
+	}
+	// Clip to the declared array bounds: vectorized subscript ranges
+	// like i-1 over i=2..n already stay inside, but defensive clipping
+	// keeps hulls in range.
+	arr := it.a.Unit.Arrays[e.Array]
+	return sec.Clip(arr.Lo, arr.Hi), true
+}
+
+// countFlops counts the floating-point operations of an expression,
+// excluding integer subscript arithmetic (which compiled code strength-
+// reduces away).
+func countFlops(e ast.Expr) int {
+	switch e := e.(type) {
+	case *ast.BinExpr:
+		return 1 + countFlops(e.X) + countFlops(e.Y)
+	case *ast.UnaryExpr:
+		return 1 + countFlops(e.X)
+	case *ast.Call:
+		n := 1
+		for _, a := range e.Args {
+			n += countFlops(a)
+		}
+		return n
+	default:
+		return 0 // literals, scalars, array refs (subscripts excluded)
+	}
+}
+
+// VerifyAgainstSequential compares the canonical memory of a parallel
+// run against a sequential (single-processor) run of the same
+// analysis: it returns an error naming the first differing array
+// element. Both runs must use placements of the same program.
+func VerifyAgainstSequential(par, seq *RunResult) error {
+	for _, name := range par.Mem.Unit.ArrayNames {
+		pv := par.Mem.Canonical(name)
+		sv := seq.Mem.Canonical(name)
+		for i := range pv {
+			if pv[i] != sv[i] && !(math.IsNaN(pv[i]) && math.IsNaN(sv[i])) {
+				return fmt.Errorf("spmd: array %q differs at flat index %d: parallel %g vs sequential %g", name, i, pv[i], sv[i])
+			}
+		}
+	}
+	for k, v := range seq.Scalars {
+		if pv, ok := par.Scalars[k]; ok && pv != v && !(math.IsNaN(pv) && math.IsNaN(v)) {
+			return fmt.Errorf("spmd: scalar %q differs: parallel %g vs sequential %g", k, pv, v)
+		}
+	}
+	return nil
+}

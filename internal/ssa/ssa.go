@@ -1,0 +1,410 @@
+// Package ssa builds static single assignment form over the array
+// variables of a routine, in the style the paper inherits from Cytron
+// et al. and Choi/Cytron/Ferrante: every regular array definition is
+// *preserving* (it may write only part of the array, so it takes the
+// previous SSA value as an input), φ-defs appear at loop headers
+// (φEntry — the augmented CFG's preheader/backedge join), at postexits
+// (φExit — the exit/zero-trip join), and at ordinary joins, and a
+// pseudo-def at ENTRY exists for every variable, which simplifies the
+// dataflow walks (§4.1).
+package ssa
+
+import (
+	"fmt"
+
+	"gcao/internal/ast"
+	"gcao/internal/cfg"
+	"gcao/internal/dom"
+)
+
+// Def is an SSA definition of an array variable: a regular def, a
+// φ-def, or the ENTRY pseudo-def.
+type Def interface {
+	VarName() string
+	DefBlock() *cfg.Block
+	// Loops returns the loops enclosing the definition point,
+	// outermost first.
+	Loops() []*cfg.Loop
+	String() string
+}
+
+// EntryDef is the pseudo-definition at ENTRY (§4.1: "there is a
+// pseudo-def at ENTRY for each variable accessed in the routine").
+type EntryDef struct {
+	Var string
+	Blk *cfg.Block
+}
+
+func (d *EntryDef) VarName() string      { return d.Var }
+func (d *EntryDef) DefBlock() *cfg.Block { return d.Blk }
+func (d *EntryDef) Loops() []*cfg.Loop   { return nil }
+func (d *EntryDef) String() string       { return d.Var + "@ENTRY" }
+
+// RegularDef is a textual definition: the LHS of an assignment. All
+// regular array defs are preserving, so the def carries the previous
+// SSA value as Input.
+type RegularDef struct {
+	Var     string
+	Stmt    *cfg.Stmt
+	LHS     *ast.Ref
+	Input   Def
+	Version int
+}
+
+func (d *RegularDef) VarName() string      { return d.Var }
+func (d *RegularDef) DefBlock() *cfg.Block { return d.Stmt.Block }
+func (d *RegularDef) Loops() []*cfg.Loop   { return d.Stmt.Loops }
+func (d *RegularDef) String() string {
+	return fmt.Sprintf("%s_%d@%s", d.Var, d.Version, d.Stmt.Label())
+}
+
+// PhiKind distinguishes the paper's φEntry / φExit from plain joins.
+type PhiKind int
+
+const (
+	PhiJoin PhiKind = iota
+	PhiEntry
+	PhiExit
+)
+
+func (k PhiKind) String() string {
+	switch k {
+	case PhiEntry:
+		return "φEntry"
+	case PhiExit:
+		return "φExit"
+	}
+	return "φ"
+}
+
+// PhiDef is a φ-definition at the top of a join/header/postexit block.
+// Args are aligned with the block's predecessor list.
+type PhiDef struct {
+	Var     string
+	Blk     *cfg.Block
+	Kind    PhiKind
+	Args    []Def
+	Version int
+}
+
+func (d *PhiDef) VarName() string      { return d.Var }
+func (d *PhiDef) DefBlock() *cfg.Block { return d.Blk }
+func (d *PhiDef) Loops() []*cfg.Loop {
+	var out []*cfg.Loop
+	for l := d.Blk.Loop; l != nil; l = l.Parent {
+		out = append(out, l)
+	}
+	// Reverse to outermost-first.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+func (d *PhiDef) String() string {
+	return fmt.Sprintf("%s_%d=%s@B%d", d.Var, d.Version, d.Kind, d.Blk.ID)
+}
+
+// Use is a read of an array variable inside an assignment's RHS (or,
+// for reductions, inside a SUM argument).
+type Use struct {
+	Var         string
+	Stmt        *cfg.Stmt
+	Ref         *ast.Ref
+	Reaching    Def
+	InReduction bool
+	ID          int
+}
+
+func (u *Use) String() string {
+	return fmt.Sprintf("use#%d %s@%s", u.ID, ast.ExprString(u.Ref), u.Stmt.Label())
+}
+
+// Info is the SSA form of a routine.
+type Info struct {
+	G       *cfg.Graph
+	Dom     *dom.Tree
+	Entries map[string]*EntryDef
+	Defs    []*RegularDef
+	Phis    []*PhiDef
+	Uses    []*Use
+	// PhisByBlock lists the φ-defs at the top of each block.
+	PhisByBlock map[*cfg.Block][]*PhiDef
+	// DefOfStmt maps a statement to its array def, if any.
+	DefOfStmt map[*cfg.Stmt]*RegularDef
+	// UsesOfStmt maps a statement to its array uses.
+	UsesOfStmt map[*cfg.Stmt][]*Use
+}
+
+// Build constructs SSA form for the array variables named in isArray.
+func Build(g *cfg.Graph, t *dom.Tree, isArray func(name string) bool) *Info {
+	info := &Info{
+		G:           g,
+		Dom:         t,
+		Entries:     map[string]*EntryDef{},
+		PhisByBlock: map[*cfg.Block][]*PhiDef{},
+		DefOfStmt:   map[*cfg.Stmt]*RegularDef{},
+		UsesOfStmt:  map[*cfg.Stmt][]*Use{},
+	}
+
+	// Collect variables and their def sites.
+	defSites := map[string][]*cfg.Block{}
+	vars := map[string]bool{}
+	for _, st := range g.Stmts {
+		if st.Assign == nil {
+			continue
+		}
+		if isArray(st.Assign.LHS.Name) {
+			v := st.Assign.LHS.Name
+			vars[v] = true
+			defSites[v] = append(defSites[v], st.Block)
+		}
+		collectUses(st.Assign.RHS, false, func(r *ast.Ref, inSum bool) {
+			if isArray(r.Name) {
+				vars[r.Name] = true
+			}
+		})
+	}
+	var varList []string
+	for _, st := range g.Stmts { // deterministic order of first appearance
+		if st.Assign == nil {
+			continue
+		}
+		if isArray(st.Assign.LHS.Name) && !containsStr(varList, st.Assign.LHS.Name) {
+			varList = append(varList, st.Assign.LHS.Name)
+		}
+		collectUses(st.Assign.RHS, false, func(r *ast.Ref, inSum bool) {
+			if isArray(r.Name) && !containsStr(varList, r.Name) {
+				varList = append(varList, r.Name)
+			}
+		})
+	}
+
+	for _, v := range varList {
+		info.Entries[v] = &EntryDef{Var: v, Blk: g.EntryBlock}
+	}
+
+	// φ insertion at iterated dominance frontiers of the def sites.
+	df := t.Frontier()
+	phiAt := map[*cfg.Block]map[string]*PhiDef{}
+	for _, v := range varList {
+		work := append([]*cfg.Block(nil), defSites[v]...)
+		onWork := map[*cfg.Block]bool{}
+		for _, b := range work {
+			onWork[b] = true
+		}
+		hasPhi := map[*cfg.Block]bool{}
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, fb := range df[b] {
+				if hasPhi[fb] {
+					continue
+				}
+				hasPhi[fb] = true
+				kind := PhiJoin
+				switch fb.Kind {
+				case cfg.Header:
+					kind = PhiEntry
+				case cfg.PostExit:
+					kind = PhiExit
+				}
+				phi := &PhiDef{Var: v, Blk: fb, Kind: kind, Args: make([]Def, len(fb.Preds))}
+				info.Phis = append(info.Phis, phi)
+				if phiAt[fb] == nil {
+					phiAt[fb] = map[string]*PhiDef{}
+				}
+				phiAt[fb][v] = phi
+				info.PhisByBlock[fb] = append(info.PhisByBlock[fb], phi)
+				if !onWork[fb] {
+					onWork[fb] = true
+					work = append(work, fb)
+				}
+			}
+		}
+	}
+
+	// Renaming over the dominator tree.
+	stacks := map[string][]Def{}
+	versions := map[string]int{}
+	for _, v := range varList {
+		stacks[v] = []Def{info.Entries[v]}
+	}
+	top := func(v string) Def { return stacks[v][len(stacks[v])-1] }
+	nextVersion := func(v string) int {
+		versions[v]++
+		return versions[v]
+	}
+
+	predIndex := func(b, pred *cfg.Block) int {
+		for i, p := range b.Preds {
+			if p == pred {
+				return i
+			}
+		}
+		return -1
+	}
+
+	useID := 0
+	var rename func(b *cfg.Block)
+	rename = func(b *cfg.Block) {
+		var pushed []string
+		for _, phi := range info.PhisByBlock[b] {
+			phi.Version = nextVersion(phi.Var)
+			stacks[phi.Var] = append(stacks[phi.Var], phi)
+			pushed = append(pushed, phi.Var)
+		}
+		for _, st := range b.Stmts {
+			if st.Assign == nil {
+				continue
+			}
+			var uses []*Use
+			collectUses(st.Assign.RHS, false, func(r *ast.Ref, inSum bool) {
+				if _, ok := stacks[r.Name]; !ok {
+					return
+				}
+				u := &Use{Var: r.Name, Stmt: st, Ref: r, Reaching: top(r.Name), InReduction: inSum, ID: useID}
+				useID++
+				uses = append(uses, u)
+				info.Uses = append(info.Uses, u)
+			})
+			if len(uses) > 0 {
+				info.UsesOfStmt[st] = uses
+			}
+			if _, ok := stacks[st.Assign.LHS.Name]; ok {
+				v := st.Assign.LHS.Name
+				d := &RegularDef{Var: v, Stmt: st, LHS: st.Assign.LHS, Input: top(v), Version: nextVersion(v)}
+				info.Defs = append(info.Defs, d)
+				info.DefOfStmt[st] = d
+				stacks[v] = append(stacks[v], d)
+				pushed = append(pushed, v)
+			}
+		}
+		for _, s := range b.Succs {
+			j := predIndex(s, b)
+			for _, phi := range info.PhisByBlock[s] {
+				phi.Args[j] = top(phi.Var)
+			}
+		}
+		for _, c := range t.Children(b) {
+			rename(c)
+		}
+		for i := len(pushed) - 1; i >= 0; i-- {
+			v := pushed[i]
+			stacks[v] = stacks[v][:len(stacks[v])-1]
+		}
+	}
+	rename(g.EntryBlock)
+	return info
+}
+
+// collectUses walks an RHS expression reporting every array reference
+// together with whether it sits inside a SUM call.
+func collectUses(e ast.Expr, inSum bool, f func(r *ast.Ref, inSum bool)) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.Ref:
+		f(e, inSum)
+		for _, s := range e.Subs {
+			collectUses(s.X, inSum, f)
+			collectUses(s.Lo, inSum, f)
+			collectUses(s.Hi, inSum, f)
+			collectUses(s.Step, inSum, f)
+		}
+	case *ast.Ident:
+		// Whole-array identifiers were expanded by the scalarizer;
+		// plain scalars are not array uses.
+	case *ast.BinExpr:
+		collectUses(e.X, inSum, f)
+		collectUses(e.Y, inSum, f)
+	case *ast.UnaryExpr:
+		collectUses(e.X, inSum, f)
+	case *ast.Call:
+		child := inSum || e.Func == "sum"
+		for _, a := range e.Args {
+			collectUses(a, child, f)
+		}
+	}
+}
+
+func containsStr(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// CommonLoops returns the loops containing both a definition and a
+// use, outermost first.
+func CommonLoops(d Def, u *Use) []*cfg.Loop {
+	dl := d.Loops()
+	ul := u.Stmt.Loops
+	n := min(len(dl), len(ul))
+	var out []*cfg.Loop
+	for i := 0; i < n; i++ {
+		if dl[i] != ul[i] {
+			break
+		}
+		out = append(out, dl[i])
+	}
+	return out
+}
+
+// CNL returns the common nesting level of a def and a use (paper
+// notation CNL(d, u)).
+func CNL(d Def, u *Use) int { return len(CommonLoops(d, u)) }
+
+// Validate checks SSA invariants: every φ argument is filled, every
+// use's reaching def dominates the use (for regular defs and φs), and
+// versions are unique per variable. Used by tests.
+func (info *Info) Validate() error {
+	seen := map[string]map[int]bool{}
+	note := func(v string, ver int) error {
+		if seen[v] == nil {
+			seen[v] = map[int]bool{}
+		}
+		if seen[v][ver] {
+			return fmt.Errorf("ssa: duplicate version %s_%d", v, ver)
+		}
+		seen[v][ver] = true
+		return nil
+	}
+	for _, d := range info.Defs {
+		if err := note(d.Var, d.Version); err != nil {
+			return err
+		}
+		if d.Input == nil {
+			return fmt.Errorf("ssa: %s has nil input", d)
+		}
+	}
+	for _, p := range info.Phis {
+		if err := note(p.Var, p.Version); err != nil {
+			return err
+		}
+		for i, a := range p.Args {
+			if a == nil {
+				return fmt.Errorf("ssa: %s arg %d unfilled", p, i)
+			}
+		}
+		switch p.Blk.Kind {
+		case cfg.Header:
+			if p.Kind != PhiEntry {
+				return fmt.Errorf("ssa: %s at header not PhiEntry", p)
+			}
+		case cfg.PostExit:
+			if p.Kind != PhiExit {
+				return fmt.Errorf("ssa: %s at postexit not PhiExit", p)
+			}
+		}
+	}
+	for _, u := range info.Uses {
+		if u.Reaching == nil {
+			return fmt.Errorf("ssa: %s has nil reaching def", u)
+		}
+		if !info.Dom.Dominates(u.Reaching.DefBlock(), u.Stmt.Block) {
+			return fmt.Errorf("ssa: reaching def %s does not dominate %s", u.Reaching, u)
+		}
+	}
+	return nil
+}
