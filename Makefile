@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test vet fmt-check race check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt-check fails (and lists the offenders) if any file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+race:
+	$(GO) test -race ./...
+
+check: build vet fmt-check test

@@ -1,0 +1,226 @@
+// commprof runs one benchmark routine on the functional simulator
+// under a placement strategy and prints its communication profile: the
+// sender→receiver byte matrix as an ASCII heatmap, the per-superstep
+// timeline (one barrier-fenced communication group per row), and the
+// per-processor compute/communication/idle time split.
+//
+// Usage:
+//
+//	commprof -bench shallow -procs 4 -version comb
+//	commprof -bench trimesh -routine gauss -n 12 -procs 8 -machine NOW
+//
+// -metrics-out exports the full profile (plus placement counters and
+// the decision log) as JSON; -explain prints the decision log.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gcao/internal/bench"
+	"gcao/internal/core"
+	"gcao/internal/machine"
+	"gcao/internal/obs"
+	"gcao/internal/spmd"
+)
+
+// shades maps a pair's byte count, normalized to the matrix maximum,
+// to a heatmap cell (light → heavy).
+var shades = []string{".", "▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"}
+
+func main() {
+	benchName := flag.String("bench", "shallow", "benchmark name (shallow, gravity, trimesh, hydflo)")
+	routine := flag.String("routine", "", "routine name (default: the benchmark's first routine)")
+	n := flag.Int("n", 0, "problem size (0: a small functional-simulation default)")
+	procs := flag.Int("procs", 4, "processor count")
+	version := flag.String("version", "comb", "placement strategy: orig, nored, comb")
+	machineName := flag.String("machine", "SP2", "machine cost model: SP2 or NOW")
+	traceOut := flag.String("trace-out", "", "write pipeline phase spans as a Chrome trace_event JSON file")
+	metricsOut := flag.String("metrics-out", "", "write counters, decision log and the communication profile as JSON")
+	explain := flag.Bool("explain", false, "print the placement decision log")
+	flag.Parse()
+
+	var v core.Version
+	switch *version {
+	case "orig":
+		v = core.VersionOrig
+	case "nored":
+		v = core.VersionRedund
+	case "comb":
+		v = core.VersionCombine
+	default:
+		fatal(fmt.Errorf("unknown -version %q (want orig, nored, comb)", *version))
+	}
+	m, err := machine.ByName(*machineName)
+	if err != nil {
+		fatal(err)
+	}
+	var pr *bench.Program
+	if *routine != "" {
+		pr, err = bench.ByName(*benchName, *routine)
+	} else {
+		for _, p := range bench.Programs() {
+			if p.Bench == *benchName {
+				pr = p
+				break
+			}
+		}
+		if pr == nil {
+			err = fmt.Errorf("unknown benchmark %q", *benchName)
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+	size := *n
+	if size == 0 {
+		// The simulator executes elementwise; default to a small instance
+		// that still exercises every communication pattern.
+		size = 6
+		if pr.Bench == "shallow" || pr.Bench == "trimesh" {
+			size = 8
+		}
+	}
+
+	rec := obs.New()
+	a, err := pr.Compile(size, *procs)
+	if err != nil {
+		fatal(err)
+	}
+	a.Obs = rec
+	res, err := a.Place(core.Options{Version: v})
+	if err != nil {
+		fatal(err)
+	}
+	run, err := spmd.Run(res, m, *procs)
+	if err != nil {
+		fatal(err)
+	}
+	prof := rec.CommProfile()
+	if prof == nil {
+		fatal(fmt.Errorf("simulator produced no communication profile"))
+	}
+
+	fmt.Printf("commprof: %s/%s n=%d P=%d version=%s machine=%s\n",
+		pr.Bench, pr.Routine, size, *procs, v, *machineName)
+	fmt.Printf("%d supersteps, %d dynamic messages, %d bytes moved, %d barriers\n\n",
+		len(prof.Steps), prof.TotalMessages(), prof.TotalBytes(), run.Ledger.Barriers)
+
+	writeMatrix(prof)
+	writeTimeline(prof)
+	writeProcSplit(prof)
+
+	if *explain {
+		fmt.Println("== placement decisions ==")
+		for _, d := range rec.Decisions() {
+			fmt.Println(d.Format())
+		}
+	}
+	writeObs(rec, *traceOut, *metricsOut)
+}
+
+// writeMatrix renders the sender→receiver byte matrix as a heatmap,
+// one row per sender, shaded by the pair's share of the heaviest pair.
+func writeMatrix(prof *obs.CommProfile) {
+	fmt.Println("sender→receiver bytes (rows send, columns receive):")
+	max := prof.MaxPairBytes()
+	if max == 0 {
+		fmt.Println("  (no point-to-point traffic)")
+		fmt.Println()
+		return
+	}
+	fmt.Print("      ")
+	for d := 0; d < prof.Procs; d++ {
+		fmt.Printf("%3d", d)
+	}
+	fmt.Println("   total")
+	for s := 0; s < prof.Procs; s++ {
+		var rowTotal int64
+		fmt.Printf("  p%-3d", s)
+		for d := 0; d < prof.Procs; d++ {
+			b := prof.PairBytes[s][d]
+			rowTotal += b
+			if b == 0 {
+				fmt.Printf("  %s", shades[0])
+				continue
+			}
+			// Scale nonzero cells over shades[1:] so any traffic is
+			// visually distinct from none.
+			idx := 1 + int(b*int64(len(shades)-2)/max)
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			fmt.Printf("  %s", shades[idx])
+		}
+		fmt.Printf("  %7d\n", rowTotal)
+	}
+	fmt.Printf("  max pair: %d bytes\n\n", max)
+}
+
+// writeTimeline prints one row per superstep with a bar scaled to the
+// heaviest superstep's byte count.
+func writeTimeline(prof *obs.CommProfile) {
+	fmt.Println("superstep timeline:")
+	var maxBytes int64
+	for _, s := range prof.Steps {
+		if s.Bytes > maxBytes {
+			maxBytes = s.Bytes
+		}
+	}
+	fmt.Printf("  %4s  %-6s %-22s %8s %10s  %s\n", "step", "kind", "group", "msgs", "bytes", "bar")
+	for _, s := range prof.Steps {
+		bar := ""
+		if maxBytes > 0 {
+			bar = strings.Repeat("#", int(s.Bytes*30/maxBytes))
+		}
+		fmt.Printf("  %4d  %-6s %-22s %8d %10d  %s\n", s.Index, s.Kind, s.Label, s.Messages, s.Bytes, bar)
+	}
+	fmt.Println()
+}
+
+// writeProcSplit prints each processor's compute/comm/idle seconds.
+func writeProcSplit(prof *obs.CommProfile) {
+	if len(prof.ComputeSec) == 0 {
+		return
+	}
+	fmt.Println("per-processor time split (seconds):")
+	fmt.Printf("  %-5s %12s %12s %12s\n", "proc", "compute", "comm", "idle")
+	for p := 0; p < prof.Procs; p++ {
+		fmt.Printf("  p%-4d %12.6f %12.6f %12.6f\n", p, prof.ComputeSec[p], prof.CommSec[p], prof.IdleSec[p])
+	}
+	fmt.Println()
+}
+
+func writeObs(rec *obs.Recorder, traceOut, metricsOut string) {
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteMetrics(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "commprof:", err)
+	os.Exit(1)
+}

@@ -2,43 +2,143 @@
 // Fig. 10(a): for every benchmark routine, the number of communication
 // call sites under the three compiler versions (orig / nored / comb),
 // side by side with the numbers published in the paper.
+//
+// With -json the table is emitted as a machine-readable document
+// (rows plus the observability counters of every placement, in the
+// obs metrics encoding) so benchmark trajectories can be diffed
+// across changes. -trace-out / -metrics-out export the pipeline
+// observability data; -explain prints every placement decision.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"gcao/internal/bench"
+	"gcao/internal/obs"
 )
+
+// jsonRow is one Fig. 10(a) row in the -json document, with the
+// paper's published numbers attached when available.
+type jsonRow struct {
+	Bench   string `json:"bench"`
+	Routine string `json:"routine"`
+	Comm    string `json:"comm"`
+	Orig    int    `json:"orig"`
+	NoRed   int    `json:"nored"`
+	Comb    int    `json:"comb"`
+	Paper   *struct {
+		Orig  int `json:"orig"`
+		NoRed int `json:"nored"`
+		Comb  int `json:"comb"`
+	} `json:"paper,omitempty"`
+}
+
+type jsonDoc struct {
+	Procs int       `json:"procs"`
+	Rows  []jsonRow `json:"rows"`
+	// Counters is the obs metrics encoding of every placement's
+	// elimination/combining counters (deterministic: no timings).
+	Counters map[string]int64 `json:"counters"`
+}
 
 func main() {
 	procs := flag.Int("procs", 25, "processor count (the paper used P=25 on the SP2)")
 	n := flag.Int("n", 0, "problem size override (0: per-benchmark default)")
+	jsonOut := flag.Bool("json", false, "emit the table as machine-readable JSON")
+	traceOut := flag.String("trace-out", "", "write pipeline phase spans as a Chrome trace_event JSON file")
+	metricsOut := flag.String("metrics-out", "", "write counters and decision logs as JSON")
+	explain := flag.Bool("explain", false, "print every placement decision")
 	flag.Parse()
 
-	fmt.Printf("Fig. 10(a): static communication call sites per routine (P=%d)\n\n", *procs)
-	fmt.Printf("%-9s %-9s %-5s | %6s %6s %6s | %6s %6s %6s\n",
-		"Benchmark", "Routine", "Comm", "orig", "nored", "comb", "paper", "paper", "paper")
+	rec := obs.New()
+
+	var doc jsonDoc
+	doc.Procs = *procs
+	if !*jsonOut {
+		fmt.Printf("Fig. 10(a): static communication call sites per routine (P=%d)\n\n", *procs)
+		fmt.Printf("%-9s %-9s %-5s | %6s %6s %6s | %6s %6s %6s\n",
+			"Benchmark", "Routine", "Comm", "orig", "nored", "comb", "paper", "paper", "paper")
+	}
 	for _, pr := range bench.Programs() {
 		size := pr.DefaultN
 		if *n > 0 {
 			size = *n
 		}
-		rows, err := bench.StaticCounts(pr, size, *procs)
+		rows, err := bench.StaticCountsObs(pr, size, *procs, rec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "commstat:", err)
 			os.Exit(1)
 		}
 		for _, r := range rows {
+			jr := jsonRow{Bench: r.Bench, Routine: r.Routine, Comm: r.CommType,
+				Orig: r.Orig, NoRed: r.NoRed, Comb: r.Comb}
 			po, pn, pc := "-", "-", "-"
 			for _, p := range bench.PaperCounts {
 				if p.Bench == r.Bench && p.Routine == r.Routine && p.CommType == r.CommType {
 					po, pn, pc = fmt.Sprint(p.Orig), fmt.Sprint(p.NoRed), fmt.Sprint(p.Comb)
+					jr.Paper = &struct {
+						Orig  int `json:"orig"`
+						NoRed int `json:"nored"`
+						Comb  int `json:"comb"`
+					}{p.Orig, p.NoRed, p.Comb}
 				}
 			}
-			fmt.Printf("%-9s %-9s %-5s | %6d %6d %6d | %6s %6s %6s\n",
-				r.Bench, r.Routine, r.CommType, r.Orig, r.NoRed, r.Comb, po, pn, pc)
+			if *jsonOut {
+				doc.Rows = append(doc.Rows, jr)
+			} else {
+				fmt.Printf("%-9s %-9s %-5s | %6d %6d %6d | %6s %6s %6s\n",
+					r.Bench, r.Routine, r.CommType, r.Orig, r.NoRed, r.Comb, po, pn, pc)
+			}
 		}
 	}
+	if *jsonOut {
+		doc.Counters = rec.Counters()
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fatal(err)
+		}
+	}
+	if *explain {
+		fmt.Println("\n== placement decisions ==")
+		for _, d := range rec.Decisions() {
+			fmt.Printf("%-6s %s\n", d.Version, d.Format())
+		}
+	}
+	writeObs(rec, *traceOut, *metricsOut)
+}
+
+func writeObs(rec *obs.Recorder, traceOut, metricsOut string) {
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteMetrics(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "commstat:", err)
+	os.Exit(1)
 }

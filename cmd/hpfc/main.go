@@ -7,8 +7,17 @@
 //
 //	hpfc -version comb -procs 16 -param n=256 -param steps=10 file.hpf
 //
+// The positional argument is a source file; when no such file exists
+// it is resolved as a built-in benchmark name ("shallow",
+// "examples/shallow", "trimesh/gauss"), with parameters defaulted
+// from the benchmark's standard binding.
+//
 // With -dump the scalarized program, CFG, and per-entry analysis
-// (earliest / latest / candidate positions) are printed too.
+// (earliest / latest / candidate positions) are printed too. With
+// -explain every communication entry's placement decision is printed
+// (the machine-readable Fig. 6 annotation); -trace-out and
+// -metrics-out export the pipeline observability data as a Chrome
+// trace_event file and a metrics/decision-log JSON document.
 package main
 
 import (
@@ -21,13 +30,28 @@ import (
 
 	"gcao"
 	"gcao/internal/ast"
+	"gcao/internal/bench"
 	"gcao/internal/codegen"
 	"gcao/internal/core"
+	"gcao/internal/obs"
 )
 
 type paramList map[string]int
 
-func (p paramList) String() string { return fmt.Sprint(map[string]int(p)) }
+func (p paramList) String() string {
+	// Sorted name=value pairs: printing the Go map directly would leak
+	// random key order into the output.
+	names := make([]string, 0, len(p))
+	for name := range p {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, name := range names {
+		parts[i] = fmt.Sprintf("%s=%d", name, p[name])
+	}
+	return strings.Join(parts, " ")
+}
 
 func (p paramList) Set(s string) error {
 	name, val, ok := strings.Cut(s, "=")
@@ -42,6 +66,52 @@ func (p paramList) Set(s string) error {
 	return nil
 }
 
+// loadSource resolves the positional argument: an on-disk source file,
+// or a built-in benchmark name such as "shallow", "examples/shallow"
+// or "trimesh/gauss". For a benchmark, missing parameters are filled
+// in from the benchmark's standard binding at size n (the -param n
+// value or the benchmark default).
+func loadSource(arg string, params paramList) (string, error) {
+	if src, err := os.ReadFile(arg); err == nil {
+		return string(src), nil
+	}
+	parts := strings.Split(strings.Trim(arg, "/"), "/")
+	if parts[0] == "examples" {
+		parts = parts[1:]
+	}
+	if len(parts) == 0 || parts[0] == "" {
+		return "", fmt.Errorf("no source file or benchmark %q", arg)
+	}
+	var pr *bench.Program
+	if len(parts) >= 2 {
+		p, err := bench.ByName(parts[0], parts[1])
+		if err != nil {
+			return "", err
+		}
+		pr = p
+	} else {
+		for _, p := range bench.Programs() {
+			if p.Bench == parts[0] {
+				pr = p
+				break
+			}
+		}
+		if pr == nil {
+			return "", fmt.Errorf("no source file or benchmark %q", arg)
+		}
+	}
+	n := pr.DefaultN
+	if v, ok := params["n"]; ok {
+		n = v
+	}
+	for name, v := range pr.Params(n) {
+		if _, ok := params[name]; !ok {
+			params[name] = v
+		}
+	}
+	return pr.Source, nil
+}
+
 func main() {
 	params := paramList{}
 	version := flag.String("version", "comb", "placement strategy: orig, nored, comb")
@@ -49,6 +119,9 @@ func main() {
 	dump := flag.Bool("dump", false, "dump scalarized program and per-entry analysis")
 	annotate := flag.Bool("annotate", false, "emit the annotated SPMD listing (the paper's Fig. 6 trace dump)")
 	mainName := flag.String("main", "", "main routine of a multi-routine file; calls are inlined (interprocedural analysis)")
+	traceOut := flag.String("trace-out", "", "write pipeline phase spans as a Chrome trace_event JSON file")
+	metricsOut := flag.String("metrics-out", "", "write counters, gauges and the placement decision log as JSON")
+	explain := flag.Bool("explain", false, "print the per-entry placement decision log")
 	flag.Var(params, "param", "routine parameter binding name=value (repeatable)")
 	flag.Parse()
 
@@ -57,7 +130,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	src, err := os.ReadFile(flag.Arg(0))
+	var rec *obs.Recorder
+	if *traceOut != "" || *metricsOut != "" || *explain {
+		rec = obs.New()
+	}
+	src, err := loadSource(flag.Arg(0), params)
 	if err != nil {
 		fatal(err)
 	}
@@ -75,10 +152,11 @@ func main() {
 	}
 
 	var c *gcao.Compilation
+	cfg := gcao.Config{Params: params, Procs: *procs, Obs: rec}
 	if *mainName != "" {
-		c, err = gcao.CompileProgram(string(src), *mainName, gcao.Config{Params: params, Procs: *procs})
+		c, err = gcao.CompileProgram(src, *mainName, cfg)
 	} else {
-		c, err = gcao.Compile(string(src), gcao.Config{Params: params, Procs: *procs})
+		c, err = gcao.Compile(src, cfg)
 	}
 	if err != nil {
 		fatal(err)
@@ -105,9 +183,23 @@ func main() {
 		fatal(err)
 	}
 	if *annotate {
-		fmt.Print(codegen.Emit(placed.Result))
-		return
+		end := rec.Start("codegen")
+		listing := codegen.Emit(placed.Result)
+		end()
+		fmt.Print(listing)
+	} else {
+		report(a, placed, strat)
 	}
+	if *explain {
+		fmt.Println("== placement decisions ==")
+		for _, d := range rec.Decisions() {
+			fmt.Println(d.Format())
+		}
+	}
+	writeObs(rec, *traceOut, *metricsOut)
+}
+
+func report(a *core.Analysis, placed *gcao.Placed, strat gcao.Strategy) {
 	fmt.Printf("routine %q on %s: %d communication operations under %s\n",
 		a.Unit.Routine.Name, a.Unit.Grid, placed.Messages(), strat)
 	counts := placed.MessageCounts()
@@ -135,6 +227,38 @@ func main() {
 			fmt.Printf("  (+%d redundant eliminated)", len(g.Attached))
 		}
 		fmt.Println()
+	}
+}
+
+// writeObs exports the recorder to the requested files (shared by the
+// cmd tools).
+func writeObs(rec *obs.Recorder, traceOut, metricsOut string) {
+	if rec == nil {
+		return
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteMetrics(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -5,6 +5,11 @@
 // machine model. With -functional it additionally executes a small
 // instance on the functional simulator and verifies numerical
 // equivalence against a sequential run.
+//
+// -trace-out / -metrics-out export the observability data of the run
+// (per-chart phase spans; for -functional also the placement decision
+// logs and the simulator communication profile); -explain prints the
+// functional placements' decision logs.
 package main
 
 import (
@@ -16,19 +21,30 @@ import (
 	"gcao/internal/bench"
 	"gcao/internal/core"
 	"gcao/internal/machine"
+	"gcao/internal/obs"
 	"gcao/internal/spmd"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "chart to run: b, c, d, e, f, or all")
 	functional := flag.Bool("functional", false, "also run a small functional simulation with verification")
+	traceOut := flag.String("trace-out", "", "write phase spans as a Chrome trace_event JSON file")
+	metricsOut := flag.String("metrics-out", "", "write counters, decision logs and the simulator profile as JSON")
+	explain := flag.Bool("explain", false, "print the functional placements' decision logs")
 	flag.Parse()
+
+	var rec *obs.Recorder
+	if *traceOut != "" || *metricsOut != "" || *explain {
+		rec = obs.New()
+	}
 
 	for _, spec := range bench.ChartSpecs() {
 		if *fig != "all" && !strings.EqualFold(*fig, spec.ID) {
 			continue
 		}
+		end := rec.Start("chart:" + spec.ID)
 		c, err := bench.RunChart(spec)
+		end()
 		if err != nil {
 			fatal(err)
 		}
@@ -51,6 +67,7 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+			a.Obs = rec
 			res, err := a.Place(core.Options{Version: core.VersionCombine})
 			if err != nil {
 				fatal(err)
@@ -76,6 +93,43 @@ func main() {
 			}
 			fmt.Printf("  %-18s ok (%d dynamic messages, %d barriers)\n",
 				pr.Bench+"/"+pr.Routine, run.Ledger.DynMessages, run.Ledger.Barriers)
+		}
+		if *explain {
+			fmt.Println("\n== placement decisions (functional instances) ==")
+			for _, d := range rec.Decisions() {
+				fmt.Println(d.Format())
+			}
+		}
+	}
+	writeObs(rec, *traceOut, *metricsOut)
+}
+
+func writeObs(rec *obs.Recorder, traceOut, metricsOut string) {
+	if rec == nil {
+		return
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteMetrics(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
 		}
 	}
 }

@@ -30,10 +30,20 @@ import (
 	"gcao/internal/core"
 	"gcao/internal/inline"
 	"gcao/internal/machine"
+	"gcao/internal/obs"
 	"gcao/internal/parser"
 	"gcao/internal/sem"
 	"gcao/internal/spmd"
 )
+
+// Recorder re-exports the observability recorder: attach one via
+// Config.Obs to capture pipeline phase spans, placement metrics, the
+// per-entry decision log, and simulator communication profiles. A nil
+// recorder disables observability at zero cost.
+type Recorder = obs.Recorder
+
+// NewRecorder builds an empty observability recorder.
+func NewRecorder() *Recorder { return obs.New() }
 
 // Strategy selects a communication placement strategy.
 type Strategy int
@@ -83,6 +93,10 @@ type Config struct {
 	// Procs is the processor count; a PROCESSORS directive in the
 	// source takes precedence.
 	Procs int
+	// Obs, when non-nil, records pipeline phase spans, placement
+	// metrics and decision logs, and simulator communication profiles
+	// for every operation on the resulting compilation.
+	Obs *Recorder
 }
 
 // Compilation is an analyzed routine ready for placement.
@@ -96,15 +110,19 @@ type Compilation struct {
 // Compile parses, semantically analyzes, scalarizes and
 // communication-analyzes a mini-HPF routine.
 func Compile(source string, cfg Config) (*Compilation, error) {
+	end := cfg.Obs.Start("parse")
 	r, err := parser.ParseRoutine(source)
+	end()
 	if err != nil {
 		return nil, err
 	}
+	end = cfg.Obs.Start("sem")
 	u, err := sem.Analyze(r, cfg.Params, sem.Options{Procs: cfg.Procs})
+	end()
 	if err != nil {
 		return nil, err
 	}
-	a, err := core.NewAnalysis(u)
+	a, err := core.NewAnalysisObs(u, cfg.Obs)
 	if err != nil {
 		return nil, err
 	}
@@ -117,19 +135,25 @@ func Compile(source string, cfg Config) (*Compilation, error) {
 // redundancy elimination and message combining — works across
 // procedure boundaries, the §7 interprocedural direction.
 func CompileProgram(source, main string, cfg Config) (*Compilation, error) {
+	end := cfg.Obs.Start("parse")
 	prog, err := parser.Parse(source)
+	end()
 	if err != nil {
 		return nil, err
 	}
+	end = cfg.Obs.Start("inline")
 	flat, err := inline.Flatten(prog, main)
+	end()
 	if err != nil {
 		return nil, err
 	}
+	end = cfg.Obs.Start("sem")
 	u, err := sem.Analyze(flat, cfg.Params, sem.Options{Procs: cfg.Procs})
+	end()
 	if err != nil {
 		return nil, err
 	}
-	a, err := core.NewAnalysis(u)
+	a, err := core.NewAnalysisObs(u, cfg.Obs)
 	if err != nil {
 		return nil, err
 	}

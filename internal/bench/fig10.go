@@ -8,6 +8,7 @@ import (
 
 	"gcao/internal/core"
 	"gcao/internal/machine"
+	"gcao/internal/obs"
 	"gcao/internal/spmd"
 )
 
@@ -50,10 +51,20 @@ func countKinds(res *core.Result) map[string]int {
 // StaticCounts compiles a program at its default size on p processors
 // and returns the per-comm-type rows.
 func StaticCounts(pr *Program, n, p int) ([]CountRow, error) {
+	return StaticCountsObs(pr, n, p, nil)
+}
+
+// StaticCountsObs is StaticCounts with an observability recorder
+// attached to the compilation, so the three placements log their
+// phase spans, elimination counters and decision records.
+func StaticCountsObs(pr *Program, n, p int, rec *obs.Recorder) ([]CountRow, error) {
+	end := rec.Start("bench:" + pr.Bench + "/" + pr.Routine)
+	defer end()
 	a, err := pr.Compile(n, p)
 	if err != nil {
 		return nil, err
 	}
+	a.Obs = rec
 	byVersion := map[core.Version]map[string]int{}
 	for _, v := range []core.Version{core.VersionOrig, core.VersionRedund, core.VersionCombine} {
 		res, err := a.Place(core.Options{Version: v})

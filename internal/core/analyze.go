@@ -8,6 +8,7 @@ import (
 	"gcao/internal/cfg"
 	"gcao/internal/dep"
 	"gcao/internal/dom"
+	"gcao/internal/obs"
 	"gcao/internal/scalarize"
 	"gcao/internal/sem"
 	"gcao/internal/ssa"
@@ -26,6 +27,12 @@ type Analysis struct {
 	SSA  *ssa.Info
 	Dep  *dep.Analysis
 
+	// Obs, when non-nil, receives phase spans, counters and the
+	// placement decision log for every Place on this analysis (unless
+	// Options.Obs overrides it). Nil disables observability at zero
+	// cost.
+	Obs *obs.Recorder
+
 	// Entries lists every communication requirement, including entries
 	// later coalesced into axis exchanges.
 	Entries []*Entry
@@ -38,43 +45,74 @@ type Analysis struct {
 // classification, and the earliest/latest/candidate computation for
 // every entry.
 func NewAnalysis(u *sem.Unit) (*Analysis, error) {
+	return NewAnalysisObs(u, nil)
+}
+
+// NewAnalysisObs is NewAnalysis with each pipeline phase recorded as a
+// span on the recorder (nil-safe).
+func NewAnalysisObs(u *sem.Unit, rec *obs.Recorder) (*Analysis, error) {
+	end := rec.Start("scalarize")
 	scal, err := scalarize.Scalarize(u)
+	end()
 	if err != nil {
 		return nil, err
 	}
+	end = rec.Start("cfg")
 	g := cfg.Build(scal.Body)
-	if err := g.Validate(); err != nil {
+	err = g.Validate()
+	end()
+	if err != nil {
 		return nil, err
 	}
+	end = rec.Start("dom")
 	t := dom.New(g)
+	end()
+	end = rec.Start("ssa")
 	info := ssa.Build(g, t, func(name string) bool {
 		_, ok := u.Arrays[name]
 		return ok
 	})
-	if err := info.Validate(); err != nil {
+	err = info.Validate()
+	end()
+	if err != nil {
 		return nil, err
 	}
+	end = rec.Start("dep")
+	depA := dep.New(u)
+	end()
 	a := &Analysis{
 		Unit:           u,
 		Scal:           scal,
 		G:              g,
 		Dom:            t,
 		SSA:            info,
-		Dep:            dep.New(u),
+		Dep:            depA,
+		Obs:            rec,
 		loopBoundCache: map[*cfg.Loop][4]int{},
 	}
-	if err := a.buildEntries(); err != nil {
+	end = rec.Start("entries")
+	err = a.buildEntries()
+	if err == nil {
+		a.coalesceDiagonals()
+	}
+	end()
+	if err != nil {
 		return nil, err
 	}
-	a.coalesceDiagonals()
+	end = rec.Start("earliest-latest")
 	for _, e := range a.Entries {
 		if e.Coalesced {
 			continue
 		}
 		if err := a.computePlacementRange(e); err != nil {
+			end()
 			return nil, err
 		}
 	}
+	end()
+	rec.Add("analysis.entries", int64(len(a.Entries)))
+	rec.Add("analysis.comm_entries", int64(len(a.CommEntries())))
+	rec.Add("analysis.coalesced", int64(len(a.Entries)-len(a.CommEntries())))
 	return a, nil
 }
 

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"gcao/internal/obs"
+)
+
+// recordDecisions writes one obs.Decision per communication entry —
+// including coalesced diagonals — onto the recorder after a placement:
+// the machine-readable version of the annotation the paper's prototype
+// wrote into its listing file (Fig. 6). Entries are emitted in ID
+// order, so the log is deterministic.
+func (a *Analysis) recordDecisions(rec *obs.Recorder, res *Result) {
+	if rec == nil {
+		return
+	}
+	groupOf := map[*Entry]*Group{}
+	for _, g := range res.Groups {
+		for _, e := range g.Entries {
+			groupOf[e] = g
+		}
+	}
+	for _, e := range a.Entries {
+		d := obs.Decision{
+			Version:    res.Version.String(),
+			Entry:      e.ID,
+			Array:      e.Array,
+			Kind:       e.Kind.String(),
+			CommLevel:  e.CommLevel,
+			SubsumedBy: -1,
+			Group:      -1,
+		}
+		if e.Coalesced {
+			d.Outcome = obs.OutcomeCoalesced
+			for _, c := range e.Carriers {
+				d.Carriers = append(d.Carriers, c.ID)
+			}
+			rec.AddDecision(d)
+			continue
+		}
+		d.Earliest = e.Earliest.String()
+		d.Latest = e.Latest.String()
+		for _, p := range e.Candidates {
+			d.Candidates = append(d.Candidates, p.String())
+		}
+		if by, ok := res.Redundant[e]; ok {
+			d.Outcome = obs.OutcomeSubsumed
+			d.SubsumedBy = by.ID
+			if p, ok := res.subsumedAt[e]; ok {
+				d.SubsumedAt = p.String()
+			}
+		} else if g := groupOf[e]; g != nil {
+			d.Outcome = obs.OutcomePlaced
+			d.Group = g.ID
+			d.GroupPos = g.Pos.String()
+			d.GroupSize = len(g.Entries)
+			d.Combined = len(g.Entries) > 1
+		}
+		rec.AddDecision(d)
+	}
+}

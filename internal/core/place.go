@@ -7,6 +7,7 @@ import (
 
 	"gcao/internal/asd"
 	"gcao/internal/cfg"
+	"gcao/internal/obs"
 )
 
 // Version selects the compilation strategy, matching the paper's three
@@ -67,6 +68,10 @@ type Options struct {
 	// elimination and greedy decisions (the analog of the paper's
 	// trace dump to a listing file, Fig. 6).
 	Trace io.Writer
+	// Obs, when non-nil, receives phase spans, elimination/combining
+	// counters and the per-entry placement decision log. When nil the
+	// Analysis's own recorder (if any) is used instead.
+	Obs *obs.Recorder
 }
 
 func (o Options) tracef(format string, args ...any) {
@@ -118,6 +123,10 @@ type Result struct {
 	// Reduced maps entries whose communicated section was trimmed by
 	// partial redundancy elimination to the section actually moved.
 	Reduced map[*Entry]asd.SymSection
+
+	// subsumedAt records the position at which each redundant entry's
+	// subsumption was proven, for the decision log.
+	subsumedAt map[*Entry]Position
 }
 
 // Counts returns the number of placed communication operations by
@@ -136,13 +145,27 @@ func (r *Result) Count(kind CommKind) int { return r.Counts()[kind] }
 // TotalMessages returns the total number of placed groups.
 func (r *Result) TotalMessages() int { return len(r.Groups) }
 
+// recorder resolves the effective recorder for one placement: the
+// explicit Options recorder wins, else the analysis-wide one.
+func (a *Analysis) recorder(opts Options) *obs.Recorder {
+	if opts.Obs != nil {
+		return opts.Obs
+	}
+	return a.Obs
+}
+
 // Place runs the selected placement strategy over the analysis.
 func (a *Analysis) Place(opts Options) (*Result, error) {
+	rec := a.recorder(opts)
+	prefix := "place." + opts.Version.String() + "."
+	endPlace := rec.Start("place:" + opts.Version.String())
+	defer endPlace()
 	res := &Result{
-		Analysis:  a,
-		Version:   opts.Version,
-		Redundant: map[*Entry]*Entry{},
-		PosOf:     map[*Entry]Position{},
+		Analysis:   a,
+		Version:    opts.Version,
+		Redundant:  map[*Entry]*Entry{},
+		PosOf:      map[*Entry]Position{},
+		subsumedAt: map[*Entry]Position{},
 	}
 	entries := a.CommEntries()
 	switch opts.Version {
@@ -151,7 +174,7 @@ func (a *Analysis) Place(opts Options) (*Result, error) {
 	case VersionRedund:
 		a.placeEarliestRedundant(entries, res)
 	case VersionCombine:
-		if err := a.placeGlobal(entries, res, opts); err != nil {
+		if err := a.placeGlobal(entries, res, opts, rec, prefix); err != nil {
 			return nil, err
 		}
 	default:
@@ -161,6 +184,10 @@ func (a *Analysis) Place(opts Options) (*Result, error) {
 	if opts.PartialRedundancy {
 		a.reducePartial(res, opts)
 	}
+	rec.Add(prefix+"entries", int64(len(entries)))
+	rec.Add(prefix+"redundant", int64(len(res.Redundant)))
+	rec.Add(prefix+"groups", int64(len(res.Groups)))
+	a.recordDecisions(rec, res)
 	return res, nil
 }
 
@@ -348,6 +375,7 @@ func (a *Analysis) placeEarliestRedundant(entries []*Entry, res *Result) {
 			}
 			if prev.ASDAt(a, level).Subsumes(e.ASDAt(a, level)) {
 				res.Redundant[e] = prev
+				res.subsumedAt[e] = prev.Earliest
 				redundant = true
 				break
 			}
@@ -372,7 +400,7 @@ func (a *Analysis) placeEarliestRedundant(entries []*Entry, res *Result) {
 
 type posKey = Position
 
-func (a *Analysis) placeGlobal(entries []*Entry, res *Result, opts Options) error {
+func (a *Analysis) placeGlobal(entries []*Entry, res *Result, opts Options, rec *obs.Recorder, prefix string) error {
 	// CommSet(S): entries with S among their candidates (Fig. 9e).
 	commSet := map[posKey]map[*Entry]bool{}
 	for _, e := range entries {
@@ -383,11 +411,13 @@ func (a *Analysis) placeGlobal(entries []*Entry, res *Result, opts Options) erro
 			commSet[p][e] = true
 		}
 	}
+	rec.Add(prefix+"candidate_positions", int64(len(commSet)))
 
 	// Subset elimination (§4.5): CommSet(S1) ⊆ CommSet(S2) empties S1;
 	// for equal sets keep the later position (the final step pushes
 	// communication as late as possible anyway).
 	if !opts.DisableSubsetElim {
+		endSubset := rec.Start("subset-elim")
 		positions := a.sortedPositions(commSet)
 		for _, p := range positions {
 			if len(commSet[p]) == 0 {
@@ -410,19 +440,23 @@ func (a *Analysis) placeGlobal(entries []*Entry, res *Result, opts Options) erro
 							opts.tracef("subset-elim: CommSet(%v) == CommSet(%v): drop %v", p, q, q)
 							commSet[q] = nil
 						}
+						rec.Add(prefix+"subset.dropped_positions", 1)
 						continue
 					}
 					opts.tracef("subset-elim: CommSet(%v) subset of CommSet(%v): drop %v", p, q, p)
 					commSet[p] = nil
+					rec.Add(prefix+"subset.dropped_positions", 1)
 				}
 			}
 		}
+		endSubset()
 	}
 
 	// Global redundancy elimination (§4.6, Fig. 9f): when c2 subsumes
 	// c1 at S, disable c1 at S and every position S dominates; iterate
 	// to fixpoint. An entry with no remaining position is eliminated
 	// entirely and attached to its subsumer.
+	endRedund := rec.Start("redundancy-elim")
 	subsumer := map[*Entry]*Entry{}
 	for changed := true; changed; {
 		changed = false
@@ -454,17 +488,21 @@ func (a *Analysis) placeGlobal(entries []*Entry, res *Result, opts Options) erro
 					}
 					if removed {
 						changed = true
+						rec.Add(prefix+"redundancy.disabled_positions", 1)
 					}
 					if len(positionsOf(commSet, c1)) == 0 {
 						opts.tracef("redundancy: %v fully subsumed by %v at %v", c1, c2, p)
 						subsumer[c1] = c2
 						res.Redundant[c1] = c2
+						res.subsumedAt[c1] = p
+						rec.Add(prefix+"redundancy.eliminated", 1)
 					}
 					break
 				}
 			}
 		}
 	}
+	endRedund()
 
 	// GreedyChoose (Fig. 9g): consider the most constrained entry
 	// first; pin it at the position compatible with the most other
@@ -486,13 +524,16 @@ func (a *Analysis) placeGlobal(entries []*Entry, res *Result, opts Options) erro
 			return order[i].ID < order[j].ID
 		})
 	}
+	endGreedy := rec.Start("greedy-choose")
 	pinned := map[*Entry]Position{}
 	for _, c := range order {
+		rec.Add(prefix+"greedy.iterations", 1)
 		stmtSet := positionsOf(commSet, c)
 		if len(stmtSet) == 0 {
 			// Defensive: should not happen for live entries.
 			stmtSet = []Position{c.Latest}
 		}
+		rec.Add(prefix+"greedy.positions_considered", int64(len(stmtSet)))
 		best := stmtSet[0]
 		bestCount := -1
 		for _, s := range stmtSet {
@@ -516,6 +557,7 @@ func (a *Analysis) placeGlobal(entries []*Entry, res *Result, opts Options) erro
 			}
 		}
 	}
+	endGreedy()
 
 	// Partition each position's entries into combine groups.
 	byPos := map[Position][]*Entry{}
@@ -567,6 +609,7 @@ func (a *Analysis) placeGlobal(entries []*Entry, res *Result, opts Options) erro
 		return out
 	}
 
+	endCombine := rec.Start("combine")
 	for _, p := range a.sortedPosList(byPos) {
 		es := byPos[p]
 		sort.SliceStable(es, func(i, j int) bool { return es[i].ID < es[j].ID })
@@ -579,7 +622,10 @@ func (a *Analysis) placeGlobal(entries []*Entry, res *Result, opts Options) erro
 				for gi := range groups {
 					ok := true
 					for _, m := range groups[gi] {
-						if !a.canCombine(e, m, p.Level(), opts) {
+						pairOK, reason := a.combineVerdict(e, m, p.Level(), opts)
+						if !pairOK {
+							opts.tracef("combine: %v does not join group of %v (%s)", e, m, reason)
+							rec.Add(prefix+"combine.rejected."+reason, 1)
 							ok = false
 							break
 						}
@@ -588,15 +634,18 @@ func (a *Analysis) placeGlobal(entries []*Entry, res *Result, opts Options) erro
 						continue
 					}
 					if !a.groupFits(groups[gi], e, p.Level(), opts) {
+						rec.Add(prefix+"combine.rejected."+reasonThreshold, 1)
 						continue // combined size beyond the threshold
 					}
 					merged := intersect(commons[gi], ec)
 					if len(merged) == 0 {
+						rec.Add(prefix+"combine.rejected."+reasonNoCommonPos, 1)
 						continue // no shared placement point
 					}
 					groups[gi] = append(groups[gi], e)
 					commons[gi] = merged
 					placedInGroup = true
+					rec.Add(prefix+"combine.merges", 1)
 					break
 				}
 			}
@@ -616,6 +665,7 @@ func (a *Analysis) placeGlobal(entries []*Entry, res *Result, opts Options) erro
 			res.addGroup(pos, members, att)
 		}
 	}
+	endCombine()
 	return nil
 }
 
@@ -637,34 +687,58 @@ func (a *Analysis) latestOf(set map[Position]bool, fallback Position) Position {
 	return best
 }
 
+// Rejection reasons recorded by the combining counters: kind or
+// mapping incompatibility (§4.7's "identical or subset" rule), the
+// combined-size threshold (the measured 20 KB knee of Fig. 5), the
+// bounded single-descriptor union (hull blowup), unknown sizes, and a
+// group whose members share no remaining candidate position.
+const (
+	reasonKind        = "kind"
+	reasonMapping     = "mapping"
+	reasonThreshold   = "threshold"
+	reasonHull        = "hull"
+	reasonUnknownSize = "unknown_size"
+	reasonNoCommonPos = "no_common_pos"
+)
+
 // canCombine implements the §4.7 compatibility criteria: mappings
 // identical or one a subset of the other, combined size under the
 // machine threshold (with the NNC/reduction rule of thumb when sizes
 // are unknown), and a bounded single-descriptor union.
 func (a *Analysis) canCombine(e1, e2 *Entry, level int, opts Options) bool {
+	ok, _ := a.combineVerdict(e1, e2, level, opts)
+	return ok
+}
+
+// combineVerdict is canCombine plus the reason a pair cannot combine,
+// for the observability counters and trace log.
+func (a *Analysis) combineVerdict(e1, e2 *Entry, level int, opts Options) (bool, string) {
 	if e1.Kind != e2.Kind {
-		return false
+		return false, reasonKind
 	}
 	if !e1.Map.CompatibleWith(e2.Map) {
-		return false
+		return false, reasonMapping
 	}
 	if e1.Kind == KindReduce {
-		return true // partial results concatenate into one message
+		return true, "" // partial results concatenate into one message
 	}
 	b1, ok1 := e1.BytesAt(a, level)
 	b2, ok2 := e2.BytesAt(a, level)
 	if ok1 && ok2 {
 		if b1+b2 > opts.threshold() {
-			return false
+			return false, reasonThreshold
 		}
 	} else if e1.Kind != KindShift {
-		return false // unknown size: only NNC gets the rule of thumb
+		return false, reasonUnknownSize // unknown size: only NNC gets the rule of thumb
 	}
 	s1 := e1.SectionAt(a, level)
 	s2 := e2.SectionAt(a, level)
 	if e1.Array == e2.Array {
 		_, blowup, ok := s1.Hull(s2)
-		return ok && blowup <= opts.maxBlowup()
+		if !ok || blowup > opts.maxBlowup() {
+			return false, reasonHull
+		}
+		return true, ""
 	}
 	if e1.Kind == KindShift {
 		// Cross-array NNC compares the sections projected onto the
@@ -676,11 +750,11 @@ func (a *Analysis) canCombine(e1, e2 *Entry, level int, opts Options) bool {
 		g1, ok1 := a.gridSection(e1, level)
 		g2, ok2 := a.gridSection(e2, level)
 		if !ok1 || !ok2 {
-			return false
+			return false, reasonMapping
 		}
 		hull, blowup, ok := g1.Hull(g2)
 		if !ok {
-			return false
+			return false, reasonHull
 		}
 		n1, ok1 := g1.NumElems()
 		n2, ok2 := g2.NumElems()
@@ -688,25 +762,37 @@ func (a *Analysis) canCombine(e1, e2 *Entry, level int, opts Options) bool {
 		if ok1 && ok2 && okh {
 			// The shared descriptor covers the hull for both arrays:
 			// bound the padding on each.
-			return float64(2*nh) <= opts.maxBlowup()*float64(n1+n2)
+			if float64(2*nh) <= opts.maxBlowup()*float64(n1+n2) {
+				return true, ""
+			}
+			return false, reasonHull
 		}
 		_ = blowup
-		return g1.Equal(g2)
+		if g1.Equal(g2) {
+			return true, ""
+		}
+		return false, reasonHull
 	}
 	// Other kinds share one descriptor across arrays: the hull must
 	// cover both without excessive padding on either.
 	hull, _, ok := s1.Hull(s2)
 	if !ok {
-		return false
+		return false, reasonHull
 	}
 	n1, ok1 := s1.NumElems()
 	n2, ok2 := s2.NumElems()
 	nh, okh := hull.NumElems()
 	if !ok1 || !ok2 || !okh {
 		// Unknown sizes: require provably identical sections.
-		return s1.Equal(s2)
+		if s1.Equal(s2) {
+			return true, ""
+		}
+		return false, reasonUnknownSize
 	}
-	return float64(2*nh) <= opts.maxBlowup()*float64(n1+n2)
+	if float64(2*nh) <= opts.maxBlowup()*float64(n1+n2) {
+		return true, ""
+	}
+	return false, reasonHull
 }
 
 // gridSection projects an entry's section onto the processor grid

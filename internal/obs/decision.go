@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Decision outcomes.
+const (
+	// OutcomePlaced marks an entry that survived elimination and is a
+	// member of a placed communication group.
+	OutcomePlaced = "placed"
+	// OutcomeSubsumed marks an entry eliminated as redundant: a
+	// subsuming entry's exchange delivers its data.
+	OutcomeSubsumed = "subsumed"
+	// OutcomeCoalesced marks a diagonal NNC entry absorbed into axis
+	// exchanges by the front end (§2.2); its carriers move the data.
+	OutcomeCoalesced = "coalesced"
+)
+
+// Decision is the machine-readable record of what the placement
+// algorithm did with one communication entry — the structured version
+// of the annotation the paper's prototype wrote into its listing file
+// (Fig. 6): the entry's placement range, its candidate chain, and
+// whether it was placed, killed by a subsumer, or absorbed by a
+// combine.
+type Decision struct {
+	// Version is the compiler version ("orig", "nored", "comb") the
+	// decision belongs to; one recorder may log several placements.
+	Version string `json:"version"`
+	Entry   int    `json:"entry"`
+	Array   string `json:"array"`
+	Kind    string `json:"kind"`
+	// CommLevel is the paper's CommLevel(u) (§4.2).
+	CommLevel int `json:"comm_level"`
+	// Earliest and Latest bound the legal placement range (§4.2–4.3);
+	// Candidates is the dominator-path chain between them (§4.4),
+	// earliest-first. Empty for coalesced entries.
+	Earliest   string   `json:"earliest,omitempty"`
+	Latest     string   `json:"latest,omitempty"`
+	Candidates []string `json:"candidates,omitempty"`
+	// Outcome is one of the Outcome* constants.
+	Outcome string `json:"outcome"`
+	// SubsumedBy / SubsumedAt identify the killing entry and the
+	// position where subsumption was proven (−1 / empty when placed).
+	SubsumedBy int    `json:"subsumed_by"`
+	SubsumedAt string `json:"subsumed_at,omitempty"`
+	// Carriers lists the axis-exchange entries a coalesced diagonal
+	// rides on.
+	Carriers []int `json:"carriers,omitempty"`
+	// Group / GroupPos / GroupSize describe the placed group for
+	// OutcomePlaced (Group is −1 otherwise); Combined reports whether
+	// the group merged several entries into one message.
+	Group     int    `json:"group"`
+	GroupPos  string `json:"group_pos,omitempty"`
+	GroupSize int    `json:"group_size,omitempty"`
+	Combined  bool   `json:"combined,omitempty"`
+}
+
+// Format renders the decision as one human-readable line, the form
+// `hpfc -explain` prints.
+func (d Decision) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "e%-3d %-8s %-5s level=%d", d.Entry, d.Array, d.Kind, d.CommLevel)
+	if d.Earliest != "" {
+		fmt.Fprintf(&b, " earliest=%s latest=%s candidates=%d", d.Earliest, d.Latest, len(d.Candidates))
+	}
+	switch d.Outcome {
+	case OutcomePlaced:
+		fmt.Fprintf(&b, " -> placed group%d@%s", d.Group, d.GroupPos)
+		if d.Combined {
+			fmt.Fprintf(&b, " (combined with %d others)", d.GroupSize-1)
+		}
+	case OutcomeSubsumed:
+		fmt.Fprintf(&b, " -> subsumed by e%d", d.SubsumedBy)
+		if d.SubsumedAt != "" {
+			fmt.Fprintf(&b, " at %s", d.SubsumedAt)
+		}
+	case OutcomeCoalesced:
+		carriers := make([]string, len(d.Carriers))
+		for i, c := range d.Carriers {
+			carriers[i] = fmt.Sprintf("e%d", c)
+		}
+		fmt.Fprintf(&b, " -> coalesced into axis exchanges {%s}", strings.Join(carriers, ", "))
+	default:
+		fmt.Fprintf(&b, " -> %s", d.Outcome)
+	}
+	return b.String()
+}

@@ -1,0 +1,204 @@
+// Package obs is the zero-dependency observability subsystem of the
+// compiler and simulator: a span recorder capturing wall time and
+// allocations for every pipeline phase, a named counter/gauge metrics
+// registry, a structured per-entry placement decision log (the
+// machine-readable version of the paper's Fig. 6 trace annotations),
+// and a communication profile recording the simulator's per-superstep
+// message traffic and sender→receiver byte matrix.
+//
+// Every method is nil-safe: a nil *Recorder is a no-op, so the
+// compiler pipeline threads one unconditionally and pays nothing when
+// observability is disabled.
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Span is one completed pipeline phase.
+type Span struct {
+	Name string `json:"name"`
+	// StartUS and DurUS are microseconds relative to the recorder's
+	// creation.
+	StartUS int64 `json:"start_us"`
+	DurUS   int64 `json:"dur_us"`
+	// AllocBytes is the heap allocated during the span (cumulative
+	// allocation delta, not live bytes).
+	AllocBytes int64 `json:"alloc_bytes"`
+	// Depth is the nesting depth at which the span was opened.
+	Depth int `json:"depth"`
+}
+
+// Recorder accumulates spans, metrics, placement decisions and a
+// communication profile over one or more pipeline runs.
+type Recorder struct {
+	mu        sync.Mutex
+	epoch     time.Time
+	spans     []Span
+	depth     int
+	counters  map[string]int64
+	gauges    map[string]float64
+	decisions []Decision
+	profile   *CommProfile
+}
+
+// New builds an empty recorder whose clock starts now.
+func New() *Recorder {
+	return &Recorder{
+		epoch:    time.Now(),
+		counters: map[string]int64{},
+		gauges:   map[string]float64{},
+	}
+}
+
+// SpanEnd closes a span opened by Start.
+type SpanEnd func()
+
+// Start opens a named span and returns the closure that ends it:
+//
+//	defer rec.Start("scalarize")()
+//
+// On a nil recorder it returns a no-op.
+func (r *Recorder) Start(name string) SpanEnd {
+	if r == nil {
+		return func() {}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	startAlloc := ms.TotalAlloc
+	start := time.Now()
+	r.mu.Lock()
+	depth := r.depth
+	r.depth++
+	r.mu.Unlock()
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		dur := time.Since(start)
+		runtime.ReadMemStats(&ms)
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		r.depth--
+		r.spans = append(r.spans, Span{
+			Name:       name,
+			StartUS:    start.Sub(r.epoch).Microseconds(),
+			DurUS:      dur.Microseconds(),
+			AllocBytes: int64(ms.TotalAlloc - startAlloc),
+			Depth:      depth,
+		})
+	}
+}
+
+// Spans returns a copy of the completed spans in completion order.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Span(nil), r.spans...)
+}
+
+// Add increments a named counter.
+func (r *Recorder) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters[name] += delta
+}
+
+// Gauge sets a named gauge.
+func (r *Recorder) Gauge(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[name] = v
+}
+
+// Counter returns a counter's current value (0 when absent or nil).
+func (r *Recorder) Counter(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// Counters returns a copy of all counters.
+func (r *Recorder) Counters() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for k, v := range r.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Gauges returns a copy of all gauges.
+func (r *Recorder) Gauges() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.gauges))
+	for k, v := range r.gauges {
+		out[k] = v
+	}
+	return out
+}
+
+// AddDecision appends one placement decision record.
+func (r *Recorder) AddDecision(d Decision) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.decisions = append(r.decisions, d)
+}
+
+// Decisions returns a copy of the decision log.
+func (r *Recorder) Decisions() []Decision {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Decision(nil), r.decisions...)
+}
+
+// SetProfile installs the communication profile of the latest
+// simulator run (a later run replaces an earlier one).
+func (r *Recorder) SetProfile(p *CommProfile) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.profile = p
+}
+
+// CommProfile returns the installed communication profile, or nil.
+func (r *Recorder) CommProfile() *CommProfile {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.profile
+}

@@ -1,0 +1,114 @@
+package obs
+
+// CommProfile records the communication behaviour of one functional
+// simulator run: the sender→receiver byte/message matrix (the Fig. 10
+// message accounting, per pair), the per-superstep timeline, and the
+// per-processor compute/communication/idle time split. It is built by
+// a single goroutine (the interpreter) and is not internally locked.
+type CommProfile struct {
+	Procs int `json:"procs"`
+	// PairBytes[src][dst] and PairMsgs[src][dst] accumulate the
+	// point-to-point traffic between processor pairs. Collective
+	// operations (reductions, broadcasts) appear in the superstep
+	// timeline but not in the pair matrix.
+	PairBytes [][]int64 `json:"pair_bytes"`
+	PairMsgs  [][]int64 `json:"pair_msgs"`
+	// Steps is the superstep timeline: one record per communication
+	// group execution (each group is fenced by a barrier).
+	Steps []Superstep `json:"supersteps"`
+	// ComputeSec, CommSec and IdleSec split each processor's clock:
+	// flop time, message/copy time, and barrier wait time.
+	ComputeSec []float64 `json:"compute_seconds,omitempty"`
+	CommSec    []float64 `json:"comm_seconds,omitempty"`
+	IdleSec    []float64 `json:"idle_seconds,omitempty"`
+}
+
+// Superstep is one executed communication group: a barrier followed by
+// the group's messages.
+type Superstep struct {
+	Index int `json:"index"`
+	// Label identifies the placed group ("group3@B7.top"); Kind is the
+	// communication kind ("NNC", "SUM", "BCAST", "GEN").
+	Label string `json:"label"`
+	Kind  string `json:"kind"`
+	// Messages and Bytes are the dynamic messages and payload bytes
+	// this execution charged to the ledger.
+	Messages int   `json:"messages"`
+	Bytes    int64 `json:"bytes"`
+}
+
+// NewCommProfile allocates an empty profile for p processors.
+func NewCommProfile(p int) *CommProfile {
+	prof := &CommProfile{Procs: p}
+	prof.PairBytes = make([][]int64, p)
+	prof.PairMsgs = make([][]int64, p)
+	for i := 0; i < p; i++ {
+		prof.PairBytes[i] = make([]int64, p)
+		prof.PairMsgs[i] = make([]int64, p)
+	}
+	return prof
+}
+
+// AddPair charges one point-to-point message of the given payload.
+func (p *CommProfile) AddPair(src, dst int, bytes int64) {
+	if p == nil || src < 0 || dst < 0 || src >= p.Procs || dst >= p.Procs {
+		return
+	}
+	p.PairBytes[src][dst] += bytes
+	p.PairMsgs[src][dst]++
+}
+
+// AddStep appends one superstep record.
+func (p *CommProfile) AddStep(label, kind string, messages int, bytes int64) {
+	if p == nil {
+		return
+	}
+	p.Steps = append(p.Steps, Superstep{
+		Index:    len(p.Steps),
+		Label:    label,
+		Kind:     kind,
+		Messages: messages,
+		Bytes:    bytes,
+	})
+}
+
+// TotalBytes sums the payload bytes over all supersteps.
+func (p *CommProfile) TotalBytes() int64 {
+	if p == nil {
+		return 0
+	}
+	var total int64
+	for _, s := range p.Steps {
+		total += s.Bytes
+	}
+	return total
+}
+
+// TotalMessages sums the dynamic messages over all supersteps.
+func (p *CommProfile) TotalMessages() int {
+	if p == nil {
+		return 0
+	}
+	total := 0
+	for _, s := range p.Steps {
+		total += s.Messages
+	}
+	return total
+}
+
+// MaxPairBytes returns the largest sender→receiver byte count, the
+// heatmap normalizer.
+func (p *CommProfile) MaxPairBytes() int64 {
+	if p == nil {
+		return 0
+	}
+	var m int64
+	for _, row := range p.PairBytes {
+		for _, b := range row {
+			if b > m {
+				m = b
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// traceEvent is one Chrome trace_event record. The "X" (complete)
+// phase carries both timestamp and duration in microseconds, so the
+// file loads directly into chrome://tracing or Perfetto.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the Chrome trace_event JSON object form.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTrace emits the recorded spans in Chrome trace_event format.
+// Span nesting is encoded by the events' time containment; counters
+// are appended as a final instant event's args for easy inspection.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`)
+		return err
+	}
+	r.mu.Lock()
+	spans := append([]Span(nil), r.spans...)
+	counters := make(map[string]any, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	r.mu.Unlock()
+	f := traceFile{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
+	for _, s := range spans {
+		f.TraceEvents = append(f.TraceEvents, traceEvent{
+			Name: s.Name,
+			Ph:   "X",
+			TS:   s.StartUS,
+			Dur:  s.DurUS,
+			PID:  1,
+			TID:  1,
+			Args: map[string]any{"alloc_bytes": s.AllocBytes, "depth": s.Depth},
+		})
+	}
+	if len(counters) > 0 {
+		last := int64(0)
+		for _, s := range spans {
+			if end := s.StartUS + s.DurUS; end > last {
+				last = end
+			}
+		}
+		f.TraceEvents = append(f.TraceEvents, traceEvent{
+			Name: "metrics",
+			Ph:   "i",
+			TS:   last,
+			PID:  1,
+			TID:  1,
+			Args: counters,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// MetricsDoc is the JSON document WriteMetrics emits: every counter
+// and gauge, the placement decision log, the simulator communication
+// profile when one was recorded, and the raw spans. encoding/json
+// sorts map keys, so the output is deterministic.
+type MetricsDoc struct {
+	Counters  map[string]int64   `json:"counters"`
+	Gauges    map[string]float64 `json:"gauges,omitempty"`
+	Decisions []Decision         `json:"decisions,omitempty"`
+	Profile   *CommProfile       `json:"profile,omitempty"`
+	Spans     []Span             `json:"spans,omitempty"`
+}
+
+// Doc snapshots the recorder into an exportable document.
+func (r *Recorder) Doc() MetricsDoc {
+	if r == nil {
+		return MetricsDoc{Counters: map[string]int64{}}
+	}
+	return MetricsDoc{
+		Counters:  r.Counters(),
+		Gauges:    r.Gauges(),
+		Decisions: r.Decisions(),
+		Profile:   r.CommProfile(),
+		Spans:     r.Spans(),
+	}
+}
+
+// WriteMetrics emits the metrics document as indented JSON.
+func (r *Recorder) WriteMetrics(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Doc())
+}

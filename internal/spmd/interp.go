@@ -25,6 +25,7 @@ import (
 	"gcao/internal/cfg"
 	"gcao/internal/core"
 	"gcao/internal/machine"
+	"gcao/internal/obs"
 	"gcao/internal/runtime"
 	"gcao/internal/section"
 )
@@ -52,6 +53,11 @@ type interp struct {
 	groupsAt map[core.Position][]*core.Group
 	flops    map[*cfg.Stmt]int
 	frames   map[*cfg.Loop]*frame
+
+	// prof and idle are the communication profile of this run, built
+	// only when a recorder is attached (both nil otherwise).
+	prof *obs.CommProfile
+	idle []float64
 }
 
 type frame struct {
@@ -59,11 +65,22 @@ type frame struct {
 }
 
 // Run executes the program under the given placement on p processors.
+// When the analysis carries an obs recorder, the run is profiled:
+// sender→receiver traffic, the per-superstep timeline, and the
+// per-processor compute/communication/idle split.
 func Run(res *core.Result, m machine.Machine, procs int) (*RunResult, error) {
+	return RunObs(res, m, procs, res.Analysis.Obs)
+}
+
+// RunObs is Run with an explicit recorder (which may be nil to
+// disable profiling even when the analysis has one).
+func RunObs(res *core.Result, m machine.Machine, procs int, rec *obs.Recorder) (*RunResult, error) {
 	a := res.Analysis
 	if got := a.Unit.Grid.NumProcs(); got != procs {
 		return nil, fmt.Errorf("spmd: unit compiled for %d processors, run requested %d", got, procs)
 	}
+	endRun := rec.Start("simulate:" + res.Version.String())
+	defer endRun()
 	it := &interp{
 		a:        a,
 		res:      res,
@@ -74,6 +91,10 @@ func Run(res *core.Result, m machine.Machine, procs int) (*RunResult, error) {
 		groupsAt: map[core.Position][]*core.Group{},
 		flops:    map[*cfg.Stmt]int{},
 		frames:   map[*cfg.Loop]*frame{},
+	}
+	if rec != nil {
+		it.prof = obs.NewCommProfile(procs)
+		it.idle = make([]float64, procs)
 	}
 	for name, v := range a.Unit.Params {
 		it.scalars[name] = float64(v)
@@ -87,8 +108,50 @@ func Run(res *core.Result, m machine.Machine, procs int) (*RunResult, error) {
 	if err := it.run(); err != nil {
 		return nil, err
 	}
-	it.led.Barrier()
+	it.barrier()
+	if it.prof != nil {
+		it.finishProfile(rec)
+	}
 	return &RunResult{Ledger: it.led, Mem: it.mem, Scalars: it.scalars}, nil
+}
+
+// barrier synchronizes the ledger clocks, first crediting each
+// processor's wait below the slowest clock to the profile's idle
+// account (the ledger itself charges that slack to Net).
+func (it *interp) barrier() {
+	if it.idle != nil {
+		maxT := 0.0
+		for p := 0; p < it.led.P; p++ {
+			if t := it.led.CPU[p] + it.led.Net[p]; t > maxT {
+				maxT = t
+			}
+		}
+		for p := 0; p < it.led.P; p++ {
+			it.idle[p] += maxT - (it.led.CPU[p] + it.led.Net[p])
+		}
+	}
+	it.led.Barrier()
+}
+
+// finishProfile fills the per-processor time split, installs the
+// profile, and bumps the run counters. The version-prefixed counters
+// let several runs (orig vs comb) share one recorder.
+func (it *interp) finishProfile(rec *obs.Recorder) {
+	compute := make([]float64, it.led.P)
+	comm := make([]float64, it.led.P)
+	for p := 0; p < it.led.P; p++ {
+		compute[p] = it.led.CPU[p]
+		comm[p] = it.led.Net[p] - it.idle[p]
+	}
+	it.prof.ComputeSec = compute
+	it.prof.CommSec = comm
+	it.prof.IdleSec = append([]float64(nil), it.idle...)
+	rec.SetProfile(it.prof)
+	prefix := "spmd." + it.res.Version.String() + "."
+	rec.Add(prefix+"supersteps", int64(len(it.prof.Steps)))
+	rec.Add(prefix+"messages", int64(it.led.DynMessages))
+	rec.Add(prefix+"bytes", int64(it.led.BytesMoved))
+	rec.Add(prefix+"barriers", int64(it.led.Barriers))
 }
 
 func (it *interp) run() error {
@@ -489,7 +552,8 @@ func (it *interp) execComm(pos core.Position) error {
 		return nil
 	}
 	for _, g := range groups {
-		it.led.Barrier()
+		it.barrier()
+		msgs0, bytes0 := it.led.DynMessages, it.led.BytesMoved
 		switch g.Kind {
 		case core.KindShift:
 			// One message per (src,dst) pair for the whole group: the
@@ -506,6 +570,7 @@ func (it *interp) execComm(pos core.Position) error {
 			}
 			for pair, b := range pairBytes {
 				it.led.Message(pair[0], pair[1], b)
+				it.prof.AddPair(pair[0], pair[1], int64(b))
 			}
 		case core.KindReduce:
 			// Functionally the SUM statement computes the value; the
@@ -521,6 +586,10 @@ func (it *interp) execComm(pos core.Position) error {
 				bytes += it.mem.Broadcast(e.Array, sec)
 			}
 			it.led.Broadcast(bytes)
+		}
+		if it.prof != nil {
+			it.prof.AddStep(fmt.Sprintf("group%d@%s", g.ID, g.Pos), g.Kind.String(),
+				it.led.DynMessages-msgs0, int64(it.led.BytesMoved-bytes0))
 		}
 	}
 	return nil

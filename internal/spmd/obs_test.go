@@ -1,0 +1,131 @@
+package spmd
+
+import (
+	"testing"
+
+	"gcao/internal/core"
+	"gcao/internal/machine"
+	"gcao/internal/obs"
+)
+
+// TestProfileMatchesLedger: the communication profile is an alternate
+// accounting of the same run — its per-superstep totals must equal the
+// ledger's global counts exactly, and the pair matrix must show real
+// point-to-point traffic for a multi-processor stencil.
+func TestProfileMatchesLedger(t *testing.T) {
+	a := compile(t, stencilSrc, map[string]int{"n": 8, "steps": 2}, 4)
+	rec := obs.New()
+	a.Obs = rec
+	res := placed(t, a, core.VersionCombine)
+	run, err := Run(res, machine.SP2(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := rec.CommProfile()
+	if prof == nil {
+		t.Fatal("run with a recorder produced no profile")
+	}
+	if prof.Procs != 4 {
+		t.Errorf("profile procs = %d, want 4", prof.Procs)
+	}
+	if got := prof.TotalBytes(); got != int64(run.Ledger.BytesMoved) {
+		t.Errorf("superstep bytes sum to %d, ledger moved %d", got, run.Ledger.BytesMoved)
+	}
+	if got := prof.TotalMessages(); got != run.Ledger.DynMessages {
+		t.Errorf("superstep messages sum to %d, ledger counted %d", got, run.Ledger.DynMessages)
+	}
+	if len(prof.Steps) == 0 {
+		t.Error("stencil run recorded no supersteps")
+	}
+	// Pair matrix: every shift byte is attributed to a sender→receiver
+	// pair, so the matrix total matches the ledger too (the stencil has
+	// no collectives).
+	var pairTotal int64
+	for _, row := range prof.PairBytes {
+		for _, b := range row {
+			pairTotal += b
+		}
+	}
+	if pairTotal != int64(run.Ledger.BytesMoved) {
+		t.Errorf("pair matrix sums to %d bytes, ledger moved %d", pairTotal, run.Ledger.BytesMoved)
+	}
+	if prof.MaxPairBytes() == 0 {
+		t.Error("4-processor stencil must have point-to-point traffic")
+	}
+	// Time split: compute + comm + idle per processor, all non-negative,
+	// and compute+comm+idle must equal the processor's elapsed clock.
+	for p := 0; p < 4; p++ {
+		if prof.ComputeSec[p] < 0 || prof.CommSec[p] < -1e-12 || prof.IdleSec[p] < 0 {
+			t.Errorf("p%d: negative time split: compute=%v comm=%v idle=%v",
+				p, prof.ComputeSec[p], prof.CommSec[p], prof.IdleSec[p])
+		}
+	}
+	// Counters mirror the ledger.
+	c := rec.Counters()
+	if c["spmd.comb.messages"] != int64(run.Ledger.DynMessages) {
+		t.Errorf("spmd.comb.messages = %d, want %d", c["spmd.comb.messages"], run.Ledger.DynMessages)
+	}
+	if c["spmd.comb.supersteps"] != int64(len(prof.Steps)) {
+		t.Errorf("spmd.comb.supersteps = %d, want %d", c["spmd.comb.supersteps"], len(prof.Steps))
+	}
+}
+
+// TestProfileDoesNotPerturbRun: the instrumented run must behave
+// identically to the bare run — same messages, bytes, and elapsed time.
+func TestProfileDoesNotPerturbRun(t *testing.T) {
+	a := compile(t, stencilSrc, map[string]int{"n": 8, "steps": 1}, 4)
+	res := placed(t, a, core.VersionCombine)
+	bare, err := Run(res, machine.SP2(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.New()
+	inst, err := RunObs(res, machine.SP2(), 4, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Ledger.DynMessages != inst.Ledger.DynMessages ||
+		bare.Ledger.BytesMoved != inst.Ledger.BytesMoved ||
+		bare.Ledger.Barriers != inst.Ledger.Barriers ||
+		bare.Ledger.ElapsedTime() != inst.Ledger.ElapsedTime() {
+		t.Errorf("instrumented run differs: bare {msgs %d bytes %d barriers %d t %v}, instrumented {msgs %d bytes %d barriers %d t %v}",
+			bare.Ledger.DynMessages, bare.Ledger.BytesMoved, bare.Ledger.Barriers, bare.Ledger.ElapsedTime(),
+			inst.Ledger.DynMessages, inst.Ledger.BytesMoved, inst.Ledger.Barriers, inst.Ledger.ElapsedTime())
+	}
+	if err := VerifyAgainstSequential(bare, inst); err != nil {
+		t.Errorf("instrumented run computed different values: %v", err)
+	}
+}
+
+// TestProfileReductionSteps: collective operations appear in the
+// superstep timeline (with tree-accounted bytes) even though they skip
+// the point-to-point pair matrix.
+func TestProfileReductionSteps(t *testing.T) {
+	a := compile(t, reduceSrc, map[string]int{"n": 8}, 4)
+	rec := obs.New()
+	a.Obs = rec
+	res := placed(t, a, core.VersionCombine)
+	run, err := Run(res, machine.SP2(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := rec.CommProfile()
+	if prof == nil {
+		t.Fatal("no profile")
+	}
+	sums := 0
+	for _, s := range prof.Steps {
+		if s.Kind == core.KindReduce.String() {
+			sums++
+			if s.Messages <= 0 || s.Bytes <= 0 {
+				t.Errorf("reduction superstep %d has no traffic: %+v", s.Index, s)
+			}
+		}
+	}
+	if sums == 0 {
+		t.Error("reduction run recorded no SUM supersteps")
+	}
+	if got := prof.TotalBytes(); got != int64(run.Ledger.BytesMoved) {
+		t.Errorf("superstep bytes %d != ledger %d with collectives", got, run.Ledger.BytesMoved)
+	}
+}
