@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check race check
+# benchgate baseline file; override to pin a checked-in baseline.
+BENCH_BASELINE ?= BENCH_baseline.json
+
+.PHONY: all build test vet fmt-check race check benchgate
 
 all: build
 
@@ -24,3 +27,12 @@ race:
 	$(GO) test -race ./...
 
 check: build vet fmt-check test
+
+# benchgate compares the analytic benchmark sweep against the baseline,
+# writing one first if none exists (so a fresh checkout self-gates).
+benchgate:
+	@if [ ! -f "$(BENCH_BASELINE)" ]; then \
+		echo "benchgate: no $(BENCH_BASELINE); writing one from this revision"; \
+		$(GO) run ./cmd/runbench -out "$(BENCH_BASELINE)"; \
+	fi
+	$(GO) run ./cmd/runbench -compare "$(BENCH_BASELINE)" -tolerance 0.05

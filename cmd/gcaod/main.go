@@ -1,0 +1,75 @@
+// gcaod is the serving-mode daemon of the reproduction: a long-lived
+// HTTP service that compiles mini-HPF routines on demand and makes the
+// observability layer externally consumable — the step from PR 1's
+// per-process recorder to telemetry that survives the request.
+//
+// Endpoints:
+//
+//	POST /compile              source in, placement report + metrics doc out
+//	GET  /metrics              Prometheus text exposition of the global registry
+//	GET  /healthz              liveness + uptime + request count
+//	GET  /debug/decisions      ids of the retained per-request decision logs
+//	GET  /debug/decisions/{id} one request's full placement decision log
+//	GET  /debug/pprof/...      net/http/pprof
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM and bounds every
+// /compile request with -timeout.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gcao/internal/obs"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request compile timeout")
+	ringSize := flag.Int("ring", 256, "retained per-request decision logs")
+	logLevel := flag.String("log-level", "info", "structured log threshold: debug, info, warn, error")
+	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	s := newServer(serverConfig{
+		reqTimeout: *timeout,
+		ringSize:   *ringSize,
+		logW:       os.Stderr,
+		logLevel:   level,
+	})
+	srv := &http.Server{Addr: *addr, Handler: s.handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	s.log.Info("gcaod.start", obs.F("addr", *addr), obs.F("timeout", timeout.String()))
+
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	s.log.Info("gcaod.shutdown", obs.F("requests", s.reg.Requests()))
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gcaod:", err)
+	os.Exit(1)
+}

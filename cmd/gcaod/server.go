@@ -1,0 +1,294 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+
+	"gcao"
+	"gcao/internal/obs"
+)
+
+// serverConfig are the daemon's tunables; main fills them from flags,
+// tests construct them directly.
+type serverConfig struct {
+	// reqTimeout bounds one /compile request end to end.
+	reqTimeout time.Duration
+	// ringSize bounds the retained per-request decision logs.
+	ringSize int
+	// maxBody bounds a /compile request body in bytes.
+	maxBody int64
+	// logW + logLevel configure the structured event log.
+	logW     io.Writer
+	logLevel obs.Level
+}
+
+// server is the gcaod daemon state: one process-global metrics
+// registry every request is absorbed into, a bounded ring of recent
+// request decision logs, the structured event log, and a request
+// sequence for ids.
+type server struct {
+	cfg   serverConfig
+	reg   *gcao.Registry
+	ring  *obs.DecisionRing
+	log   *gcao.Logger
+	start time.Time
+	seq   atomic.Int64
+}
+
+func newServer(cfg serverConfig) *server {
+	if cfg.reqTimeout <= 0 {
+		cfg.reqTimeout = 30 * time.Second
+	}
+	if cfg.ringSize <= 0 {
+		cfg.ringSize = 256
+	}
+	if cfg.maxBody <= 0 {
+		cfg.maxBody = 4 << 20
+	}
+	var log *gcao.Logger
+	if cfg.logW != nil {
+		log = gcao.NewLogger(cfg.logW, cfg.logLevel)
+	}
+	return &server{
+		cfg:   cfg,
+		reg:   gcao.NewRegistry(),
+		ring:  obs.NewDecisionRing(cfg.ringSize),
+		log:   log,
+		start: time.Now(),
+	}
+}
+
+// handler builds the daemon's route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("POST /compile", http.TimeoutHandler(
+		http.HandlerFunc(s.handleCompile), s.cfg.reqTimeout,
+		`{"error":"compile timed out"}`))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /debug/decisions", s.handleDecisionList)
+	mux.HandleFunc("GET /debug/decisions/{id}", s.handleDecisions)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// compileRequest is the POST /compile body.
+type compileRequest struct {
+	// Source is the mini-HPF text; Main selects the entry routine of a
+	// multi-routine program (empty: Source is a single routine).
+	Source string `json:"source"`
+	Main   string `json:"main,omitempty"`
+	// Params binds the routine's integer parameters; Procs is the
+	// processor count.
+	Params map[string]int `json:"params"`
+	Procs  int            `json:"procs"`
+	// Strategy is "orig", "nored" or "comb" (default comb); Machine is
+	// "SP2" or "NOW" (default SP2).
+	Strategy string `json:"strategy,omitempty"`
+	Machine  string `json:"machine,omitempty"`
+	// Estimate adds the analytic cost model's verdict; Simulate runs
+	// the functional simulator (small instances only — it executes the
+	// program) and fills the communication profile.
+	Estimate bool `json:"estimate,omitempty"`
+	Simulate bool `json:"simulate,omitempty"`
+}
+
+// compileResponse is the POST /compile result: the placement report
+// plus the request's full metrics document.
+type compileResponse struct {
+	ReqID    string         `json:"req_id"`
+	Strategy string         `json:"strategy"`
+	Machine  string         `json:"machine"`
+	Messages int            `json:"messages"`
+	Counts   map[string]int `json:"counts"`
+	Estimate *estimateDoc   `json:"estimate,omitempty"`
+	Simulate *simulateDoc   `json:"simulate,omitempty"`
+	Metrics  obs.MetricsDoc `json:"metrics"`
+}
+
+type estimateDoc struct {
+	CPUSeconds float64 `json:"cpu_seconds"`
+	NetSeconds float64 `json:"net_seconds"`
+	Messages   float64 `json:"messages"`
+	Bytes      float64 `json:"bytes"`
+}
+
+type simulateDoc struct {
+	DynMessages int   `json:"dyn_messages"`
+	BytesMoved  int64 `json:"bytes_moved"`
+	Barriers    int   `json:"barriers"`
+}
+
+func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	id := fmt.Sprintf("r%06d", s.seq.Add(1))
+	t0 := time.Now()
+	rec := obs.New()
+	resp, err := s.compile(id, rec, r)
+	status := "ok"
+	if err != nil {
+		status = "error"
+	}
+	s.reg.Absorb(rec, status)
+	record := obs.RequestRecord{
+		ID:       id,
+		UnixNS:   t0.UnixNano(),
+		Status:   status,
+		Decision: rec.Decisions(),
+		Counters: rec.Counters(),
+	}
+	if resp != nil {
+		record.Strategy = resp.Strategy
+	}
+	if err != nil {
+		record.Error = err.Error()
+	}
+	s.ring.Add(record)
+	s.log.Info("http.compile",
+		obs.F("req", id), obs.F("status", status),
+		obs.F("dur_us", time.Since(t0).Microseconds()))
+	if err != nil {
+		writeJSON(w, httpStatus(err), map[string]string{"req_id": id, "error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// badRequestError marks client-side failures (malformed body, unknown
+// strategy/machine, source that does not compile).
+type badRequestError struct{ err error }
+
+func (e badRequestError) Error() string { return e.err.Error() }
+func (e badRequestError) Unwrap() error { return e.err }
+
+func httpStatus(err error) int {
+	var bad badRequestError
+	if errors.As(err, &bad) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// compile runs one request through the public pipeline API with a
+// request-scoped recorder attached.
+func (s *server) compile(id string, rec *obs.Recorder, r *http.Request) (*compileResponse, error) {
+	var req compileRequest
+	body := http.MaxBytesReader(nil, r.Body, s.cfg.maxBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		return nil, badRequestError{fmt.Errorf("decoding request: %w", err)}
+	}
+	strategy, err := gcao.StrategyByName(req.Strategy)
+	if err != nil {
+		return nil, badRequestError{err}
+	}
+	machineName := req.Machine
+	if machineName == "" {
+		machineName = "SP2"
+	}
+	m, err := gcao.MachineByName(machineName)
+	if err != nil {
+		return nil, badRequestError{err}
+	}
+	cfg := gcao.Config{
+		Params: req.Params,
+		Procs:  req.Procs,
+		Obs:    rec,
+		Log:    s.log,
+		ReqID:  id,
+	}
+	var c *gcao.Compilation
+	if req.Main != "" {
+		c, err = gcao.CompileProgram(req.Source, req.Main, cfg)
+	} else {
+		c, err = gcao.Compile(req.Source, cfg)
+	}
+	if err != nil {
+		return nil, badRequestError{err}
+	}
+	placed, err := c.Place(strategy)
+	if err != nil {
+		return nil, badRequestError{err}
+	}
+	resp := &compileResponse{
+		ReqID:    id,
+		Strategy: strategy.String(),
+		Machine:  m.Name,
+		Messages: placed.Messages(),
+		Counts:   map[string]int{},
+	}
+	for kind, n := range placed.MessageCounts() {
+		resp.Counts[kind.String()] = n
+	}
+	if req.Estimate {
+		cost, err := placed.Estimate(m)
+		if err != nil {
+			return nil, badRequestError{fmt.Errorf("estimate: %w", err)}
+		}
+		resp.Estimate = &estimateDoc{
+			CPUSeconds: cost.CPU, NetSeconds: cost.Net,
+			Messages: cost.Messages, Bytes: cost.Bytes,
+		}
+		// Estimate-only requests still feed the bytes-moved histogram.
+		s.reg.ObserveBytes(strategy.String(), cost.Bytes)
+	}
+	if req.Simulate {
+		procs := c.Analysis.Unit.Grid.NumProcs()
+		run, err := placed.Simulate(m, procs)
+		if err != nil {
+			return nil, badRequestError{fmt.Errorf("simulate: %w", err)}
+		}
+		resp.Simulate = &simulateDoc{
+			DynMessages: run.Ledger.DynMessages,
+			BytesMoved:  int64(run.Ledger.BytesMoved),
+			Barriers:    run.Ledger.Barriers,
+		}
+	}
+	resp.Metrics = rec.Doc()
+	return resp, nil
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		s.log.Error("http.metrics", obs.F("err", err.Error()))
+	}
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"requests":       s.reg.Requests(),
+	})
+}
+
+func (s *server) handleDecisionList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ids": s.ring.IDs()})
+}
+
+func (s *server) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.ring.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no retained request " + id})
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

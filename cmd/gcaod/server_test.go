@@ -1,0 +1,290 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gcao/internal/obs"
+)
+
+const stencilSrc = `
+routine smooth(n, steps)
+real a(0:n+1, 0:n+1), b(0:n+1, 0:n+1)
+!hpf$ distribute (block, block) :: a, b
+do i = 0, n + 1
+do j = 0, n + 1
+a(i, j) = 1.0 + i * 0.1 + j * 0.01
+b(i, j) = 0.0
+enddo
+enddo
+do it = 1, steps
+do i = 1, n
+do j = 1, n
+b(i, j) = 0.25 * (a(i-1, j) + a(i+1, j) + a(i, j-1) + a(i, j+1))
+enddo
+enddo
+do i = 1, n
+do j = 1, n
+a(i, j) = b(i, j)
+enddo
+enddo
+enddo
+end
+`
+
+func testServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	s := newServer(serverConfig{
+		reqTimeout: 30 * time.Second,
+		ringSize:   8,
+		logW:       io.Discard,
+		logLevel:   obs.LevelDebug,
+	})
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postCompile(t *testing.T, ts *httptest.Server, body map[string]any) (*http.Response, compileResponse) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/compile", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var out compileResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decoding compile response: %v", err)
+		}
+	}
+	return resp, out
+}
+
+func TestCompileEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	resp, out := postCompile(t, ts, map[string]any{
+		"source":   stencilSrc,
+		"params":   map[string]int{"n": 12, "steps": 2},
+		"procs":    4,
+		"strategy": "comb",
+		"estimate": true,
+		"simulate": true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile status = %d", resp.StatusCode)
+	}
+	if out.ReqID == "" || out.Strategy != "comb" || out.Machine != "SP2" {
+		t.Fatalf("response header wrong: %+v", out)
+	}
+	if out.Messages <= 0 || out.Counts["NNC"] <= 0 {
+		t.Fatalf("no placed messages reported: %+v", out)
+	}
+	if out.Estimate == nil || out.Estimate.NetSeconds <= 0 {
+		t.Fatalf("estimate missing: %+v", out.Estimate)
+	}
+	if out.Simulate == nil || out.Simulate.DynMessages <= 0 || out.Simulate.BytesMoved <= 0 {
+		t.Fatalf("simulation missing: %+v", out.Simulate)
+	}
+	if len(out.Metrics.Decisions) == 0 || out.Metrics.Counters["place.comb.groups"] <= 0 {
+		t.Fatalf("metrics doc incomplete: %d decisions, counters %v",
+			len(out.Metrics.Decisions), out.Metrics.Counters)
+	}
+	if out.Metrics.Profile == nil {
+		t.Fatal("simulated request lost its communication profile")
+	}
+}
+
+// TestMetricsAfterCompile is the acceptance check: after one /compile,
+// GET /metrics returns parseable Prometheus text exposition containing
+// phase-latency histogram samples and placement counters.
+func TestMetricsAfterCompile(t *testing.T) {
+	_, ts := testServer(t)
+	resp, _ := postCompile(t, ts, map[string]any{
+		"source": stencilSrc,
+		"params": map[string]int{"n": 12, "steps": 2},
+		"procs":  4,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile status = %d", resp.StatusCode)
+	}
+	mResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mResp.Body.Close()
+	if mResp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", mResp.StatusCode)
+	}
+	if ct := mResp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type = %q", ct)
+	}
+	text, err := io.ReadAll(mResp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.CheckPromText(text); err != nil {
+		t.Fatalf("/metrics is not valid exposition format: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		`gcao_requests_total{status="ok"} 1`,
+		`gcao_phase_seconds_bucket{phase="parse",le="+Inf"} 1`,
+		`gcao_phase_seconds_bucket{phase="place:comb"`,
+		`gcao_pipeline_counter_total{name="place.comb.groups"}`,
+		`gcao_pipeline_counter_total{name="analysis.comm_entries"}`,
+		`gcao_placed_messages_count{version="comb"} 1`,
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestDecisionDebugEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	resp, out := postCompile(t, ts, map[string]any{
+		"source": stencilSrc,
+		"params": map[string]int{"n": 12, "steps": 2},
+		"procs":  4,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile status = %d", resp.StatusCode)
+	}
+	dResp, err := http.Get(ts.URL + "/debug/decisions/" + out.ReqID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dResp.Body.Close()
+	if dResp.StatusCode != http.StatusOK {
+		t.Fatalf("decisions status = %d", dResp.StatusCode)
+	}
+	var rec obs.RequestRecord
+	if err := json.NewDecoder(dResp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.ID != out.ReqID || len(rec.Decision) == 0 || rec.Status != "ok" {
+		t.Fatalf("retained record wrong: %+v", rec)
+	}
+	// The list endpoint knows the id; an unknown id is a 404.
+	lResp, err := http.Get(ts.URL + "/debug/decisions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lResp.Body.Close()
+	var list struct {
+		IDs []string `json:"ids"`
+	}
+	if err := json.NewDecoder(lResp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.IDs) != 1 || list.IDs[0] != out.ReqID {
+		t.Fatalf("decision list = %v", list.IDs)
+	}
+	nResp, err := http.Get(ts.URL + "/debug/decisions/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nResp.Body.Close()
+	if nResp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id status = %d", nResp.StatusCode)
+	}
+}
+
+func TestCompileRejectsBadRequests(t *testing.T) {
+	s, ts := testServer(t)
+	// Malformed JSON.
+	resp, err := http.Post(ts.URL+"/compile", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body status = %d", resp.StatusCode)
+	}
+	// Source that does not compile.
+	resp2, _ := postCompile(t, ts, map[string]any{"source": "routine broken(", "procs": 4})
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("broken source status = %d", resp2.StatusCode)
+	}
+	// Unknown strategy.
+	resp3, _ := postCompile(t, ts, map[string]any{
+		"source": stencilSrc, "params": map[string]int{"n": 8, "steps": 1},
+		"procs": 4, "strategy": "fastest",
+	})
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad strategy status = %d", resp3.StatusCode)
+	}
+	// Errors are counted and retained too.
+	if got := s.reg.Counter("x"); got != 0 {
+		t.Fatal("unexpected counter")
+	}
+	if s.reg.Requests() != 3 {
+		t.Fatalf("requests = %d, want 3", s.reg.Requests())
+	}
+	mResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mResp.Body.Close()
+	text, _ := io.ReadAll(mResp.Body)
+	if !strings.Contains(string(text), `gcao_requests_total{status="error"} 3`) {
+		t.Fatalf("error requests not exported (want 3):\n%s", text)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+	var h struct {
+		Status   string  `json:"status"`
+		Uptime   float64 `json:"uptime_seconds"`
+		Requests int64   `json:"requests"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Uptime < 0 {
+		t.Fatalf("healthz = %+v", h)
+	}
+}
+
+// TestCompileTimeout pins the per-request bound: a request that cannot
+// finish inside the budget gets a 503 from the timeout handler.
+func TestCompileTimeout(t *testing.T) {
+	s := newServer(serverConfig{
+		reqTimeout: 1 * time.Nanosecond,
+		ringSize:   8,
+		logW:       io.Discard,
+		logLevel:   obs.LevelError,
+	})
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+	raw, _ := json.Marshal(map[string]any{
+		"source": stencilSrc, "params": map[string]int{"n": 64, "steps": 4}, "procs": 4,
+	})
+	resp, err := http.Post(ts.URL+"/compile", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("timeout status = %d, want 503", resp.StatusCode)
+	}
+}

@@ -4,30 +4,100 @@
 // bandwidth as functions of size (log-spaced, as in the paper's
 // x-axis), plus the derived facts the placement algorithm relies on —
 // the half-power point and the combining threshold.
+//
+// -machine selects sp2, now or all (default); -json emits the same
+// curves as a machine-readable document instead of the text chart.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 
 	"gcao/internal/machine"
 )
 
+// probePoint is one x-axis sample of the Fig. 5 curves.
+type probePoint struct {
+	Bytes      int     `json:"bytes"`
+	BcopyMBs   float64 `json:"bcopy_mb_s"`
+	InjectMBs  float64 `json:"inject_mb_s"`
+	ReceiveMBs float64 `json:"recv_mb_s"`
+}
+
+// probeDoc is one machine's full profile in -json mode.
+type probeDoc struct {
+	Machine               string       `json:"machine"`
+	Points                []probePoint `json:"points"`
+	HalfPowerPointBytes   int          `json:"half_power_point_bytes"`
+	CombineThresholdBytes int          `json:"combine_threshold_bytes"`
+	CacheBytes            int          `json:"cache_bytes"`
+}
+
 func main() {
+	machineFlag := flag.String("machine", "all", "machine to probe: sp2, now, or all")
+	jsonOut := flag.Bool("json", false, "emit the curves as JSON instead of a text chart")
 	flag.Parse()
-	for _, m := range []machine.Machine{machine.SP2(), machine.NOW()} {
+
+	var machines []machine.Machine
+	switch strings.ToLower(*machineFlag) {
+	case "sp2":
+		machines = []machine.Machine{machine.SP2()}
+	case "now":
+		machines = []machine.Machine{machine.NOW()}
+	case "all":
+		machines = []machine.Machine{machine.SP2(), machine.NOW()}
+	default:
+		fmt.Fprintf(os.Stderr, "netprobe: unknown machine %q (want sp2, now or all)\n", *machineFlag)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		docs := make([]probeDoc, 0, len(machines))
+		for _, m := range machines {
+			docs = append(docs, probe(m))
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{"machines": docs}); err != nil {
+			fmt.Fprintln(os.Stderr, "netprobe:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	for _, m := range machines {
+		d := probe(m)
 		fmt.Printf("== %s ==\n", m.Name)
 		fmt.Printf("%10s %14s %14s %14s\n", "bytes", "bcopy MB/s", "inject MB/s", "recv MB/s")
-		for bytes := 16; bytes <= 4<<20; bytes *= 4 {
-			b := m.BcopyBandwidth(bytes) / 1e6
-			i := m.InjectBandwidth(bytes) / 1e6
-			r := m.NetworkBandwidth(bytes) / 1e6
-			bar := strings.Repeat("*", int(r/2+0.5))
-			fmt.Printf("%10d %14.1f %14.1f %14.1f  %s\n", bytes, b, i, r, bar)
+		for _, p := range d.Points {
+			bar := strings.Repeat("*", int(p.ReceiveMBs/2+0.5))
+			fmt.Printf("%10d %14.1f %14.1f %14.1f  %s\n", p.Bytes, p.BcopyMBs, p.InjectMBs, p.ReceiveMBs, bar)
 		}
 		fmt.Printf("half-power point: %d bytes (startup amortized well below the %d KB cache)\n",
-			m.HalfPowerPoint(), m.CacheBytes>>10)
-		fmt.Printf("combining threshold: %d KB\n\n", m.CombineThresholdBytes>>10)
+			d.HalfPowerPointBytes, d.CacheBytes>>10)
+		fmt.Printf("combining threshold: %d KB\n\n", d.CombineThresholdBytes>>10)
 	}
+}
+
+// probe samples one machine's bandwidth curves log-spaced from 16 B to
+// 4 MB, matching the paper's x-axis.
+func probe(m machine.Machine) probeDoc {
+	d := probeDoc{
+		Machine:               m.Name,
+		HalfPowerPointBytes:   m.HalfPowerPoint(),
+		CombineThresholdBytes: m.CombineThresholdBytes,
+		CacheBytes:            m.CacheBytes,
+	}
+	for bytes := 16; bytes <= 4<<20; bytes *= 4 {
+		d.Points = append(d.Points, probePoint{
+			Bytes:      bytes,
+			BcopyMBs:   m.BcopyBandwidth(bytes) / 1e6,
+			InjectMBs:  m.InjectBandwidth(bytes) / 1e6,
+			ReceiveMBs: m.NetworkBandwidth(bytes) / 1e6,
+		})
+	}
+	return d
 }

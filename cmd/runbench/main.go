@@ -10,12 +10,20 @@
 // (per-chart phase spans; for -functional also the placement decision
 // logs and the simulator communication profile); -explain prints the
 // functional placements' decision logs.
+//
+// Regression gating: -out BENCH_<rev>.json writes a machine-readable
+// result (per-benchmark, per-compiler-version normalized times and
+// message/byte counts); -compare <baseline.json> re-runs the sweep and
+// exits nonzero if any metric regressed past -tolerance. `make
+// benchgate` wires the two together.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/debug"
 	"strings"
 
 	"gcao/internal/bench"
@@ -31,7 +39,16 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write phase spans as a Chrome trace_event JSON file")
 	metricsOut := flag.String("metrics-out", "", "write counters, decision logs and the simulator profile as JSON")
 	explain := flag.Bool("explain", false, "print the functional placements' decision logs")
+	out := flag.String("out", "", "write the benchmark sweep as machine-readable JSON and exit")
+	compare := flag.String("compare", "", "re-run the sweep and compare against a baseline JSON; exit 1 on regression")
+	tolerance := flag.Float64("tolerance", 0.05, "relative slack for -compare (0.05 = 5% worse allowed)")
+	rev := flag.String("rev", "", "revision label for -out (default: VCS revision from build info, else \"dev\")")
 	flag.Parse()
+
+	if *out != "" || *compare != "" {
+		gate(*out, *compare, *tolerance, *rev)
+		return
+	}
 
 	var rec *obs.Recorder
 	if *traceOut != "" || *metricsOut != "" || *explain {
@@ -102,6 +119,65 @@ func main() {
 		}
 	}
 	writeObs(rec, *traceOut, *metricsOut)
+}
+
+// gate is the regression-gate mode: collect the deterministic analytic
+// sweep, optionally write it, optionally compare it against a baseline.
+func gate(out, compare string, tolerance float64, rev string) {
+	if rev == "" {
+		rev = buildRevision()
+	}
+	res, err := bench.CollectBenchResult(rev, runtime.Version())
+	if err != nil {
+		fatal(err)
+	}
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteBenchResult(f, res); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("runbench: wrote %d entries (rev %s) to %s\n", len(res.Entries), res.Rev, out)
+	}
+	if compare != "" {
+		f, err := os.Open(compare)
+		if err != nil {
+			fatal(err)
+		}
+		baseline, err := bench.ReadBenchResult(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		regs := bench.CompareBenchResults(baseline, res, tolerance)
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "runbench: %d regression(s) vs %s (rev %s, tolerance %.0f%%):\n",
+				len(regs), compare, baseline.Rev, tolerance*100)
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "  "+r.String())
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("runbench: %d entries within %.0f%% of %s (rev %s)\n",
+			len(res.Entries), tolerance*100, compare, baseline.Rev)
+	}
+}
+
+// buildRevision pulls the VCS revision stamped into the binary, if any.
+func buildRevision() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+				return s.Value[:12]
+			}
+		}
+	}
+	return "dev"
 }
 
 func writeObs(rec *obs.Recorder, traceOut, metricsOut string) {

@@ -26,6 +26,7 @@ package gcao
 
 import (
 	"fmt"
+	"io"
 
 	"gcao/internal/core"
 	"gcao/internal/inline"
@@ -45,6 +46,26 @@ type Recorder = obs.Recorder
 // NewRecorder builds an empty observability recorder.
 func NewRecorder() *Recorder { return obs.New() }
 
+// Registry re-exports the process-global metrics registry: a server
+// absorbs each request's Recorder into one Registry and serves the
+// aggregate in Prometheus text exposition format (cmd/gcaod does
+// exactly this).
+type Registry = obs.Registry
+
+// NewRegistry builds an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// Logger re-exports the leveled structured JSON event logger; attach
+// one via Config.Log to receive request-scoped pipeline events.
+type Logger = obs.Logger
+
+// LogLevel re-exports the logger severity scale.
+type LogLevel = obs.Level
+
+// NewLogger builds a logger writing JSON event lines at or above min
+// to w.
+func NewLogger(w io.Writer, min LogLevel) *Logger { return obs.NewLogger(w, min) }
+
 // Strategy selects a communication placement strategy.
 type Strategy int
 
@@ -61,6 +82,21 @@ const (
 )
 
 func (s Strategy) String() string { return s.version().String() }
+
+// StrategyByName resolves a strategy from its Fig. 10 column name:
+// "orig" (or "vectorize"), "nored" (or "redund"), "comb" (or
+// "combine").
+func StrategyByName(name string) (Strategy, error) {
+	switch name {
+	case "orig", "vectorize":
+		return Vectorize, nil
+	case "nored", "redund":
+		return EarliestRedundancy, nil
+	case "comb", "combine", "":
+		return Combine, nil
+	}
+	return 0, fmt.Errorf("gcao: unknown strategy %q (want orig, nored or comb)", name)
+}
 
 func (s Strategy) version() core.Version {
 	switch s {
@@ -97,6 +133,14 @@ type Config struct {
 	// metrics and decision logs, and simulator communication profiles
 	// for every operation on the resulting compilation.
 	Obs *Recorder
+	// Log, when non-nil, receives leveled structured JSON events from
+	// the pipeline (analysis/placement/simulation summaries at info,
+	// per-phase timings at debug). Events flow through the Obs
+	// recorder, so Log requires Obs to be set.
+	Log *Logger
+	// ReqID, when non-empty, tags every logged event of this
+	// compilation with a request id — the serving-path correlation key.
+	ReqID string
 }
 
 // Compilation is an analyzed routine ready for placement.
@@ -110,6 +154,7 @@ type Compilation struct {
 // Compile parses, semantically analyzes, scalarizes and
 // communication-analyzes a mini-HPF routine.
 func Compile(source string, cfg Config) (*Compilation, error) {
+	cfg.Obs.SetLog(cfg.Log, cfg.ReqID)
 	end := cfg.Obs.Start("parse")
 	r, err := parser.ParseRoutine(source)
 	end()
@@ -135,6 +180,7 @@ func Compile(source string, cfg Config) (*Compilation, error) {
 // redundancy elimination and message combining — works across
 // procedure boundaries, the §7 interprocedural direction.
 func CompileProgram(source, main string, cfg Config) (*Compilation, error) {
+	cfg.Obs.SetLog(cfg.Log, cfg.ReqID)
 	end := cfg.Obs.Start("parse")
 	prog, err := parser.Parse(source)
 	end()

@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"gcao/internal/core"
+	"gcao/internal/machine"
+	"gcao/internal/spmd"
+)
+
+// BenchEntry is one measured point of a benchmark result file: one
+// chart, problem size and compiler version, with the normalized and
+// raw analytic costs plus the message/byte accounting — everything a
+// later commit must not regress.
+type BenchEntry struct {
+	Chart   string `json:"chart"`
+	Bench   string `json:"bench"`
+	Routine string `json:"routine"`
+	Machine string `json:"machine"`
+	Procs   int    `json:"procs"`
+	N       int    `json:"n"`
+	Version string `json:"version"`
+	// NormCPU/NormNet are normalized so the orig version's total is
+	// 1.0 (the Fig. 10(b–f) bars); Raw values are estimated seconds.
+	NormCPU float64 `json:"norm_cpu"`
+	NormNet float64 `json:"norm_net"`
+	RawCPU  float64 `json:"raw_cpu_seconds"`
+	RawNet  float64 `json:"raw_net_seconds"`
+	// Messages/Bytes are the estimator's per-processor dynamic
+	// accounting; StaticGroups is the placed call-site count of
+	// Fig. 10(a).
+	Messages     float64 `json:"messages"`
+	Bytes        float64 `json:"bytes"`
+	StaticGroups int     `json:"static_groups"`
+}
+
+// Key identifies the entry across runs.
+func (e BenchEntry) Key() string {
+	return fmt.Sprintf("%s/%s/%s/%s/P%d/n%d/%s",
+		e.Chart, e.Bench, e.Routine, e.Machine, e.Procs, e.N, e.Version)
+}
+
+// RawTotal is the estimated completion time in seconds.
+func (e BenchEntry) RawTotal() float64 { return e.RawCPU + e.RawNet }
+
+// BenchResult is the machine-readable document `runbench -out` writes
+// (BENCH_<rev>.json): deterministic analytic results, so two runs of
+// one commit are byte-comparable and cross-commit diffs are real.
+type BenchResult struct {
+	Rev     string       `json:"rev"`
+	Go      string       `json:"go,omitempty"`
+	Entries []BenchEntry `json:"entries"`
+}
+
+// CollectBenchResult sweeps every Fig. 10 chart spec and records, per
+// problem size and compiler version, the normalized/raw analytic cost
+// and the message/byte counts.
+func CollectBenchResult(rev, goVersion string) (BenchResult, error) {
+	out := BenchResult{Rev: rev, Go: goVersion}
+	versions := []core.Version{core.VersionOrig, core.VersionRedund, core.VersionCombine}
+	for _, spec := range ChartSpecs() {
+		m, err := machine.ByName(spec.Machine)
+		if err != nil {
+			return BenchResult{}, err
+		}
+		pr, err := ByName(spec.Bench, spec.Routines[0])
+		if err != nil {
+			return BenchResult{}, err
+		}
+		for _, n := range spec.Sizes {
+			a, err := pr.Compile(n, spec.Procs)
+			if err != nil {
+				return BenchResult{}, err
+			}
+			var base float64
+			for i, v := range versions {
+				res, err := a.Place(core.Options{Version: v})
+				if err != nil {
+					return BenchResult{}, err
+				}
+				cost, err := spmd.Estimate(res, m)
+				if err != nil {
+					return BenchResult{}, err
+				}
+				if i == 0 {
+					base = cost.Total()
+					if base == 0 {
+						base = 1
+					}
+				}
+				out.Entries = append(out.Entries, BenchEntry{
+					Chart: spec.ID, Bench: spec.Bench, Routine: spec.Routines[0],
+					Machine: spec.Machine, Procs: spec.Procs, N: n,
+					Version: v.String(),
+					NormCPU: cost.CPU / base, NormNet: cost.Net / base,
+					RawCPU: cost.CPU, RawNet: cost.Net,
+					Messages: cost.Messages, Bytes: cost.Bytes,
+					StaticGroups: res.TotalMessages(),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// WriteBenchResult emits the document as indented JSON.
+func WriteBenchResult(w io.Writer, r BenchResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadBenchResult parses a document written by WriteBenchResult.
+func ReadBenchResult(r io.Reader) (BenchResult, error) {
+	var out BenchResult
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return BenchResult{}, fmt.Errorf("bench: decoding baseline: %w", err)
+	}
+	return out, nil
+}
+
+// Regression is one metric of one benchmark point that got worse than
+// the baseline by more than the tolerance.
+type Regression struct {
+	Key    string  `json:"key"`
+	Metric string  `json:"metric"`
+	Base   float64 `json:"base"`
+	Cur    float64 `json:"cur"`
+	// Ratio is cur/base (+Inf rendered as a large number never occurs:
+	// a zero baseline only regresses when cur exceeds the absolute
+	// floor).
+	Ratio float64 `json:"ratio"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s %.6g -> %.6g (%.1f%% worse)", r.Key, r.Metric, r.Base, r.Cur, (r.Ratio-1)*100)
+}
+
+// floors below which a metric difference is noise, not a regression
+// (estimated seconds jitter at the float level on different FMA
+// contraction; counts are exact).
+const secondsFloor = 1e-9
+
+// CompareBenchResults reports every metric of cur that is worse than
+// base by more than tol (relative: cur > base*(1+tol)). A baseline
+// entry missing from cur is itself a regression — losing coverage must
+// not pass the gate. Entries only in cur (new benchmarks) are fine.
+func CompareBenchResults(base, cur BenchResult, tol float64) []Regression {
+	curBy := map[string]BenchEntry{}
+	for _, e := range cur.Entries {
+		curBy[e.Key()] = e
+	}
+	var regs []Regression
+	for _, b := range base.Entries {
+		c, ok := curBy[b.Key()]
+		if !ok {
+			regs = append(regs, Regression{Key: b.Key(), Metric: "missing", Base: 1, Cur: 0, Ratio: 1})
+			continue
+		}
+		check := func(metric string, bv, cv, floor float64) {
+			if cv <= floor && bv <= floor {
+				return
+			}
+			if cv > bv*(1+tol) && cv-bv > floor {
+				ratio := cv / bv
+				if bv == 0 {
+					ratio = 2 + tol // sentinel: from-zero growth
+				}
+				regs = append(regs, Regression{Key: b.Key(), Metric: metric, Base: bv, Cur: cv, Ratio: ratio})
+			}
+		}
+		check("total_seconds", b.RawTotal(), c.RawTotal(), secondsFloor)
+		check("net_seconds", b.RawNet, c.RawNet, secondsFloor)
+		check("messages", b.Messages, c.Messages, 0)
+		check("bytes", b.Bytes, c.Bytes, 0)
+		check("static_groups", float64(b.StaticGroups), float64(c.StaticGroups), 0)
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Key != regs[j].Key {
+			return regs[i].Key < regs[j].Key
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
+	return regs
+}

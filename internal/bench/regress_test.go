@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func entry(chart, version string, cpu, net, msgs, bts float64, groups int) BenchEntry {
+	return BenchEntry{
+		Chart: chart, Bench: "jacobi", Routine: "smooth", Machine: "SP2",
+		Procs: 25, N: 512, Version: version,
+		RawCPU: cpu, RawNet: net, Messages: msgs, Bytes: bts, StaticGroups: groups,
+	}
+}
+
+func TestCompareBenchResultsCatchesRegressions(t *testing.T) {
+	base := BenchResult{Rev: "aaa", Entries: []BenchEntry{
+		entry("10b", "orig", 1.0, 0.5, 100, 4096, 9),
+		entry("10b", "comb", 1.0, 0.2, 40, 4096, 3),
+	}}
+
+	// Identical current run: clean.
+	if regs := CompareBenchResults(base, base, 0.05); len(regs) != 0 {
+		t.Fatalf("self-compare regressed: %v", regs)
+	}
+
+	// Within tolerance: clean.
+	cur := BenchResult{Rev: "bbb", Entries: []BenchEntry{
+		entry("10b", "orig", 1.04, 0.5, 100, 4096, 9),
+		entry("10b", "comb", 1.0, 0.2, 40, 4096, 3),
+	}}
+	if regs := CompareBenchResults(base, cur, 0.05); len(regs) != 0 {
+		t.Fatalf("in-tolerance drift flagged: %v", regs)
+	}
+
+	// Improvements are never regressions.
+	cur = BenchResult{Rev: "bbb", Entries: []BenchEntry{
+		entry("10b", "orig", 0.5, 0.1, 50, 1024, 5),
+		entry("10b", "comb", 0.5, 0.1, 20, 1024, 2),
+	}}
+	if regs := CompareBenchResults(base, cur, 0.05); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %v", regs)
+	}
+
+	// Exceeding tolerance on time, messages and groups all fire.
+	cur = BenchResult{Rev: "ccc", Entries: []BenchEntry{
+		entry("10b", "orig", 1.2, 0.5, 100, 4096, 9),
+		entry("10b", "comb", 1.0, 0.2, 50, 4096, 4),
+	}}
+	regs := CompareBenchResults(base, cur, 0.05)
+	got := map[string]bool{}
+	for _, r := range regs {
+		got[r.Metric+"@"+r.Key] = true
+	}
+	for _, want := range []string{
+		"total_seconds@10b/jacobi/smooth/SP2/P25/n512/orig",
+		"messages@10b/jacobi/smooth/SP2/P25/n512/comb",
+		"static_groups@10b/jacobi/smooth/SP2/P25/n512/comb",
+	} {
+		if !got[want] {
+			t.Errorf("missing regression %s in %v", want, regs)
+		}
+	}
+	if got["total_seconds@10b/jacobi/smooth/SP2/P25/n512/comb"] {
+		t.Errorf("unchanged comb time flagged: %v", regs)
+	}
+
+	// A dropped entry is a regression too.
+	cur = BenchResult{Rev: "ddd", Entries: []BenchEntry{
+		entry("10b", "orig", 1.0, 0.5, 100, 4096, 9),
+	}}
+	regs = CompareBenchResults(base, cur, 0.05)
+	if len(regs) != 1 || regs[0].Metric != "missing" {
+		t.Fatalf("dropped entry not caught: %v", regs)
+	}
+	if !strings.Contains(regs[0].Key, "/comb") {
+		t.Fatalf("wrong entry reported missing: %v", regs[0])
+	}
+
+	// Extra entries in the current run are allowed.
+	cur = BenchResult{Rev: "eee", Entries: []BenchEntry{
+		entry("10b", "orig", 1.0, 0.5, 100, 4096, 9),
+		entry("10b", "comb", 1.0, 0.2, 40, 4096, 3),
+		entry("10c", "orig", 2.0, 0.9, 300, 8192, 12),
+	}}
+	if regs := CompareBenchResults(base, cur, 0.05); len(regs) != 0 {
+		t.Fatalf("new coverage flagged: %v", regs)
+	}
+}
+
+func TestCompareBenchResultsZeroBaseline(t *testing.T) {
+	base := BenchResult{Entries: []BenchEntry{entry("10b", "comb", 1.0, 0.0, 0, 0, 3)}}
+	// Zero stays zero: clean.
+	if regs := CompareBenchResults(base, base, 0.05); len(regs) != 0 {
+		t.Fatalf("zero self-compare regressed: %v", regs)
+	}
+	// Growth from a zero baseline fires (ratio is a finite sentinel).
+	cur := BenchResult{Entries: []BenchEntry{entry("10b", "comb", 1.0, 0.0, 12, 512, 3)}}
+	regs := CompareBenchResults(base, cur, 0.05)
+	if len(regs) != 2 {
+		t.Fatalf("from-zero growth: got %v, want messages+bytes", regs)
+	}
+	for _, r := range regs {
+		if r.Ratio <= 1 || r.Ratio != r.Ratio { // finite, >1, not NaN
+			t.Fatalf("bad ratio for zero baseline: %+v", r)
+		}
+	}
+}
+
+func TestBenchResultJSONRoundTrip(t *testing.T) {
+	orig := BenchResult{Rev: "abc123", Go: "go1.22", Entries: []BenchEntry{
+		entry("10b", "orig", 1.5, 0.25, 120, 65536, 9),
+		entry("10d", "comb", 0.75, 0.0625, 24, 16384, 2),
+	}}
+	orig.Entries[0].NormCPU = 0.8
+	orig.Entries[0].NormNet = 0.2
+	var buf bytes.Buffer
+	if err := WriteBenchResult(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBenchResult(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rev != orig.Rev || back.Go != orig.Go || len(back.Entries) != 2 {
+		t.Fatalf("header lost: %+v", back)
+	}
+	for i := range orig.Entries {
+		if back.Entries[i] != orig.Entries[i] {
+			t.Fatalf("entry %d changed:\n got %+v\nwant %+v", i, back.Entries[i], orig.Entries[i])
+		}
+	}
+	if _, err := ReadBenchResult(strings.NewReader("{broken")); err == nil {
+		t.Fatal("malformed baseline accepted")
+	}
+}
+
+// TestCollectBenchResult runs the real sweep at chart scale and checks
+// the gate's end-to-end property: a fresh collection self-compares
+// clean, and a synthetically perturbed baseline is caught.
+func TestCollectBenchResult(t *testing.T) {
+	res, err := CollectBenchResult("test", "go-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) == 0 {
+		t.Fatal("empty sweep")
+	}
+	// Three versions per (chart, size); orig normalizes to 1.
+	perKey := map[string]int{}
+	for _, e := range res.Entries {
+		perKey[e.Chart+"/"+e.Bench] += 1
+		if e.Version == "orig" {
+			if tot := e.NormCPU + e.NormNet; tot < 0.999 || tot > 1.001 {
+				t.Errorf("%s: orig normalized total = %g, want 1", e.Key(), tot)
+			}
+		}
+		if e.RawCPU < 0 || e.RawNet < 0 || e.Messages < 0 || e.Bytes < 0 || e.StaticGroups < 0 {
+			t.Errorf("%s: negative metric: %+v", e.Key(), e)
+		}
+	}
+	for chart, n := range perKey {
+		if n%3 != 0 {
+			t.Errorf("chart %s has %d entries, not a multiple of 3 versions", chart, n)
+		}
+	}
+
+	// Determinism: collecting twice and self-comparing is clean — the
+	// exact property `make benchgate` relies on.
+	res2, err := CollectBenchResult("test", "go-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := CompareBenchResults(res, res2, 0.0); len(regs) != 0 {
+		t.Fatalf("sweep is nondeterministic: %v", regs)
+	}
+
+	// Perturbed baseline: make one baseline entry better than reality
+	// by more than the tolerance; the gate must fail.
+	perturbed := BenchResult{Rev: res.Rev, Entries: append([]BenchEntry(nil), res.Entries...)}
+	perturbed.Entries[0].RawCPU *= 0.5
+	perturbed.Entries[0].RawNet *= 0.5
+	perturbed.Entries[0].Messages *= 0.5
+	if regs := CompareBenchResults(perturbed, res, 0.05); len(regs) == 0 {
+		t.Fatal("perturbed baseline not detected")
+	}
+}

@@ -113,6 +113,10 @@ func NewAnalysisObs(u *sem.Unit, rec *obs.Recorder) (*Analysis, error) {
 	rec.Add("analysis.entries", int64(len(a.Entries)))
 	rec.Add("analysis.comm_entries", int64(len(a.CommEntries())))
 	rec.Add("analysis.coalesced", int64(len(a.Entries)-len(a.CommEntries())))
+	rec.Event(obs.LevelInfo, "analysis.done",
+		obs.F("routine", u.Routine.Name),
+		obs.F("entries", len(a.Entries)),
+		obs.F("comm_entries", len(a.CommEntries())))
 	return a, nil
 }
 

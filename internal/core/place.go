@@ -188,6 +188,11 @@ func (a *Analysis) Place(opts Options) (*Result, error) {
 	rec.Add(prefix+"redundant", int64(len(res.Redundant)))
 	rec.Add(prefix+"groups", int64(len(res.Groups)))
 	a.recordDecisions(rec, res)
+	rec.Event(obs.LevelInfo, "place.done",
+		obs.F("version", opts.Version.String()),
+		obs.F("entries", len(entries)),
+		obs.F("groups", len(res.Groups)),
+		obs.F("redundant", len(res.Redundant)))
 	return res, nil
 }
 

@@ -42,6 +42,8 @@ type Recorder struct {
 	gauges    map[string]float64
 	decisions []Decision
 	profile   *CommProfile
+	log       *Logger
+	reqID     string
 }
 
 // New builds an empty recorder whose clock starts now.
@@ -51,6 +53,37 @@ func New() *Recorder {
 		counters: map[string]int64{},
 		gauges:   map[string]float64{},
 	}
+}
+
+// SetLog attaches a structured event logger and a request id to the
+// recorder: every subsequent Event (and the debug event emitted when a
+// span ends) is written request-scoped. A nil logger detaches.
+func (r *Recorder) SetLog(l *Logger, reqID string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.log = l
+	r.reqID = reqID
+}
+
+// Event emits one structured log event through the attached logger
+// (no-op without one), prefixing the recorder's request id.
+func (r *Recorder) Event(lv Level, event string, fields ...Field) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	l, id := r.log, r.reqID
+	r.mu.Unlock()
+	if !l.Enabled(lv) {
+		return
+	}
+	if id != "" {
+		fields = append([]Field{F("req", id)}, fields...)
+	}
+	l.Log(lv, event, fields...)
 }
 
 // SpanEnd closes a span opened by Start.
@@ -81,16 +114,19 @@ func (r *Recorder) Start(name string) SpanEnd {
 		done = true
 		dur := time.Since(start)
 		runtime.ReadMemStats(&ms)
+		alloc := int64(ms.TotalAlloc - startAlloc)
 		r.mu.Lock()
-		defer r.mu.Unlock()
 		r.depth--
 		r.spans = append(r.spans, Span{
 			Name:       name,
 			StartUS:    start.Sub(r.epoch).Microseconds(),
 			DurUS:      dur.Microseconds(),
-			AllocBytes: int64(ms.TotalAlloc - startAlloc),
+			AllocBytes: alloc,
 			Depth:      depth,
 		})
+		r.mu.Unlock()
+		r.Event(LevelDebug, "phase.done",
+			F("phase", name), F("dur_us", dur.Microseconds()), F("alloc_bytes", alloc))
 	}
 }
 

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// CheckPromText parses a Prometheus text exposition (version 0.0.4)
+// document and reports the first violation it finds: malformed sample
+// lines, samples of a family with no preceding # TYPE, histogram
+// families missing their le="+Inf" bucket or _sum/_count series, or
+// cumulative bucket counts that decrease. It exists so tests (and the
+// daemon's own smoke checks) can assert /metrics output is actually
+// scrapeable rather than merely string-matching it.
+func CheckPromText(text []byte) error {
+	types := map[string]string{}
+	// histogram bookkeeping per family+labelset (minus le)
+	type histState struct {
+		prev    float64 // last cumulative bucket count
+		prevLE  float64
+		infSeen bool
+		sum     bool
+		count   bool
+		infVal  float64
+		cntVal  float64
+	}
+	hists := map[string]*histState{}
+
+	for i, line := range strings.Split(string(text), "\n") {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) >= 2 && (f[1] != "HELP" && f[1] != "TYPE") {
+				return fmt.Errorf("line %d: unknown comment keyword %q", lineNo, f[1])
+			}
+			if len(f) >= 4 && f[1] == "TYPE" {
+				switch f[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: invalid metric type %q", lineNo, f[3])
+				}
+				types[f[2]] = f[3]
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		family, suffix := histFamily(name, types)
+		typ, ok := types[family]
+		if !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineNo, name)
+		}
+		if typ != "histogram" {
+			continue
+		}
+		le, baseLabels := splitLE(labels)
+		key := family + "{" + baseLabels + "}"
+		st := hists[key]
+		if st == nil {
+			st = &histState{prevLE: -1e308}
+			hists[key] = st
+		}
+		switch suffix {
+		case "_bucket":
+			if le == "" {
+				return fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+			}
+			bound := 1e308
+			if le != "+Inf" {
+				bound, err = strconv.ParseFloat(le, 64)
+				if err != nil {
+					return fmt.Errorf("line %d: bad le %q: %w", lineNo, le, err)
+				}
+			} else {
+				st.infSeen = true
+				st.infVal = value
+			}
+			if bound < st.prevLE {
+				return fmt.Errorf("line %d: le bounds out of order for %s", lineNo, key)
+			}
+			if value < st.prev {
+				return fmt.Errorf("line %d: cumulative bucket count decreased for %s", lineNo, key)
+			}
+			st.prevLE, st.prev = bound, value
+		case "_sum":
+			st.sum = true
+		case "_count":
+			st.count = true
+			st.cntVal = value
+		default:
+			return fmt.Errorf("line %d: histogram sample %q has no _bucket/_sum/_count suffix", lineNo, name)
+		}
+	}
+	for key, st := range hists {
+		if !st.infSeen {
+			return fmt.Errorf("histogram %s missing le=\"+Inf\" bucket", key)
+		}
+		if !st.sum || !st.count {
+			return fmt.Errorf("histogram %s missing _sum or _count", key)
+		}
+		if st.infVal != st.cntVal {
+			return fmt.Errorf("histogram %s: +Inf bucket %v != count %v", key, st.infVal, st.cntVal)
+		}
+	}
+	return nil
+}
+
+var (
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (NaN|[+-]?Inf|[-+0-9.eE]+)( [0-9]+)?$`)
+	labelRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"$`)
+)
+
+// parseSample splits one sample line into name, raw label text and
+// value.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	m := sampleRe.FindStringSubmatch(line)
+	if m == nil {
+		return "", "", 0, fmt.Errorf("malformed sample line %q", line)
+	}
+	name, labels = m[1], m[3]
+	if labels != "" {
+		for _, lp := range splitLabels(labels) {
+			if !labelRe.MatchString(lp) {
+				return "", "", 0, fmt.Errorf("malformed label pair %q", lp)
+			}
+		}
+	}
+	switch m[4] {
+	case "NaN":
+		return name, labels, 0, nil
+	case "+Inf", "Inf":
+		return name, labels, 1e308, nil
+	case "-Inf":
+		return name, labels, -1e308, nil
+	}
+	value, err = strconv.ParseFloat(m[4], 64)
+	return name, labels, value, err
+}
+
+// splitLabels splits `a="x",b="y"` into pairs, honoring escaped quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+// splitLE extracts the le label value and returns the remaining label
+// text (used as the histogram series key).
+func splitLE(labels string) (le, rest string) {
+	var kept []string
+	for _, lp := range splitLabels(labels) {
+		if strings.HasPrefix(lp, `le="`) {
+			le = strings.TrimSuffix(strings.TrimPrefix(lp, `le="`), `"`)
+			continue
+		}
+		kept = append(kept, lp)
+	}
+	return le, strings.Join(kept, ",")
+}
+
+// histFamily maps a sample name to its family: for histogram series
+// the _bucket/_sum/_count suffix is stripped when the stripped name is
+// a declared histogram.
+func histFamily(name string, types map[string]string) (family, suffix string) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok && types[base] == "histogram" {
+			return base, suf
+		}
+	}
+	return name, ""
+}

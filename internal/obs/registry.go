@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry is the process-global aggregation point of the
+// observability layer: per-request Recorders are absorbed into it, and
+// it renders the accumulated state in the Prometheus text exposition
+// format for scraping. A long-lived server (cmd/gcaod) owns one
+// Registry for its whole lifetime while every request gets a fresh
+// Recorder, so Absorb must only ever see a recorder once — counter
+// values are merged as deltas.
+//
+// The exported metric families, all prefixed gcao_:
+//
+//	gcao_requests_total{status}         counter, one per absorbed recorder
+//	gcao_pipeline_counter_total{name}   every recorder counter, aggregated
+//	gcao_pipeline_gauge{name}           last written value of each gauge
+//	gcao_phase_seconds{phase}           histogram of pipeline span latency
+//	gcao_placed_messages{version}       histogram of placed groups per compile
+//	gcao_comm_bytes{version}            histogram of bytes moved per compile
+//
+// Label values are rendered in sorted order, so the exposition is
+// byte-deterministic given deterministic inputs.
+type Registry struct {
+	mu       sync.Mutex
+	requests map[string]int64
+	counters map[string]int64
+	gauges   map[string]float64
+	phase    map[string]*Histogram
+	placed   map[string]*Histogram
+	bytes    map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		requests: map[string]int64{},
+		counters: map[string]int64{},
+		gauges:   map[string]float64{},
+		phase:    map[string]*Histogram{},
+		placed:   map[string]*Histogram{},
+		bytes:    map[string]*Histogram{},
+	}
+}
+
+// versions are the compiler versions whose per-compile counters Absorb
+// turns into histogram observations.
+var versions = []string{"orig", "nored", "comb"}
+
+// Absorb merges one request's recorder into the registry: the request
+// is counted under the given status, every counter is added, every
+// gauge overwrites, every span feeds the phase-latency histogram, and
+// the per-version placement/simulation counters feed the
+// placed-messages and bytes-moved histograms. A nil recorder only
+// counts the request.
+func (g *Registry) Absorb(rec *Recorder, status string) {
+	if g == nil {
+		return
+	}
+	var (
+		spans    []Span
+		counters map[string]int64
+		gauges   map[string]float64
+	)
+	if rec != nil {
+		spans = rec.Spans()
+		counters = rec.Counters()
+		gauges = rec.Gauges()
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.requests[status]++
+	for k, v := range counters {
+		g.counters[k] += v
+	}
+	for k, v := range gauges {
+		g.gauges[k] = v
+	}
+	for _, s := range spans {
+		g.histLocked(g.phase, s.Name, LatencyBuckets).Observe(float64(s.DurUS) / 1e6)
+	}
+	for _, v := range versions {
+		if n, ok := counters["place."+v+".groups"]; ok {
+			g.histLocked(g.placed, v, CountBuckets).Observe(float64(n))
+		}
+		if b, ok := counters["spmd."+v+".bytes"]; ok {
+			g.histLocked(g.bytes, v, BytesBuckets).Observe(float64(b))
+		}
+	}
+}
+
+// ObserveBytes records a bytes-moved-per-compile observation that did
+// not come from a simulator run (the daemon feeds analytic estimates
+// through this when a request asks for an estimate only).
+func (g *Registry) ObserveBytes(version string, bytes float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.histLocked(g.bytes, version, BytesBuckets).Observe(bytes)
+}
+
+// histLocked returns (allocating on demand) the labeled histogram of a
+// family. Callers hold g.mu.
+func (g *Registry) histLocked(family map[string]*Histogram, label string, buckets []float64) *Histogram {
+	h := family[label]
+	if h == nil {
+		h = NewHistogram(buckets)
+		family[label] = h
+	}
+	return h
+}
+
+// Requests returns the total number of absorbed requests.
+func (g *Registry) Requests() int64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var n int64
+	for _, v := range g.requests {
+		n += v
+	}
+	return n
+}
+
+// Counter returns an aggregated counter's value.
+func (g *Registry) Counter(name string) int64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.counters[name]
+}
+
+// snapshot copies the registry state so rendering happens outside the
+// lock.
+func (g *Registry) snapshot() (req map[string]int64, ctr map[string]int64, gau map[string]float64, phase, placed, bytes map[string]*Histogram) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	req = copyMap(g.requests)
+	ctr = copyMap(g.counters)
+	gau = copyMap(g.gauges)
+	cloneHists := func(m map[string]*Histogram) map[string]*Histogram {
+		out := make(map[string]*Histogram, len(m))
+		for k, h := range m {
+			out[k] = h.clone()
+		}
+		return out
+	}
+	return req, ctr, gau, cloneHists(g.phase), cloneHists(g.placed), cloneHists(g.bytes)
+}
+
+func copyMap[V int64 | float64](m map[string]V) map[string]V {
+	out := make(map[string]V, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): # HELP and # TYPE headers per
+// family, samples with sorted label values, histograms as cumulative
+// _bucket series ending at le="+Inf" plus _sum and _count.
+func (g *Registry) WritePrometheus(w io.Writer) error {
+	if g == nil {
+		return nil
+	}
+	req, ctr, gau, phase, placed, bytes := g.snapshot()
+	var b strings.Builder
+	writeScalarFamily(&b, "gcao_requests_total", "counter",
+		"Compile requests absorbed into the registry, by status.", "status", req)
+	writeScalarFamily(&b, "gcao_pipeline_counter_total", "counter",
+		"Aggregated pipeline recorder counters, by dotted counter name.", "name", ctr)
+	writeScalarFamily(&b, "gcao_pipeline_gauge", "gauge",
+		"Last written value of each pipeline recorder gauge, by name.", "name", gau)
+	writeHistFamily(&b, "gcao_phase_seconds",
+		"Pipeline phase latency in seconds, by phase (span) name.", "phase", phase)
+	writeHistFamily(&b, "gcao_placed_messages",
+		"Placed communication groups per compile, by compiler version.", "version", placed)
+	writeHistFamily(&b, "gcao_comm_bytes",
+		"Bytes moved per compile (simulated or estimated), by compiler version.", "version", bytes)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeScalarFamily[V int64 | float64](b *strings.Builder, name, typ, help, label string, samples map[string]V) {
+	if len(samples) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	for _, k := range sortedKeys(samples) {
+		fmt.Fprintf(b, "%s{%s=%s} %s\n", name, label, quoteLabel(k), formatValue(float64(samples[k])))
+	}
+}
+
+func writeHistFamily(b *strings.Builder, name, help, label string, hists map[string]*Histogram) {
+	if len(hists) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for _, k := range sortedKeys(hists) {
+		h := hists[k]
+		cum := h.Cumulative()
+		bounds := h.Bounds()
+		lv := quoteLabel(k)
+		for i, bound := range bounds {
+			fmt.Fprintf(b, "%s_bucket{%s=%s,le=\"%s\"} %d\n", name, label, lv, formatValue(bound), cum[i])
+		}
+		fmt.Fprintf(b, "%s_bucket{%s=%s,le=\"+Inf\"} %d\n", name, label, lv, cum[len(cum)-1])
+		fmt.Fprintf(b, "%s_sum{%s=%s} %s\n", name, label, lv, formatValue(h.Sum()))
+		fmt.Fprintf(b, "%s_count{%s=%s} %d\n", name, label, lv, h.Count())
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// formatValue renders a sample value the way Prometheus clients do:
+// shortest round-trip representation.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// quoteLabel renders a label value per the exposition format:
+// backslash, double quote and newline escaped, wrapped in quotes.
+func quoteLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return `"` + s + `"`
+}

@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 4, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 107 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	// le=1 catches 0.5 and the boundary value 1; le=2 adds 1.5; le=4
+	// adds the boundary 4; +Inf adds 100.
+	want := []uint64{2, 3, 4, 5}
+	got := h.Cumulative()
+	if len(got) != len(want) {
+		t.Fatalf("cumulative = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cumulative = %v, want %v", got, want)
+		}
+	}
+	// A nil histogram is inert.
+	var nilH *Histogram
+	nilH.Observe(1)
+	if nilH.Count() != 0 || nilH.Sum() != 0 || nilH.Cumulative() != nil {
+		t.Fatal("nil histogram retained state")
+	}
+}
+
+func TestHistogramDropsExplicitInf(t *testing.T) {
+	h := NewHistogram([]float64{1, math.Inf(1)})
+	if got := len(h.Bounds()); got != 1 {
+		t.Fatalf("bounds = %v", h.Bounds())
+	}
+}
+
+func TestRegistryAbsorbAndRender(t *testing.T) {
+	rec := New()
+	rec.Start("parse")()
+	rec.Start("place:comb")()
+	rec.Add("place.comb.entries", 20)
+	rec.Add("place.comb.groups", 8)
+	rec.Add("spmd.comb.bytes", 4096)
+	rec.Gauge("comm.ratio", 0.4)
+
+	reg := NewRegistry()
+	reg.Absorb(rec, "ok")
+	reg.Absorb(nil, "error") // nil recorder still counts the request
+
+	if reg.Requests() != 2 {
+		t.Fatalf("requests = %d", reg.Requests())
+	}
+	if reg.Counter("place.comb.groups") != 8 {
+		t.Fatalf("counter = %d", reg.Counter("place.comb.groups"))
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if err := CheckPromText(buf.Bytes()); err != nil {
+		t.Fatalf("exposition not parseable: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		`gcao_requests_total{status="ok"} 1`,
+		`gcao_requests_total{status="error"} 1`,
+		`gcao_pipeline_counter_total{name="place.comb.groups"} 8`,
+		`gcao_pipeline_gauge{name="comm.ratio"} 0.4`,
+		`gcao_phase_seconds_bucket{phase="parse",le="+Inf"} 1`,
+		`gcao_phase_seconds_count{phase="parse"} 1`,
+		`gcao_placed_messages_bucket{version="comb",le="8"} 1`,
+		`gcao_placed_messages_sum{version="comb"} 8`,
+		`gcao_comm_bytes_bucket{version="comb",le="4096"} 1`,
+		`# TYPE gcao_phase_seconds histogram`,
+		`# TYPE gcao_requests_total counter`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+	// A second render with no new absorption is byte-identical
+	// (deterministic label order).
+	var buf2 bytes.Buffer
+	if err := reg.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatal("exposition not deterministic")
+	}
+}
+
+func TestRegistryObserveBytes(t *testing.T) {
+	reg := NewRegistry()
+	reg.ObserveBytes("comb", 1000)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `gcao_comm_bytes_count{version="comb"} 1`) {
+		t.Fatalf("estimate bytes not observed:\n%s", buf.String())
+	}
+}
+
+func TestCheckPromTextRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"metric_without_type 1\n",
+		"# TYPE m counter\nm{unterminated=\"x} 1\n",
+		"# TYPE m histogram\nm_bucket{le=\"1\"} 5\nm_bucket{le=\"2\"} 3\nm_bucket{le=\"+Inf\"} 5\nm_sum 1\nm_count 5\n",
+		"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n", // missing _sum
+		"not a metric line at all\n",
+	} {
+		if err := CheckPromText([]byte(bad)); err == nil {
+			t.Errorf("CheckPromText accepted %q", bad)
+		}
+	}
+	good := "# HELP m things\n# TYPE m counter\nm{l=\"a\"} 1\nm{l=\"b\"} 2\n"
+	if err := CheckPromText([]byte(good)); err != nil {
+		t.Errorf("CheckPromText rejected valid text: %v", err)
+	}
+}
+
+func TestDecisionRingBoundsAndLookup(t *testing.T) {
+	ring := NewDecisionRing(3)
+	for i := 0; i < 5; i++ {
+		ring.Add(RequestRecord{
+			ID:       fmt.Sprintf("r%d", i),
+			Status:   "ok",
+			Decision: []Decision{{Entry: i, SubsumedBy: -1, Group: -1}},
+		})
+	}
+	if ring.Len() != 3 {
+		t.Fatalf("len = %d", ring.Len())
+	}
+	if _, ok := ring.Get("r0"); ok {
+		t.Fatal("evicted record still retrievable")
+	}
+	rec, ok := ring.Get("r4")
+	if !ok || len(rec.Decision) != 1 || rec.Decision[0].Entry != 4 {
+		t.Fatalf("get r4 = %+v ok=%v", rec, ok)
+	}
+	ids := ring.IDs()
+	if len(ids) != 3 || ids[0] != "r4" || ids[2] != "r2" {
+		t.Fatalf("ids = %v", ids)
+	}
+	// Nil and zero-capacity rings are inert.
+	var nilRing *DecisionRing
+	nilRing.Add(RequestRecord{ID: "x"})
+	if nilRing.Len() != 0 || nilRing.IDs() != nil {
+		t.Fatal("nil ring retained state")
+	}
+	zero := NewDecisionRing(0)
+	zero.Add(RequestRecord{ID: "x"})
+	if zero.Len() != 0 {
+		t.Fatal("zero-capacity ring retained a record")
+	}
+}
+
+func TestLoggerLevelsAndBinding(t *testing.T) {
+	var buf bytes.Buffer
+	base := NewLogger(&buf, LevelInfo)
+	base.now = func() time.Time { return time.Unix(12, 0) }
+	l := base.With(F("req", "r1"))
+	l.Debug("dropped")
+	l.Info("kept", F("n", 3), F("arr", "cu"))
+	l.Error("boom", F("err", "bad"))
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 lines, got %d: %q", len(lines), buf.String())
+	}
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("line not JSON: %v", err)
+	}
+	if ev["level"] != "info" || ev["event"] != "kept" || ev["req"] != "r1" || ev["n"] != 3.0 {
+		t.Fatalf("event fields wrong: %v", ev)
+	}
+	if _, ok := ev["ts"]; !ok {
+		t.Fatal("event missing ts")
+	}
+	// Field order: bound fields lead, call fields follow, insertion order.
+	if !strings.Contains(lines[0], `"req":"r1","n":3,"arr":"cu"`) {
+		t.Fatalf("field order lost: %s", lines[0])
+	}
+	// Nil logger and detached recorder are inert.
+	var nilL *Logger
+	nilL.Info("x")
+	if nilL.With(F("a", 1)) != nil {
+		t.Fatal("nil With should stay nil")
+	}
+	if nilL.Enabled(LevelError) {
+		t.Fatal("nil logger enabled")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{"debug": LevelDebug, "info": LevelInfo, "warning": LevelWarn, "ERROR": LevelError} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted garbage")
+	}
+}
+
+func TestRecorderEventCarriesReqID(t *testing.T) {
+	var buf bytes.Buffer
+	rec := New()
+	rec.SetLog(NewLogger(&buf, LevelDebug), "req-9")
+	rec.Start("parse")() // emits phase.done at debug
+	rec.Event(LevelInfo, "place.done", F("groups", 4))
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 events, got %d: %q", len(lines), out)
+	}
+	for _, line := range lines {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("event not JSON: %v", err)
+		}
+		if ev["req"] != "req-9" {
+			t.Fatalf("event missing request id: %s", line)
+		}
+	}
+	// Detaching stops emission; nil recorder stays inert.
+	rec.SetLog(nil, "")
+	rec.Event(LevelError, "late")
+	if strings.Count(buf.String(), "\n") != 2 {
+		t.Fatal("detached recorder still logged")
+	}
+	var nilRec *Recorder
+	nilRec.SetLog(NewLogger(&buf, LevelDebug), "x")
+	nilRec.Event(LevelError, "x")
+}

@@ -1,0 +1,87 @@
+package obs
+
+import "sync"
+
+// RequestRecord is the retained observability residue of one served
+// compile request: its id, outcome, the full placement decision log,
+// and the final counters. The daemon keeps the most recent records in
+// a DecisionRing so `GET /debug/decisions/{id}` can answer "why did
+// the compiler place it there?" for traffic that already completed.
+type RequestRecord struct {
+	ID       string           `json:"id"`
+	UnixNS   int64            `json:"unix_ns"`
+	Strategy string           `json:"strategy,omitempty"`
+	Status   string           `json:"status"`
+	Error    string           `json:"error,omitempty"`
+	Decision []Decision       `json:"decisions,omitempty"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// DecisionRing is a bounded, concurrency-safe ring of RequestRecords:
+// adding beyond the capacity evicts the oldest record.
+type DecisionRing struct {
+	mu   sync.Mutex
+	cap  int
+	recs []RequestRecord // oldest first
+}
+
+// NewDecisionRing builds a ring holding at most n records (n <= 0
+// disables retention).
+func NewDecisionRing(n int) *DecisionRing {
+	return &DecisionRing{cap: n}
+}
+
+// Add retains one record, evicting the oldest when full.
+func (r *DecisionRing) Add(rec RequestRecord) {
+	if r == nil || r.cap <= 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recs = append(r.recs, rec)
+	if len(r.recs) > r.cap {
+		// Shift rather than reslice so the backing array does not pin
+		// evicted records' decision logs.
+		copy(r.recs, r.recs[1:])
+		r.recs = r.recs[:r.cap]
+	}
+}
+
+// Get returns the record with the given id, newest match first.
+func (r *DecisionRing) Get(id string) (RequestRecord, bool) {
+	if r == nil {
+		return RequestRecord{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := len(r.recs) - 1; i >= 0; i-- {
+		if r.recs[i].ID == id {
+			return r.recs[i], true
+		}
+	}
+	return RequestRecord{}, false
+}
+
+// IDs returns the retained request ids, newest first.
+func (r *DecisionRing) IDs() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.recs))
+	for i := len(r.recs) - 1; i >= 0; i-- {
+		out = append(out, r.recs[i].ID)
+	}
+	return out
+}
+
+// Len returns the number of retained records.
+func (r *DecisionRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.recs)
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestTraceRoundTrip decodes WriteTrace output through encoding/json
+// and checks the structural contract of the Chrome trace_event format:
+// an object with a traceEvents array of "X" (complete) events carrying
+// non-negative microsecond timestamps that are monotonically
+// consistent — every span lies inside the recorder's observed window,
+// nested spans lie inside the window of an enclosing shallower span,
+// and the final counters land on one "i" instant event at the end.
+func TestTraceRoundTrip(t *testing.T) {
+	r := New()
+	endOuter := r.Start("outer")
+	r.Start("inner-a")()
+	r.Start("inner-b")()
+	endOuter()
+	r.Start("tail")()
+	r.Add("groups", 7)
+
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var f struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   *int64         `json:"ts"`
+			Dur  int64          `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+	if len(f.TraceEvents) != 5 { // 4 spans + 1 metrics instant
+		t.Fatalf("want 5 events, got %d", len(f.TraceEvents))
+	}
+
+	type win struct {
+		name       string
+		start, end int64
+		depth      int
+	}
+	var spans []win
+	var maxEnd int64
+	var instant *int64
+	for _, e := range f.TraceEvents {
+		switch e.Ph {
+		case "X":
+			if e.TS == nil || *e.TS < 0 || e.Dur < 0 {
+				t.Fatalf("span %q has inconsistent timestamps: ts=%v dur=%d", e.Name, e.TS, e.Dur)
+			}
+			depth, ok := e.Args["depth"].(float64)
+			if !ok {
+				t.Fatalf("span %q missing depth arg", e.Name)
+			}
+			if _, ok := e.Args["alloc_bytes"]; !ok {
+				t.Fatalf("span %q missing alloc_bytes arg", e.Name)
+			}
+			spans = append(spans, win{e.Name, *e.TS, *e.TS + e.Dur, int(depth)})
+			if end := *e.TS + e.Dur; end > maxEnd {
+				maxEnd = end
+			}
+		case "i":
+			if instant != nil {
+				t.Fatal("more than one instant event")
+			}
+			instant = e.TS
+			if g, ok := e.Args["groups"].(float64); !ok || g != 7 {
+				t.Fatalf("instant event lost counters: %v", e.Args)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	// Every nested span must fit inside some enclosing shallower span's
+	// window — the time containment chrome://tracing reconstructs the
+	// stack from.
+	for _, s := range spans {
+		if s.depth == 0 {
+			continue
+		}
+		contained := false
+		for _, p := range spans {
+			if p.depth == s.depth-1 && p.start <= s.start && s.end <= p.end {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			t.Fatalf("nested span %q (depth %d, [%d,%d]) not contained in any parent", s.name, s.depth, s.start, s.end)
+		}
+	}
+	// The counters instant sits at the trace's end.
+	if instant == nil || *instant != maxEnd {
+		t.Fatalf("instant event at %v, want max span end %d", instant, maxEnd)
+	}
+	// Round-trip: re-encoding the decoded document must stay valid JSON
+	// with the same event count.
+	re, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(re, &back); err != nil {
+		t.Fatalf("re-encoded trace invalid: %v", err)
+	}
+}

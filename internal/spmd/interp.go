@@ -152,6 +152,12 @@ func (it *interp) finishProfile(rec *obs.Recorder) {
 	rec.Add(prefix+"messages", int64(it.led.DynMessages))
 	rec.Add(prefix+"bytes", int64(it.led.BytesMoved))
 	rec.Add(prefix+"barriers", int64(it.led.Barriers))
+	rec.Event(obs.LevelInfo, "simulate.done",
+		obs.F("version", it.res.Version.String()),
+		obs.F("procs", it.led.P),
+		obs.F("messages", it.led.DynMessages),
+		obs.F("bytes", it.led.BytesMoved),
+		obs.F("barriers", it.led.Barriers))
 }
 
 func (it *interp) run() error {
