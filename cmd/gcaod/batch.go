@@ -1,0 +1,128 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"gcao/internal/obs"
+	"gcao/internal/sched"
+)
+
+// maxBatchItems bounds one /compile/batch request; a larger batch is
+// rejected outright rather than partially admitted.
+const maxBatchItems = 64
+
+// batchRequest is the POST /compile/batch body: a list of independent
+// compile requests scheduled together through the bounded worker pool.
+type batchRequest struct {
+	Items []compileRequest `json:"items"`
+}
+
+// batchItemResult is one item's outcome. Exactly one of Response and
+// Error is set; Status is the item's HTTP-equivalent status code.
+type batchItemResult struct {
+	Index    int              `json:"index"`
+	ReqID    string           `json:"req_id"`
+	Status   int              `json:"status"`
+	Response *compileResponse `json:"response,omitempty"`
+	Error    string           `json:"error,omitempty"`
+}
+
+// batchResponse is the POST /compile/batch result.
+type batchResponse struct {
+	Items     []batchItemResult `json:"items"`
+	Succeeded int               `json:"succeeded"`
+	Failed    int               `json:"failed"`
+}
+
+// handleCompileBatch schedules every item of the batch onto the worker
+// pool and reports per-item status. Items run with at most -workers
+// concurrency; items that do not fit in the admission queue fail with
+// 429 individually. If every item was rejected for queue overflow the
+// whole batch is a 429 (with Retry-After), so a saturated daemon looks
+// the same to batch and single-shot clients.
+func (s *server) handleCompileBatch(w http.ResponseWriter, r *http.Request) {
+	batchID := fmt.Sprintf("b%06d", s.seq.Add(1))
+	t0 := time.Now()
+	req, err := decodeJSONBody[batchRequest](r, s.cfg.maxBody)
+	if err != nil {
+		s.reg.Absorb(nil, "error")
+		writeError(w, batchID, err)
+		return
+	}
+	if len(req.Items) == 0 {
+		s.reg.Absorb(nil, "error")
+		writeError(w, batchID, badRequestError{errors.New("batch has no items")})
+		return
+	}
+	if len(req.Items) > maxBatchItems {
+		s.reg.Absorb(nil, "error")
+		writeError(w, batchID, badRequestError{
+			fmt.Errorf("batch has %d items, limit is %d", len(req.Items), maxBatchItems)})
+		return
+	}
+
+	type itemState struct {
+		id     string
+		rec    *obs.Recorder
+		cancel context.CancelFunc
+	}
+	states := make([]itemState, len(req.Items))
+	tasks := make([]sched.BatchTask, len(req.Items))
+	for i, item := range req.Items {
+		id := fmt.Sprintf("r%06d", s.seq.Add(1))
+		rec := obs.New()
+		// Each item gets the same per-request deadline a single-shot
+		// /compile gets; the batch ctx cancels them all if the client
+		// goes away.
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.reqTimeout)
+		states[i] = itemState{id: id, rec: rec, cancel: cancel}
+		item := item
+		tasks[i] = sched.BatchTask{
+			Ctx: ctx,
+			Run: func(context.Context) (any, error) {
+				return s.compile(id, rec, item)
+			},
+		}
+	}
+	results := s.pool.Batch(r.Context(), tasks)
+	for i := range states {
+		states[i].cancel()
+	}
+
+	resp := batchResponse{Items: make([]batchItemResult, len(results))}
+	allQueueFull := true
+	for _, res := range results {
+		st := states[res.Index]
+		item := batchItemResult{Index: res.Index, ReqID: st.id, Status: http.StatusOK}
+		var cresp *compileResponse
+		if c, ok := res.Value.(*compileResponse); ok {
+			cresp = c
+			item.Response = c
+		}
+		if res.Err != nil {
+			item.Status = httpStatus(res.Err)
+			item.Error = res.Err.Error()
+			resp.Failed++
+		} else {
+			resp.Succeeded++
+		}
+		if !errors.Is(res.Err, sched.ErrQueueFull) {
+			allQueueFull = false
+		}
+		resp.Items[res.Index] = item
+		s.record(st.id, t0, st.rec, cresp, res.Err)
+	}
+	s.log.Info("http.batch",
+		obs.F("req", batchID), obs.F("items", len(results)),
+		obs.F("ok", resp.Succeeded), obs.F("failed", resp.Failed),
+		obs.F("dur_us", time.Since(t0).Microseconds()))
+	if allQueueFull {
+		writeError(w, batchID, sched.ErrQueueFull)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -6,14 +6,20 @@
 // Endpoints:
 //
 //	POST /compile              source in, placement report + metrics doc out
+//	POST /compile/batch        many compile requests through the bounded scheduler
 //	GET  /metrics              Prometheus text exposition of the global registry
-//	GET  /healthz              liveness + uptime + request count
+//	GET  /healthz              liveness + version + uptime + request count
+//	GET  /debug/cache          compilation-cache and scheduler counters
 //	GET  /debug/decisions      ids of the retained per-request decision logs
 //	GET  /debug/decisions/{id} one request's full placement decision log
 //	GET  /debug/pprof/...      net/http/pprof
 //
-// The daemon shuts down gracefully on SIGINT/SIGTERM and bounds every
-// /compile request with -timeout.
+// Repeated and concurrent identical requests are served from a
+// content-addressed compilation cache (-cache-entries, -cache-bytes);
+// compile work runs on a bounded worker pool (-workers, -queue-depth)
+// that sheds load with 429 + Retry-After when the admission queue is
+// full. The daemon shuts down gracefully on SIGINT/SIGTERM and bounds
+// every compile with -timeout.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"syscall"
 	"time"
 
@@ -35,18 +42,35 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request compile timeout")
 	ringSize := flag.Int("ring", 256, "retained per-request decision logs")
 	logLevel := flag.String("log-level", "info", "structured log threshold: debug, info, warn, error")
+	cacheEntries := flag.Int("cache-entries", 1024, "max entries per compilation-cache tier")
+	cacheBytes := flag.Int64("cache-bytes", 256<<20, "max estimated bytes per compilation-cache tier")
+	workers := flag.Int("workers", 0, "compile worker goroutines (0: GOMAXPROCS)")
+	queueDepth := flag.Int("queue-depth", 64, "compile admission queue depth; overflow is a 429")
+	showVersion := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+
+	version := buildVersion()
+	if *showVersion {
+		fmt.Println("gcaod", version)
+		return
+	}
 
 	level, err := obs.ParseLevel(*logLevel)
 	if err != nil {
 		fatal(err)
 	}
 	s := newServer(serverConfig{
-		reqTimeout: *timeout,
-		ringSize:   *ringSize,
-		logW:       os.Stderr,
-		logLevel:   level,
+		reqTimeout:   *timeout,
+		ringSize:     *ringSize,
+		cacheEntries: *cacheEntries,
+		cacheBytes:   *cacheBytes,
+		workers:      *workers,
+		queueDepth:   *queueDepth,
+		version:      version,
+		logW:         os.Stderr,
+		logLevel:     level,
 	})
+	defer s.close()
 	srv := &http.Server{Addr: *addr, Handler: s.handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -54,7 +78,13 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	s.log.Info("gcaod.start", obs.F("addr", *addr), obs.F("timeout", timeout.String()))
+	s.log.Info("gcaod.start",
+		obs.F("addr", *addr), obs.F("version", version),
+		obs.F("timeout", timeout.String()),
+		obs.F("cache_entries", s.cfg.cacheEntries),
+		obs.F("cache_bytes", s.cfg.cacheBytes),
+		obs.F("workers", s.cfg.workers),
+		obs.F("queue_depth", s.cfg.queueDepth))
 
 	select {
 	case err := <-errCh:
@@ -67,6 +97,34 @@ func main() {
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
+}
+
+// buildVersion derives a build identity from the embedded VCS stamp:
+// the short revision (with a -dirty suffix for modified trees), or
+// "dev" when the binary was built without VCS information.
+func buildVersion() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	var rev, dirty string
+	for _, kv := range info.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			rev = kv.Value
+		case "vcs.modified":
+			if kv.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return "dev"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return rev + dirty
 }
 
 func fatal(err error) {

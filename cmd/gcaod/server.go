@@ -1,44 +1,65 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"sync/atomic"
 	"time"
 
 	"gcao"
 	"gcao/internal/obs"
+	"gcao/internal/sched"
 )
 
 // serverConfig are the daemon's tunables; main fills them from flags,
 // tests construct them directly.
 type serverConfig struct {
-	// reqTimeout bounds one /compile request end to end.
+	// reqTimeout bounds one /compile request (and each /compile/batch
+	// item) end to end.
 	reqTimeout time.Duration
 	// ringSize bounds the retained per-request decision logs.
 	ringSize int
-	// maxBody bounds a /compile request body in bytes.
+	// maxBody bounds a request body in bytes; a larger body is a 413.
 	maxBody int64
+	// cacheEntries and cacheBytes size each tier of the
+	// content-addressed compilation cache.
+	cacheEntries int
+	cacheBytes   int64
+	// workers and queueDepth bound the compile scheduler; admission
+	// overflow is a 429.
+	workers    int
+	queueDepth int
+	// version identifies the build in /healthz and the startup log.
+	version string
 	// logW + logLevel configure the structured event log.
 	logW     io.Writer
 	logLevel obs.Level
 }
 
 // server is the gcaod daemon state: one process-global metrics
-// registry every request is absorbed into, a bounded ring of recent
-// request decision logs, the structured event log, and a request
-// sequence for ids.
+// registry every request is absorbed into, the content-addressed
+// compilation cache, the bounded compile scheduler, a bounded ring of
+// recent request decision logs, the structured event log, and a
+// request sequence for ids.
 type server struct {
 	cfg   serverConfig
 	reg   *gcao.Registry
+	cache *gcao.Cache
+	pool  *sched.Pool
 	ring  *obs.DecisionRing
 	log   *gcao.Logger
 	start time.Time
 	seq   atomic.Int64
+
+	// testHook, when non-nil, runs at the start of every compile job;
+	// tests use it to hold workers busy deterministically.
+	testHook func()
 }
 
 func newServer(cfg serverConfig) *server {
@@ -51,18 +72,58 @@ func newServer(cfg serverConfig) *server {
 	if cfg.maxBody <= 0 {
 		cfg.maxBody = 4 << 20
 	}
+	if cfg.cacheEntries <= 0 {
+		cfg.cacheEntries = 1024
+	}
+	if cfg.cacheBytes <= 0 {
+		cfg.cacheBytes = 256 << 20
+	}
+	if cfg.workers <= 0 {
+		cfg.workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.queueDepth <= 0 {
+		cfg.queueDepth = 64
+	}
+	if cfg.version == "" {
+		cfg.version = "dev"
+	}
 	var log *gcao.Logger
 	if cfg.logW != nil {
 		log = gcao.NewLogger(cfg.logW, cfg.logLevel)
 	}
-	return &server{
+	s := &server{
 		cfg:   cfg,
 		reg:   gcao.NewRegistry(),
+		cache: gcao.NewCache(gcao.CacheOptions{MaxEntries: cfg.cacheEntries, MaxBytes: cfg.cacheBytes}),
+		pool:  sched.New(cfg.workers, cfg.queueDepth),
 		ring:  obs.NewDecisionRing(cfg.ringSize),
 		log:   log,
 		start: time.Now(),
 	}
+	s.reg.SetCacheStatsFunc(s.cacheTierStats)
+	return s
 }
+
+// cacheTierStats adapts the cache snapshot to the registry's
+// gcao_cache_* exposition families.
+func (s *server) cacheTierStats() []obs.CacheTierStats {
+	st := s.cache.Stats()
+	tier := func(name string, t gcao.CacheTierStats) obs.CacheTierStats {
+		return obs.CacheTierStats{
+			Tier:          name,
+			Entries:       t.Entries,
+			Bytes:         t.Bytes,
+			Hits:          t.Hits,
+			Misses:        t.Misses,
+			InflightWaits: t.InflightWaits,
+			Evictions:     t.Evictions,
+		}
+	}
+	return []obs.CacheTierStats{tier("compile", st.Compile), tier("place", st.Place)}
+}
+
+// close releases the worker pool; queued jobs fail with ErrClosed.
+func (s *server) close() { s.pool.Close() }
 
 // handler builds the daemon's route table.
 func (s *server) handler() http.Handler {
@@ -70,8 +131,10 @@ func (s *server) handler() http.Handler {
 	mux.Handle("POST /compile", http.TimeoutHandler(
 		http.HandlerFunc(s.handleCompile), s.cfg.reqTimeout,
 		`{"error":"compile timed out"}`))
+	mux.HandleFunc("POST /compile/batch", s.handleCompileBatch)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /debug/cache", s.handleCacheStats)
 	mux.HandleFunc("GET /debug/decisions", s.handleDecisionList)
 	mux.HandleFunc("GET /debug/decisions/{id}", s.handleDecisions)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -82,7 +145,8 @@ func (s *server) handler() http.Handler {
 	return mux
 }
 
-// compileRequest is the POST /compile body.
+// compileRequest is the POST /compile body (and one /compile/batch
+// item).
 type compileRequest struct {
 	// Source is the mini-HPF text; Main selects the entry routine of a
 	// multi-routine program (empty: Source is a single routine).
@@ -103,17 +167,26 @@ type compileRequest struct {
 	Simulate bool `json:"simulate,omitempty"`
 }
 
-// compileResponse is the POST /compile result: the placement report
-// plus the request's full metrics document.
+// compileResponse is the POST /compile result: the placement report,
+// how the cache satisfied the request, plus the request's full metrics
+// document.
 type compileResponse struct {
 	ReqID    string         `json:"req_id"`
 	Strategy string         `json:"strategy"`
 	Machine  string         `json:"machine"`
 	Messages int            `json:"messages"`
 	Counts   map[string]int `json:"counts"`
+	Cache    *cacheDoc      `json:"cache,omitempty"`
 	Estimate *estimateDoc   `json:"estimate,omitempty"`
 	Simulate *simulateDoc   `json:"simulate,omitempty"`
 	Metrics  obs.MetricsDoc `json:"metrics"`
+}
+
+// cacheDoc reports how each tier satisfied the request: "hit", "miss"
+// or "dedup" (coalesced onto a concurrent identical request).
+type cacheDoc struct {
+	Compile string `json:"compile"`
+	Place   string `json:"place"`
 }
 
 type estimateDoc struct {
@@ -133,7 +206,31 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	id := fmt.Sprintf("r%06d", s.seq.Add(1))
 	t0 := time.Now()
 	rec := obs.New()
-	resp, err := s.compile(id, rec, r)
+	var resp *compileResponse
+	req, err := decodeJSONBody[compileRequest](r, s.cfg.maxBody)
+	if err == nil {
+		var v any
+		v, err = s.pool.Submit(r.Context(), func(context.Context) (any, error) {
+			return s.compile(id, rec, req)
+		})
+		if c, ok := v.(*compileResponse); ok {
+			resp = c
+		}
+	}
+	status := s.record(id, t0, rec, resp, err)
+	s.log.Info("http.compile",
+		obs.F("req", id), obs.F("status", status),
+		obs.F("dur_us", time.Since(t0).Microseconds()))
+	if err != nil {
+		writeError(w, id, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// record absorbs one request's recorder into the registry, retains its
+// decision log in the ring, and returns the status label.
+func (s *server) record(id string, t0 time.Time, rec *obs.Recorder, resp *compileResponse, err error) string {
 	status := "ok"
 	if err != nil {
 		status = "error"
@@ -153,14 +250,7 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		record.Error = err.Error()
 	}
 	s.ring.Add(record)
-	s.log.Info("http.compile",
-		obs.F("req", id), obs.F("status", status),
-		obs.F("dur_us", time.Since(t0).Microseconds()))
-	if err != nil {
-		writeJSON(w, httpStatus(err), map[string]string{"req_id": id, "error": err.Error()})
-		return
-	}
-	writeJSON(w, http.StatusOK, resp)
+	return status
 }
 
 // badRequestError marks client-side failures (malformed body, unknown
@@ -170,21 +260,62 @@ type badRequestError struct{ err error }
 func (e badRequestError) Error() string { return e.err.Error() }
 func (e badRequestError) Unwrap() error { return e.err }
 
+// payloadTooLargeError marks a body that tripped MaxBytesReader.
+type payloadTooLargeError struct{ err error }
+
+func (e payloadTooLargeError) Error() string { return e.err.Error() }
+func (e payloadTooLargeError) Unwrap() error { return e.err }
+
 func httpStatus(err error) int {
+	var big payloadTooLargeError
+	if errors.As(err, &big) {
+		return http.StatusRequestEntityTooLarge
+	}
 	var bad badRequestError
 	if errors.As(err, &bad) {
 		return http.StatusBadRequest
 	}
+	switch {
+	case errors.Is(err, sched.ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, sched.ErrClosed):
+		return http.StatusServiceUnavailable
+	}
 	return http.StatusInternalServerError
 }
 
-// compile runs one request through the public pipeline API with a
+// writeError maps an error to its status and JSON body; queue
+// overflows carry a Retry-After so well-behaved clients back off.
+func writeError(w http.ResponseWriter, id string, err error) {
+	code := httpStatus(err)
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, map[string]string{"req_id": id, "error": err.Error()})
+}
+
+// decodeJSONBody decodes a bounded request body, classifying oversized
+// bodies (413) apart from malformed ones (400).
+func decodeJSONBody[T any](r *http.Request, maxBody int64) (T, error) {
+	var v T
+	body := http.MaxBytesReader(nil, r.Body, maxBody)
+	if err := json.NewDecoder(body).Decode(&v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return v, payloadTooLargeError{fmt.Errorf("request body exceeds %d bytes", maxBody)}
+		}
+		return v, badRequestError{fmt.Errorf("decoding request: %w", err)}
+	}
+	return v, nil
+}
+
+// compile runs one request through the cached pipeline with a
 // request-scoped recorder attached.
-func (s *server) compile(id string, rec *obs.Recorder, r *http.Request) (*compileResponse, error) {
-	var req compileRequest
-	body := http.MaxBytesReader(nil, r.Body, s.cfg.maxBody)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		return nil, badRequestError{fmt.Errorf("decoding request: %w", err)}
+func (s *server) compile(id string, rec *obs.Recorder, req compileRequest) (*compileResponse, error) {
+	if s.testHook != nil {
+		s.testHook()
 	}
 	strategy, err := gcao.StrategyByName(req.Strategy)
 	if err != nil {
@@ -205,16 +336,19 @@ func (s *server) compile(id string, rec *obs.Recorder, r *http.Request) (*compil
 		Log:    s.log,
 		ReqID:  id,
 	}
-	var c *gcao.Compilation
+	var (
+		c       *gcao.Compilation
+		compOut gcao.CacheOutcome
+	)
 	if req.Main != "" {
-		c, err = gcao.CompileProgram(req.Source, req.Main, cfg)
+		c, compOut, err = s.cache.CompileProgram(req.Source, req.Main, cfg)
 	} else {
-		c, err = gcao.Compile(req.Source, cfg)
+		c, compOut, err = s.cache.Compile(req.Source, cfg)
 	}
 	if err != nil {
 		return nil, badRequestError{err}
 	}
-	placed, err := c.Place(strategy)
+	placed, placeOut, err := s.cache.Place(c, strategy, gcao.PlacementOptions{}, rec)
 	if err != nil {
 		return nil, badRequestError{err}
 	}
@@ -224,6 +358,7 @@ func (s *server) compile(id string, rec *obs.Recorder, r *http.Request) (*compil
 		Machine:  m.Name,
 		Messages: placed.Messages(),
 		Counts:   map[string]int{},
+		Cache:    &cacheDoc{Compile: compOut.String(), Place: placeOut.String()},
 	}
 	for kind, n := range placed.MessageCounts() {
 		resp.Counts[kind.String()] = n
@@ -242,7 +377,7 @@ func (s *server) compile(id string, rec *obs.Recorder, r *http.Request) (*compil
 	}
 	if req.Simulate {
 		procs := c.Analysis.Unit.Grid.NumProcs()
-		run, err := placed.Simulate(m, procs)
+		run, err := placed.SimulateObs(m, procs, rec)
 		if err != nil {
 			return nil, badRequestError{fmt.Errorf("simulate: %w", err)}
 		}
@@ -266,8 +401,19 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
+		"version":        s.cfg.version,
+		"go":             runtime.Version(),
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"requests":       s.reg.Requests(),
+	})
+}
+
+// handleCacheStats serves the cache tiers' and scheduler's counters as
+// JSON for operators (the same numbers /metrics exposes for scraping).
+func (s *server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cache":     s.cache.Stats(),
+		"scheduler": s.pool.Stats(),
 	})
 }
 

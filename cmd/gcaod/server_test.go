@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -262,6 +263,383 @@ func TestHealthz(t *testing.T) {
 	}
 	if h.Status != "ok" || h.Uptime < 0 {
 		t.Fatalf("healthz = %+v", h)
+	}
+}
+
+// TestCompileCacheHit pins the tentpole behavior end to end: a
+// repeated identical request is served from the compilation cache, the
+// response says so, and the gcao_cache_* families report it.
+func TestCompileCacheHit(t *testing.T) {
+	_, ts := testServer(t)
+	body := map[string]any{
+		"source": stencilSrc,
+		"params": map[string]int{"n": 12, "steps": 2},
+		"procs":  4,
+	}
+	resp1, out1 := postCompile(t, ts, body)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first compile status = %d", resp1.StatusCode)
+	}
+	if out1.Cache == nil || out1.Cache.Compile != "miss" || out1.Cache.Place != "miss" {
+		t.Fatalf("first request cache doc = %+v, want miss/miss", out1.Cache)
+	}
+	resp2, out2 := postCompile(t, ts, body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second compile status = %d", resp2.StatusCode)
+	}
+	if out2.Cache == nil || out2.Cache.Compile != "hit" || out2.Cache.Place != "hit" {
+		t.Fatalf("second request cache doc = %+v, want hit/hit", out2.Cache)
+	}
+	if out1.Messages != out2.Messages {
+		t.Fatalf("cached placement diverged: %d vs %d messages", out1.Messages, out2.Messages)
+	}
+	mResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mResp.Body.Close()
+	text, _ := io.ReadAll(mResp.Body)
+	if err := obs.CheckPromText(text); err != nil {
+		t.Fatalf("/metrics invalid with cache families: %v", err)
+	}
+	for _, want := range []string{
+		`gcao_cache_hits_total{tier="compile"} 1`,
+		`gcao_cache_hits_total{tier="place"} 1`,
+		`gcao_cache_misses_total{tier="compile"} 1`,
+		`gcao_cache_entries{tier="compile"} 1`,
+		`gcao_pipeline_counter_total{name="cache.compile.hit"} 1`,
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// The operator view agrees.
+	cResp, err := http.Get(ts.URL + "/debug/cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cResp.Body.Close()
+	var dbg struct {
+		Cache struct {
+			Compile struct {
+				Hits   int64 `json:"hits"`
+				Misses int64 `json:"misses"`
+			} `json:"compile"`
+		} `json:"cache"`
+		Scheduler struct {
+			Submitted int64 `json:"submitted"`
+		} `json:"scheduler"`
+	}
+	if err := json.NewDecoder(cResp.Body).Decode(&dbg); err != nil {
+		t.Fatal(err)
+	}
+	if dbg.Cache.Compile.Hits != 1 || dbg.Cache.Compile.Misses != 1 {
+		t.Fatalf("/debug/cache compile tier = %+v", dbg.Cache.Compile)
+	}
+	if dbg.Scheduler.Submitted != 2 {
+		t.Fatalf("/debug/cache scheduler submitted = %d, want 2", dbg.Scheduler.Submitted)
+	}
+}
+
+// TestPayloadTooLarge413 pins the oversized-body contract: a request
+// beyond -max-body is a 413, not a generic 400 or 500.
+func TestPayloadTooLarge413(t *testing.T) {
+	s := newServer(serverConfig{
+		reqTimeout: 30 * time.Second,
+		ringSize:   8,
+		maxBody:    512,
+		logW:       io.Discard,
+		logLevel:   obs.LevelError,
+	})
+	defer s.close()
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+	raw, _ := json.Marshal(map[string]any{
+		"source": stencilSrc + strings.Repeat("\n! padding", 200),
+		"procs":  4,
+	})
+	resp, err := http.Post(ts.URL+"/compile", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body status = %d, want 413", resp.StatusCode)
+	}
+	// A body inside the bound still compiles.
+	small, _ := json.Marshal(map[string]any{
+		"source": "routine tiny(n)\nreal a(n)\n!hpf$ distribute (block) :: a\ndo i = 1, n\na(i) = 1.0\nenddo\nend",
+		"params": map[string]int{"n": 8}, "procs": 2,
+	})
+	resp2, err := http.Post(ts.URL+"/compile", "application/json", bytes.NewReader(small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("in-bound body status = %d, want 200", resp2.StatusCode)
+	}
+}
+
+// blockingServer builds a server whose compile jobs block until the
+// returned release function is called, with a single worker and a
+// single queue slot — the deterministic saturation fixture.
+func blockingServer(t *testing.T) (*server, *httptest.Server, func()) {
+	t.Helper()
+	s := newServer(serverConfig{
+		reqTimeout: 30 * time.Second,
+		ringSize:   8,
+		workers:    1,
+		queueDepth: 1,
+		logW:       io.Discard,
+		logLevel:   obs.LevelError,
+	})
+	release := make(chan struct{})
+	s.testHook = func() { <-release }
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(s.close)
+	var once sync.Once
+	return s, ts, func() { once.Do(func() { close(release) }) }
+}
+
+// saturate fills the blocking server: one request active on the only
+// worker, one sitting in the only queue slot.
+func saturate(t *testing.T, s *server, ts *httptest.Server, done chan<- int) {
+	t.Helper()
+	raw, _ := json.Marshal(map[string]any{
+		"source": stencilSrc, "params": map[string]int{"n": 8, "steps": 1}, "procs": 4,
+	})
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, err := http.Post(ts.URL+"/compile", "application/json", bytes.NewReader(raw))
+			if err != nil {
+				done <- -1
+				return
+			}
+			resp.Body.Close()
+			done <- resp.StatusCode
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := s.pool.Stats()
+		if st.Active == 1 && st.Queued == 1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pool never saturated: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestQueueOverflow429 pins load shedding: with the worker busy and
+// the queue full, the next request is rejected with 429 + Retry-After
+// instead of queueing unboundedly.
+func TestQueueOverflow429(t *testing.T) {
+	s, ts, release := blockingServer(t)
+	done := make(chan int, 2)
+	saturate(t, s, ts, done)
+
+	raw, _ := json.Marshal(map[string]any{
+		"source": stencilSrc, "params": map[string]int{"n": 8, "steps": 1}, "procs": 4,
+	})
+	resp, err := http.Post(ts.URL+"/compile", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 missing Retry-After header")
+	}
+
+	release()
+	for i := 0; i < 2; i++ {
+		if code := <-done; code != http.StatusOK {
+			t.Fatalf("blocked request %d finished with %d, want 200", i, code)
+		}
+	}
+	if got := s.pool.Stats().Rejected; got != 1 {
+		t.Fatalf("pool rejected = %d, want 1", got)
+	}
+}
+
+func postBatch(t *testing.T, ts *httptest.Server, items []map[string]any) (*http.Response, batchResponse) {
+	t.Helper()
+	raw, err := json.Marshal(map[string]any{"items": items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/compile/batch", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var out batchResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decoding batch response: %v", err)
+		}
+	}
+	return resp, out
+}
+
+// TestCompileBatch is the acceptance scenario: a batch of 8 programs
+// completes through a pool of 2 workers, every item reporting its own
+// id, status and cache outcome.
+func TestCompileBatch(t *testing.T) {
+	s := newServer(serverConfig{
+		reqTimeout: 30 * time.Second,
+		ringSize:   32,
+		workers:    2,
+		queueDepth: 8,
+		logW:       io.Discard,
+		logLevel:   obs.LevelError,
+	})
+	defer s.close()
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	items := make([]map[string]any, 8)
+	for i := range items {
+		items[i] = map[string]any{
+			"source":   stencilSrc,
+			"params":   map[string]int{"n": 8 + i, "steps": 1},
+			"procs":    4,
+			"strategy": "comb",
+		}
+	}
+	// Two of the eight repeat an earlier parameter binding, so the
+	// batch itself exercises the cache.
+	items[6]["params"] = map[string]int{"n": 8, "steps": 1}
+	items[7]["params"] = map[string]int{"n": 9, "steps": 1}
+
+	resp, out := postBatch(t, ts, items)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d", resp.StatusCode)
+	}
+	if out.Succeeded != 8 || out.Failed != 0 || len(out.Items) != 8 {
+		t.Fatalf("batch outcome = %d ok / %d failed / %d items", out.Succeeded, out.Failed, len(out.Items))
+	}
+	ids := map[string]bool{}
+	for _, item := range out.Items {
+		if item.Status != http.StatusOK || item.Response == nil || item.Error != "" {
+			t.Fatalf("item %d = %+v", item.Index, item)
+		}
+		if item.Response.Cache == nil {
+			t.Fatalf("item %d missing cache doc", item.Index)
+		}
+		if ids[item.ReqID] {
+			t.Fatalf("duplicate req id %s", item.ReqID)
+		}
+		ids[item.ReqID] = true
+	}
+	// The repeated bindings were served by the cache, not recompiled:
+	// 6 distinct configurations, 8 lookups.
+	st := s.cache.Stats()
+	if st.Compile.Misses != 6 {
+		t.Fatalf("compile misses = %d, want 6", st.Compile.Misses)
+	}
+	if st.Compile.Hits+st.Compile.InflightWaits != 2 {
+		t.Fatalf("compile hits+dedups = %d, want 2", st.Compile.Hits+st.Compile.InflightWaits)
+	}
+	if got := s.pool.Stats().Completed; got != 8 {
+		t.Fatalf("pool completed = %d, want 8", got)
+	}
+	// Every item's decision log is retained individually.
+	lResp, err := http.Get(ts.URL + "/debug/decisions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lResp.Body.Close()
+	var list struct {
+		IDs []string `json:"ids"`
+	}
+	if err := json.NewDecoder(lResp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.IDs) != 8 {
+		t.Fatalf("retained %d decision logs, want 8", len(list.IDs))
+	}
+}
+
+// TestBatchQueueOverflow pins whole-batch shedding: when the pool is
+// saturated and no item can be admitted, the batch is a single 429.
+func TestBatchQueueOverflow(t *testing.T) {
+	s, ts, release := blockingServer(t)
+	done := make(chan int, 2)
+	saturate(t, s, ts, done)
+
+	items := []map[string]any{
+		{"source": stencilSrc, "params": map[string]int{"n": 8, "steps": 1}, "procs": 4},
+		{"source": stencilSrc, "params": map[string]int{"n": 9, "steps": 1}, "procs": 4},
+	}
+	resp, _ := postBatch(t, ts, items)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated batch status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("batch 429 missing Retry-After header")
+	}
+	release()
+	for i := 0; i < 2; i++ {
+		if code := <-done; code != http.StatusOK {
+			t.Fatalf("blocked request %d finished with %d, want 200", i, code)
+		}
+	}
+}
+
+// TestBatchRejectsBadRequests pins the batch endpoint's input checks.
+func TestBatchRejectsBadRequests(t *testing.T) {
+	_, ts := testServer(t)
+	resp, _ := postBatch(t, ts, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch status = %d, want 400", resp.StatusCode)
+	}
+	big := make([]map[string]any, maxBatchItems+1)
+	for i := range big {
+		big[i] = map[string]any{"source": "x", "procs": 2}
+	}
+	resp2, _ := postBatch(t, ts, big)
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch status = %d, want 400", resp2.StatusCode)
+	}
+}
+
+// TestHealthzVersion pins the build-identity surface.
+func TestHealthzVersion(t *testing.T) {
+	s := newServer(serverConfig{
+		reqTimeout: time.Second,
+		ringSize:   8,
+		version:    "abc123def456",
+		logW:       io.Discard,
+		logLevel:   obs.LevelError,
+	})
+	defer s.close()
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status  string `json:"status"`
+		Version string `json:"version"`
+		Go      string `json:"go"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Version != "abc123def456" {
+		t.Fatalf("healthz version = %q", h.Version)
+	}
+	if !strings.HasPrefix(h.Go, "go") {
+		t.Fatalf("healthz go = %q", h.Go)
 	}
 }
 

@@ -43,8 +43,13 @@ func main() {
 	compare := flag.String("compare", "", "re-run the sweep and compare against a baseline JSON; exit 1 on regression")
 	tolerance := flag.Float64("tolerance", 0.05, "relative slack for -compare (0.05 = 5% worse allowed)")
 	rev := flag.String("rev", "", "revision label for -out (default: VCS revision from build info, else \"dev\")")
+	cacheDemoFlag := flag.Bool("cache-demo", false, "measure cold vs warm compile+place latency through the compilation cache and exit")
 	flag.Parse()
 
+	if *cacheDemoFlag {
+		cacheDemo()
+		return
+	}
 	if *out != "" || *compare != "" {
 		gate(*out, *compare, *tolerance, *rev)
 		return

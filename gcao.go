@@ -149,6 +149,12 @@ type Compilation struct {
 	// scalarized body, CFG, dominators, SSA, and the communication
 	// entries with their earliest/latest/candidate positions.
 	Analysis *core.Analysis
+
+	// fingerprint is the content address of the compile inputs, set
+	// when the compilation was produced by a Cache; it keys the
+	// placement tier so placements of cached analyses are themselves
+	// cacheable.
+	fingerprint string
 }
 
 // Compile parses, semantically analyzes, scalarizes and
@@ -237,9 +243,9 @@ type PlacementOptions struct {
 	PartialRedundancy bool
 }
 
-// PlaceOptions runs a placement strategy with explicit options.
-func (c *Compilation) PlaceOptions(s Strategy, opt PlacementOptions) (*Placed, error) {
-	res, err := c.Analysis.Place(core.Options{
+// coreOptions lowers the public tunables to the core representation.
+func (opt PlacementOptions) coreOptions(s Strategy) core.Options {
+	return core.Options{
 		Version:               s.version(),
 		CombineThresholdBytes: opt.CombineThresholdBytes,
 		MaxHullBlowup:         opt.MaxHullBlowup,
@@ -247,7 +253,34 @@ func (c *Compilation) PlaceOptions(s Strategy, opt PlacementOptions) (*Placed, e
 		NaiveGreedyOrder:      opt.NaiveGreedyOrder,
 		DisableCombining:      opt.DisableCombining,
 		PartialRedundancy:     opt.PartialRedundancy,
-	})
+	}
+}
+
+// canon renders the options canonically for cache fingerprinting:
+// every tunable that changes placement output is significant.
+func (opt PlacementOptions) canon() string {
+	return fmt.Sprintf("ct=%d hb=%g se=%t ng=%t dc=%t pr=%t",
+		opt.CombineThresholdBytes, opt.MaxHullBlowup, opt.DisableSubsetElim,
+		opt.NaiveGreedyOrder, opt.DisableCombining, opt.PartialRedundancy)
+}
+
+// PlaceOptions runs a placement strategy with explicit options.
+func (c *Compilation) PlaceOptions(s Strategy, opt PlacementOptions) (*Placed, error) {
+	res, err := c.Analysis.Place(opt.coreOptions(s))
+	if err != nil {
+		return nil, err
+	}
+	return &Placed{Compilation: c, Result: res}, nil
+}
+
+// placeObs is PlaceOptions with an explicit recorder, used when the
+// compilation is cache-resident: its analysis-wide recorder is
+// detached (it belonged to the request that built it), so each
+// placement threads its own.
+func (c *Compilation) placeObs(s Strategy, opt PlacementOptions, rec *Recorder) (*Placed, error) {
+	copts := opt.coreOptions(s)
+	copts.Obs = rec
+	res, err := c.Analysis.Place(copts)
 	if err != nil {
 		return nil, err
 	}
@@ -273,6 +306,14 @@ func (p *Placed) MessageCounts() map[core.CommKind]int { return p.Result.Counts(
 // reads remote data the placement failed to deliver.
 func (p *Placed) Simulate(m Machine, procs int) (*spmd.RunResult, error) {
 	return spmd.Run(p.Result, m, procs)
+}
+
+// SimulateObs is Simulate with an explicit recorder for the run's
+// profile and counters. Use it when the placement came out of a Cache:
+// the cached analysis carries no recorder of its own, so Simulate
+// would run unprofiled.
+func (p *Placed) SimulateObs(m Machine, procs int, rec *Recorder) (*spmd.RunResult, error) {
+	return spmd.RunObs(p.Result, m, procs, rec)
 }
 
 // Estimate computes the analytic per-processor cost under the machine

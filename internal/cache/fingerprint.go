@@ -1,0 +1,50 @@
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Fingerprint hashes an ordered list of segments into a canonical
+// content address: every segment is length-prefixed before hashing, so
+// segment boundaries are unambiguous ("ab","c" never collides with
+// "a","bc"), and the result is the lowercase hex SHA-256 digest.
+// Callers canonicalize unordered inputs before passing them —
+// CanonParams does it for parameter bindings — so two requests with
+// equal content always produce the same fingerprint regardless of map
+// iteration order.
+func Fingerprint(segments ...string) string {
+	h := sha256.New()
+	var n [8]byte
+	for _, s := range segments {
+		binary.BigEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CanonParams renders a parameter binding canonically: keys sorted,
+// "k=v" pairs joined by commas. Two maps with equal contents render
+// identically regardless of insertion or iteration order.
+func CanonParams(params map[string]int) string {
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(strconv.Itoa(params[k]))
+	}
+	return b.String()
+}

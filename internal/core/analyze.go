@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"gcao/internal/asd"
 	"gcao/internal/ast"
@@ -37,6 +38,11 @@ type Analysis struct {
 	// later coalesced into axis exchanges.
 	Entries []*Entry
 
+	// loopBoundMu guards loopBoundCache: one analysis may be placed,
+	// estimated and simulated concurrently (the serving layer caches
+	// and shares analyses across requests), and the bound memoization
+	// is the only lazily written state.
+	loopBoundMu    sync.Mutex
 	loopBoundCache map[*cfg.Loop][4]int // lo, hi, step, ok(1/0)
 }
 
@@ -122,6 +128,8 @@ func NewAnalysisObs(u *sem.Unit, rec *obs.Recorder) (*Analysis, error) {
 
 // loopBounds evaluates a loop's bounds at compile time.
 func (a *Analysis) loopBounds(l *cfg.Loop) (lo, hi, step int, ok bool) {
+	a.loopBoundMu.Lock()
+	defer a.loopBoundMu.Unlock()
 	if v, hit := a.loopBoundCache[l]; hit {
 		return v[0], v[1], v[2], v[3] == 1
 	}

@@ -29,13 +29,14 @@ import (
 // Label values are rendered in sorted order, so the exposition is
 // byte-deterministic given deterministic inputs.
 type Registry struct {
-	mu       sync.Mutex
-	requests map[string]int64
-	counters map[string]int64
-	gauges   map[string]float64
-	phase    map[string]*Histogram
-	placed   map[string]*Histogram
-	bytes    map[string]*Histogram
+	mu         sync.Mutex
+	requests   map[string]int64
+	counters   map[string]int64
+	gauges     map[string]float64
+	phase      map[string]*Histogram
+	placed     map[string]*Histogram
+	bytes      map[string]*Histogram
+	cacheStats func() []CacheTierStats
 }
 
 // NewRegistry builds an empty registry.
@@ -119,6 +120,32 @@ func (g *Registry) histLocked(family map[string]*Histogram, label string, bucket
 	return h
 }
 
+// CacheTierStats is one compilation-cache tier's scrape-time snapshot,
+// rendered into the exposition as the gcao_cache_* families with the
+// tier name as the label.
+type CacheTierStats struct {
+	Tier          string
+	Entries       int
+	Bytes         int64
+	Hits          int64
+	Misses        int64
+	InflightWaits int64
+	Evictions     int64
+}
+
+// SetCacheStatsFunc registers the callback WritePrometheus invokes at
+// scrape time to snapshot the serving layer's cache tiers (nil
+// unregisters). The callback must be safe for concurrent use; it is
+// called outside the registry lock.
+func (g *Registry) SetCacheStatsFunc(fn func() []CacheTierStats) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.cacheStats = fn
+}
+
 // Requests returns the total number of absorbed requests.
 func (g *Registry) Requests() int64 {
 	if g == nil {
@@ -178,6 +205,9 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 		return nil
 	}
 	req, ctr, gau, phase, placed, bytes := g.snapshot()
+	g.mu.Lock()
+	statsFn := g.cacheStats
+	g.mu.Unlock()
 	var b strings.Builder
 	writeScalarFamily(&b, "gcao_requests_total", "counter",
 		"Compile requests absorbed into the registry, by status.", "status", req)
@@ -191,8 +221,45 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 		"Placed communication groups per compile, by compiler version.", "version", placed)
 	writeHistFamily(&b, "gcao_comm_bytes",
 		"Bytes moved per compile (simulated or estimated), by compiler version.", "version", bytes)
+	if statsFn != nil {
+		writeCacheFamilies(&b, statsFn())
+	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// writeCacheFamilies renders the compilation-cache tiers as the
+// gcao_cache_* families, labeled by tier.
+func writeCacheFamilies(b *strings.Builder, tiers []CacheTierStats) {
+	if len(tiers) == 0 {
+		return
+	}
+	hits := map[string]int64{}
+	misses := map[string]int64{}
+	waits := map[string]int64{}
+	evictions := map[string]int64{}
+	entries := map[string]int64{}
+	bytes := map[string]int64{}
+	for _, t := range tiers {
+		hits[t.Tier] = t.Hits
+		misses[t.Tier] = t.Misses
+		waits[t.Tier] = t.InflightWaits
+		evictions[t.Tier] = t.Evictions
+		entries[t.Tier] = int64(t.Entries)
+		bytes[t.Tier] = t.Bytes
+	}
+	writeScalarFamily(b, "gcao_cache_hits_total", "counter",
+		"Compilation cache lookups served from a resident entry, by tier.", "tier", hits)
+	writeScalarFamily(b, "gcao_cache_misses_total", "counter",
+		"Compilation cache lookups that computed the value, by tier.", "tier", misses)
+	writeScalarFamily(b, "gcao_cache_inflight_waits_total", "counter",
+		"Lookups coalesced onto a concurrent identical computation (singleflight), by tier.", "tier", waits)
+	writeScalarFamily(b, "gcao_cache_evictions_total", "counter",
+		"Entries evicted to respect the entry or byte bound, by tier.", "tier", evictions)
+	writeScalarFamily(b, "gcao_cache_entries", "gauge",
+		"Entries resident in the compilation cache, by tier.", "tier", entries)
+	writeScalarFamily(b, "gcao_cache_bytes", "gauge",
+		"Estimated bytes resident in the compilation cache, by tier.", "tier", bytes)
 }
 
 func writeScalarFamily[V int64 | float64](b *strings.Builder, name, typ, help, label string, samples map[string]V) {

@@ -249,3 +249,52 @@ func TestRecorderEventCarriesReqID(t *testing.T) {
 	nilRec.SetLog(NewLogger(&buf, LevelDebug), "x")
 	nilRec.Event(LevelError, "x")
 }
+
+func TestRegistryCacheFamilies(t *testing.T) {
+	g := NewRegistry()
+	g.Absorb(nil, "ok")
+	// Without a stats callback there are no gcao_cache_* families.
+	var buf bytes.Buffer
+	if err := g.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "gcao_cache_") {
+		t.Fatal("cache families rendered without a callback")
+	}
+	g.SetCacheStatsFunc(func() []CacheTierStats {
+		return []CacheTierStats{
+			{Tier: "compile", Entries: 3, Bytes: 4096, Hits: 7, Misses: 3, InflightWaits: 2, Evictions: 1},
+			{Tier: "place", Entries: 5, Bytes: 1024, Hits: 9, Misses: 5},
+		}
+	})
+	buf.Reset()
+	if err := g.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if err := CheckPromText([]byte(text)); err != nil {
+		t.Fatalf("exposition with cache families invalid: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		`gcao_cache_hits_total{tier="compile"} 7`,
+		`gcao_cache_hits_total{tier="place"} 9`,
+		`gcao_cache_misses_total{tier="compile"} 3`,
+		`gcao_cache_inflight_waits_total{tier="compile"} 2`,
+		`gcao_cache_evictions_total{tier="compile"} 1`,
+		`gcao_cache_entries{tier="place"} 5`,
+		`gcao_cache_bytes{tier="compile"} 4096`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+	// Unregistering removes the families again.
+	g.SetCacheStatsFunc(nil)
+	buf.Reset()
+	if err := g.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "gcao_cache_") {
+		t.Fatal("cache families rendered after unregistering")
+	}
+}

@@ -1,0 +1,235 @@
+// Package sched implements the daemon's batched placement scheduler: a
+// bounded worker pool with an admission queue. Admission is
+// non-blocking — when the queue is full the submission is rejected
+// immediately with ErrQueueFull so the caller can shed load (the HTTP
+// layer maps it to 429 + Retry-After) instead of letting latency grow
+// without bound. Every job carries a context; a job whose deadline
+// expires while it waits in the queue is skipped, not run, so a burst
+// never wastes workers on requests nobody is waiting for anymore. The
+// Batch API fans a set of jobs across the workers and reports per-item
+// results.
+package sched
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrQueueFull is returned by Submit when the admission queue has no
+// room; the caller should shed the request (HTTP 429) and retry later.
+var ErrQueueFull = errors.New("sched: admission queue full")
+
+// ErrClosed is returned for jobs still queued when the pool shuts
+// down, and for submissions after Close.
+var ErrClosed = errors.New("sched: pool closed")
+
+// Task is one unit of work; the context carries the request deadline.
+type Task func(ctx context.Context) (any, error)
+
+type result struct {
+	v   any
+	err error
+}
+
+type job struct {
+	ctx context.Context
+	fn  Task
+	out chan result // buffered: workers never block delivering
+}
+
+// Pool is a fixed set of workers fed from a bounded admission queue.
+type Pool struct {
+	queue chan *job
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+
+	workers int
+	depth   int
+
+	queued    atomic.Int64
+	active    atomic.Int64
+	submitted atomic.Int64
+	rejected  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	expired   atomic.Int64
+}
+
+// New starts a pool of workers fed from an admission queue of the
+// given depth. workers < 1 defaults to GOMAXPROCS; depth < 1 defaults
+// to 4×workers.
+func New(workers, depth int) *Pool {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if depth < 1 {
+		depth = 4 * workers
+	}
+	p := &Pool{
+		queue:   make(chan *job, depth),
+		stop:    make(chan struct{}),
+		workers: workers,
+		depth:   depth,
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case j := <-p.queue:
+			p.queued.Add(-1)
+			p.run(j)
+		}
+	}
+}
+
+func (p *Pool) run(j *job) {
+	// A job whose caller already gave up (queue wait exceeded the
+	// deadline) is skipped rather than run.
+	if err := j.ctx.Err(); err != nil {
+		p.expired.Add(1)
+		j.out <- result{nil, err}
+		return
+	}
+	p.active.Add(1)
+	v, err := j.fn(j.ctx)
+	p.active.Add(-1)
+	if err != nil {
+		p.failed.Add(1)
+	} else {
+		p.completed.Add(1)
+	}
+	j.out <- result{v, err}
+}
+
+// Submit enqueues one task and waits for its result. It returns
+// ErrQueueFull immediately when the admission queue is full, ErrClosed
+// after Close, and the context's error if the deadline expires first
+// (the task itself is then skipped or keeps running to completion in
+// the background — its result is discarded).
+func (p *Pool) Submit(ctx context.Context, fn Task) (any, error) {
+	j := &job{ctx: ctx, fn: fn, out: make(chan result, 1)}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	select {
+	case p.queue <- j:
+		p.submitted.Add(1)
+		p.queued.Add(1)
+		p.mu.Unlock()
+	default:
+		p.mu.Unlock()
+		p.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	select {
+	case r := <-j.out:
+		return r.v, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// BatchTask is one item of a Batch: an optional per-item context (the
+// batch context is used when nil) and the task to run.
+type BatchTask struct {
+	Ctx context.Context
+	Run Task
+}
+
+// BatchResult is one item's outcome.
+type BatchResult struct {
+	Index int
+	Value any
+	Err   error
+}
+
+// Batch submits every task concurrently and waits for all results.
+// Per-item failures — including ErrQueueFull on admission overflow and
+// context errors on expiry — land in the item's result rather than
+// aborting the batch, so the caller can report per-item status.
+func (p *Pool) Batch(ctx context.Context, tasks []BatchTask) []BatchResult {
+	out := make([]BatchResult, len(tasks))
+	var wg sync.WaitGroup
+	for i, t := range tasks {
+		wg.Add(1)
+		go func(i int, t BatchTask) {
+			defer wg.Done()
+			tctx := t.Ctx
+			if tctx == nil {
+				tctx = ctx
+			}
+			v, err := p.Submit(tctx, t.Run)
+			out[i] = BatchResult{Index: i, Value: v, Err: err}
+		}(i, t)
+	}
+	wg.Wait()
+	return out
+}
+
+// Close stops the workers and fails every job still in the queue with
+// ErrClosed. It is safe to call once; subsequent calls are no-ops.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.stop)
+	p.wg.Wait()
+	for {
+		select {
+		case j := <-p.queue:
+			p.queued.Add(-1)
+			j.out <- result{nil, ErrClosed}
+		default:
+			return
+		}
+	}
+}
+
+// Stats is a point-in-time snapshot of the pool.
+type Stats struct {
+	Workers    int   `json:"workers"`
+	QueueDepth int   `json:"queue_depth"`
+	Queued     int64 `json:"queued"`
+	Active     int64 `json:"active"`
+	Submitted  int64 `json:"submitted"`
+	Rejected   int64 `json:"rejected"`
+	Completed  int64 `json:"completed"`
+	Failed     int64 `json:"failed"`
+	Expired    int64 `json:"expired"`
+}
+
+// Stats snapshots the pool's occupancy and lifetime counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Workers:    p.workers,
+		QueueDepth: p.depth,
+		Queued:     p.queued.Load(),
+		Active:     p.active.Load(),
+		Submitted:  p.submitted.Load(),
+		Rejected:   p.rejected.Load(),
+		Completed:  p.completed.Load(),
+		Failed:     p.failed.Load(),
+		Expired:    p.expired.Load(),
+	}
+}

@@ -1,0 +1,276 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSubmitRunsTask(t *testing.T) {
+	p := New(2, 4)
+	defer p.Close()
+	v, err := p.Submit(context.Background(), func(context.Context) (any, error) {
+		return 42, nil
+	})
+	if err != nil || v.(int) != 42 {
+		t.Fatalf("Submit = %v, %v", v, err)
+	}
+	boom := errors.New("boom")
+	_, err = p.Submit(context.Background(), func(context.Context) (any, error) {
+		return nil, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Submit error = %v", err)
+	}
+	st := p.Stats()
+	if st.Submitted != 2 || st.Completed != 1 || st.Failed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestQueueFull pins the admission contract: with one worker occupied
+// and the depth-1 queue holding one job, the next submission is
+// rejected immediately with ErrQueueFull.
+func TestQueueFull(t *testing.T) {
+	p := New(1, 1)
+	defer p.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // occupies the worker
+		defer wg.Done()
+		p.Submit(context.Background(), func(context.Context) (any, error) {
+			close(started)
+			<-block
+			return nil, nil
+		})
+	}()
+	<-started
+	wg.Add(1)
+	go func() { // sits in the queue
+		defer wg.Done()
+		p.Submit(context.Background(), func(context.Context) (any, error) { return nil, nil })
+	}()
+	// Wait until the queue slot is taken.
+	for i := 0; p.Stats().Queued != 1; i++ {
+		if i > 1000 {
+			t.Fatal("queued job never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, err := p.Submit(context.Background(), func(context.Context) (any, error) { return nil, nil })
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow Submit = %v, want ErrQueueFull", err)
+	}
+	if p.Stats().Rejected != 1 {
+		t.Fatalf("rejected = %d", p.Stats().Rejected)
+	}
+	close(block)
+	wg.Wait()
+}
+
+// TestExpiredJobSkipped: a job whose deadline lapses while queued is
+// never run.
+func TestExpiredJobSkipped(t *testing.T) {
+	p := New(1, 2)
+	defer p.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go p.Submit(context.Background(), func(context.Context) (any, error) {
+		close(started)
+		<-block
+		return nil, nil
+	})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired when it reaches a worker
+	ran := make(chan struct{}, 1)
+	_, err := p.Submit(ctx, func(context.Context) (any, error) {
+		ran <- struct{}{}
+		return nil, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Submit = %v, want context.Canceled", err)
+	}
+	close(block)
+	// Give the worker a chance to (wrongly) run the canceled job.
+	for i := 0; p.Stats().Expired == 0; i++ {
+		if i > 1000 {
+			t.Fatal("canceled job never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-ran:
+		t.Fatal("expired job was executed")
+	default:
+	}
+}
+
+func TestSubmitDeadlineWhileRunning(t *testing.T) {
+	p := New(1, 1)
+	defer p.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	done := make(chan struct{})
+	_, err := p.Submit(ctx, func(context.Context) (any, error) {
+		<-done
+		return nil, nil
+	})
+	close(done)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Submit = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestBatchPerItemResults(t *testing.T) {
+	p := New(2, 8)
+	defer p.Close()
+	boom := errors.New("boom")
+	tasks := make([]BatchTask, 8)
+	for i := range tasks {
+		i := i
+		tasks[i] = BatchTask{Run: func(context.Context) (any, error) {
+			if i == 3 {
+				return nil, boom
+			}
+			return i * i, nil
+		}}
+	}
+	results := p.Batch(context.Background(), tasks)
+	if len(results) != 8 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r.Index != i {
+			t.Fatalf("result %d has index %d", i, r.Index)
+		}
+		if i == 3 {
+			if !errors.Is(r.Err, boom) {
+				t.Fatalf("item 3 err = %v", r.Err)
+			}
+			continue
+		}
+		if r.Err != nil || r.Value.(int) != i*i {
+			t.Fatalf("item %d = %v, %v", i, r.Value, r.Err)
+		}
+	}
+}
+
+// TestBatchBoundedWorkers: a batch wider than the pool still completes,
+// and concurrency never exceeds the worker count.
+func TestBatchBoundedWorkers(t *testing.T) {
+	const workers = 2
+	p := New(workers, 16)
+	defer p.Close()
+	var cur, peak atomic.Int64
+	tasks := make([]BatchTask, 8)
+	for i := range tasks {
+		tasks[i] = BatchTask{Run: func(context.Context) (any, error) {
+			n := cur.Add(1)
+			for {
+				pk := peak.Load()
+				if n <= pk || peak.CompareAndSwap(pk, n) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			cur.Add(-1)
+			return nil, nil
+		}}
+	}
+	results := p.Batch(context.Background(), tasks)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("item %d failed: %v", i, r.Err)
+		}
+	}
+	if pk := peak.Load(); pk > workers {
+		t.Fatalf("observed %d concurrent tasks, pool has %d workers", pk, workers)
+	}
+	if st := p.Stats(); st.Completed != 8 {
+		t.Fatalf("completed = %d", st.Completed)
+	}
+}
+
+func TestCloseFailsQueuedJobs(t *testing.T) {
+	p := New(1, 4)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go p.Submit(context.Background(), func(context.Context) (any, error) {
+		close(started)
+		<-block
+		return nil, nil
+	})
+	<-started
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := p.Submit(context.Background(), func(context.Context) (any, error) { return nil, nil })
+			errs <- err
+		}()
+	}
+	for i := 0; p.Stats().Queued != 2; i++ {
+		if i > 1000 {
+			t.Fatal("jobs never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(block)
+	p.Close()
+	for i := 0; i < 2; i++ {
+		// Each queued job either ran before shutdown or was failed with
+		// ErrClosed; neither may hang.
+		if err := <-errs; err != nil && !errors.Is(err, ErrClosed) {
+			t.Fatalf("queued job err = %v", err)
+		}
+	}
+	if _, err := p.Submit(context.Background(), func(context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close Submit = %v", err)
+	}
+}
+
+// TestPoolHammer drives many concurrent submissions through a small
+// pool; run with -race. Rejections are allowed, hangs and lost results
+// are not.
+func TestPoolHammer(t *testing.T) {
+	p := New(4, 8)
+	defer p.Close()
+	var ok, rejected atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				v, err := p.Submit(context.Background(), func(context.Context) (any, error) {
+					return fmt.Sprintf("%d-%d", g, i), nil
+				})
+				switch {
+				case errors.Is(err, ErrQueueFull):
+					rejected.Add(1)
+				case err != nil:
+					t.Errorf("Submit: %v", err)
+				case v.(string) != fmt.Sprintf("%d-%d", g, i):
+					t.Errorf("wrong result %v", v)
+				default:
+					ok.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := p.Stats()
+	if ok.Load() != st.Completed || rejected.Load() != st.Rejected {
+		t.Fatalf("stats mismatch: ok=%d completed=%d rejected=%d/%d",
+			ok.Load(), st.Completed, rejected.Load(), st.Rejected)
+	}
+	if ok.Load()+rejected.Load() != 16*50 {
+		t.Fatalf("lost submissions: %d + %d != 800", ok.Load(), rejected.Load())
+	}
+}
