@@ -12,6 +12,7 @@ package gcao_test
 
 import (
 	"fmt"
+	goruntime "runtime"
 	"testing"
 
 	"gcao"
@@ -24,8 +25,10 @@ import (
 // BenchmarkFig5Curves evaluates the three §3 profiling curves across
 // the log-spaced sizes of Fig. 5 on both machine models.
 func BenchmarkFig5Curves(b *testing.B) {
+	b.ReportAllocs()
 	for _, m := range []machine.Machine{machine.SP2(), machine.NOW()} {
 		b.Run(m.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			sink := 0.0
 			for i := 0; i < b.N; i++ {
 				for bytes := 16; bytes <= 1<<20; bytes *= 2 {
@@ -110,6 +113,7 @@ func BenchmarkFig10fNOWTrimesh(b *testing.B) { benchChart(b, "f") }
 // on the shallow benchmark — the end-to-end cost of executing a placed
 // program with validity tracking.
 func BenchmarkFunctionalSimulation(b *testing.B) {
+	b.ReportAllocs()
 	pr, err := bench.ByName("shallow", "main")
 	if err != nil {
 		b.Fatal(err)
@@ -138,6 +142,7 @@ func BenchmarkFunctionalSimulation(b *testing.B) {
 // hydflo flux routine, whose large strips make the threshold bite: a
 // tiny threshold forbids combining, the paper's 20 KB recovers it.
 func BenchmarkThresholdAblation(b *testing.B) {
+	b.ReportAllocs()
 	pr, err := bench.ByName("hydflo", "flux")
 	if err != nil {
 		b.Fatal(err)
@@ -148,6 +153,7 @@ func BenchmarkThresholdAblation(b *testing.B) {
 	const n = 44
 	for _, kb := range []int{1, 4, 20, 1024} {
 		b.Run(fmt.Sprintf("%dKB", kb), func(b *testing.B) {
+			b.ReportAllocs()
 			var msgs int
 			for i := 0; i < b.N; i++ {
 				a, err := pr.Compile(n, 25)
@@ -168,6 +174,7 @@ func BenchmarkThresholdAblation(b *testing.B) {
 // BenchmarkGreedyOrderAblation compares the most-constrained-first
 // greedy order of Fig. 9(g) against naive program order.
 func BenchmarkGreedyOrderAblation(b *testing.B) {
+	b.ReportAllocs()
 	pr, err := bench.ByName("shallow", "main")
 	if err != nil {
 		b.Fatal(err)
@@ -178,6 +185,7 @@ func BenchmarkGreedyOrderAblation(b *testing.B) {
 			name = "program-order"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var msgs int
 			for i := 0; i < b.N; i++ {
 				a, err := pr.Compile(pr.DefaultN, 25)
@@ -198,12 +206,14 @@ func BenchmarkGreedyOrderAblation(b *testing.B) {
 // BenchmarkSubsetElimAblation measures §4.5 on and off across the
 // whole suite (message totals; §6 predicts dropping it can only hurt).
 func BenchmarkSubsetElimAblation(b *testing.B) {
+	b.ReportAllocs()
 	for _, disable := range []bool{false, true} {
 		name := "on"
 		if disable {
 			name = "off"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var total int
 			for i := 0; i < b.N; i++ {
 				total = 0
@@ -263,6 +273,7 @@ end
 // small kernel and reports greedy vs optimal dynamic message counts
 // (Claim 6.1 motivates the heuristic; here it matches the optimum).
 func BenchmarkOptimalAblation(b *testing.B) {
+	b.ReportAllocs()
 	c, err := gcao.Compile(optimalKernel, gcao.Config{Params: map[string]int{"n": 16, "steps": 4}, Procs: 4})
 	if err != nil {
 		b.Fatal(err)
@@ -293,6 +304,7 @@ func BenchmarkOptimalAblation(b *testing.B) {
 // BenchmarkCompile measures the raw analysis pipeline cost on the
 // largest benchmark source.
 func BenchmarkCompile(b *testing.B) {
+	b.ReportAllocs()
 	pr, err := bench.ByName("hydflo", "flux")
 	if err != nil {
 		b.Fatal(err)
@@ -308,6 +320,7 @@ func BenchmarkCompile(b *testing.B) {
 // kernel where combining is threshold-blocked, reporting the estimated
 // bytes moved with and without section trimming.
 func BenchmarkPartialRedundancyAblation(b *testing.B) {
+	b.ReportAllocs()
 	const src = `
 routine pr(n, steps)
 real a(0:n+1, 0:n+1), c(0:n+1, 0:n+1), d(0:n+1, 0:n+1)
@@ -349,6 +362,7 @@ end
 			name = "on"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var bytes float64
 			for i := 0; i < b.N; i++ {
 				placed, err := comp.PlaceOptions(gcao.Combine, gcao.PlacementOptions{
@@ -367,4 +381,51 @@ end
 			b.ReportMetric(bytes, "est-bytes")
 		})
 	}
+}
+
+// BenchmarkParallelSimulation measures the sharded functional
+// simulator against its own sequential path on the paper's hot point:
+// gravity, procs=25, n=250 (Fig. 10(c)'s upper sizes). The sequential
+// sub-benchmark is the baseline; the parallel one runs the same
+// placement with one shard per available core. Results are
+// bit-identical either way, so this measures pure wall-clock. Short
+// mode shrinks the problem so CI stays fast.
+func BenchmarkParallelSimulation(b *testing.B) {
+	n := 250
+	if testing.Short() {
+		n = 48
+	}
+	pr, err := bench.ByName("gravity", "main")
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := pr.Compile(n, 25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := a.Place(core.Options{Version: core.VersionCombine})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := machine.SP2()
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := spmd.RunParallel(res, m, 25, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	workers := goruntime.GOMAXPROCS(0)
+	if workers > 25 {
+		workers = 25
+	}
+	b.Run(fmt.Sprintf("parallel-j%d", workers), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := spmd.RunParallel(res, m, 25, workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

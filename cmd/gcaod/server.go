@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -156,8 +157,10 @@ type compileRequest struct {
 	// processor count.
 	Params map[string]int `json:"params"`
 	Procs  int            `json:"procs"`
-	// Strategy is "orig", "nored" or "comb" (default comb); Machine is
-	// "SP2" or "NOW" (default SP2).
+	// Strategy is "orig", "nored" or "comb" (default comb), or "all"
+	// to place every version of the one cached compilation
+	// concurrently and report them side by side; Machine is "SP2" or
+	// "NOW" (default SP2).
 	Strategy string `json:"strategy,omitempty"`
 	Machine  string `json:"machine,omitempty"`
 	// Estimate adds the analytic cost model's verdict; Simulate runs
@@ -179,7 +182,20 @@ type compileResponse struct {
 	Cache    *cacheDoc      `json:"cache,omitempty"`
 	Estimate *estimateDoc   `json:"estimate,omitempty"`
 	Simulate *simulateDoc   `json:"simulate,omitempty"`
+	// Versions holds the per-strategy reports of a strategy:"all"
+	// request, in orig, nored, comb order.
+	Versions []versionDoc   `json:"versions,omitempty"`
 	Metrics  obs.MetricsDoc `json:"metrics"`
+}
+
+// versionDoc is one strategy's report inside a strategy:"all"
+// response.
+type versionDoc struct {
+	Strategy string         `json:"strategy"`
+	Messages int            `json:"messages"`
+	Counts   map[string]int `json:"counts"`
+	Place    string         `json:"place"` // cache outcome of this placement
+	Estimate *estimateDoc   `json:"estimate,omitempty"`
 }
 
 // cacheDoc reports how each tier satisfied the request: "hit", "miss"
@@ -317,9 +333,14 @@ func (s *server) compile(id string, rec *obs.Recorder, req compileRequest) (*com
 	if s.testHook != nil {
 		s.testHook()
 	}
-	strategy, err := gcao.StrategyByName(req.Strategy)
-	if err != nil {
-		return nil, badRequestError{err}
+	all := req.Strategy == "all"
+	var strategy gcao.Strategy
+	if !all {
+		var err error
+		strategy, err = gcao.StrategyByName(req.Strategy)
+		if err != nil {
+			return nil, badRequestError{err}
+		}
 	}
 	machineName := req.Machine
 	if machineName == "" {
@@ -347,6 +368,9 @@ func (s *server) compile(id string, rec *obs.Recorder, req compileRequest) (*com
 	}
 	if err != nil {
 		return nil, badRequestError{err}
+	}
+	if all {
+		return s.placeAll(id, rec, req, c, compOut, m)
 	}
 	placed, placeOut, err := s.cache.Place(c, strategy, gcao.PlacementOptions{}, rec)
 	if err != nil {
@@ -378,6 +402,86 @@ func (s *server) compile(id string, rec *obs.Recorder, req compileRequest) (*com
 	if req.Simulate {
 		procs := c.Analysis.Unit.Grid.NumProcs()
 		run, err := placed.SimulateObs(m, procs, rec)
+		if err != nil {
+			return nil, badRequestError{fmt.Errorf("simulate: %w", err)}
+		}
+		resp.Simulate = &simulateDoc{
+			DynMessages: run.Ledger.DynMessages,
+			BytesMoved:  int64(run.Ledger.BytesMoved),
+			Barriers:    run.Ledger.Barriers,
+		}
+	}
+	resp.Metrics = rec.Doc()
+	return resp, nil
+}
+
+// placeAll places the three strategies of one cached compilation
+// concurrently: the placements are independent (the analysis's
+// loop-bound memoization is mutex-guarded, the recorder is
+// thread-safe) so the request pays for the slowest placement instead
+// of the sum. Plain goroutines, not pool.Submit — this already runs
+// on a pool worker, and re-submitting from inside a worker can
+// deadlock a full queue.
+func (s *server) placeAll(id string, rec *obs.Recorder, req compileRequest, c *gcao.Compilation, compOut gcao.CacheOutcome, m gcao.Machine) (*compileResponse, error) {
+	strategies := []gcao.Strategy{gcao.Vectorize, gcao.EarliestRedundancy, gcao.Combine}
+	type placeOut struct {
+		placed *gcao.Placed
+		out    gcao.CacheOutcome
+		err    error
+	}
+	outs := make([]placeOut, len(strategies))
+	var wg sync.WaitGroup
+	for i, strat := range strategies {
+		wg.Add(1)
+		go func(i int, strat gcao.Strategy) {
+			defer wg.Done()
+			p, o, err := s.cache.Place(c, strat, gcao.PlacementOptions{}, rec)
+			outs[i] = placeOut{placed: p, out: o, err: err}
+		}(i, strat)
+	}
+	wg.Wait()
+	for i, o := range outs {
+		if o.err != nil {
+			return nil, badRequestError{fmt.Errorf("%s: %w", strategies[i], o.err)}
+		}
+	}
+	resp := &compileResponse{
+		ReqID:    id,
+		Strategy: "all",
+		Machine:  m.Name,
+		Cache:    &cacheDoc{Compile: compOut.String()},
+	}
+	for i, strat := range strategies {
+		doc := versionDoc{
+			Strategy: strat.String(),
+			Messages: outs[i].placed.Messages(),
+			Counts:   map[string]int{},
+			Place:    outs[i].out.String(),
+		}
+		for kind, n := range outs[i].placed.MessageCounts() {
+			doc.Counts[kind.String()] = n
+		}
+		if req.Estimate {
+			cost, err := outs[i].placed.Estimate(m)
+			if err != nil {
+				return nil, badRequestError{fmt.Errorf("estimate %s: %w", strat, err)}
+			}
+			doc.Estimate = &estimateDoc{
+				CPUSeconds: cost.CPU, NetSeconds: cost.Net,
+				Messages: cost.Messages, Bytes: cost.Bytes,
+			}
+			s.reg.ObserveBytes(strat.String(), cost.Bytes)
+		}
+		resp.Versions = append(resp.Versions, doc)
+	}
+	// Surface the paper's algorithm (comb) in the scalar fields so
+	// clients that ignore Versions still see the best placement.
+	last := resp.Versions[len(resp.Versions)-1]
+	resp.Messages = last.Messages
+	resp.Counts = last.Counts
+	if req.Simulate {
+		procs := c.Analysis.Unit.Grid.NumProcs()
+		run, err := outs[len(outs)-1].placed.SimulateObs(m, procs, rec)
 		if err != nil {
 			return nil, badRequestError{fmt.Errorf("simulate: %w", err)}
 		}

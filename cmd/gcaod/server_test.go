@@ -666,3 +666,57 @@ func TestCompileTimeout(t *testing.T) {
 		t.Fatalf("timeout status = %d, want 503", resp.StatusCode)
 	}
 }
+
+// TestCompileAllStrategies: strategy "all" places the three versions
+// of one cached compilation concurrently and reports them side by
+// side; the per-version results must match three individual requests.
+func TestCompileAllStrategies(t *testing.T) {
+	_, ts := testServer(t)
+	resp, out := postCompile(t, ts, map[string]any{
+		"source":   stencilSrc,
+		"params":   map[string]int{"n": 12, "steps": 2},
+		"procs":    4,
+		"strategy": "all",
+		"estimate": true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile status = %d", resp.StatusCode)
+	}
+	if out.Strategy != "all" || len(out.Versions) != 3 {
+		t.Fatalf("want 3 versions, got %+v", out)
+	}
+	wantOrder := []string{"orig", "nored", "comb"}
+	for i, v := range out.Versions {
+		if v.Strategy != wantOrder[i] {
+			t.Fatalf("version %d = %s, want %s", i, v.Strategy, wantOrder[i])
+		}
+		if v.Messages <= 0 || v.Estimate == nil || v.Estimate.NetSeconds <= 0 {
+			t.Fatalf("version %s incomplete: %+v", v.Strategy, v)
+		}
+	}
+	if out.Versions[2].Messages > out.Versions[0].Messages {
+		t.Errorf("comb placed %d messages, orig %d — combining must not add messages",
+			out.Versions[2].Messages, out.Versions[0].Messages)
+	}
+	if out.Messages != out.Versions[2].Messages {
+		t.Errorf("scalar fields should mirror comb: %d vs %d", out.Messages, out.Versions[2].Messages)
+	}
+	// Each version must agree with a dedicated single-strategy request.
+	for _, strat := range wantOrder {
+		_, single := postCompile(t, ts, map[string]any{
+			"source":   stencilSrc,
+			"params":   map[string]int{"n": 12, "steps": 2},
+			"procs":    4,
+			"strategy": strat,
+		})
+		var got versionDoc
+		for _, v := range out.Versions {
+			if v.Strategy == strat {
+				got = v
+			}
+		}
+		if single.Messages != got.Messages {
+			t.Errorf("%s: all-mode %d messages, single-mode %d", strat, got.Messages, single.Messages)
+		}
+	}
+}

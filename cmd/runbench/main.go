@@ -44,6 +44,7 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.05, "relative slack for -compare (0.05 = 5% worse allowed)")
 	rev := flag.String("rev", "", "revision label for -out (default: VCS revision from build info, else \"dev\")")
 	cacheDemoFlag := flag.Bool("cache-demo", false, "measure cold vs warm compile+place latency through the compilation cache and exit")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker pool width for the sweep; 1 forces the sequential path (output is identical either way)")
 	flag.Parse()
 
 	if *cacheDemoFlag {
@@ -51,7 +52,7 @@ func main() {
 		return
 	}
 	if *out != "" || *compare != "" {
-		gate(*out, *compare, *tolerance, *rev)
+		gate(*out, *compare, *tolerance, *rev, *jobs)
 		return
 	}
 
@@ -60,16 +61,20 @@ func main() {
 		rec = obs.New()
 	}
 
+	var specs []bench.Chart
 	for _, spec := range bench.ChartSpecs() {
 		if *fig != "all" && !strings.EqualFold(*fig, spec.ID) {
 			continue
 		}
-		end := rec.Start("chart:" + spec.ID)
-		c, err := bench.RunChart(spec)
-		end()
-		if err != nil {
-			fatal(err)
-		}
+		specs = append(specs, spec)
+	}
+	end := rec.Start("charts")
+	charts, err := bench.RunCharts(specs, *jobs)
+	end()
+	if err != nil {
+		fatal(err)
+	}
+	for _, c := range charts {
 		bench.WriteChart(os.Stdout, c)
 		for i, n := range c.Sizes {
 			fmt.Printf("  n=%-5d network-cost ratio comb/orig = %.2f (paper reports ~1/2 to 1/3)\n", n, c.CommRatio[i])
@@ -128,11 +133,11 @@ func main() {
 
 // gate is the regression-gate mode: collect the deterministic analytic
 // sweep, optionally write it, optionally compare it against a baseline.
-func gate(out, compare string, tolerance float64, rev string) {
+func gate(out, compare string, tolerance float64, rev string, jobs int) {
 	if rev == "" {
 		rev = buildRevision()
 	}
-	res, err := bench.CollectBenchResult(rev, runtime.Version())
+	res, err := bench.CollectBenchResultParallel(rev, runtime.Version(), jobs)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,205 @@
+package bench
+
+// Parallel benchmark sweeps. The Fig. 10 sweep is a grid of
+// independent points — (chart, size) compilations, each followed by
+// three per-version placements and cost estimates — so the harness
+// fans them over a bounded sched.Pool in two stages: first every
+// compilation, then every (point, version) placement against its
+// compiled analysis (concurrent placements of one analysis are safe;
+// the loop-bound memoization is mutex-guarded). Results are assembled
+// by index in chart → size → version order, so the output is
+// byte-identical to the sequential sweep regardless of worker count.
+
+import (
+	"context"
+	"fmt"
+
+	"gcao/internal/core"
+	"gcao/internal/machine"
+	"gcao/internal/sched"
+	"gcao/internal/spmd"
+)
+
+var sweepVersions = []core.Version{core.VersionOrig, core.VersionRedund, core.VersionCombine}
+
+// verCost is one (point, version) sweep result: the analytic cost and
+// the placed static group count.
+type verCost struct {
+	cost   spmd.Cost
+	static int
+}
+
+// sweepCosts computes costs[specIdx][sizeIdx][versionIdx] for the
+// given chart specs over a pool of the given width (workers <= 1 runs
+// on a single pool worker, which is the sequential order).
+func sweepCosts(specs []Chart, workers int) ([][][]verCost, error) {
+	type point struct {
+		spec, size int
+		m          machine.Machine
+		pr         *Program
+		a          *core.Analysis
+	}
+	var points []*point
+	for si := range specs {
+		spec := &specs[si]
+		m, err := machine.ByName(spec.Machine)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := ByName(spec.Bench, spec.Routines[0])
+		if err != nil {
+			return nil, err
+		}
+		for ni := range spec.Sizes {
+			points = append(points, &point{spec: si, size: ni, m: m, pr: pr})
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Stage 1: compile every point.
+	pool := sched.New(workers, len(points)*len(sweepVersions))
+	defer pool.Close()
+	ctx := context.Background()
+	compileTasks := make([]sched.BatchTask, len(points))
+	for i, pt := range points {
+		pt := pt
+		compileTasks[i] = sched.BatchTask{Run: func(context.Context) (any, error) {
+			return pt.pr.Compile(specs[pt.spec].Sizes[pt.size], specs[pt.spec].Procs)
+		}}
+	}
+	for _, r := range pool.Batch(ctx, compileTasks) {
+		if r.Err != nil {
+			pt := points[r.Index]
+			return nil, fmt.Errorf("bench: compiling %s n=%d: %w", pt.pr.Bench, specs[pt.spec].Sizes[pt.size], r.Err)
+		}
+		points[r.Index].a = r.Value.(*core.Analysis)
+	}
+
+	// Stage 2: place and estimate every version of every point.
+	verTasks := make([]sched.BatchTask, 0, len(points)*len(sweepVersions))
+	for _, pt := range points {
+		pt := pt
+		for _, v := range sweepVersions {
+			v := v
+			verTasks = append(verTasks, sched.BatchTask{Run: func(context.Context) (any, error) {
+				res, err := pt.a.Place(core.Options{Version: v})
+				if err != nil {
+					return nil, err
+				}
+				c, err := spmd.Estimate(res, pt.m)
+				if err != nil {
+					return nil, err
+				}
+				return verCost{cost: c, static: res.TotalMessages()}, nil
+			}})
+		}
+	}
+	verResults := pool.Batch(ctx, verTasks)
+
+	out := make([][][]verCost, len(specs))
+	for si := range specs {
+		out[si] = make([][]verCost, len(specs[si].Sizes))
+		for ni := range out[si] {
+			out[si][ni] = make([]verCost, len(sweepVersions))
+		}
+	}
+	for i, r := range verResults {
+		pt := points[i/len(sweepVersions)]
+		if r.Err != nil {
+			return nil, fmt.Errorf("bench: placing %s n=%d %s: %w",
+				pt.pr.Bench, specs[pt.spec].Sizes[pt.size], sweepVersions[i%len(sweepVersions)], r.Err)
+		}
+		out[pt.spec][pt.size][i%len(sweepVersions)] = r.Value.(verCost)
+	}
+	return out, nil
+}
+
+// normBars converts one point's raw costs into the normalized bars of
+// EstimateVersions (orig total = 1.0).
+func normBars(vcs []verCost) []spmd.Bar {
+	base := vcs[0].cost.Total()
+	if base == 0 {
+		base = 1
+	}
+	bars := make([]spmd.Bar, len(vcs))
+	for i, vc := range vcs {
+		bars[i] = spmd.Bar{Version: sweepVersions[i], CPU: vc.cost.CPU / base, Net: vc.cost.Net / base, Raw: vc.cost}
+	}
+	return bars
+}
+
+// RunCharts fills every chart spec, fanning the sweep over the given
+// number of workers. workers <= 1 is the sequential path; any worker
+// count produces identical charts.
+func RunCharts(specs []Chart, workers int) ([]Chart, error) {
+	if workers <= 1 {
+		out := make([]Chart, len(specs))
+		for i, spec := range specs {
+			c, err := RunChart(spec)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = c
+		}
+		return out, nil
+	}
+	costs, err := sweepCosts(specs, workers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Chart, len(specs))
+	for si, spec := range specs {
+		for ni, n := range spec.Sizes {
+			bars := normBars(costs[si][ni])
+			spec.Points = append(spec.Points, ChartPoint{N: n, Bars: bars})
+			origNet := bars[0].Raw.Net
+			combNet := bars[len(bars)-1].Raw.Net
+			ratio := 0.0
+			if origNet > 0 {
+				ratio = combNet / origNet
+			}
+			spec.CommRatio = append(spec.CommRatio, ratio)
+		}
+		out[si] = spec
+	}
+	return out, nil
+}
+
+// CollectBenchResultParallel is CollectBenchResult over a bounded
+// worker pool. Entries appear in the same chart → size → version
+// order as the sequential collector, so the emitted JSON is
+// byte-identical for any worker count.
+func CollectBenchResultParallel(rev, goVersion string, workers int) (BenchResult, error) {
+	if workers <= 1 {
+		return CollectBenchResult(rev, goVersion)
+	}
+	specs := ChartSpecs()
+	costs, err := sweepCosts(specs, workers)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	out := BenchResult{Rev: rev, Go: goVersion}
+	for si, spec := range specs {
+		for ni, n := range spec.Sizes {
+			base := costs[si][ni][0].cost.Total()
+			if base == 0 {
+				base = 1
+			}
+			for vi, v := range sweepVersions {
+				c := costs[si][ni][vi].cost
+				out.Entries = append(out.Entries, BenchEntry{
+					Chart: spec.ID, Bench: spec.Bench, Routine: spec.Routines[0],
+					Machine: spec.Machine, Procs: spec.Procs, N: n,
+					Version: v.String(),
+					NormCPU: c.CPU / base, NormNet: c.Net / base,
+					RawCPU: c.CPU, RawNet: c.Net,
+					Messages: c.Messages, Bytes: c.Bytes,
+					StaticGroups: costs[si][ni][vi].static,
+				})
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestParallelSweepMatchesSequential: the pooled sweep must produce
+// byte-identical output to the sequential one — the determinism
+// contract behind `runbench -j`.
+func TestParallelSweepMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Fig. 10 sweep")
+	}
+	seq, err := CollectBenchResult("test", "gotest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := CollectBenchResultParallel("test", "gotest", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("parallel sweep entries differ from sequential")
+	}
+	var bseq, bpar bytes.Buffer
+	if err := WriteBenchResult(&bseq, seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBenchResult(&bpar, par); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bseq.Bytes(), bpar.Bytes()) {
+		t.Fatal("parallel sweep JSON differs from sequential")
+	}
+}
+
+// TestRunChartsMatchesSequential checks the chart path the same way,
+// on a subset of specs to stay fast.
+func TestRunChartsMatchesSequential(t *testing.T) {
+	specs := ChartSpecs()[:2]
+	seq, err := RunCharts(append([]Chart(nil), specs...), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunCharts(append([]Chart(nil), specs...), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("parallel charts differ from sequential")
+	}
+}

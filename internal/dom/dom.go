@@ -36,20 +36,33 @@ func New(g *cfg.Graph) *Tree {
 		t.idom[i] = -1
 	}
 
-	// Reverse postorder.
+	// Reverse postorder. The DFS runs on an explicit stack: deeply
+	// nested loop CFGs from large inlined units would otherwise
+	// overflow the goroutine stack. Each frame remembers the next
+	// successor edge to explore; a block is emitted when its frame
+	// pops, reproducing the recursive postorder exactly.
 	seen := make([]bool, n)
-	var order []*cfg.Block
-	var dfs func(b *cfg.Block)
-	dfs = func(b *cfg.Block) {
-		seen[b.ID] = true
-		for _, s := range b.Succs {
-			if !seen[s.ID] {
-				dfs(s)
-			}
-		}
-		order = append(order, b)
+	order := make([]*cfg.Block, 0, n)
+	type dfsFrame struct {
+		b    *cfg.Block
+		next int
 	}
-	dfs(g.EntryBlock)
+	stack := []dfsFrame{{b: g.EntryBlock}}
+	seen[g.EntryBlock.ID] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(f.b.Succs) {
+			s := f.b.Succs[f.next]
+			f.next++
+			if !seen[s.ID] {
+				seen[s.ID] = true
+				stack = append(stack, dfsFrame{b: s})
+			}
+			continue
+		}
+		order = append(order, f.b)
+		stack = stack[:len(stack)-1]
+	}
 	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
 		order[i], order[j] = order[j], order[i]
 	}
@@ -98,17 +111,27 @@ func New(g *cfg.Graph) *Tree {
 	t.pre = make([]int, n)
 	t.post = make([]int, n)
 	clock := 0
-	var number func(id int)
-	number = func(id int) {
-		clock++
-		t.pre[id] = clock
-		for _, c := range t.children[id] {
-			number(c)
+	type numFrame struct {
+		id   int
+		next int
+	}
+	num := []numFrame{{id: g.EntryBlock.ID}}
+	clock++
+	t.pre[g.EntryBlock.ID] = clock
+	for len(num) > 0 {
+		f := &num[len(num)-1]
+		if f.next < len(t.children[f.id]) {
+			c := t.children[f.id][f.next]
+			f.next++
+			clock++
+			t.pre[c] = clock
+			num = append(num, numFrame{id: c})
+			continue
 		}
 		clock++
-		t.post[id] = clock
+		t.post[f.id] = clock
+		num = num[:len(num)-1]
 	}
-	number(g.EntryBlock.ID)
 	return t
 }
 
@@ -290,16 +313,18 @@ func slowDominators(g *cfg.Graph) [][]bool {
 	// fast algorithm reports false, so clear rows/cols for blocks with
 	// no path from entry.
 	reach := make([]bool, n)
-	var mark func(b *cfg.Block)
-	mark = func(b *cfg.Block) {
-		reach[b.ID] = true
+	work := []*cfg.Block{g.EntryBlock}
+	reach[g.EntryBlock.ID] = true
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
 		for _, s := range b.Succs {
 			if !reach[s.ID] {
-				mark(s)
+				reach[s.ID] = true
+				work = append(work, s)
 			}
 		}
 	}
-	mark(g.EntryBlock)
 	for a := 0; a < n; a++ {
 		for b := 0; b < n; b++ {
 			if !reach[a] || !reach[b] {

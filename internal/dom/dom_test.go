@@ -240,3 +240,33 @@ end
 		t.Error("loop header must appear in some dominance frontier")
 	}
 }
+
+// TestDeepNesting builds a pathologically deep chain of nested loops —
+// the CFG shape that overflowed the stack when the DFS walks in New
+// were recursive — and checks the tree is still correct end to end.
+func TestDeepNesting(t *testing.T) {
+	const depth = 2000
+	var sb strings.Builder
+	sb.WriteString("routine deep(n)\nreal a(n)\n!hpf$ distribute (block) :: a\n")
+	for i := 0; i < depth; i++ {
+		fmt.Fprintf(&sb, "do i%d = 1, 2\n", i)
+	}
+	sb.WriteString("a(1) = 1\n")
+	for i := 0; i < depth; i++ {
+		sb.WriteString("enddo\n")
+	}
+	sb.WriteString("end\n")
+	g := buildGraph(t, sb.String())
+	tree := New(g)
+	// Every loop header must be dominated by every enclosing header;
+	// spot-check the innermost block against the entry chain.
+	inner := g.Blocks[len(g.Blocks)-1]
+	if !tree.Dominates(g.EntryBlock, inner) {
+		t.Fatal("entry must dominate every reachable block")
+	}
+	for _, b := range g.Blocks {
+		if b != g.EntryBlock && tree.IDom(b) == nil {
+			t.Fatalf("B%d reachable but has no idom", b.ID)
+		}
+	}
+}

@@ -1,5 +1,7 @@
 package obs
 
+import "fmt"
+
 // CommProfile records the communication behaviour of one functional
 // simulator run: the sender→receiver byte/message matrix (the Fig. 10
 // message accounting, per pair), the per-superstep timeline, and the
@@ -70,6 +72,45 @@ func (p *CommProfile) AddStep(label, kind string, messages int, bytes int64) {
 		Messages: messages,
 		Bytes:    bytes,
 	})
+}
+
+// Merge folds another profile into p: the pair matrices are summed
+// elementwise, the supersteps appended (reindexed), and the
+// per-processor second splits added where present. The sharded
+// interpreter uses it to fold each shard's scratch pair matrix into
+// the master profile; integer addition commutes, so the merged matrix
+// is bit-identical regardless of shard count or merge order.
+func (p *CommProfile) Merge(o *CommProfile) {
+	if p == nil || o == nil {
+		return
+	}
+	if o.Procs != p.Procs {
+		panic(fmt.Sprintf("obs: merging CommProfile of %d procs into %d", o.Procs, p.Procs))
+	}
+	for i := 0; i < p.Procs; i++ {
+		for j := 0; j < p.Procs; j++ {
+			p.PairBytes[i][j] += o.PairBytes[i][j]
+			p.PairMsgs[i][j] += o.PairMsgs[i][j]
+		}
+	}
+	for _, s := range o.Steps {
+		s.Index = len(p.Steps)
+		p.Steps = append(p.Steps, s)
+	}
+	addSec := func(dst *[]float64, src []float64) {
+		if len(src) == 0 {
+			return
+		}
+		if len(*dst) == 0 {
+			*dst = make([]float64, p.Procs)
+		}
+		for i := range src {
+			(*dst)[i] += src[i]
+		}
+	}
+	addSec(&p.ComputeSec, o.ComputeSec)
+	addSec(&p.CommSec, o.CommSec)
+	addSec(&p.IdleSec, o.IdleSec)
 }
 
 // TotalBytes sums the payload bytes over all supersteps.

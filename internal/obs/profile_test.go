@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCommProfileMerge(t *testing.T) {
+	a := NewCommProfile(3)
+	a.AddPair(0, 1, 100)
+	a.AddStep("g1@B1.top", "NNC", 2, 200)
+	a.ComputeSec = []float64{1, 2, 3}
+
+	b := NewCommProfile(3)
+	b.AddPair(0, 1, 50)
+	b.AddPair(2, 0, 8)
+	b.AddStep("g2@B2.top", "SUM", 1, 8)
+	b.ComputeSec = []float64{0.5, 0.5, 0.5}
+	b.IdleSec = []float64{0, 1, 0}
+
+	a.Merge(b)
+	if a.PairBytes[0][1] != 150 || a.PairMsgs[0][1] != 2 {
+		t.Errorf("pair (0,1) = %d bytes / %d msgs, want 150 / 2", a.PairBytes[0][1], a.PairMsgs[0][1])
+	}
+	if a.PairBytes[2][0] != 8 || a.PairMsgs[2][0] != 1 {
+		t.Errorf("pair (2,0) = %d bytes / %d msgs, want 8 / 1", a.PairBytes[2][0], a.PairMsgs[2][0])
+	}
+	if len(a.Steps) != 2 || a.Steps[1].Label != "g2@B2.top" || a.Steps[1].Index != 1 {
+		t.Errorf("merged steps = %+v, want appended and reindexed", a.Steps)
+	}
+	if !reflect.DeepEqual(a.ComputeSec, []float64{1.5, 2.5, 3.5}) {
+		t.Errorf("ComputeSec = %v", a.ComputeSec)
+	}
+	if !reflect.DeepEqual(a.IdleSec, []float64{0, 1, 0}) {
+		t.Errorf("IdleSec = %v, want allocated from merge source", a.IdleSec)
+	}
+	if len(a.CommSec) != 0 {
+		t.Errorf("CommSec = %v, want untouched when both empty", a.CommSec)
+	}
+
+	// Merge is nil-safe on both receivers.
+	var nilProf *CommProfile
+	nilProf.Merge(a)
+	a.Merge(nil)
+
+	defer func() {
+		if recover() == nil {
+			t.Error("merging mismatched processor counts must panic")
+		}
+	}()
+	a.Merge(NewCommProfile(4))
+}

@@ -12,6 +12,7 @@ package runtime
 import (
 	"fmt"
 
+	"gcao/internal/dist"
 	"gcao/internal/machine"
 	"gcao/internal/section"
 	"gcao/internal/sem"
@@ -146,6 +147,39 @@ func (l *Ledger) NetTime() float64 {
 	return maxT
 }
 
+// LedgerView is a range-scoped window onto the CPU clocks of a ledger
+// for processors [Lo, Hi). It owns an independent backing slice, so
+// several views over disjoint ranges can accumulate compute time
+// concurrently without sharing cache lines; Absorb folds a view back
+// into the master ledger. Only CPU time is range-local — network and
+// message accounting happens at barriers, under a single writer.
+type LedgerView struct {
+	Lo, Hi   int
+	CPU      []float64
+	flopTime float64
+}
+
+// View captures the current CPU clocks of processors [lo, hi) in an
+// independent range-scoped accumulator.
+func (l *Ledger) View(lo, hi int) *LedgerView {
+	v := &LedgerView{Lo: lo, Hi: hi, CPU: make([]float64, hi-lo), flopTime: l.Machine.FlopTime}
+	copy(v.CPU, l.CPU[lo:hi])
+	return v
+}
+
+// Compute charges flop-count floating point operations to a processor
+// of the view's range.
+func (v *LedgerView) Compute(proc, flops int) {
+	v.CPU[proc-v.Lo] += float64(flops) * v.flopTime
+}
+
+// Absorb copies a view's CPU clocks back into the master ledger. The
+// view stays valid: CPU clocks only ever grow through the view, so
+// absorbing is an idempotent snapshot, not a reset.
+func (l *Ledger) Absorb(v *LedgerView) {
+	copy(l.CPU[v.Lo:v.Hi], v.CPU)
+}
+
 // StaleReadError reports a processor reading an element it neither
 // owns nor received — evidence of insufficient communication.
 type StaleReadError struct {
@@ -165,19 +199,32 @@ type Memory struct {
 	Unit *sem.Unit
 	P    int
 
-	data    map[string][][]float64
-	valid   map[string][][]bool
-	strides map[string][]int
+	views map[string]*ArrayMem
+}
+
+// ArrayMem is the resolved per-array view of a Memory: the data and
+// validity planes, strides and distribution of one array, with no
+// string-keyed lookups on the access path. The interpreter's inner
+// loops run on these views; per-processor rows are independent
+// allocations, so shards working on disjoint processor ranges never
+// share cache lines.
+type ArrayMem struct {
+	Name    string
+	Arr     *sem.Array
+	Dist    *dist.Dist // nil for replicated arrays (single row 0)
+	Strides []int
+	// Data[p][off] and Valid[p][off] are processor p's copy of the
+	// element at flat offset off (row 0 only for replicated arrays).
+	Data  [][]float64
+	Valid [][]bool
 }
 
 // NewMemory allocates memories for all arrays of the unit.
 func NewMemory(u *sem.Unit, p int) *Memory {
 	m := &Memory{
-		Unit:    u,
-		P:       p,
-		data:    map[string][][]float64{},
-		valid:   map[string][][]bool{},
-		strides: map[string][]int{},
+		Unit:  u,
+		P:     p,
+		views: map[string]*ArrayMem{},
 	}
 	for name, arr := range u.Arrays {
 		size := arr.Size()
@@ -187,32 +234,119 @@ func NewMemory(u *sem.Unit, p int) *Memory {
 			strides[i] = s
 			s *= arr.Hi[i] - arr.Lo[i] + 1
 		}
-		m.strides[name] = strides
 		copies := p
 		if arr.Dist == nil {
 			copies = 1
 		}
-		d := make([][]float64, copies)
-		v := make([][]bool, copies)
-		for c := 0; c < copies; c++ {
-			d[c] = make([]float64, size)
-			v[c] = make([]bool, size)
+		am := &ArrayMem{
+			Name:    name,
+			Arr:     arr,
+			Dist:    arr.Dist,
+			Strides: strides,
+			Data:    make([][]float64, copies),
+			Valid:   make([][]bool, copies),
 		}
-		m.data[name] = d
-		m.valid[name] = v
+		for c := 0; c < copies; c++ {
+			am.Data[c] = make([]float64, size)
+			am.Valid[c] = make([]bool, size)
+		}
+		m.views[name] = am
 		// Owned (or replicated) elements start valid with value zero.
 		if arr.Dist == nil {
-			for i := range v[0] {
-				v[0][i] = true
+			for i := range am.Valid[0] {
+				am.Valid[0][i] = true
 			}
 			continue
 		}
+		coords := make([]int, arr.Dist.Grid.Rank())
 		m.forEachIndex(arr, func(idx []int) {
-			o := arr.Dist.Owner(idx)
-			v[o][m.offset(name, idx)] = true
+			o := am.OwnerInto(idx, coords)
+			am.Valid[o][am.Offset(idx)] = true
 		})
 	}
 	return m
+}
+
+// View returns the resolved per-array view, panicking on unknown
+// arrays (callers pass names from the compiled unit).
+func (m *Memory) View(name string) *ArrayMem {
+	am := m.views[name]
+	if am == nil {
+		panic(fmt.Sprintf("runtime: unknown array %q", name))
+	}
+	return am
+}
+
+// Offset maps an index vector to the flat row-major offset, panicking
+// when the index lies outside the declared bounds.
+func (am *ArrayMem) Offset(idx []int) int {
+	arr := am.Arr
+	off := 0
+	for i, x := range idx {
+		if x < arr.Lo[i] || x > arr.Hi[i] {
+			panic(fmt.Sprintf("runtime: %s%v out of bounds", am.Name, idx))
+		}
+		off += (x - arr.Lo[i]) * am.Strides[i]
+	}
+	return off
+}
+
+// OwnerInto computes the owning processor of an element, reusing the
+// caller's grid-coordinate buffer (len = grid rank) to avoid the
+// per-element allocation of dist.Owner on hot paths.
+func (am *ArrayMem) OwnerInto(idx, coords []int) int {
+	if am.Dist == nil {
+		return 0
+	}
+	for i := range coords {
+		coords[i] = 0
+	}
+	for i, dd := range am.Dist.Dims {
+		if dd.Kind == dist.Star {
+			continue
+		}
+		coords[dd.GridDim] = am.Dist.OwnerDim(i, idx[i])
+	}
+	return am.Dist.Grid.PID(coords)
+}
+
+// ReadAt returns processor proc's view of the element at offset off,
+// failing on stale copies (idx is only used for the error message).
+func (am *ArrayMem) ReadAt(proc, off int, idx []int) (float64, error) {
+	s := proc
+	if am.Dist == nil {
+		s = 0
+	}
+	if !am.Valid[s][off] {
+		return 0, &StaleReadError{Proc: proc, Array: am.Name, Index: append([]int(nil), idx...)}
+	}
+	return am.Data[s][off], nil
+}
+
+// StoreOwner writes the element at off into the owner's row and marks
+// it valid. In a sharded run only the owner's shard calls this.
+func (am *ArrayMem) StoreOwner(off, owner int, v float64) {
+	s := owner
+	if am.Dist == nil {
+		s = 0
+	}
+	am.Data[s][off] = v
+	am.Valid[s][off] = true
+}
+
+// InvalidateRange clears the validity of processors [lo, hi) except
+// the owner — the range-scoped half of the killing write semantics
+// that make stale-read detection sound. Replicated arrays have a
+// single always-valid row, so there is nothing to invalidate.
+func (am *ArrayMem) InvalidateRange(off, owner, lo, hi int) {
+	if am.Dist == nil {
+		return
+	}
+	for p := lo; p < hi; p++ {
+		if p != owner {
+			am.Valid[p][off] = false
+		}
+	}
 }
 
 func (m *Memory) forEachIndex(arr *sem.Array, f func(idx []int)) {
@@ -235,88 +369,57 @@ func (m *Memory) forEachIndex(arr *sem.Array, f func(idx []int)) {
 	}
 }
 
-func (m *Memory) offset(name string, idx []int) int {
-	arr := m.Unit.Arrays[name]
-	off := 0
-	for i, x := range idx {
-		if x < arr.Lo[i] || x > arr.Hi[i] {
-			panic(fmt.Sprintf("runtime: %s%v out of bounds", name, idx))
-		}
-		off += (x - arr.Lo[i]) * m.strides[name][i]
-	}
-	return off
-}
-
-func (m *Memory) slot(name string, proc int) int {
-	if m.Unit.Arrays[name].Dist == nil {
-		return 0
-	}
-	return proc
-}
-
 // Owner returns the owning processor of an element (0 for replicated
 // arrays).
 func (m *Memory) Owner(name string, idx []int) int {
-	arr := m.Unit.Arrays[name]
-	if arr.Dist == nil {
+	am := m.View(name)
+	if am.Dist == nil {
 		return 0
 	}
-	return arr.Dist.Owner(idx)
+	return am.Dist.Owner(idx)
 }
 
 // Read returns a processor's view of an element, failing on stale
 // copies.
 func (m *Memory) Read(proc int, name string, idx []int) (float64, error) {
-	off := m.offset(name, idx)
-	s := m.slot(name, proc)
-	if !m.valid[name][s][off] {
-		return 0, &StaleReadError{Proc: proc, Array: name, Index: append([]int(nil), idx...)}
-	}
-	return m.data[name][s][off], nil
+	am := m.View(name)
+	return am.ReadAt(proc, am.Offset(idx), idx)
 }
 
 // ReadOwner returns the canonical (owner's) value of an element.
 func (m *Memory) ReadOwner(name string, idx []int) float64 {
-	off := m.offset(name, idx)
-	return m.data[name][m.slot(name, m.Owner(name, idx))][off]
+	am := m.View(name)
+	off := am.Offset(idx)
+	s := 0
+	if am.Dist != nil {
+		s = am.Dist.Owner(idx)
+	}
+	return am.Data[s][off]
 }
 
 // Write stores an element at its owner and invalidates every other
 // processor's copy (the killing semantics that make stale-read
 // detection sound).
 func (m *Memory) Write(name string, idx []int, v float64) {
-	off := m.offset(name, idx)
-	arr := m.Unit.Arrays[name]
-	if arr.Dist == nil {
-		m.data[name][0][off] = v
+	am := m.View(name)
+	off := am.Offset(idx)
+	if am.Dist == nil {
+		am.Data[0][off] = v
 		return
 	}
-	o := arr.Dist.Owner(idx)
-	for p := 0; p < m.P; p++ {
-		if p == o {
-			m.data[name][p][off] = v
-			m.valid[name][p][off] = true
-		} else {
-			m.valid[name][p][off] = false
-		}
-	}
-}
-
-// deliver copies an element from its owner's memory into dst's memory.
-func (m *Memory) deliver(name string, idx []int, dst int) {
-	off := m.offset(name, idx)
-	o := m.Owner(name, idx)
-	m.data[name][dst][off] = m.data[name][o][off]
-	m.valid[name][dst][off] = true
+	o := am.Dist.Owner(idx)
+	am.StoreOwner(off, o, v)
+	am.InvalidateRange(off, o, 0, m.P)
 }
 
 // Canonical assembles the owner values of an array into one flat
 // row-major slice, for comparison against a sequential reference run.
 func (m *Memory) Canonical(name string) []float64 {
 	arr := m.Unit.Arrays[name]
+	am := m.View(name)
 	out := make([]float64, arr.Size())
 	m.forEachIndex(arr, func(idx []int) {
-		out[m.offset(name, idx)] = m.ReadOwner(name, idx)
+		out[am.Offset(idx)] = m.ReadOwner(name, idx)
 	})
 	return out
 }
@@ -335,14 +438,26 @@ func (m *Memory) Canonical(name string) []float64 {
 // which the caller charges as one message per pair (that is the whole
 // point of combining).
 func (m *Memory) Shift(name string, sec section.Section, gridDim, sign, width int) map[[2]int]int {
-	arr := m.Unit.Arrays[name]
-	if arr.Dist == nil {
+	return m.ShiftRange(name, sec, gridDim, sign, width, 0, m.P)
+}
+
+// ShiftRange is Shift restricted to deliveries whose receiving
+// processor lies in [dstLo, dstHi). For a given element the sending
+// grid row and the receiving grid row are distinct, and each receiver
+// belongs to exactly one range, so shards running ShiftRange over
+// disjoint ranges concurrently never write the same processor row and
+// never read a row another shard writes; the per-pair byte maps they
+// return are disjoint and merge into exactly the full-Shift map.
+func (m *Memory) ShiftRange(name string, sec section.Section, gridDim, sign, width, dstLo, dstHi int) map[[2]int]int {
+	am := m.View(name)
+	arr := am.Arr
+	if am.Dist == nil {
 		return nil
 	}
 	// Find the array dimension mapped to gridDim.
 	ad := -1
 	for k := range arr.Lo {
-		if arr.Dist.Dims[k].Kind != 0 && arr.Dist.Dims[k].GridDim == gridDim {
+		if am.Dist.Dims[k].Kind != 0 && am.Dist.Dims[k].GridDim == gridDim {
 			ad = k
 			break
 		}
@@ -350,15 +465,26 @@ func (m *Memory) Shift(name string, sec section.Section, gridDim, sign, width in
 	if ad < 0 {
 		return nil
 	}
-	grid := arr.Dist.Grid
+	grid := am.Dist.Grid
 	shape := grid.Shape[gridDim]
 	elemBytes := arr.ElemBytes()
 	margin := width // overlap allowance in the other dimensions
+	// Changing only the gridDim coordinate moves the linear pid by a
+	// fixed stride, so neighbours are computed without coordinate
+	// round-trips; coordinates themselves are resolved once per call.
+	gridStride := 1
+	for i := gridDim + 1; i < grid.Rank(); i++ {
+		gridStride *= grid.Shape[i]
+	}
+	coordsOf := make([][]int, m.P)
+	for p := 0; p < m.P; p++ {
+		coordsOf[p] = grid.Coords(p)
+	}
 	pairs := map[[2]int]int{}
 	sec.Elems(func(idx []int) bool {
 		x := idx[ad]
-		srcCoord := arr.Dist.OwnerDim(ad, x)
-		lo, hi, ok := arr.Dist.LocalRange(ad, srcCoord)
+		srcCoord := am.Dist.OwnerDim(ad, x)
+		lo, hi, ok := am.Dist.LocalRange(ad, srcCoord)
 		if !ok {
 			return true
 		}
@@ -379,28 +505,27 @@ func (m *Memory) Shift(name string, sec section.Section, gridDim, sign, width in
 		// on the other grid coordinates, provided src holds a current
 		// copy (its own or a previously delivered ghost) and dst's
 		// extended local region covers the element.
-		off := m.offset(name, idx)
+		off := am.Offset(idx)
 		for src := 0; src < m.P; src++ {
-			coords := grid.Coords(src)
-			if coords[gridDim] != srcCoord {
+			if coordsOf[src][gridDim] != srcCoord {
 				continue
 			}
-			if !m.valid[name][src][off] {
+			dst := src - sign*gridStride
+			if dst < dstLo || dst >= dstHi {
 				continue
 			}
-			coords[gridDim] = dstCoord
-			dst := grid.PID(coords)
-			if !m.inExtendedRegion(arr, coords, idx, ad, margin) {
+			if !am.Valid[src][off] {
 				continue
 			}
-			if dst != src {
-				// The strip is sent unconditionally — a compiled
-				// exchange does not know what the receiver already
-				// holds — so bytes are charged even for re-deliveries.
-				m.data[name][dst][off] = m.data[name][src][off]
-				m.valid[name][dst][off] = true
-				pairs[[2]int{src, dst}] += elemBytes
+			if !m.inExtendedRegion(arr, coordsOf[dst], idx, ad, margin) {
+				continue
 			}
+			// The strip is sent unconditionally — a compiled
+			// exchange does not know what the receiver already
+			// holds — so bytes are charged even for re-deliveries.
+			am.Data[dst][off] = am.Data[src][off]
+			am.Valid[dst][off] = true
+			pairs[[2]int{src, dst}] += elemBytes
 		}
 		return true
 	})
@@ -429,18 +554,34 @@ func (m *Memory) inExtendedRegion(arr *sem.Array, coords []int, idx []int, ad, m
 
 // Broadcast delivers a section from its owners to every processor.
 func (m *Memory) Broadcast(name string, sec section.Section) int {
-	arr := m.Unit.Arrays[name]
-	if arr.Dist == nil {
+	return m.BroadcastRange(name, sec, 0, m.P)
+}
+
+// BroadcastRange delivers a section from its owners to the processors
+// in [dstLo, dstHi). The returned byte count is that of the full
+// section payload regardless of the range, so concurrent shards each
+// observe the same (chargeable) figure. An element's owner row is
+// never written by any range (owners skip themselves), so disjoint
+// ranges broadcast concurrently without data races.
+func (m *Memory) BroadcastRange(name string, sec section.Section, dstLo, dstHi int) int {
+	am := m.View(name)
+	if am.Dist == nil {
 		return 0
 	}
+	elemBytes := am.Arr.ElemBytes()
+	coords := make([]int, am.Dist.Grid.Rank())
 	bytes := 0
 	sec.Elems(func(idx []int) bool {
-		for p := 0; p < m.P; p++ {
-			if p != m.Owner(name, idx) {
-				m.deliver(name, idx, p)
+		off := am.Offset(idx)
+		o := am.OwnerInto(idx, coords)
+		v := am.Data[o][off]
+		for p := dstLo; p < dstHi; p++ {
+			if p != o {
+				am.Data[p][off] = v
+				am.Valid[p][off] = true
 			}
 		}
-		bytes += arr.ElemBytes()
+		bytes += elemBytes
 		return true
 	})
 	return bytes
@@ -450,11 +591,22 @@ func (m *Memory) Broadcast(name string, sec section.Section) int {
 // and returns the per-processor owned element counts for CPU
 // accounting.
 func (m *Memory) SumSection(name string, sec section.Section) (float64, []int) {
+	am := m.View(name)
 	counts := make([]int, m.P)
 	total := 0.0
+	if am.Dist == nil {
+		sec.Elems(func(idx []int) bool {
+			total += am.Data[0][am.Offset(idx)]
+			counts[0]++
+			return true
+		})
+		return total, counts
+	}
+	coords := make([]int, am.Dist.Grid.Rank())
 	sec.Elems(func(idx []int) bool {
-		total += m.ReadOwner(name, idx)
-		counts[m.Owner(name, idx)]++
+		o := am.OwnerInto(idx, coords)
+		total += am.Data[o][am.Offset(idx)]
+		counts[o]++
 		return true
 	})
 	return total, counts

@@ -5,7 +5,10 @@
 //     scalarized program elementwise over per-processor memories with
 //     validity tracking. It proves a communication placement correct
 //     (a stale read aborts the run) and produces exact per-processor
-//     time and message statistics under the machine cost model.
+//     time and message statistics under the machine cost model. The
+//     per-processor loops are sharded over a pool of worker goroutines
+//     on contiguous processor ranges (see parallel.go); results are
+//     bit-identical to a single-shard run regardless of worker count.
 //
 //   - Estimate, an analytic walker that computes the same per-processor
 //     CPU/network time split without touching data, so the paper's
@@ -24,7 +27,6 @@ import (
 	"gcao/internal/ast"
 	"gcao/internal/cfg"
 	"gcao/internal/core"
-	"gcao/internal/machine"
 	"gcao/internal/obs"
 	"gcao/internal/runtime"
 	"gcao/internal/section"
@@ -43,128 +45,209 @@ type RunResult struct {
 	Scalars map[string]float64
 }
 
-type interp struct {
-	a        *core.Analysis
-	res      *core.Result
-	mem      *runtime.Memory
-	led      *runtime.Ledger
-	scalars  map[string]float64
-	ienv     map[string]int
-	groupsAt map[core.Position][]*core.Group
-	flops    map[*cfg.Stmt]int
-	frames   map[*cfg.Loop]*frame
+// ---------------------------------------------------------------------
+// run plan: per-run precomputation shared read-only by all shards
 
-	// prof and idle are the communication profile of this run, built
-	// only when a recorder is attached (both nil otherwise).
-	prof *obs.CommProfile
-	idle []float64
+// stmtInfo is the precomputed execution recipe of one statement.
+type stmtInfo struct {
+	flops int
+	// lhs is the resolved LHS array view, nil for scalar targets.
+	lhs *runtime.ArrayMem
+	// sync marks statements that need a shard rendezvous: a
+	// replicated-array store (single shared row) or a SUM over a
+	// distributed array (reads owner rows across shard ranges).
+	sync bool
+	// hasSum marks statements whose RHS contains any SUM, so the
+	// per-statement reduction memo is reset before evaluation.
+	hasSum bool
 }
 
+// plan is the immutable per-run precomputation: communication groups
+// indexed by block and statement position (instead of a map keyed by
+// core.Position), per-statement recipes, resolved array views per AST
+// reference, and the rendezvous requirements of branch conditions.
+type plan struct {
+	a   *core.Analysis
+	res *core.Result
+	// comm[b.ID][k+1] lists the groups placed after statement k of
+	// block b (index 0 is the block-top position After=-1), in
+	// res.Groups order.
+	comm [][][]*core.Group
+	info map[*cfg.Stmt]*stmtInfo
+	// refArr resolves array references to their memory views; scalar
+	// references are absent.
+	refArr map[*ast.Ref]*runtime.ArrayMem
+	// condSync[b.ID] marks branch conditions that read distributed
+	// data and therefore need a rendezvous with a leader evaluation.
+	condSync []bool
+	loopOf   []*cfg.Loop // by preheader block ID
+}
+
+func newPlan(res *core.Result, mem *runtime.Memory) *plan {
+	a := res.Analysis
+	pl := &plan{a: a, res: res}
+	n := len(a.G.Blocks)
+	pl.comm = make([][][]*core.Group, n)
+	for _, b := range a.G.Blocks {
+		pl.comm[b.ID] = make([][]*core.Group, len(b.Stmts)+1)
+	}
+	for _, g := range res.Groups {
+		b := g.Pos.Block
+		pl.comm[b.ID][g.Pos.After+1] = append(pl.comm[b.ID][g.Pos.After+1], g)
+	}
+	pl.info = make(map[*cfg.Stmt]*stmtInfo, len(a.G.Stmts))
+	pl.refArr = map[*ast.Ref]*runtime.ArrayMem{}
+	resolve := func(e ast.Expr) {
+		walkRefs(e, func(r *ast.Ref) {
+			if a.Unit.Arrays[r.Name] != nil {
+				pl.refArr[r] = mem.View(r.Name)
+			}
+		})
+	}
+	for _, st := range a.G.Stmts {
+		si := &stmtInfo{flops: countFlops(st.Assign.RHS)}
+		if arr := a.Unit.Arrays[st.Assign.LHS.Name]; arr != nil {
+			si.lhs = mem.View(st.Assign.LHS.Name)
+		}
+		si.hasSum = exprHasSum(st.Assign.RHS)
+		si.sync = (si.lhs != nil && si.lhs.Dist == nil) ||
+			exprHasDistributedSum(a, st.Assign.RHS)
+		pl.info[st] = si
+		resolve(st.Assign.RHS)
+	}
+	pl.condSync = make([]bool, n)
+	pl.loopOf = make([]*cfg.Loop, n)
+	for _, b := range a.G.Blocks {
+		if b.Branch != nil {
+			pl.condSync[b.ID] = exprReadsDistributed(a, b.Branch.Cond)
+			resolve(b.Branch.Cond)
+		}
+	}
+	for _, l := range a.G.Loops {
+		if l.PreHeader != nil {
+			pl.loopOf[l.PreHeader.ID] = l
+		}
+	}
+	return pl
+}
+
+// walkRefs visits every array/scalar reference of an expression,
+// including references nested in subscript and section bounds.
+func walkRefs(e ast.Expr, f func(*ast.Ref)) {
+	switch e := e.(type) {
+	case *ast.UnaryExpr:
+		walkRefs(e.X, f)
+	case *ast.BinExpr:
+		walkRefs(e.X, f)
+		walkRefs(e.Y, f)
+	case *ast.Call:
+		for _, a := range e.Args {
+			walkRefs(a, f)
+		}
+	case *ast.Ref:
+		f(e)
+		for _, sub := range e.Subs {
+			for _, x := range []ast.Expr{sub.X, sub.Lo, sub.Hi, sub.Step} {
+				if x != nil {
+					walkRefs(x, f)
+				}
+			}
+		}
+	}
+}
+
+func exprHasSum(e ast.Expr) bool {
+	found := false
+	walkCalls(e, func(c *ast.Call) {
+		if c.Func == "sum" {
+			found = true
+		}
+	})
+	return found
+}
+
+func exprHasDistributedSum(a *core.Analysis, e ast.Expr) bool {
+	found := false
+	walkCalls(e, func(c *ast.Call) {
+		if c.Func != "sum" || len(c.Args) != 1 {
+			return
+		}
+		if ref, ok := c.Args[0].(*ast.Ref); ok {
+			if arr := a.Unit.Arrays[ref.Name]; arr != nil && arr.Dist != nil {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+func exprReadsDistributed(a *core.Analysis, e ast.Expr) bool {
+	found := false
+	walkRefs(e, func(r *ast.Ref) {
+		if arr := a.Unit.Arrays[r.Name]; arr != nil && arr.Dist != nil {
+			found = true
+		}
+	})
+	return found
+}
+
+func walkCalls(e ast.Expr, f func(*ast.Call)) {
+	switch e := e.(type) {
+	case *ast.UnaryExpr:
+		walkCalls(e.X, f)
+	case *ast.BinExpr:
+		walkCalls(e.X, f)
+		walkCalls(e.Y, f)
+	case *ast.Call:
+		f(e)
+		for _, a := range e.Args {
+			walkCalls(a, f)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// shard: one worker's view of the run
+
+// frame is one loop's iteration state (replicated per shard).
 type frame struct {
 	lo, hi, step, cur int
 }
 
-// Run executes the program under the given placement on p processors.
-// When the analysis carries an obs recorder, the run is profiled:
-// sender→receiver traffic, the per-superstep timeline, and the
-// per-processor compute/communication/idle split.
-func Run(res *core.Result, m machine.Machine, procs int) (*RunResult, error) {
-	return RunObs(res, m, procs, res.Analysis.Obs)
+// sumEntry memoizes one SUM call's value within a single statement
+// execution: the total is processor-independent, only the flop share
+// differs, so each shard computes the section scan once per statement
+// instead of once per processor.
+type sumEntry struct {
+	total  float64
+	counts []int // per-processor owned element counts; nil if replicated
+	n      int   // element count for replicated sums
 }
 
-// RunObs is Run with an explicit recorder (which may be nil to
-// disable profiling even when the analysis has one).
-func RunObs(res *core.Result, m machine.Machine, procs int, rec *obs.Recorder) (*RunResult, error) {
-	a := res.Analysis
-	if got := a.Unit.Grid.NumProcs(); got != procs {
-		return nil, fmt.Errorf("spmd: unit compiled for %d processors, run requested %d", got, procs)
-	}
-	endRun := rec.Start("simulate:" + res.Version.String())
-	defer endRun()
-	it := &interp{
-		a:        a,
-		res:      res,
-		mem:      runtime.NewMemory(a.Unit, procs),
-		led:      runtime.NewLedger(procs, m),
-		scalars:  map[string]float64{},
-		ienv:     map[string]int{},
-		groupsAt: map[core.Position][]*core.Group{},
-		flops:    map[*cfg.Stmt]int{},
-		frames:   map[*cfg.Loop]*frame{},
-	}
-	if rec != nil {
-		it.prof = obs.NewCommProfile(procs)
-		it.idle = make([]float64, procs)
-	}
-	for name, v := range a.Unit.Params {
-		it.scalars[name] = float64(v)
-	}
-	for _, g := range res.Groups {
-		it.groupsAt[g.Pos] = append(it.groupsAt[g.Pos], g)
-	}
-	for _, st := range a.G.Stmts {
-		it.flops[st] = countFlops(st.Assign.RHS)
-	}
-	if err := it.run(); err != nil {
-		return nil, err
-	}
-	it.barrier()
-	if it.prof != nil {
-		it.finishProfile(rec)
-	}
-	return &RunResult{Ledger: it.led, Mem: it.mem, Scalars: it.scalars}, nil
+// shard executes the full control flow for the contiguous processor
+// range [lo, hi). All integer bookkeeping (loop frames, scalar
+// environment) is replicated per shard; memory and ledger writes stay
+// inside the range except at phaser rendezvous points.
+type shard struct {
+	eng     *engine
+	idx     int
+	lo, hi  int
+	ienv    map[string]int
+	scalars map[string]float64
+	frames  map[*cfg.Loop]*frame
+	led     *runtime.LedgerView
+	// prof is the shard's scratch pair matrix, merged into the master
+	// profile at each superstep rendezvous (nil when unprofiled).
+	prof    *obs.CommProfile
+	sumMemo map[*ast.Call]sumEntry
+	coords  []int // grid-coordinate scratch for owner computations
 }
 
-// barrier synchronizes the ledger clocks, first crediting each
-// processor's wait below the slowest clock to the profile's idle
-// account (the ledger itself charges that slack to Net).
-func (it *interp) barrier() {
-	if it.idle != nil {
-		maxT := 0.0
-		for p := 0; p < it.led.P; p++ {
-			if t := it.led.CPU[p] + it.led.Net[p]; t > maxT {
-				maxT = t
-			}
-		}
-		for p := 0; p < it.led.P; p++ {
-			it.idle[p] += maxT - (it.led.CPU[p] + it.led.Net[p])
-		}
-	}
-	it.led.Barrier()
-}
-
-// finishProfile fills the per-processor time split, installs the
-// profile, and bumps the run counters. The version-prefixed counters
-// let several runs (orig vs comb) share one recorder.
-func (it *interp) finishProfile(rec *obs.Recorder) {
-	compute := make([]float64, it.led.P)
-	comm := make([]float64, it.led.P)
-	for p := 0; p < it.led.P; p++ {
-		compute[p] = it.led.CPU[p]
-		comm[p] = it.led.Net[p] - it.idle[p]
-	}
-	it.prof.ComputeSec = compute
-	it.prof.CommSec = comm
-	it.prof.IdleSec = append([]float64(nil), it.idle...)
-	rec.SetProfile(it.prof)
-	prefix := "spmd." + it.res.Version.String() + "."
-	rec.Add(prefix+"supersteps", int64(len(it.prof.Steps)))
-	rec.Add(prefix+"messages", int64(it.led.DynMessages))
-	rec.Add(prefix+"bytes", int64(it.led.BytesMoved))
-	rec.Add(prefix+"barriers", int64(it.led.Barriers))
-	rec.Event(obs.LevelInfo, "simulate.done",
-		obs.F("version", it.res.Version.String()),
-		obs.F("procs", it.led.P),
-		obs.F("messages", it.led.DynMessages),
-		obs.F("bytes", it.led.BytesMoved),
-		obs.F("barriers", it.led.Barriers))
-}
-
-func (it *interp) run() error {
-	cur := it.a.G.EntryBlock
+func (sh *shard) run() error {
+	cur := sh.eng.pl.a.G.EntryBlock
 	var prev *cfg.Block
 	for cur != nil {
-		next, err := it.execBlock(cur, prev)
+		next, err := sh.execBlock(cur, prev)
 		if err != nil {
 			return err
 		}
@@ -173,17 +256,18 @@ func (it *interp) run() error {
 	return nil
 }
 
-func (it *interp) execBlock(b *cfg.Block, prev *cfg.Block) (*cfg.Block, error) {
+func (sh *shard) execBlock(b *cfg.Block, prev *cfg.Block) (*cfg.Block, error) {
+	pl := sh.eng.pl
 	switch b.Kind {
 	case cfg.Header:
 		loop := b.Loop
-		fr := it.frames[loop]
+		fr := sh.frames[loop]
 		if prev == loop.PreHeader {
 			fr.cur = fr.lo
 		} else {
 			fr.cur += fr.step
 		}
-		it.ienv[loop.Var()] = fr.cur
+		sh.ienv[loop.Var()] = fr.cur
 		cont := fr.cur <= fr.hi
 		if fr.step < 0 {
 			cont = fr.cur >= fr.hi
@@ -193,18 +277,21 @@ func (it *interp) execBlock(b *cfg.Block, prev *cfg.Block) (*cfg.Block, error) {
 		}
 		// Communication placed at the loop header executes once per
 		// iteration, after the φ point.
-		if err := it.execComm(core.Position{Block: b, After: -1}); err != nil {
+		if err := sh.execComm(pl.comm[b.ID][0]); err != nil {
 			return nil, err
 		}
 		return b.Succs[0], nil
 
 	case cfg.PreHeader:
-		loop := findLoopByPreheader(it.a.G, b)
-		if err := it.execComm(core.Position{Block: b, After: -1}); err != nil {
+		loop := pl.loopOf[b.ID]
+		if loop == nil {
+			panic("spmd: preheader without loop")
+		}
+		if err := sh.execComm(pl.comm[b.ID][0]); err != nil {
 			return nil, err
 		}
-		lo, err1 := it.evalInt(loop.Do.Lo)
-		hi, err2 := it.evalInt(loop.Do.Hi)
+		lo, err1 := sh.evalInt(loop.Do.Lo)
+		hi, err2 := sh.evalInt(loop.Do.Hi)
 		if err1 != nil {
 			return nil, err1
 		}
@@ -213,7 +300,7 @@ func (it *interp) execBlock(b *cfg.Block, prev *cfg.Block) (*cfg.Block, error) {
 		}
 		step := 1
 		if loop.Do.Step != nil {
-			s, err := it.evalInt(loop.Do.Step)
+			s, err := sh.evalInt(loop.Do.Step)
 			if err != nil {
 				return nil, err
 			}
@@ -222,7 +309,7 @@ func (it *interp) execBlock(b *cfg.Block, prev *cfg.Block) (*cfg.Block, error) {
 			}
 			step = s
 		}
-		it.frames[loop] = &frame{lo: lo, hi: hi, step: step}
+		sh.frames[loop] = &frame{lo: lo, hi: hi, step: step}
 		empty := lo > hi
 		if step < 0 {
 			empty = lo < hi
@@ -233,25 +320,25 @@ func (it *interp) execBlock(b *cfg.Block, prev *cfg.Block) (*cfg.Block, error) {
 		return b.Succs[0], nil
 
 	default:
-		if err := it.execComm(core.Position{Block: b, After: -1}); err != nil {
+		if err := sh.execComm(pl.comm[b.ID][0]); err != nil {
 			return nil, err
 		}
 		for k, st := range b.Stmts {
-			if err := it.execStmt(st); err != nil {
+			if err := sh.execStmt(st); err != nil {
 				return nil, err
 			}
-			if err := it.execComm(core.Position{Block: b, After: k}); err != nil {
+			if err := sh.execComm(pl.comm[b.ID][k+1]); err != nil {
 				return nil, err
 			}
 		}
 		if b.Branch != nil {
-			v, err := it.evalCond(b.Branch.Cond)
+			v, err := sh.evalCond(b)
 			if err != nil {
 				return nil, err
 			}
 			// Every processor evaluates the replicated condition.
-			for p := 0; p < it.led.P; p++ {
-				it.led.Compute(p, 1)
+			for p := sh.lo; p < sh.hi; p++ {
+				sh.led.Compute(p, 1)
 			}
 			if v {
 				return b.Succs[0], nil
@@ -265,117 +352,217 @@ func (it *interp) execBlock(b *cfg.Block, prev *cfg.Block) (*cfg.Block, error) {
 	}
 }
 
-func findLoopByPreheader(g *cfg.Graph, b *cfg.Block) *cfg.Loop {
-	for _, l := range g.Loops {
-		if l.PreHeader == b {
-			return l
-		}
-	}
-	panic("spmd: preheader without loop")
-}
-
 // ---------------------------------------------------------------------
 // statement execution
 
-func (it *interp) execStmt(st *cfg.Stmt) error {
+func (sh *shard) execStmt(st *cfg.Stmt) error {
+	si := sh.eng.pl.info[st]
+	if si.hasSum {
+		clear(sh.sumMemo)
+	}
+	if si.sync {
+		return sh.execSyncStmt(st, si)
+	}
 	as := st.Assign
-	lhs := as.LHS
-	arr := it.a.Unit.Arrays[lhs.Name]
-	flops := it.flops[st]
 
-	if arr == nil {
-		// Scalar target: every processor computes the replicated value.
-		v, perProc, err := it.evalOnAll(as.RHS)
+	if si.lhs == nil {
+		// Scalar target: every processor computes the replicated value;
+		// this shard evaluates its range (the value is processor-
+		// independent, cross-shard agreement is checked at the next
+		// rendezvous).
+		v, err := sh.evalRange(as.RHS, si.flops)
 		if err != nil {
 			return err
 		}
-		it.scalars[lhs.Name] = v
-		for p := 0; p < it.led.P; p++ {
-			it.led.Compute(p, flops+perProc[p])
-		}
+		sh.scalars[as.LHS.Name] = v
 		return nil
 	}
 
-	idx := make([]int, len(lhs.Subs))
-	for i, sub := range lhs.Subs {
-		if sub.Kind != ast.SubExpr {
-			return fmt.Errorf("spmd: unscalarized section on LHS at %s", as.Pos)
-		}
-		x, err := it.evalInt(sub.X)
-		if err != nil {
-			return err
-		}
-		idx[i] = x
-	}
-
-	if arr.Dist == nil {
-		// Replicated array: every processor computes and stores.
-		v, perProc, err := it.evalOnAll(as.RHS)
-		if err != nil {
-			return err
-		}
-		it.mem.Write(lhs.Name, idx, v)
-		for p := 0; p < it.led.P; p++ {
-			it.led.Compute(p, flops+perProc[p])
-		}
-		return nil
-	}
-
-	// Owner-computes.
-	owner := it.mem.Owner(lhs.Name, idx)
-	v, extra, err := it.evalOn(owner, as.RHS)
+	// Owner-computes on a distributed array (replicated-array stores
+	// are sync statements).
+	idx, err := sh.lhsIndex(as)
 	if err != nil {
 		return err
 	}
-	it.mem.Write(lhs.Name, idx, v)
-	it.led.Compute(owner, flops+extra)
+	am := si.lhs
+	off := am.Offset(idx)
+	owner := sh.ownerOf(am, idx)
+	if owner >= sh.lo && owner < sh.hi {
+		v, extra, err := sh.evalOn(owner, as.RHS)
+		if err != nil {
+			return err
+		}
+		am.StoreOwner(off, owner, v)
+		sh.led.Compute(owner, si.flops+extra)
+	}
+	am.InvalidateRange(off, owner, sh.lo, sh.hi)
 	return nil
 }
 
-// evalOnAll evaluates a replicated expression on every processor,
-// verifying agreement; it returns the value and per-processor extra
-// flop counts (from reductions).
-func (it *interp) evalOnAll(e ast.Expr) (float64, []int, error) {
-	perProc := make([]int, it.led.P)
-	var v0 float64
-	for p := 0; p < it.led.P; p++ {
-		v, extra, err := it.evalOn(p, e)
-		if err != nil {
-			return 0, nil, err
-		}
-		perProc[p] += extra
-		if p == 0 {
-			v0 = v
-		} else if v != v0 && !(math.IsNaN(v) && math.IsNaN(v0)) {
-			return 0, nil, fmt.Errorf("spmd: replicated computation diverged: %g vs %g", v0, v)
+// execSyncStmt executes a statement that needs a rendezvous: either
+// its RHS sums a distributed array (reading owner rows across shard
+// ranges, so all shards must quiesce first) or its LHS is a
+// replicated array (single shared row, written once by the leader).
+func (sh *shard) execSyncStmt(st *cfg.Stmt, si *stmtInfo) error {
+	eng := sh.eng
+	as := st.Assign
+
+	// Rendezvous 1: quiesce. After this point no shard mutates memory
+	// until rendezvous 2, so cross-range owner reads are safe.
+	if err := eng.ph.await(token{kind: tkStmtA, a: st.ID}, nil); err != nil {
+		return err
+	}
+
+	var idx []int
+	var off, owner int
+	var serr error
+	eng.syncHas[sh.idx] = false
+	if si.lhs != nil {
+		idx, serr = sh.lhsIndex(as)
+		if serr == nil && si.lhs.Dist != nil {
+			off = si.lhs.Offset(idx)
+			owner = sh.ownerOf(si.lhs, idx)
+		} else if serr == nil {
+			off = si.lhs.Offset(idx)
 		}
 	}
-	return v0, perProc, nil
+	if serr == nil {
+		switch {
+		case si.lhs != nil && si.lhs.Dist != nil:
+			// Owner-computes: only the owner's shard evaluates.
+			if owner >= sh.lo && owner < sh.hi {
+				v, extra, err := sh.evalOn(owner, as.RHS)
+				if err != nil {
+					serr = err
+				} else {
+					eng.syncVals[sh.idx] = v
+					eng.syncHas[sh.idx] = true
+					sh.led.Compute(owner, si.flops+extra)
+				}
+			}
+		default:
+			// Scalar or replicated-array target: the value is
+			// replicated; this shard evaluates and charges its range.
+			v, err := sh.evalRange(as.RHS, si.flops)
+			if err != nil {
+				serr = err
+			} else {
+				eng.syncVals[sh.idx] = v
+				eng.syncHas[sh.idx] = true
+			}
+		}
+	}
+	eng.shardErrs[sh.idx] = serr
+
+	// Rendezvous 2: the leader validates agreement and performs the
+	// single shared write.
+	err := eng.ph.await(token{kind: tkStmtB, a: st.ID}, func() error {
+		if err := eng.firstShardError(); err != nil {
+			return err
+		}
+		var v0 float64
+		have := false
+		for i, has := range eng.syncHas {
+			if !has {
+				continue
+			}
+			v := eng.syncVals[i]
+			if !have {
+				v0, have = v, true
+			} else if v != v0 && !(math.IsNaN(v) && math.IsNaN(v0)) {
+				return fmt.Errorf("spmd: replicated computation diverged: %g vs %g", v0, v)
+			}
+		}
+		if si.lhs != nil && !have {
+			return fmt.Errorf("spmd: no shard computed %s", as.LHS.Name)
+		}
+		eng.syncResult = v0
+		if si.lhs != nil && si.lhs.Dist != nil {
+			si.lhs.StoreOwner(off, owner, v0)
+		} else if si.lhs != nil {
+			si.lhs.StoreOwner(off, 0, v0)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if si.lhs == nil {
+		sh.scalars[as.LHS.Name] = eng.syncResult
+	} else if si.lhs.Dist != nil {
+		si.lhs.InvalidateRange(off, owner, sh.lo, sh.hi)
+	}
+	return nil
+}
+
+// evalRange evaluates a replicated expression on each processor of
+// the shard's range, verifying intra-shard agreement and charging the
+// per-processor flops (base + reduction share) to the shard ledger.
+func (sh *shard) evalRange(e ast.Expr, flops int) (float64, error) {
+	var v0 float64
+	for p := sh.lo; p < sh.hi; p++ {
+		v, extra, err := sh.evalOn(p, e)
+		if err != nil {
+			return 0, err
+		}
+		if p == sh.lo {
+			v0 = v
+		} else if v != v0 && !(math.IsNaN(v) && math.IsNaN(v0)) {
+			return 0, fmt.Errorf("spmd: replicated computation diverged: %g vs %g", v0, v)
+		}
+		sh.led.Compute(p, flops+extra)
+	}
+	return v0, nil
+}
+
+func (sh *shard) lhsIndex(as *ast.AssignStmt) ([]int, error) {
+	idx := make([]int, len(as.LHS.Subs))
+	for i, sub := range as.LHS.Subs {
+		if sub.Kind != ast.SubExpr {
+			return nil, fmt.Errorf("spmd: unscalarized section on LHS at %s", as.Pos)
+		}
+		x, err := sh.evalInt(sub.X)
+		if err != nil {
+			return nil, err
+		}
+		idx[i] = x
+	}
+	return idx, nil
+}
+
+// ownerOf computes an element's owner through the shard's reusable
+// coordinate buffer.
+func (sh *shard) ownerOf(am *runtime.ArrayMem, idx []int) int {
+	r := am.Dist.Grid.Rank()
+	if cap(sh.coords) < r {
+		sh.coords = make([]int, r)
+	}
+	return am.OwnerInto(idx, sh.coords[:r])
 }
 
 // evalOn evaluates an expression from one processor's point of view.
 // extra counts the processor's share of reduction flops.
-func (it *interp) evalOn(p int, e ast.Expr) (val float64, extra int, err error) {
+func (sh *shard) evalOn(p int, e ast.Expr) (val float64, extra int, err error) {
 	switch e := e.(type) {
 	case *ast.NumLit:
 		return e.Value, 0, nil
 	case *ast.Ident:
-		if v, ok := it.ienv[e.Name]; ok {
+		if v, ok := sh.ienv[e.Name]; ok {
 			return float64(v), 0, nil
 		}
-		if v, ok := it.scalars[e.Name]; ok {
+		if v, ok := sh.scalars[e.Name]; ok {
 			return v, 0, nil
 		}
 		return 0, 0, fmt.Errorf("spmd: unbound scalar %q", e.Name)
 	case *ast.UnaryExpr:
-		v, ex, err := it.evalOn(p, e.X)
+		v, ex, err := sh.evalOn(p, e.X)
 		return -v, ex, err
 	case *ast.BinExpr:
-		x, ex1, err := it.evalOn(p, e.X)
+		x, ex1, err := sh.evalOn(p, e.X)
 		if err != nil {
 			return 0, 0, err
 		}
-		y, ex2, err := it.evalOn(p, e.Y)
+		y, ex2, err := sh.evalOn(p, e.Y)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -405,34 +592,34 @@ func (it *interp) evalOn(p int, e ast.Expr) (val float64, extra int, err error) 
 		}
 		return 0, 0, fmt.Errorf("spmd: bad operator %v", e.Op)
 	case *ast.Ref:
-		arr := it.a.Unit.Arrays[e.Name]
-		if arr == nil {
-			if v, ok := it.ienv[e.Name]; ok {
+		am := sh.eng.pl.refArr[e]
+		if am == nil {
+			if v, ok := sh.ienv[e.Name]; ok {
 				return float64(v), 0, nil
 			}
-			return it.scalars[e.Name], 0, nil
+			return sh.scalars[e.Name], 0, nil
 		}
 		idx := make([]int, len(e.Subs))
 		for i, sub := range e.Subs {
 			if sub.Kind != ast.SubExpr {
 				return 0, 0, fmt.Errorf("spmd: section read outside SUM at %s", e.Pos)
 			}
-			x, err := it.evalInt(sub.X)
+			x, err := sh.evalInt(sub.X)
 			if err != nil {
 				return 0, 0, err
 			}
 			idx[i] = x
 		}
-		v, err := it.mem.Read(p, e.Name, idx)
+		v, err := am.ReadAt(p, am.Offset(idx), idx)
 		return v, 0, err
 	case *ast.Call:
 		if e.Func == "sum" {
-			return it.evalSum(p, e)
+			return sh.evalSum(p, e)
 		}
 		args := make([]float64, len(e.Args))
 		var extra int
 		for i, a := range e.Args {
-			v, ex, err := it.evalOn(p, a)
+			v, ex, err := sh.evalOn(p, a)
 			if err != nil {
 				return 0, 0, err
 			}
@@ -460,8 +647,10 @@ func (it *interp) evalOn(p int, e ast.Expr) (val float64, extra int, err error) 
 
 // evalSum evaluates SUM over an array section: partial sums are
 // computed by the owners (charged to extra on processor p as its
-// share) and the combine is charged by the reduction group.
-func (it *interp) evalSum(p int, e *ast.Call) (float64, int, error) {
+// share) and the combine is charged by the reduction group. The total
+// is processor-independent, so the section scan is memoized per
+// statement execution and reused across the shard's processors.
+func (sh *shard) evalSum(p int, e *ast.Call) (float64, int, error) {
 	if len(e.Args) != 1 {
 		return 0, 0, fmt.Errorf("spmd: sum wants 1 argument")
 	}
@@ -469,26 +658,34 @@ func (it *interp) evalSum(p int, e *ast.Call) (float64, int, error) {
 	if !ok {
 		return 0, 0, fmt.Errorf("spmd: sum argument must be an array section")
 	}
-	arr := it.a.Unit.Arrays[ref.Name]
-	if arr == nil {
+	if m, ok := sh.sumMemo[e]; ok {
+		if m.counts != nil {
+			return m.total, m.counts[p], nil
+		}
+		return m.total, m.n, nil
+	}
+	am := sh.eng.pl.refArr[ref]
+	if am == nil {
 		return 0, 0, fmt.Errorf("spmd: sum over non-array %q", ref.Name)
 	}
-	sec, err := it.concreteRefSection(ref)
+	sec, err := sh.concreteRefSection(ref, am)
 	if err != nil {
 		return 0, 0, err
 	}
-	if arr.Dist == nil {
+	if am.Dist == nil {
 		total := 0.0
 		n := 0
 		sec.Elems(func(idx []int) bool {
-			v, _ := it.mem.Read(0, ref.Name, idx)
+			v, _ := am.ReadAt(0, am.Offset(idx), idx)
 			total += v
 			n++
 			return true
 		})
+		sh.sumMemo[e] = sumEntry{total: total, n: n}
 		return total, n, nil
 	}
-	total, counts := it.mem.SumSection(ref.Name, sec)
+	total, counts := sh.eng.mem.SumSection(ref.Name, sec)
+	sh.sumMemo[e] = sumEntry{total: total, counts: counts}
 	return total, counts[p], nil
 }
 
@@ -499,19 +696,40 @@ func b2f(b bool) float64 {
 	return 0
 }
 
-func (it *interp) evalCond(e ast.Expr) (bool, error) {
-	v, _, err := it.evalOn(0, e)
-	return v != 0, err
+// evalCond evaluates a branch condition. Scalar-only conditions are
+// evaluated locally (every shard computes the identical value);
+// conditions reading distributed data rendezvous so the leader can
+// evaluate processor 0's view while all shards are quiescent.
+func (sh *shard) evalCond(b *cfg.Block) (bool, error) {
+	eng := sh.eng
+	clear(sh.sumMemo)
+	if !eng.pl.condSync[b.ID] {
+		v, _, err := sh.evalOn(0, b.Branch.Cond)
+		return v != 0, err
+	}
+	err := eng.ph.await(token{kind: tkCond, a: b.ID}, func() error {
+		clear(sh.sumMemo)
+		v, _, err := sh.evalOn(0, b.Branch.Cond)
+		if err != nil {
+			return err
+		}
+		eng.condVal = v != 0
+		return nil
+	})
+	if err != nil {
+		return false, err
+	}
+	return eng.condVal, nil
 }
 
-func (it *interp) evalInt(e ast.Expr) (int, error) {
-	return it.a.Unit.EvalIntEnv(e, it.ienv)
+func (sh *shard) evalInt(e ast.Expr) (int, error) {
+	return sh.eng.pl.a.Unit.EvalIntEnv(e, sh.ienv)
 }
 
 // concreteRefSection resolves a (possibly sectioned) reference to a
 // concrete section under the current loop environment.
-func (it *interp) concreteRefSection(ref *ast.Ref) (sec sectionT, err error) {
-	arr := it.a.Unit.Arrays[ref.Name]
+func (sh *shard) concreteRefSection(ref *ast.Ref, am *runtime.ArrayMem) (sec sectionT, err error) {
+	arr := am.Arr
 	dims := make([]sectionDimT, arr.Rank())
 	if len(ref.Subs) == 0 {
 		for i := range dims {
@@ -521,7 +739,7 @@ func (it *interp) concreteRefSection(ref *ast.Ref) (sec sectionT, err error) {
 	}
 	for i, sub := range ref.Subs {
 		if sub.Kind == ast.SubExpr {
-			x, err := it.evalInt(sub.X)
+			x, err := sh.evalInt(sub.X)
 			if err != nil {
 				return sectionT{}, err
 			}
@@ -530,17 +748,17 @@ func (it *interp) concreteRefSection(ref *ast.Ref) (sec sectionT, err error) {
 		}
 		lo, hi, step := arr.Lo[i], arr.Hi[i], 1
 		if sub.Lo != nil {
-			if lo, err = it.evalInt(sub.Lo); err != nil {
+			if lo, err = sh.evalInt(sub.Lo); err != nil {
 				return sectionT{}, err
 			}
 		}
 		if sub.Hi != nil {
-			if hi, err = it.evalInt(sub.Hi); err != nil {
+			if hi, err = sh.evalInt(sub.Hi); err != nil {
 				return sectionT{}, err
 			}
 		}
 		if sub.Step != nil {
-			if step, err = it.evalInt(sub.Step); err != nil {
+			if step, err = sh.evalInt(sub.Step); err != nil {
 				return sectionT{}, err
 			}
 		}
@@ -549,62 +767,10 @@ func (it *interp) concreteRefSection(ref *ast.Ref) (sec sectionT, err error) {
 	return sectionT{Dims: dims}, nil
 }
 
-// ---------------------------------------------------------------------
-// communication execution
-
-func (it *interp) execComm(pos core.Position) error {
-	groups := it.groupsAt[pos]
-	if len(groups) == 0 {
-		return nil
-	}
-	for _, g := range groups {
-		it.barrier()
-		msgs0, bytes0 := it.led.DynMessages, it.led.BytesMoved
-		switch g.Kind {
-		case core.KindShift:
-			// One message per (src,dst) pair for the whole group: the
-			// member strips are packed together.
-			pairBytes := map[[2]int]int{}
-			for _, e := range g.Entries {
-				sec, ok := it.concreteEntrySection(e, pos)
-				if !ok {
-					continue
-				}
-				for pair, b := range it.mem.Shift(e.Array, sec, g.Map.GridDim, g.Map.Sign, g.Map.Width) {
-					pairBytes[pair] += b
-				}
-			}
-			for pair, b := range pairBytes {
-				it.led.Message(pair[0], pair[1], b)
-				it.prof.AddPair(pair[0], pair[1], int64(b))
-			}
-		case core.KindReduce:
-			// Functionally the SUM statement computes the value; the
-			// group charges one combined message of k partials.
-			it.led.Reduce(len(g.Entries) * 8)
-		case core.KindBcast, core.KindGeneral:
-			bytes := 0
-			for _, e := range g.Entries {
-				sec, ok := it.concreteEntrySection(e, pos)
-				if !ok {
-					continue
-				}
-				bytes += it.mem.Broadcast(e.Array, sec)
-			}
-			it.led.Broadcast(bytes)
-		}
-		if it.prof != nil {
-			it.prof.AddStep(fmt.Sprintf("group%d@%s", g.ID, g.Pos), g.Kind.String(),
-				it.led.DynMessages-msgs0, int64(it.led.BytesMoved-bytes0))
-		}
-	}
-	return nil
-}
-
-func (it *interp) concreteEntrySection(e *core.Entry, pos core.Position) (sectionT, bool) {
-	sym := it.res.CommSection(e, pos.Level())
+func (sh *shard) concreteEntrySection(e *core.Entry, pos core.Position) (sectionT, bool) {
+	sym := sh.eng.pl.res.CommSection(e, pos.Level())
 	env := map[string]int{}
-	for k, v := range it.ienv {
+	for k, v := range sh.ienv {
 		env[k] = v
 	}
 	sec, ok := sym.Concrete(env)
@@ -614,7 +780,7 @@ func (it *interp) concreteEntrySection(e *core.Entry, pos core.Position) (sectio
 	// Clip to the declared array bounds: vectorized subscript ranges
 	// like i-1 over i=2..n already stay inside, but defensive clipping
 	// keeps hulls in range.
-	arr := it.a.Unit.Arrays[e.Array]
+	arr := sh.eng.pl.a.Unit.Arrays[e.Array]
 	return sec.Clip(arr.Lo, arr.Hi), true
 }
 

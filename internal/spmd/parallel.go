@@ -1,0 +1,511 @@
+package spmd
+
+// The sharded execution engine. A run is executed by S worker shards
+// over contiguous processor ranges; each shard redundantly walks the
+// full control-flow graph with replicated integer bookkeeping and
+// performs the per-processor work (evaluation, owner-computes stores,
+// validity kills, ghost deliveries) only for its own range. Shards
+// meet at a phaser rendezvous exactly where the BSP model requires
+// agreement: communication groups (superstep barriers), statements
+// that read owner rows across ranges (distributed SUM), shared-row
+// writes (replicated arrays), and branch conditions over distributed
+// data. The last shard to arrive runs the leader action — absorbing
+// the range-scoped ledger views into the master ledger, charging
+// message costs in sorted pair order, merging the shards' scratch
+// communication profiles — so every master-side mutation has a single
+// writer and a deterministic order, making results bit-identical to a
+// single-shard run regardless of worker count.
+
+import (
+	"fmt"
+	"math"
+	goruntime "runtime"
+	"sort"
+	"sync"
+
+	"gcao/internal/ast"
+	"gcao/internal/cfg"
+	"gcao/internal/core"
+	"gcao/internal/machine"
+	"gcao/internal/obs"
+	"gcao/internal/runtime"
+)
+
+// DefaultParallelThreshold is the processor count below which Run
+// stays on a single shard: the rendezvous overhead only pays off when
+// enough per-processor work exists between barriers.
+const DefaultParallelThreshold = 8
+
+// Run executes the program under the given placement on p processors.
+// When the analysis carries an obs recorder, the run is profiled:
+// sender→receiver traffic, the per-superstep timeline, and the
+// per-processor compute/communication/idle split. The per-processor
+// loops are sharded over min(GOMAXPROCS, procs) workers when procs
+// reaches DefaultParallelThreshold; results are bit-identical either
+// way.
+func Run(res *core.Result, m machine.Machine, procs int) (*RunResult, error) {
+	return RunObs(res, m, procs, res.Analysis.Obs)
+}
+
+// RunObs is Run with an explicit recorder (which may be nil to
+// disable profiling even when the analysis has one).
+func RunObs(res *core.Result, m machine.Machine, procs int, rec *obs.Recorder) (*RunResult, error) {
+	return RunParallelObs(res, m, procs, autoWorkers(procs), rec)
+}
+
+// RunParallel is Run with an explicit shard count: workers=1 forces
+// the sequential path, workers<=0 selects GOMAXPROCS. The worker
+// count never changes the result bits, only the wall clock.
+func RunParallel(res *core.Result, m machine.Machine, procs, workers int) (*RunResult, error) {
+	return RunParallelObs(res, m, procs, workers, res.Analysis.Obs)
+}
+
+func autoWorkers(procs int) int {
+	if procs < DefaultParallelThreshold {
+		return 1
+	}
+	w := goruntime.GOMAXPROCS(0)
+	if w > procs {
+		w = procs
+	}
+	return w
+}
+
+// RunParallelObs is the full-control entry point: explicit shard
+// count and explicit recorder.
+func RunParallelObs(res *core.Result, m machine.Machine, procs, workers int, rec *obs.Recorder) (*RunResult, error) {
+	a := res.Analysis
+	if got := a.Unit.Grid.NumProcs(); got != procs {
+		return nil, fmt.Errorf("spmd: unit compiled for %d processors, run requested %d", got, procs)
+	}
+	if workers < 1 {
+		workers = goruntime.GOMAXPROCS(0)
+	}
+	if workers > procs {
+		workers = procs
+	}
+	endRun := rec.Start("simulate:" + res.Version.String())
+	defer endRun()
+
+	mem := runtime.NewMemory(a.Unit, procs)
+	eng := &engine{
+		pl:           newPlan(res, mem),
+		mem:          mem,
+		led:          runtime.NewLedger(procs, m),
+		ph:           newPhaser(workers),
+		syncVals:     make([]float64, workers),
+		syncHas:      make([]bool, workers),
+		shardErrs:    make([]error, workers),
+		pairsByShard: make([]map[[2]int]int, workers),
+		bcastBytes:   make([]int, workers),
+	}
+	if rec != nil {
+		eng.prof = obs.NewCommProfile(procs)
+		eng.idle = make([]float64, procs)
+	}
+	eng.shards = make([]*shard, workers)
+	for i := range eng.shards {
+		lo := i * procs / workers
+		hi := (i + 1) * procs / workers
+		sh := &shard{
+			eng:     eng,
+			idx:     i,
+			lo:      lo,
+			hi:      hi,
+			ienv:    map[string]int{},
+			scalars: map[string]float64{},
+			frames:  map[*cfg.Loop]*frame{},
+			led:     eng.led.View(lo, hi),
+			sumMemo: map[*ast.Call]sumEntry{},
+		}
+		for name, v := range a.Unit.Params {
+			sh.scalars[name] = float64(v)
+		}
+		if rec != nil {
+			sh.prof = obs.NewCommProfile(procs)
+		}
+		eng.shards[i] = sh
+	}
+
+	var wg sync.WaitGroup
+	for _, sh := range eng.shards[1:] {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			sh.main()
+		}(sh)
+	}
+	eng.shards[0].main()
+	wg.Wait()
+	if err := eng.ph.error(); err != nil {
+		return nil, err
+	}
+	if eng.prof != nil {
+		eng.finishProfile(rec)
+	}
+	return &RunResult{Ledger: eng.led, Mem: eng.mem, Scalars: eng.shards[0].scalars}, nil
+}
+
+// main runs one shard to completion: the CFG walk, then the final
+// rendezvous that folds the shard state into the master ledger and
+// profile (mirroring the sequential engine's trailing barrier).
+func (sh *shard) main() {
+	if err := sh.run(); err != nil {
+		sh.eng.ph.fail(err)
+		return
+	}
+	eng := sh.eng
+	eng.ph.await(token{kind: tkDone}, func() error {
+		eng.absorbLedgers()
+		if err := eng.checkScalarAgreement(); err != nil {
+			return err
+		}
+		eng.masterBarrier()
+		eng.mergeProfiles()
+		return nil
+	})
+}
+
+// ---------------------------------------------------------------------
+// engine: shared run state and rendezvous scratch
+
+type engine struct {
+	pl     *plan
+	mem    *runtime.Memory
+	led    *runtime.Ledger
+	ph     *phaser
+	shards []*shard
+
+	// prof and idle are the master communication profile of this run,
+	// built only when a recorder is attached (both nil otherwise).
+	prof *obs.CommProfile
+	idle []float64
+
+	// Rendezvous scratch. Each field is written either by the single
+	// rendezvous leader while all other shards are parked in the
+	// phaser, or by exactly one shard at its own index during a
+	// parallel phase; it is read only on the far side of the next
+	// rendezvous, whose mutex publishes the writes.
+	condVal      bool
+	syncVals     []float64
+	syncHas      []bool
+	syncResult   float64
+	shardErrs    []error
+	pairsByShard []map[[2]int]int
+	bcastBytes   []int
+	secs         []sectionT
+	secOK        []bool
+	msgs0        int
+	bytes0       int
+}
+
+// absorbLedgers folds every shard's range-scoped CPU clocks into the
+// master ledger (an idempotent snapshot copy).
+func (eng *engine) absorbLedgers() {
+	for _, sh := range eng.shards {
+		eng.led.Absorb(sh.led)
+	}
+}
+
+// masterBarrier synchronizes the master ledger clocks, first crediting
+// each processor's wait below the slowest clock to the profile's idle
+// account (the ledger itself charges that slack to Net).
+func (eng *engine) masterBarrier() {
+	if eng.idle != nil {
+		maxT := 0.0
+		for p := 0; p < eng.led.P; p++ {
+			if t := eng.led.CPU[p] + eng.led.Net[p]; t > maxT {
+				maxT = t
+			}
+		}
+		for p := 0; p < eng.led.P; p++ {
+			eng.idle[p] += maxT - (eng.led.CPU[p] + eng.led.Net[p])
+		}
+	}
+	eng.led.Barrier()
+}
+
+// checkScalarAgreement verifies that the shards' replicated scalar
+// environments have not diverged — the cross-shard completion of the
+// per-range agreement check in evalRange.
+func (eng *engine) checkScalarAgreement() error {
+	s0 := eng.shards[0].scalars
+	for _, sh := range eng.shards[1:] {
+		for k, v0 := range s0 {
+			if v := sh.scalars[k]; v != v0 && !(math.IsNaN(v) && math.IsNaN(v0)) {
+				return fmt.Errorf("spmd: replicated scalar %q diverged across shards: %g vs %g", k, v0, v)
+			}
+		}
+	}
+	return nil
+}
+
+// mergeProfiles folds each shard's scratch pair matrix into the
+// master profile and resets the scratch. Pairs are integer sums over
+// disjoint receiver ranges, so the merged matrix is bit-identical to
+// the single-shard one.
+func (eng *engine) mergeProfiles() {
+	if eng.prof == nil {
+		return
+	}
+	for _, sh := range eng.shards {
+		eng.prof.Merge(sh.prof)
+		for i := range sh.prof.PairBytes {
+			for j := range sh.prof.PairBytes[i] {
+				sh.prof.PairBytes[i][j] = 0
+				sh.prof.PairMsgs[i][j] = 0
+			}
+		}
+	}
+}
+
+// firstShardError returns the lowest-indexed shard's recorded error,
+// so failure reporting is deterministic (the lowest shard owns the
+// lowest processors, matching the sequential engine's first-failing-
+// processor order).
+func (eng *engine) firstShardError() error {
+	for _, err := range eng.shardErrs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finishProfile fills the per-processor time split, installs the
+// profile, and bumps the run counters. The version-prefixed counters
+// let several runs (orig vs comb) share one recorder.
+func (eng *engine) finishProfile(rec *obs.Recorder) {
+	compute := make([]float64, eng.led.P)
+	comm := make([]float64, eng.led.P)
+	for p := 0; p < eng.led.P; p++ {
+		compute[p] = eng.led.CPU[p]
+		comm[p] = eng.led.Net[p] - eng.idle[p]
+	}
+	eng.prof.ComputeSec = compute
+	eng.prof.CommSec = comm
+	eng.prof.IdleSec = append([]float64(nil), eng.idle...)
+	rec.SetProfile(eng.prof)
+	prefix := "spmd." + eng.pl.res.Version.String() + "."
+	rec.Add(prefix+"supersteps", int64(len(eng.prof.Steps)))
+	rec.Add(prefix+"messages", int64(eng.led.DynMessages))
+	rec.Add(prefix+"bytes", int64(eng.led.BytesMoved))
+	rec.Add(prefix+"barriers", int64(eng.led.Barriers))
+	rec.Event(obs.LevelInfo, "simulate.done",
+		obs.F("version", eng.pl.res.Version.String()),
+		obs.F("procs", eng.led.P),
+		obs.F("messages", eng.led.DynMessages),
+		obs.F("bytes", eng.led.BytesMoved),
+		obs.F("barriers", eng.led.Barriers))
+}
+
+// ---------------------------------------------------------------------
+// communication execution (superstep rendezvous)
+
+// execComm executes the communication groups placed at one position.
+// Each group is one superstep: rendezvous A quiesces the shards,
+// absorbs the shard clocks, runs the barrier and concretizes the
+// entry sections once; the shards then deliver the elements whose
+// receivers fall in their own ranges concurrently; rendezvous B
+// merges the per-shard pair maps and charges the master ledger in
+// sorted pair order, so the charge order — and with it every float
+// accumulation — is reproducible run-to-run.
+func (sh *shard) execComm(groups []*core.Group) error {
+	if len(groups) == 0 {
+		return nil
+	}
+	eng := sh.eng
+	for _, g := range groups {
+		g := g
+		err := eng.ph.await(token{kind: tkCommA, a: g.ID}, func() error {
+			eng.absorbLedgers()
+			if err := eng.checkScalarAgreement(); err != nil {
+				return err
+			}
+			eng.masterBarrier()
+			eng.msgs0, eng.bytes0 = eng.led.DynMessages, eng.led.BytesMoved
+			eng.secs = make([]sectionT, len(g.Entries))
+			eng.secOK = make([]bool, len(g.Entries))
+			for i, e := range g.Entries {
+				eng.secs[i], eng.secOK[i] = sh.concreteEntrySection(e, g.Pos)
+			}
+			if g.Kind == core.KindReduce {
+				// Functionally the SUM statement computes the value; the
+				// group charges one combined message of k partials.
+				eng.led.Reduce(len(g.Entries) * 8)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+
+		switch g.Kind {
+		case core.KindShift:
+			// One message per (src,dst) pair for the whole group: the
+			// member strips are packed together. This shard delivers
+			// the strips whose receivers lie in its range.
+			pairs := map[[2]int]int{}
+			for i, e := range g.Entries {
+				if !eng.secOK[i] {
+					continue
+				}
+				for pair, b := range eng.mem.ShiftRange(e.Array, eng.secs[i], g.Map.GridDim, g.Map.Sign, g.Map.Width, sh.lo, sh.hi) {
+					pairs[pair] += b
+				}
+			}
+			eng.pairsByShard[sh.idx] = pairs
+			for _, pair := range sortedPairs(pairs) {
+				sh.prof.AddPair(pair[0], pair[1], int64(pairs[pair]))
+			}
+		case core.KindBcast, core.KindGeneral:
+			bytes := 0
+			for i, e := range g.Entries {
+				if !eng.secOK[i] {
+					continue
+				}
+				bytes += eng.mem.BroadcastRange(e.Array, eng.secs[i], sh.lo, sh.hi)
+			}
+			eng.bcastBytes[sh.idx] = bytes
+		}
+
+		err = eng.ph.await(token{kind: tkCommB, a: g.ID}, func() error {
+			switch g.Kind {
+			case core.KindShift:
+				merged := map[[2]int]int{}
+				for s := range eng.pairsByShard {
+					for pair, b := range eng.pairsByShard[s] {
+						merged[pair] += b
+					}
+					eng.pairsByShard[s] = nil
+				}
+				for _, pair := range sortedPairs(merged) {
+					eng.led.Message(pair[0], pair[1], merged[pair])
+				}
+			case core.KindBcast, core.KindGeneral:
+				// Every shard observed the same full-section payload.
+				eng.led.Broadcast(eng.bcastBytes[0])
+			}
+			eng.mergeProfiles()
+			if eng.prof != nil {
+				eng.prof.AddStep(fmt.Sprintf("group%d@%s", g.ID, g.Pos), g.Kind.String(),
+					eng.led.DynMessages-eng.msgs0, int64(eng.led.BytesMoved-eng.bytes0))
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sortedPairs returns the keys of a pair-byte map in (src, dst)
+// order: the deterministic charge order for ledgers and profiles.
+func sortedPairs(m map[[2]int]int) [][2]int {
+	out := make([][2]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// ---------------------------------------------------------------------
+// phaser: the cyclic barrier the shards rendezvous on
+
+// token identifies a rendezvous point; shards arriving at a barrier
+// with different tokens have divergent control flow — an interpreter
+// invariant violation surfaced as an error rather than a deadlock.
+type token struct {
+	kind byte
+	a    int
+}
+
+const (
+	tkStmtA byte = iota // sync statement: quiesce before evaluation
+	tkStmtB             // sync statement: leader validates and writes
+	tkCond              // branch condition over distributed data
+	tkCommA             // superstep: barrier + section concretization
+	tkCommB             // superstep: merge and charge traffic
+	tkDone              // end of program: final barrier and merges
+)
+
+// phaser is a sync.Cond-based cyclic barrier with leader actions: the
+// last shard to arrive runs the leader function while the others are
+// parked, giving every master-side mutation a single writer. Errors
+// are sticky — once a shard fails or a leader action errors, every
+// current and future await returns the same error, unwinding all
+// shards without deadlock.
+type phaser struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	arrived int
+	gen     uint64
+	tok     token
+	err     error
+}
+
+func newPhaser(parties int) *phaser {
+	ph := &phaser{parties: parties}
+	ph.cond = sync.NewCond(&ph.mu)
+	return ph
+}
+
+// await blocks until all parties arrive with the same token, then
+// releases them together; the last arriver runs leader (if non-nil)
+// first. Returns the phaser's sticky error, if any.
+func (ph *phaser) await(t token, leader func() error) error {
+	ph.mu.Lock()
+	defer ph.mu.Unlock()
+	if ph.err != nil {
+		return ph.err
+	}
+	if ph.arrived == 0 {
+		ph.tok = t
+	} else if ph.tok != t {
+		ph.err = fmt.Errorf("spmd: shards diverged: rendezvous %v vs %v", ph.tok, t)
+		ph.cond.Broadcast()
+		return ph.err
+	}
+	ph.arrived++
+	if ph.arrived == ph.parties {
+		if leader != nil {
+			if err := leader(); err != nil && ph.err == nil {
+				ph.err = err
+			}
+		}
+		ph.arrived = 0
+		ph.gen++
+		ph.cond.Broadcast()
+		return ph.err
+	}
+	gen := ph.gen
+	for ph.gen == gen && ph.err == nil {
+		ph.cond.Wait()
+	}
+	return ph.err
+}
+
+// fail records a shard's failure outside a rendezvous and wakes every
+// parked shard; the first error wins.
+func (ph *phaser) fail(err error) {
+	ph.mu.Lock()
+	if ph.err == nil {
+		ph.err = err
+	}
+	ph.cond.Broadcast()
+	ph.mu.Unlock()
+}
+
+func (ph *phaser) error() error {
+	ph.mu.Lock()
+	defer ph.mu.Unlock()
+	return ph.err
+}

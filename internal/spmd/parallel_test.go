@@ -1,0 +1,217 @@
+package spmd
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"gcao/internal/core"
+	"gcao/internal/machine"
+	"gcao/internal/obs"
+)
+
+// miniGravitySrc is a condensed gravity sweep: a 3-d (*,BLOCK,BLOCK)
+// field swept plane by plane with NNC stencils, boundary SUM
+// reductions feeding replicated scalars, a replicated-array write, and
+// a branch over a distributed array — every rendezvous kind the
+// sharded engine has.
+const miniGravitySrc = `
+routine mg(nx, ny, nz, steps)
+real g(nx, ny, nz)
+real glast(ny, nz), w(ny, nz)
+real r(4)
+real s1, s2, c
+!hpf$ distribute (*, block, block) :: g
+!hpf$ distribute (block, block) :: glast, w
+c = 0.25
+do j = 1, ny
+do k = 1, nz
+glast(j, k) = 0
+w(j, k) = 0
+do i = 1, nx
+g(i, j, k) = 1.0 + mod(i + 2 * j + 3 * k, 7) * 0.125
+enddo
+enddo
+enddo
+do it = 1, steps
+do i = 2, nx - 1
+do j = 2, ny - 1
+do k = 2, nz - 1
+w(j, k) = g(i, j - 1, k) + g(i, j + 1, k) + g(i, j, k - 1) + g(i, j, k + 1) - 4 * g(i, j, k)
+enddo
+enddo
+s1 = sum(g(i, ny, 1:nz))
+s2 = sum(glast(1, 1:nz))
+r(1) = s1 + s2
+do j = 2, ny - 1
+do k = 2, nz - 1
+w(j, k) = w(j, k) + 0.001 * (s1 + s2) + 0.0001 * r(1)
+enddo
+enddo
+if (g(2, 2, 2) > 0) then
+do j = 2, ny - 1
+do k = 2, nz - 1
+glast(j, k) = g(i, j, k)
+g(i, j, k) = g(i, j, k) + c * w(j, k)
+enddo
+enddo
+endif
+enddo
+enddo
+end
+`
+
+// runPair executes the same placement sequentially and with the given
+// shard count, both profiled.
+func runPair(t *testing.T, res *core.Result, procs, workers int) (seq, par *RunResult, seqProf, parProf *obs.CommProfile) {
+	t.Helper()
+	m := machine.SP2()
+	recSeq, recPar := obs.New(), obs.New()
+	seq, err := RunParallelObs(res, m, procs, 1, recSeq)
+	if err != nil {
+		t.Fatalf("sequential run: %v", err)
+	}
+	par, err = RunParallelObs(res, m, procs, workers, recPar)
+	if err != nil {
+		t.Fatalf("parallel run (j=%d): %v", workers, err)
+	}
+	return seq, par, recSeq.CommProfile(), recPar.CommProfile()
+}
+
+func sameFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] && !(math.IsNaN(a[i]) && math.IsNaN(b[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+// requireBitIdentical compares every observable of two runs exactly:
+// ledger clocks and counters, canonical memory and per-processor raw
+// rows (including ghost copies and validity), replicated scalars, and
+// the communication profile.
+func requireBitIdentical(t *testing.T, res *core.Result, workers int, seq, par *RunResult, seqProf, parProf *obs.CommProfile) {
+	t.Helper()
+	if !sameFloats(seq.Ledger.CPU, par.Ledger.CPU) {
+		t.Errorf("j=%d: CPU clocks differ:\nseq %v\npar %v", workers, seq.Ledger.CPU, par.Ledger.CPU)
+	}
+	if !sameFloats(seq.Ledger.Net, par.Ledger.Net) {
+		t.Errorf("j=%d: Net clocks differ:\nseq %v\npar %v", workers, seq.Ledger.Net, par.Ledger.Net)
+	}
+	if !reflect.DeepEqual(seq.Ledger.MsgsRecv, par.Ledger.MsgsRecv) {
+		t.Errorf("j=%d: MsgsRecv differ: %v vs %v", workers, seq.Ledger.MsgsRecv, par.Ledger.MsgsRecv)
+	}
+	if seq.Ledger.DynMessages != par.Ledger.DynMessages ||
+		seq.Ledger.BytesMoved != par.Ledger.BytesMoved ||
+		seq.Ledger.Barriers != par.Ledger.Barriers {
+		t.Errorf("j=%d: counters differ: msgs %d/%d bytes %d/%d barriers %d/%d", workers,
+			seq.Ledger.DynMessages, par.Ledger.DynMessages,
+			seq.Ledger.BytesMoved, par.Ledger.BytesMoved,
+			seq.Ledger.Barriers, par.Ledger.Barriers)
+	}
+	if !reflect.DeepEqual(seq.Scalars, par.Scalars) {
+		t.Errorf("j=%d: scalars differ: %v vs %v", workers, seq.Scalars, par.Scalars)
+	}
+	for _, name := range res.Analysis.Unit.ArrayNames {
+		if !sameFloats(seq.Mem.Canonical(name), par.Mem.Canonical(name)) {
+			t.Errorf("j=%d: canonical %s differs", workers, name)
+		}
+		vs, vp := seq.Mem.View(name), par.Mem.View(name)
+		for p := range vs.Data {
+			if !sameFloats(vs.Data[p], vp.Data[p]) {
+				t.Errorf("j=%d: %s raw row for proc %d differs", workers, name, p)
+			}
+			if !reflect.DeepEqual(vs.Valid[p], vp.Valid[p]) {
+				t.Errorf("j=%d: %s validity for proc %d differs", workers, name, p)
+			}
+		}
+	}
+	if seqProf == nil || parProf == nil {
+		t.Fatalf("j=%d: missing comm profile (seq %v, par %v)", workers, seqProf != nil, parProf != nil)
+	}
+	if !reflect.DeepEqual(seqProf.PairBytes, parProf.PairBytes) ||
+		!reflect.DeepEqual(seqProf.PairMsgs, parProf.PairMsgs) {
+		t.Errorf("j=%d: pair matrices differ", workers)
+	}
+	if !reflect.DeepEqual(seqProf.Steps, parProf.Steps) {
+		t.Errorf("j=%d: superstep timelines differ:\nseq %v\npar %v", workers, seqProf.Steps, parProf.Steps)
+	}
+	if !sameFloats(seqProf.ComputeSec, parProf.ComputeSec) ||
+		!sameFloats(seqProf.CommSec, parProf.CommSec) ||
+		!sameFloats(seqProf.IdleSec, parProf.IdleSec) {
+		t.Errorf("j=%d: per-processor time splits differ", workers)
+	}
+}
+
+// TestParallelMatchesSequential is the engine's contract: every shard
+// count yields bit-identical results to the single-shard path, for
+// every compiler version, on a program exercising every rendezvous.
+func TestParallelMatchesSequential(t *testing.T) {
+	const procs = 16
+	params := map[string]int{"nx": 6, "ny": 13, "nz": 13, "steps": 3}
+	a := compile(t, miniGravitySrc, params, procs)
+	for _, v := range []core.Version{core.VersionOrig, core.VersionRedund, core.VersionCombine} {
+		res := placed(t, a, v)
+		for _, workers := range []int{2, 3, 4, 7, procs} {
+			seq, par, seqProf, parProf := runPair(t, res, procs, workers)
+			requireBitIdentical(t, res, workers, seq, par, seqProf, parProf)
+		}
+	}
+}
+
+// TestParallelMatchesSequentialStencil covers the 2-d (BLOCK,BLOCK)
+// shape on an uneven shard split.
+func TestParallelMatchesSequentialStencil(t *testing.T) {
+	a := compile(t, stencilSrc, map[string]int{"n": 14, "steps": 2}, 9)
+	for _, v := range []core.Version{core.VersionOrig, core.VersionCombine} {
+		res := placed(t, a, v)
+		for _, workers := range []int{2, 4, 5, 9} {
+			seq, par, seqProf, parProf := runPair(t, res, 9, workers)
+			requireBitIdentical(t, res, workers, seq, par, seqProf, parProf)
+		}
+	}
+}
+
+// TestParallelReduction pins the reduction path: replicated scalar
+// results must agree across shard counts.
+func TestParallelReduction(t *testing.T) {
+	a := compile(t, reduceSrc, map[string]int{"n": 12}, 9)
+	res := placed(t, a, core.VersionCombine)
+	for _, workers := range []int{2, 3, 9} {
+		_, par, _, _ := runPair(t, res, 9, workers)
+		if par.Scalars["s1"] != 12 {
+			t.Errorf("j=%d: s1 = %v, want 12", workers, par.Scalars["s1"])
+		}
+		if par.Scalars["s2"] != 144 {
+			t.Errorf("j=%d: s2 = %v, want 144", workers, par.Scalars["s2"])
+		}
+	}
+}
+
+// TestParallelStaleReadDetected: validity tracking must survive
+// sharding — a stripped placement still fails, on every shard count,
+// without deadlocking the phaser.
+func TestParallelStaleReadDetected(t *testing.T) {
+	a := compile(t, stencilSrc, map[string]int{"n": 14, "steps": 1}, 9)
+	res := placed(t, a, core.VersionCombine)
+	res.Groups = nil
+	for _, workers := range []int{1, 3, 9} {
+		if _, err := RunParallelObs(res, machine.SP2(), 9, workers, nil); err == nil {
+			t.Errorf("j=%d: run without communication must fail with a stale read", workers)
+		}
+	}
+}
+
+// TestAutoWorkers pins the sequential-path threshold.
+func TestAutoWorkers(t *testing.T) {
+	if w := autoWorkers(DefaultParallelThreshold - 1); w != 1 {
+		t.Errorf("below threshold: %d workers, want 1", w)
+	}
+	if w := autoWorkers(1); w != 1 {
+		t.Errorf("procs=1: %d workers, want 1", w)
+	}
+}
