@@ -3,7 +3,7 @@ GO ?= go
 # benchgate baseline file; override to pin a checked-in baseline.
 BENCH_BASELINE ?= BENCH_baseline.json
 
-.PHONY: all build test vet fmt-check race check benchgate
+.PHONY: all build test vet fmt-check race check benchgate attr-smoke
 
 all: build
 
@@ -36,3 +36,22 @@ benchgate:
 		$(GO) run ./cmd/runbench -out "$(BENCH_BASELINE)"; \
 	fi
 	$(GO) run ./cmd/runbench -compare "$(BENCH_BASELINE)" -tolerance 0.05
+
+# attr-smoke proves the cost-attribution path end to end: compile and
+# simulate one benchmark with -blame and a Chrome trace, assert the
+# blame table and the superstep lane came out non-empty, and run the
+# exposition tests covering the new Prometheus attribution families
+# (gcao_superstep_hrelation_bytes, gcao_site_comm_bytes_total) through
+# CheckPromText.
+attr-smoke:
+	@mkdir -p out
+	$(GO) run ./cmd/commprof -bench shallow -procs 4 -version comb \
+		-blame 5 -trace-out out/attr-trace.json | tee out/attr-blame.txt
+	@grep -q 'communication blame: top' out/attr-blame.txt || { echo "attr-smoke: no blame table"; exit 1; }
+	@grep -Eq 'critical path: [1-9][0-9]* of' out/attr-blame.txt || { echo "attr-smoke: empty critical path"; exit 1; }
+	@grep -q 'comb/g' out/attr-blame.txt || { echo "attr-smoke: no blamed placement sites"; exit 1; }
+	@grep -q '"tid":2' out/attr-trace.json || { echo "attr-smoke: trace lacks the superstep lane"; exit 1; }
+	@grep -q '"h_in"' out/attr-trace.json || { echo "attr-smoke: trace lacks h-relations"; exit 1; }
+	$(GO) test ./internal/obs -run 'TestRegistryAttributionFamilies|TestHistogramBucketBoundaries' -count=1
+	$(GO) test ./internal/spmd -run 'TestAttributionMatchesSequential|TestBlameLinksToGreedyDecision' -count=1
+	@echo "attr-smoke: ok (trace at out/attr-trace.json)"

@@ -11,6 +11,11 @@
 //
 // -metrics-out exports the full profile (plus placement counters and
 // the decision log) as JSON; -explain prints the decision log.
+// -blame k prints the top-k communication blame table — placement
+// sites ranked by the cost they contribute to the communication
+// critical path under a BSP cost model (-g/-L override the
+// machine-derived per-byte and per-superstep knobs) — and -trace-out
+// gains a superstep lane (tid 2) carrying the per-step h-relations.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"gcao/internal/core"
 	"gcao/internal/machine"
 	"gcao/internal/obs"
+	"gcao/internal/obs/attr"
 	"gcao/internal/spmd"
 )
 
@@ -40,6 +46,9 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write pipeline phase spans as a Chrome trace_event JSON file")
 	metricsOut := flag.String("metrics-out", "", "write counters, decision log and the communication profile as JSON")
 	explain := flag.Bool("explain", false, "print the placement decision log")
+	blame := flag.Int("blame", 0, "print the top-k communication blame table and critical path (0: off)")
+	gFlag := flag.Float64("g", 0, "BSP per-byte cost override for -blame, seconds/byte (0: derive from -machine)")
+	lFlag := flag.Float64("L", 0, "BSP per-superstep latency override for -blame, seconds (0: derive from -machine)")
 	flag.Parse()
 
 	var v core.Version
@@ -111,6 +120,9 @@ func main() {
 	writeMatrix(prof)
 	writeTimeline(prof)
 	writeProcSplit(prof)
+	if *blame > 0 {
+		writeBlame(rec, m, *blame, *gFlag, *lFlag)
+	}
 
 	if *explain {
 		fmt.Println("== placement decisions ==")
@@ -176,6 +188,30 @@ func writeTimeline(prof *obs.CommProfile) {
 			bar = strings.Repeat("#", int(s.Bytes*30/maxBytes))
 		}
 		fmt.Printf("  %4d  %-6s %-22s %8d %10d  %s\n", s.Index, s.Kind, s.Label, s.Messages, s.Bytes, bar)
+	}
+	fmt.Println()
+}
+
+// writeBlame analyzes the run's cost-attribution record under the
+// machine-derived BSP cost model (unless overridden by -g/-L) and
+// prints the top-k bottleneck-site table plus the critical path.
+func writeBlame(rec *obs.Recorder, m machine.Machine, k int, g, l float64) {
+	run := rec.Attribution()
+	if run == nil {
+		fatal(fmt.Errorf("simulator produced no attribution record"))
+	}
+	model := attr.CostModel{GSecPerByte: m.PerByte, LSec: m.SendOverhead + m.RecvOverhead + m.Latency}
+	if g > 0 {
+		model.GSecPerByte = g
+	}
+	if l > 0 {
+		model.LSec = l
+	}
+	rep := attr.Analyze(run, model)
+	fmt.Print(rep.FormatBlame(k))
+	fmt.Println("critical path chain:")
+	for _, cs := range rep.CriticalPath {
+		fmt.Printf("  step %4d  %-28s cost %10.4gs  cum %10.4gs\n", cs.Index, cs.Site, cs.CostSec, cs.CumSec)
 	}
 	fmt.Println()
 }

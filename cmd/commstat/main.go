@@ -17,7 +17,10 @@ import (
 	"os"
 
 	"gcao/internal/bench"
+	"gcao/internal/core"
+	"gcao/internal/machine"
 	"gcao/internal/obs"
+	"gcao/internal/spmd"
 )
 
 // jsonRow is one Fig. 10(a) row in the -json document, with the
@@ -42,6 +45,62 @@ type jsonDoc struct {
 	// Counters is the obs metrics encoding of every placement's
 	// elimination/combining counters (deterministic: no timings).
 	Counters map[string]int64 `json:"counters"`
+	// Profiles carries each benchmark's simulated comm-profile totals
+	// (small functional instances under comb), so scripts get traffic
+	// volume alongside the static placement counts in one invocation.
+	Profiles []jsonProfile `json:"profiles,omitempty"`
+}
+
+// jsonProfile is one benchmark's simulated communication totals.
+type jsonProfile struct {
+	Bench   string `json:"bench"`
+	Routine string `json:"routine"`
+	N       int    `json:"n"`
+	Procs   int    `json:"procs"`
+	// Messages/Bytes total the run's dynamic traffic; MaxPairBytes is
+	// the heaviest sender→receiver pair.
+	Messages     int   `json:"messages"`
+	Bytes        int64 `json:"bytes"`
+	MaxPairBytes int64 `json:"max_pair_bytes"`
+}
+
+// simProfiles runs each benchmark's small functional instance (the
+// commprof defaults: n=6 or 8, P=4, comb on the SP2 model) and
+// collects the comm-profile totals.
+func simProfiles() ([]jsonProfile, error) {
+	m := machine.SP2()
+	var out []jsonProfile
+	for _, pr := range bench.Programs() {
+		n := 6
+		if pr.Bench == "shallow" || pr.Bench == "trimesh" {
+			n = 8
+		}
+		const simProcs = 4
+		rec := obs.New()
+		a, err := pr.Compile(n, simProcs)
+		if err != nil {
+			return nil, err
+		}
+		a.Obs = rec
+		res, err := a.Place(core.Options{Version: core.VersionCombine})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := spmd.Run(res, m, simProcs); err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", pr.Bench, pr.Routine, err)
+		}
+		prof := rec.CommProfile()
+		if prof == nil {
+			return nil, fmt.Errorf("%s/%s: simulator produced no profile", pr.Bench, pr.Routine)
+		}
+		out = append(out, jsonProfile{
+			Bench: pr.Bench, Routine: pr.Routine, N: n, Procs: simProcs,
+			Messages:     prof.TotalMessages(),
+			Bytes:        prof.TotalBytes(),
+			MaxPairBytes: prof.MaxPairBytes(),
+		})
+	}
+	return out, nil
 }
 
 func main() {
@@ -96,6 +155,11 @@ func main() {
 	}
 	if *jsonOut {
 		doc.Counters = rec.Counters()
+		profiles, err := simProfiles()
+		if err != nil {
+			fatal(err)
+		}
+		doc.Profiles = profiles
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(doc); err != nil {

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -138,6 +139,8 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /debug/cache", s.handleCacheStats)
 	mux.HandleFunc("GET /debug/decisions", s.handleDecisionList)
 	mux.HandleFunc("GET /debug/decisions/{id}", s.handleDecisions)
+	mux.HandleFunc("GET /debug/critpath", s.handleCritPathList)
+	mux.HandleFunc("GET /debug/critpath/{id}", s.handleCritPath)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -258,6 +261,7 @@ func (s *server) record(id string, t0 time.Time, rec *obs.Recorder, resp *compil
 		Status:   status,
 		Decision: rec.Decisions(),
 		Counters: rec.Counters(),
+		Attr:     rec.Attribution(),
 	}
 	if resp != nil {
 		record.Strategy = resp.Strategy
@@ -521,8 +525,35 @@ func (s *server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (s *server) handleDecisionList(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"ids": s.ring.IDs()})
+// defaultListLimit bounds /debug/decisions and /debug/critpath
+// listings when the client does not pass ?limit=N: enough to page
+// through recent traffic without dumping the whole ring.
+const defaultListLimit = 50
+
+// listLimit parses ?limit=N (default defaultListLimit; limit=0 or a
+// negative value returns everything retained).
+func listLimit(r *http.Request) (int, error) {
+	q := r.URL.Query().Get("limit")
+	if q == "" {
+		return defaultListLimit, nil
+	}
+	n, err := strconv.Atoi(q)
+	if err != nil {
+		return 0, fmt.Errorf("bad limit %q: %v", q, err)
+	}
+	return n, nil
+}
+
+func (s *server) handleDecisionList(w http.ResponseWriter, r *http.Request) {
+	limit, err := listLimit(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ids":      s.ring.RecentIDs(limit),
+		"retained": s.ring.Len(),
+	})
 }
 
 func (s *server) handleDecisions(w http.ResponseWriter, r *http.Request) {
@@ -533,6 +564,68 @@ func (s *server) handleDecisions(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, rec)
+}
+
+// handleCritPathList lists the retained requests that carry a
+// simulator attribution record (only simulated requests do).
+func (s *server) handleCritPathList(w http.ResponseWriter, r *http.Request) {
+	limit, err := listLimit(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	var ids []string
+	for _, id := range s.ring.RecentIDs(0) {
+		if limit > 0 && len(ids) >= limit {
+			break
+		}
+		if rec, ok := s.ring.Get(id); ok && rec.Attr != nil {
+			ids = append(ids, id)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ids":      ids,
+		"retained": s.ring.Len(),
+	})
+}
+
+// handleCritPath serves the analyzed attribution report of one
+// retained request: the per-site blame ranking and the communication
+// critical path. ?g= and ?L= override the BSP cost model knobs
+// (seconds per byte and seconds per superstep).
+func (s *server) handleCritPath(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.ring.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no retained request " + id})
+		return
+	}
+	if rec.Attr == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{
+			"error": "request " + id + " has no attribution record (simulate was not requested)"})
+		return
+	}
+	model := gcao.DefaultAttrCostModel()
+	if q := r.URL.Query().Get("g"); q != "" {
+		v, err := strconv.ParseFloat(q, 64)
+		if err != nil || v < 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad g " + q})
+			return
+		}
+		model.GSecPerByte = v
+	}
+	if q := r.URL.Query().Get("L"); q != "" {
+		v, err := strconv.ParseFloat(q, 64)
+		if err != nil || v < 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad L " + q})
+			return
+		}
+		model.LSec = v
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"req_id": id,
+		"report": gcao.AnalyzeAttribution(rec.Attr, model),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -9,7 +9,10 @@
 // -trace-out / -metrics-out export the observability data of the run
 // (per-chart phase spans; for -functional also the placement decision
 // logs and the simulator communication profile); -explain prints the
-// functional placements' decision logs.
+// functional placements' decision logs; -blame k prints each
+// functional instance's top-k communication blame table (placement
+// sites ranked by their critical-path cost under the machine's BSP
+// model).
 //
 // Regression gating: -out BENCH_<rev>.json writes a machine-readable
 // result (per-benchmark, per-compiler-version normalized times and
@@ -30,6 +33,7 @@ import (
 	"gcao/internal/core"
 	"gcao/internal/machine"
 	"gcao/internal/obs"
+	"gcao/internal/obs/attr"
 	"gcao/internal/spmd"
 )
 
@@ -39,6 +43,7 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write phase spans as a Chrome trace_event JSON file")
 	metricsOut := flag.String("metrics-out", "", "write counters, decision logs and the simulator profile as JSON")
 	explain := flag.Bool("explain", false, "print the functional placements' decision logs")
+	blame := flag.Int("blame", 0, "with -functional: print each instance's top-k communication blame table (0: off)")
 	out := flag.String("out", "", "write the benchmark sweep as machine-readable JSON and exit")
 	compare := flag.String("compare", "", "re-run the sweep and compare against a baseline JSON; exit 1 on regression")
 	tolerance := flag.Float64("tolerance", 0.05, "relative slack for -compare (0.05 = 5% worse allowed)")
@@ -57,7 +62,7 @@ func main() {
 	}
 
 	var rec *obs.Recorder
-	if *traceOut != "" || *metricsOut != "" || *explain {
+	if *traceOut != "" || *metricsOut != "" || *explain || *blame > 0 {
 		rec = obs.New()
 	}
 
@@ -120,6 +125,17 @@ func main() {
 			}
 			fmt.Printf("  %-18s ok (%d dynamic messages, %d barriers)\n",
 				pr.Bench+"/"+pr.Routine, run.Ledger.DynMessages, run.Ledger.Barriers)
+			if *blame > 0 {
+				// The recorder keeps only the latest run's attribution,
+				// so the blame table prints per instance, right after
+				// its parallel simulation.
+				attrRun := rec.Attribution()
+				if attrRun == nil {
+					fatal(fmt.Errorf("%s/%s: no attribution record", pr.Bench, pr.Routine))
+				}
+				model := attr.CostModel{GSecPerByte: m.PerByte, LSec: m.SendOverhead + m.RecvOverhead + m.Latency}
+				fmt.Print(attr.Analyze(attrRun, model).FormatBlame(*blame))
+			}
 		}
 		if *explain {
 			fmt.Println("\n== placement decisions (functional instances) ==")

@@ -32,6 +32,7 @@ import (
 	"gcao/internal/inline"
 	"gcao/internal/machine"
 	"gcao/internal/obs"
+	"gcao/internal/obs/attr"
 	"gcao/internal/parser"
 	"gcao/internal/sem"
 	"gcao/internal/spmd"
@@ -54,6 +55,38 @@ type Registry = obs.Registry
 
 // NewRegistry builds an empty metrics registry.
 func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// AttrRun re-exports the simulator's cost-attribution record: one
+// h-relation Step per superstep, each blaming its traffic to the
+// placement site that scheduled it and the originating source
+// statements. SimulateObs fills one on the request's Recorder
+// (Recorder.Attribution returns it).
+type AttrRun = attr.Run
+
+// AttrCostModel re-exports the BSP cost model attribution reports are
+// evaluated under: a superstep moving an h-relation of h bytes costs
+// L + g·h seconds.
+type AttrCostModel = attr.CostModel
+
+// AttrReport re-exports the analyzed attribution report: per-site
+// blame ranking and the communication critical path.
+type AttrReport = attr.Report
+
+// DefaultAttrCostModel returns SP2-flavoured cost model knobs.
+func DefaultAttrCostModel() AttrCostModel { return attr.DefaultCostModel() }
+
+// AttrCostModelFor derives attribution knobs from a machine model: g
+// from its receive bandwidth, L from its per-message overheads plus
+// wire latency.
+func AttrCostModelFor(m Machine) AttrCostModel {
+	return AttrCostModel{GSecPerByte: m.PerByte, LSec: m.SendOverhead + m.RecvOverhead + m.Latency}
+}
+
+// AnalyzeAttribution computes the per-site blame ranking and the
+// communication critical path of a run under the given cost model.
+func AnalyzeAttribution(run *AttrRun, model AttrCostModel) *AttrReport {
+	return attr.Analyze(run, model)
+}
 
 // Logger re-exports the leveled structured JSON event logger; attach
 // one via Config.Log to receive request-scoped pipeline events.

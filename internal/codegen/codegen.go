@@ -134,6 +134,9 @@ func (e *emitter) comm(b *strings.Builder, pos core.Position, depth int) {
 		}
 		sort.Strings(parts)
 		line := fmt.Sprintf("%sCOMM %s %s {%s}", indent(depth), opName(g), g.Map, strings.Join(parts, ", "))
+		if g.SiteID != "" {
+			line += fmt.Sprintf("  ! site %s", g.SiteID)
+		}
 		if len(g.Attached) > 0 {
 			var rs []string
 			for _, r := range g.Attached {

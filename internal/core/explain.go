@@ -54,6 +54,7 @@ func (a *Analysis) recordDecisions(rec *obs.Recorder, res *Result) {
 			d.GroupPos = g.Pos.String()
 			d.GroupSize = len(g.Entries)
 			d.Combined = len(g.Entries) > 1
+			d.Site = g.SiteID
 		}
 		rec.AddDecision(d)
 	}

@@ -105,6 +105,15 @@ type Group struct {
 	Attached []*Entry
 	// Map is the union mapping of the members.
 	Map asd.Mapping
+	// SiteID is the stable placement-site identifier minted after the
+	// deterministic group ordering; it is carried through the codegen
+	// listing and the runtime comm groups so simulator traffic can be
+	// blamed back to this placement decision.
+	SiteID string
+	// Sources lists the originating source statements of the member
+	// and attached entries ("label@line:col"), deduplicated and
+	// sorted — the source-level half of the blame record.
+	Sources []string
 }
 
 func (g *Group) String() string {
@@ -290,7 +299,37 @@ func (a *Analysis) sortGroups(res *Result) {
 	})
 	for i, g := range res.Groups {
 		g.ID = i
+		g.SiteID = fmt.Sprintf("%s/g%d@%s/%s", res.Version, g.ID, g.Pos, g.Kind)
+		g.Sources = groupSources(g)
 	}
+}
+
+// groupSources collects the source statements whose references a
+// group's exchange serves — members and subsumed attachments alike —
+// as "label@line:col" strings, deduplicated and sorted.
+func groupSources(g *Group) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(e *Entry) {
+		for _, u := range e.Uses {
+			if u.Stmt == nil || u.Stmt.Assign == nil {
+				continue
+			}
+			s := fmt.Sprintf("%s@%s", u.Stmt.Label(), u.Stmt.Assign.Pos)
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+	}
+	for _, e := range g.Entries {
+		add(e)
+	}
+	for _, e := range g.Attached {
+		add(e)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // ---------------------------------------------------------------------

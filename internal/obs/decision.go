@@ -55,6 +55,10 @@ type Decision struct {
 	GroupPos  string `json:"group_pos,omitempty"`
 	GroupSize int    `json:"group_size,omitempty"`
 	Combined  bool   `json:"combined,omitempty"`
+	// Site is the placed group's stable site id — the key the cost
+	// attribution layer blames simulator traffic to, linking the
+	// decision log to the blame table.
+	Site string `json:"site,omitempty"`
 }
 
 // Format renders the decision as one human-readable line, the form

@@ -15,6 +15,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"gcao/internal/obs/attr"
 )
 
 // Span is one completed pipeline phase.
@@ -42,6 +44,7 @@ type Recorder struct {
 	gauges    map[string]float64
 	decisions []Decision
 	profile   *CommProfile
+	attrRun   *attr.Run
 	log       *Logger
 	reqID     string
 }
@@ -237,4 +240,25 @@ func (r *Recorder) CommProfile() *CommProfile {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.profile
+}
+
+// SetAttribution installs the cost-attribution record of the latest
+// simulator run (a later run replaces an earlier one; nil clears).
+func (r *Recorder) SetAttribution(a *attr.Run) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.attrRun = a
+}
+
+// Attribution returns the installed cost-attribution record, or nil.
+func (r *Recorder) Attribution() *attr.Run {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.attrRun
 }

@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"gcao/internal/obs/attr"
 )
 
 // Registry is the process-global aggregation point of the
@@ -25,6 +27,8 @@ import (
 //	gcao_phase_seconds{phase}           histogram of pipeline span latency
 //	gcao_placed_messages{version}       histogram of placed groups per compile
 //	gcao_comm_bytes{version}            histogram of bytes moved per compile
+//	gcao_superstep_hrelation_bytes{version}  histogram of per-superstep h-relations
+//	gcao_site_comm_bytes_total{site}    counter of simulated bytes per placement site
 //
 // Label values are rendered in sorted order, so the exposition is
 // byte-deterministic given deterministic inputs.
@@ -36,18 +40,22 @@ type Registry struct {
 	phase      map[string]*Histogram
 	placed     map[string]*Histogram
 	bytes      map[string]*Histogram
+	hrel       map[string]*Histogram
+	siteBytes  map[string]int64
 	cacheStats func() []CacheTierStats
 }
 
 // NewRegistry builds an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		requests: map[string]int64{},
-		counters: map[string]int64{},
-		gauges:   map[string]float64{},
-		phase:    map[string]*Histogram{},
-		placed:   map[string]*Histogram{},
-		bytes:    map[string]*Histogram{},
+		requests:  map[string]int64{},
+		counters:  map[string]int64{},
+		gauges:    map[string]float64{},
+		phase:     map[string]*Histogram{},
+		placed:    map[string]*Histogram{},
+		bytes:     map[string]*Histogram{},
+		hrel:      map[string]*Histogram{},
+		siteBytes: map[string]int64{},
 	}
 }
 
@@ -69,11 +77,13 @@ func (g *Registry) Absorb(rec *Recorder, status string) {
 		spans    []Span
 		counters map[string]int64
 		gauges   map[string]float64
+		attrRun  *attr.Run
 	)
 	if rec != nil {
 		spans = rec.Spans()
 		counters = rec.Counters()
 		gauges = rec.Gauges()
+		attrRun = rec.Attribution()
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -93,6 +103,12 @@ func (g *Registry) Absorb(rec *Recorder, status string) {
 		}
 		if b, ok := counters["spmd."+v+".bytes"]; ok {
 			g.histLocked(g.bytes, v, BytesBuckets).Observe(float64(b))
+		}
+	}
+	if attrRun != nil {
+		for _, s := range attrRun.Steps {
+			g.histLocked(g.hrel, attrRun.Version, BytesBuckets).Observe(float64(s.H()))
+			g.siteBytes[s.Site] += s.Bytes
 		}
 	}
 }
@@ -170,14 +186,24 @@ func (g *Registry) Counter(name string) int64 {
 	return g.counters[name]
 }
 
+// registrySnapshot is the copied registry state rendering reads
+// outside the lock.
+type registrySnapshot struct {
+	req       map[string]int64
+	ctr       map[string]int64
+	gau       map[string]float64
+	phase     map[string]*Histogram
+	placed    map[string]*Histogram
+	bytes     map[string]*Histogram
+	hrel      map[string]*Histogram
+	siteBytes map[string]int64
+}
+
 // snapshot copies the registry state so rendering happens outside the
 // lock.
-func (g *Registry) snapshot() (req map[string]int64, ctr map[string]int64, gau map[string]float64, phase, placed, bytes map[string]*Histogram) {
+func (g *Registry) snapshot() registrySnapshot {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	req = copyMap(g.requests)
-	ctr = copyMap(g.counters)
-	gau = copyMap(g.gauges)
 	cloneHists := func(m map[string]*Histogram) map[string]*Histogram {
 		out := make(map[string]*Histogram, len(m))
 		for k, h := range m {
@@ -185,7 +211,16 @@ func (g *Registry) snapshot() (req map[string]int64, ctr map[string]int64, gau m
 		}
 		return out
 	}
-	return req, ctr, gau, cloneHists(g.phase), cloneHists(g.placed), cloneHists(g.bytes)
+	return registrySnapshot{
+		req:       copyMap(g.requests),
+		ctr:       copyMap(g.counters),
+		gau:       copyMap(g.gauges),
+		phase:     cloneHists(g.phase),
+		placed:    cloneHists(g.placed),
+		bytes:     cloneHists(g.bytes),
+		hrel:      cloneHists(g.hrel),
+		siteBytes: copyMap(g.siteBytes),
+	}
 }
 
 func copyMap[V int64 | float64](m map[string]V) map[string]V {
@@ -204,23 +239,27 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 	if g == nil {
 		return nil
 	}
-	req, ctr, gau, phase, placed, bytes := g.snapshot()
+	snap := g.snapshot()
 	g.mu.Lock()
 	statsFn := g.cacheStats
 	g.mu.Unlock()
 	var b strings.Builder
 	writeScalarFamily(&b, "gcao_requests_total", "counter",
-		"Compile requests absorbed into the registry, by status.", "status", req)
+		"Compile requests absorbed into the registry, by status.", "status", snap.req)
 	writeScalarFamily(&b, "gcao_pipeline_counter_total", "counter",
-		"Aggregated pipeline recorder counters, by dotted counter name.", "name", ctr)
+		"Aggregated pipeline recorder counters, by dotted counter name.", "name", snap.ctr)
 	writeScalarFamily(&b, "gcao_pipeline_gauge", "gauge",
-		"Last written value of each pipeline recorder gauge, by name.", "name", gau)
+		"Last written value of each pipeline recorder gauge, by name.", "name", snap.gau)
 	writeHistFamily(&b, "gcao_phase_seconds",
-		"Pipeline phase latency in seconds, by phase (span) name.", "phase", phase)
+		"Pipeline phase latency in seconds, by phase (span) name.", "phase", snap.phase)
 	writeHistFamily(&b, "gcao_placed_messages",
-		"Placed communication groups per compile, by compiler version.", "version", placed)
+		"Placed communication groups per compile, by compiler version.", "version", snap.placed)
 	writeHistFamily(&b, "gcao_comm_bytes",
-		"Bytes moved per compile (simulated or estimated), by compiler version.", "version", bytes)
+		"Bytes moved per compile (simulated or estimated), by compiler version.", "version", snap.bytes)
+	writeHistFamily(&b, "gcao_superstep_hrelation_bytes",
+		"Per-superstep h-relation size in bytes (max in/out per processor), by compiler version.", "version", snap.hrel)
+	writeScalarFamily(&b, "gcao_site_comm_bytes_total", "counter",
+		"Simulated communication bytes attributed to each placement site.", "site", snap.siteBytes)
 	if statsFn != nil {
 		writeCacheFamilies(&b, statsFn())
 	}

@@ -1,6 +1,10 @@
 package obs
 
-import "sync"
+import (
+	"sync"
+
+	"gcao/internal/obs/attr"
+)
 
 // RequestRecord is the retained observability residue of one served
 // compile request: its id, outcome, the full placement decision log,
@@ -15,6 +19,9 @@ type RequestRecord struct {
 	Error    string           `json:"error,omitempty"`
 	Decision []Decision       `json:"decisions,omitempty"`
 	Counters map[string]int64 `json:"counters,omitempty"`
+	// Attr is the simulator's cost-attribution record, retained so
+	// GET /debug/critpath/{id} can analyze completed traffic.
+	Attr *attr.Run `json:"attr,omitempty"`
 }
 
 // DecisionRing is a bounded, concurrency-safe ring of RequestRecords:
@@ -64,13 +71,23 @@ func (r *DecisionRing) Get(id string) (RequestRecord, bool) {
 
 // IDs returns the retained request ids, newest first.
 func (r *DecisionRing) IDs() []string {
+	return r.RecentIDs(0)
+}
+
+// RecentIDs returns up to limit retained request ids, newest first;
+// limit <= 0 returns all of them.
+func (r *DecisionRing) RecentIDs(limit int) []string {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]string, 0, len(r.recs))
-	for i := len(r.recs) - 1; i >= 0; i-- {
+	n := len(r.recs)
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]string, 0, n)
+	for i := len(r.recs) - 1; i >= len(r.recs)-n; i-- {
 		out = append(out, r.recs[i].ID)
 	}
 	return out

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestDecisionRingConcurrentWraparound hammers a small ring with many
+// concurrent writers so every Add past the first few evicts — the
+// wraparound path — while readers race Get/RecentIDs/Len. Run under
+// -race this pins the locking; the post-conditions pin the semantics:
+// exactly cap records retained, all of them records that were actually
+// written, no duplicates, and each writer's surviving records still in
+// its own write order.
+func TestDecisionRingConcurrentWraparound(t *testing.T) {
+	const (
+		cap     = 8
+		writers = 6
+		perW    = 200 // 1200 adds into 8 slots: constant eviction
+	)
+	ring := NewDecisionRing(cap)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				ring.Add(RequestRecord{ID: fmt.Sprintf("w%d-%04d", w, i), Status: "ok"})
+				if i%16 == 0 {
+					_ = ring.RecentIDs(3)
+					_, _ = ring.Get(fmt.Sprintf("w%d-%04d", w, i))
+					_ = ring.Len()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := ring.Len(); got != cap {
+		t.Fatalf("ring retains %d records, want %d", got, cap)
+	}
+	ids := ring.RecentIDs(0)
+	if len(ids) != cap {
+		t.Fatalf("RecentIDs(0) returned %d ids, want %d", len(ids), cap)
+	}
+	seen := map[string]bool{}
+	lastSeq := map[string]int{} // per-writer sequence, walking newest → oldest
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate id %q retained", id)
+		}
+		seen[id] = true
+		var w, i int
+		if _, err := fmt.Sscanf(id, "w%d-%d", &w, &i); err != nil {
+			t.Fatalf("retained id %q was never written", id)
+		}
+		if w < 0 || w >= writers || i < 0 || i >= perW {
+			t.Fatalf("retained id %q out of range", id)
+		}
+		key := id[:strings.IndexByte(id, '-')]
+		if prev, ok := lastSeq[key]; ok && i >= prev {
+			t.Fatalf("writer %s records out of order: %d then %d (newest first)", key, prev, i)
+		}
+		lastSeq[key] = i
+	}
+	// Every retained record must be retrievable, and RecentIDs must
+	// honor its limit.
+	for _, id := range ids {
+		if _, ok := ring.Get(id); !ok {
+			t.Fatalf("retained id %q not retrievable", id)
+		}
+	}
+	if got := ring.RecentIDs(3); len(got) != 3 || got[0] != ids[0] {
+		t.Fatalf("RecentIDs(3) = %v, want prefix of %v", got, ids)
+	}
+}
+
+// TestDecisionRingRecentIDs pins the limit semantics deterministically.
+func TestDecisionRingRecentIDs(t *testing.T) {
+	ring := NewDecisionRing(4)
+	for i := 0; i < 6; i++ { // two wraparounds
+		ring.Add(RequestRecord{ID: "r" + strconv.Itoa(i)})
+	}
+	for _, tc := range []struct {
+		limit int
+		want  []string
+	}{
+		{0, []string{"r5", "r4", "r3", "r2"}},
+		{-1, []string{"r5", "r4", "r3", "r2"}},
+		{2, []string{"r5", "r4"}},
+		{99, []string{"r5", "r4", "r3", "r2"}},
+	} {
+		got := ring.RecentIDs(tc.limit)
+		if len(got) != len(tc.want) {
+			t.Fatalf("RecentIDs(%d) = %v, want %v", tc.limit, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("RecentIDs(%d) = %v, want %v", tc.limit, got, tc.want)
+			}
+		}
+	}
+	if _, ok := ring.Get("r0"); ok {
+		t.Fatal("evicted record r0 still retrievable")
+	}
+	var nilRing *DecisionRing
+	if got := nilRing.RecentIDs(5); got != nil {
+		t.Fatalf("nil ring RecentIDs = %v", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the Prometheus `le` convention:
+// an observation exactly equal to an upper bound lands in that bucket,
+// and the smallest increment above it spills into the next.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	bounds := []float64{1, 10, 100}
+	for bi, b := range bounds {
+		h := NewHistogram(bounds)
+		h.Observe(b)
+		cum := h.Cumulative()
+		for i, c := range cum {
+			want := uint64(0)
+			if i >= bi {
+				want = 1 // cumulative from the boundary's own bucket up
+			}
+			if c != want {
+				t.Fatalf("Observe(%g): cumulative[%d] = %d, want %d (%v)", b, i, c, want, cum)
+			}
+		}
+
+		h2 := NewHistogram(bounds)
+		h2.Observe(b * 1.0000001)
+		cum2 := h2.Cumulative()
+		if cum2[bi] != 0 {
+			t.Fatalf("Observe(just above %g) landed at or below the boundary: %v", b, cum2)
+		}
+		if cum2[len(cum2)-1] != 1 {
+			t.Fatalf("Observe(just above %g) lost the observation: %v", b, cum2)
+		}
+	}
+	// Below the first bound and above the last (+Inf overflow).
+	h := NewHistogram(bounds)
+	h.Observe(0.5)
+	h.Observe(1e9)
+	cum := h.Cumulative()
+	if cum[0] != 1 || cum[len(cum)-1] != 2 {
+		t.Fatalf("under/overflow cumulative = %v", cum)
+	}
+	if h.Count() != 2 || h.Sum() != 0.5+1e9 {
+		t.Fatalf("count/sum = %d/%g", h.Count(), h.Sum())
+	}
+	// The shipped bucket sets must keep strictly increasing bounds, or
+	// the boundary convention above silently breaks.
+	for name, set := range map[string][]float64{
+		"LatencyBuckets": LatencyBuckets, "CountBuckets": CountBuckets, "BytesBuckets": BytesBuckets,
+	} {
+		for i := 1; i < len(set); i++ {
+			if set[i] <= set[i-1] {
+				t.Fatalf("%s not strictly increasing at %d: %v", name, i, set)
+			}
+		}
+	}
+}

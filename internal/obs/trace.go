@@ -3,6 +3,8 @@ package obs
 import (
 	"encoding/json"
 	"io"
+
+	"gcao/internal/obs/attr"
 )
 
 // traceEvent is one Chrome trace_event record. The "X" (complete)
@@ -38,6 +40,7 @@ func (r *Recorder) WriteTrace(w io.Writer) error {
 	for k, v := range r.counters {
 		counters[k] = v
 	}
+	attrRun := r.attrRun
 	r.mu.Unlock()
 	f := traceFile{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
 	for _, s := range spans {
@@ -50,6 +53,36 @@ func (r *Recorder) WriteTrace(w io.Writer) error {
 			TID:  1,
 			Args: map[string]any{"alloc_bytes": s.AllocBytes, "depth": s.Depth},
 		})
+	}
+	// The simulator's supersteps render as a second lane (tid 2), laid
+	// out serially under the default BSP cost model so the lane's
+	// relative widths show where the communication time goes. The args
+	// carry the blame record: placement site, h-relation, traffic.
+	if attrRun != nil {
+		model := attr.DefaultCostModel()
+		ts := 0.0
+		for _, s := range attrRun.Steps {
+			cost := model.StepCost(s)
+			dur := int64(cost * 1e6)
+			if dur < 1 {
+				dur = 1
+			}
+			f.TraceEvents = append(f.TraceEvents, traceEvent{
+				Name: s.Site,
+				Ph:   "X",
+				TS:   int64(ts * 1e6),
+				Dur:  dur,
+				PID:  1,
+				TID:  2,
+				Args: map[string]any{
+					"index": s.Index, "kind": s.Kind, "label": s.Label,
+					"messages": s.Messages, "bytes": s.Bytes,
+					"h_in": s.HIn, "h_out": s.HOut,
+					"sources": s.Sources,
+				},
+			})
+			ts += cost
+		}
 	}
 	if len(counters) > 0 {
 		last := int64(0)
@@ -80,6 +113,7 @@ type MetricsDoc struct {
 	Gauges    map[string]float64 `json:"gauges,omitempty"`
 	Decisions []Decision         `json:"decisions,omitempty"`
 	Profile   *CommProfile       `json:"profile,omitempty"`
+	Attr      *attr.Run          `json:"attr,omitempty"`
 	Spans     []Span             `json:"spans,omitempty"`
 }
 
@@ -93,6 +127,7 @@ func (r *Recorder) Doc() MetricsDoc {
 		Gauges:    r.Gauges(),
 		Decisions: r.Decisions(),
 		Profile:   r.CommProfile(),
+		Attr:      r.Attribution(),
 		Spans:     r.Spans(),
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"gcao/internal/core"
 	"gcao/internal/machine"
 	"gcao/internal/obs"
+	"gcao/internal/obs/attr"
 	"gcao/internal/runtime"
 )
 
@@ -102,6 +103,11 @@ func RunParallelObs(res *core.Result, m machine.Machine, procs, workers int, rec
 	if rec != nil {
 		eng.prof = obs.NewCommProfile(procs)
 		eng.idle = make([]float64, procs)
+		eng.attrRun = &attr.Run{Version: res.Version.String(), Procs: procs}
+		eng.attrScr = make([]*attr.Scratch, workers)
+		for i := range eng.attrScr {
+			eng.attrScr[i] = attr.NewScratch(procs)
+		}
 	}
 	eng.shards = make([]*shard, workers)
 	for i := range eng.shards {
@@ -181,6 +187,13 @@ type engine struct {
 	prof *obs.CommProfile
 	idle []float64
 
+	// attrRun is the cost-attribution record (one h-relation Step per
+	// superstep, appended by the rendezvous-B leader); attrScr holds
+	// one shard-local h-relation scratch per shard, folded by the
+	// leader in shard-index order. Both nil without a recorder.
+	attrRun *attr.Run
+	attrScr []*attr.Scratch
+
 	// Rendezvous scratch. Each field is written either by the single
 	// rendezvous leader while all other shards are parked in the
 	// phaser, or by exactly one shard at its own index during a
@@ -259,6 +272,48 @@ func (eng *engine) mergeProfiles() {
 	}
 }
 
+// addAttrStep appends the finished superstep's h-relation record to
+// the attribution run. Runs only in the rendezvous-B leader (single
+// writer, superstep order), so the step stream is deterministic. For
+// shift groups the shard-local scratches are folded in shard-index
+// order — integer sums over disjoint receiver ranges, so the fold is
+// bit-identical for any worker count; collectives charge the same
+// full-section payload on every processor, so the ledger byte delta
+// is the h-relation directly.
+func (eng *engine) addAttrStep(g *core.Group) {
+	st := attr.Step{
+		Index:    len(eng.attrRun.Steps),
+		Site:     g.SiteID,
+		Kind:     g.Kind.String(),
+		Label:    fmt.Sprintf("group%d@%s", g.ID, g.Pos),
+		Sources:  g.Sources,
+		Messages: eng.led.DynMessages - eng.msgs0,
+		Bytes:    int64(eng.led.BytesMoved - eng.bytes0),
+	}
+	seen := map[string]bool{}
+	for _, e := range g.Entries {
+		if !seen[e.Array] {
+			seen[e.Array] = true
+			st.Arrays = append(st.Arrays, e.Array)
+		}
+	}
+	sort.Strings(st.Arrays)
+	switch g.Kind {
+	case core.KindShift:
+		acc := eng.attrScr[0]
+		for _, scr := range eng.attrScr[1:] {
+			scr.MergeInto(acc)
+		}
+		st.HIn, st.HOut = acc.MaxInOut()
+		for _, scr := range eng.attrScr {
+			scr.Reset()
+		}
+	default:
+		st.HIn, st.HOut = st.Bytes, st.Bytes
+	}
+	eng.attrRun.Steps = append(eng.attrRun.Steps, st)
+}
+
 // firstShardError returns the lowest-indexed shard's recorded error,
 // so failure reporting is deterministic (the lowest shard owns the
 // lowest processors, matching the sequential engine's first-failing-
@@ -286,6 +341,7 @@ func (eng *engine) finishProfile(rec *obs.Recorder) {
 	eng.prof.CommSec = comm
 	eng.prof.IdleSec = append([]float64(nil), eng.idle...)
 	rec.SetProfile(eng.prof)
+	rec.SetAttribution(eng.attrRun)
 	prefix := "spmd." + eng.pl.res.Version.String() + "."
 	rec.Add(prefix+"supersteps", int64(len(eng.prof.Steps)))
 	rec.Add(prefix+"messages", int64(eng.led.DynMessages))
@@ -358,6 +414,15 @@ func (sh *shard) execComm(groups []*core.Group) error {
 			for _, pair := range sortedPairs(pairs) {
 				sh.prof.AddPair(pair[0], pair[1], int64(pairs[pair]))
 			}
+			if eng.attrScr != nil {
+				// Shard-local h-relation accumulation: only deliveries
+				// whose receivers fall in this shard's range are here,
+				// so each delivery is counted exactly once run-wide.
+				scr := eng.attrScr[sh.idx]
+				for pair, b := range pairs {
+					scr.AddPair(pair[0], pair[1], int64(b))
+				}
+			}
 		case core.KindBcast, core.KindGeneral:
 			bytes := 0
 			for i, e := range g.Entries {
@@ -390,6 +455,9 @@ func (sh *shard) execComm(groups []*core.Group) error {
 			if eng.prof != nil {
 				eng.prof.AddStep(fmt.Sprintf("group%d@%s", g.ID, g.Pos), g.Kind.String(),
 					eng.led.DynMessages-eng.msgs0, int64(eng.led.BytesMoved-eng.bytes0))
+			}
+			if eng.attrRun != nil {
+				eng.addAttrStep(g)
 			}
 			return nil
 		})
