@@ -3,7 +3,7 @@ GO ?= go
 # benchgate baseline file; override to pin a checked-in baseline.
 BENCH_BASELINE ?= BENCH_baseline.json
 
-.PHONY: all build test vet fmt-check race check benchgate attr-smoke
+.PHONY: all build test vet fmt-check race check benchgate attr-smoke obs-smoke
 
 all: build
 
@@ -55,3 +55,47 @@ attr-smoke:
 	$(GO) test ./internal/obs -run 'TestRegistryAttributionFamilies|TestHistogramBucketBoundaries' -count=1
 	$(GO) test ./internal/spmd -run 'TestAttributionMatchesSequential|TestBlameLinksToGreedyDecision' -count=1
 	@echo "attr-smoke: ok (trace at out/attr-trace.json)"
+
+# obs-smoke proves the request-tracing path end to end against a live
+# daemon: compile once, take the response's X-Request-Id, resolve it at
+# /debug/flightrecorder/{id} to a span tree with the expected phases,
+# pull one /debug/live snapshot through gcaotop (rendered and raw JSON,
+# the JSON lands in out/ for CI artifacts), and assert /metrics carries
+# the RED and build-info families.
+obs-smoke:
+	@mkdir -p out
+	$(GO) build -o out/gcaod ./cmd/gcaod
+	$(GO) build -o out/gcaotop ./cmd/gcaotop
+	@set -e; \
+	./out/gcaod -addr 127.0.0.1:8377 -log-level warn 2>out/obs-gcaod.log & \
+	daemon=$$!; \
+	trap 'kill $$daemon 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -fsS http://127.0.0.1:8377/healthz >/dev/null 2>&1 && break; \
+		sleep 0.2; \
+	done; \
+	printf '%s' '{"source": "routine smooth(n, steps)\nreal a(0:n+1, 0:n+1), b(0:n+1, 0:n+1)\n!hpf$$ distribute (block, block) :: a, b\ndo it = 1, steps\ndo i = 1, n\ndo j = 1, n\nb(i, j) = 0.25 * (a(i-1, j) + a(i+1, j) + a(i, j-1) + a(i, j+1))\nenddo\nenddo\nenddo\nend\n", "params": {"n": 16, "steps": 2}, "procs": 4, "estimate": true}' > out/obs-req.json; \
+	curl -fsS -D out/obs-headers.txt -X POST -H 'Content-Type: application/json' \
+		--data @out/obs-req.json http://127.0.0.1:8377/compile > out/obs-compile.json; \
+	grep -qi '^x-request-id:' out/obs-headers.txt || { echo "obs-smoke: no X-Request-Id header"; exit 1; }; \
+	grep -qi '^traceparent: 00-' out/obs-headers.txt || { echo "obs-smoke: no traceparent header"; exit 1; }; \
+	rid=$$(grep -i '^x-request-id:' out/obs-headers.txt | tr -d '\r' | awk '{print $$2}'); \
+	echo "obs-smoke: request id $$rid"; \
+	curl -fsS "http://127.0.0.1:8377/debug/flightrecorder/$$rid" > out/obs-flight.json; \
+	grep -q '"phases"' out/obs-flight.json || { echo "obs-smoke: flight record lacks phases"; exit 1; }; \
+	grep -q '"compile"' out/obs-flight.json || { echo "obs-smoke: flight record lacks a compile phase"; exit 1; }; \
+	grep -q '"queue.wait"' out/obs-flight.json || { echo "obs-smoke: flight record lacks queue wait"; exit 1; }; \
+	grep -q '"trace"' out/obs-flight.json || { echo "obs-smoke: flight record lacks the span tree"; exit 1; }; \
+	./out/gcaotop -addr http://127.0.0.1:8377 -once | tee out/obs-top.txt; \
+	grep -q 'req/s' out/obs-top.txt || { echo "obs-smoke: gcaotop rendered nothing"; exit 1; }; \
+	./out/gcaotop -addr http://127.0.0.1:8377 -once -json > out/obs-live.json; \
+	grep -q '"unix_ns"' out/obs-live.json || { echo "obs-smoke: live snapshot empty"; exit 1; }; \
+	curl -fsS http://127.0.0.1:8377/metrics > out/obs-metrics.txt; \
+	grep -q 'gcao_build_info{version=' out/obs-metrics.txt || { echo "obs-smoke: no build info metric"; exit 1; }; \
+	grep -q 'gcao_http_requests_total{code="200",route="/compile"} 1' out/obs-metrics.txt || { echo "obs-smoke: no RED counter"; exit 1; }; \
+	grep -q 'gcao_queue_wait_seconds_count{pool="compile"}' out/obs-metrics.txt || { echo "obs-smoke: no queue wait histogram"; exit 1; }; \
+	kill $$daemon 2>/dev/null || true; \
+	wait $$daemon 2>/dev/null || true
+	$(GO) test ./cmd/gcaod -run 'TestFlightRecorderResolvesCompile|TestLiveSSE|TestTraceparentRoundTrip' -count=1
+	$(GO) test ./cmd/gcaotop -count=1
+	@echo "obs-smoke: ok (live snapshot at out/obs-live.json)"

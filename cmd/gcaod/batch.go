@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"gcao/internal/obs"
+	"gcao/internal/obs/reqtrace"
 	"gcao/internal/sched"
 )
 
@@ -45,22 +46,25 @@ type batchResponse struct {
 // whole batch is a 429 (with Retry-After), so a saturated daemon looks
 // the same to batch and single-shot clients.
 func (s *server) handleCompileBatch(w http.ResponseWriter, r *http.Request) {
-	batchID := fmt.Sprintf("b%06d", s.seq.Add(1))
+	// The middleware's request id doubles as the batch id; items mint
+	// their own ids below so every compilation remains individually
+	// addressable in the decision ring and flight recorder.
+	batchID := reqID(r)
 	t0 := time.Now()
 	req, err := decodeJSONBody[batchRequest](r, s.cfg.maxBody)
 	if err != nil {
 		s.reg.Absorb(nil, "error")
-		writeError(w, batchID, err)
+		s.writeError(w, batchID, err)
 		return
 	}
 	if len(req.Items) == 0 {
 		s.reg.Absorb(nil, "error")
-		writeError(w, batchID, badRequestError{errors.New("batch has no items")})
+		s.writeError(w, batchID, badRequestError{errors.New("batch has no items")})
 		return
 	}
 	if len(req.Items) > maxBatchItems {
 		s.reg.Absorb(nil, "error")
-		writeError(w, batchID, badRequestError{
+		s.writeError(w, batchID, badRequestError{
 			fmt.Errorf("batch has %d items, limit is %d", len(req.Items), maxBatchItems)})
 		return
 	}
@@ -68,6 +72,7 @@ func (s *server) handleCompileBatch(w http.ResponseWriter, r *http.Request) {
 	type itemState struct {
 		id     string
 		rec    *obs.Recorder
+		tr     *reqtrace.Trace
 		cancel context.CancelFunc
 	}
 	states := make([]itemState, len(req.Items))
@@ -75,16 +80,24 @@ func (s *server) handleCompileBatch(w http.ResponseWriter, r *http.Request) {
 	for i, item := range req.Items {
 		id := fmt.Sprintf("r%06d", s.seq.Add(1))
 		rec := obs.New()
+		// Each item carries its own span tree under the batch's trace
+		// id, so a slow item resolves at /debug/flightrecorder/{id}
+		// like a single-shot request would.
+		tr, _ := reqtrace.FromTraceparent("batch.item", reqtrace.FromContext(r.Context()).Traceparent())
+		tr.SetReqID(id)
+		root := tr.Root()
+		root.SetAttr("batch", batchID)
+		root.Phase("queue.wait")
 		// Each item gets the same per-request deadline a single-shot
 		// /compile gets; the batch ctx cancels them all if the client
 		// goes away.
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.reqTimeout)
-		states[i] = itemState{id: id, rec: rec, cancel: cancel}
+		states[i] = itemState{id: id, rec: rec, tr: tr, cancel: cancel}
 		item := item
 		tasks[i] = sched.BatchTask{
 			Ctx: ctx,
 			Run: func(context.Context) (any, error) {
-				return s.compile(id, rec, item)
+				return s.compile(id, rec, item, root)
 			},
 		}
 	}
@@ -115,13 +128,14 @@ func (s *server) handleCompileBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Items[res.Index] = item
 		s.record(st.id, t0, st.rec, cresp, res.Err)
+		s.flightRecord(st.tr, "/compile/batch", item.Status, res.Err, cresp, t0)
 	}
 	s.log.Info("http.batch",
 		obs.F("req", batchID), obs.F("items", len(results)),
 		obs.F("ok", resp.Succeeded), obs.F("failed", resp.Failed),
 		obs.F("dur_us", time.Since(t0).Microseconds()))
 	if allQueueFull {
-		writeError(w, batchID, sched.ErrQueueFull)
+		s.writeError(w, batchID, sched.ErrQueueFull)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -5,21 +5,34 @@
 //
 // Endpoints:
 //
-//	POST /compile              source in, placement report + metrics doc out
-//	POST /compile/batch        many compile requests through the bounded scheduler
-//	GET  /metrics              Prometheus text exposition of the global registry
-//	GET  /healthz              liveness + version + uptime + request count
-//	GET  /debug/cache          compilation-cache and scheduler counters
-//	GET  /debug/decisions      ids of the retained per-request decision logs
-//	GET  /debug/decisions/{id} one request's full placement decision log
-//	GET  /debug/pprof/...      net/http/pprof
+//	POST /compile                    source in, placement report + metrics doc out
+//	POST /compile/batch              many compile requests through the bounded scheduler
+//	GET  /metrics                    Prometheus text exposition of the global registry
+//	GET  /healthz                    liveness + version + uptime + request count
+//	GET  /debug/cache                compilation-cache, scheduler and flight-recorder counters
+//	GET  /debug/decisions            ids of the retained per-request decision logs
+//	GET  /debug/decisions/{id}       one request's full placement decision log
+//	GET  /debug/critpath             ids of the retained simulator attribution records
+//	GET  /debug/critpath/{id}        one request's blame ranking and critical path
+//	GET  /debug/flightrecorder       recent and slow/errored request summaries
+//	GET  /debug/flightrecorder/{id}  one request's phase summary and span tree
+//	GET  /debug/live                 server-sent-event stream of live ops snapshots
+//	GET  /debug/pprof/...            net/http/pprof
+//
+// Every response carries an X-Request-Id header and a W3C traceparent
+// (ingested from the client's, or minted); error bodies repeat the id
+// so a failure report is joinable against the flight recorder
+// (/debug/flightrecorder/{id} resolves the id to a span tree showing
+// where the request's wall time went: queue wait, cache probe +
+// compile, place, simulate).
 //
 // Repeated and concurrent identical requests are served from a
 // content-addressed compilation cache (-cache-entries, -cache-bytes);
 // compile work runs on a bounded worker pool (-workers, -queue-depth)
-// that sheds load with 429 + Retry-After when the admission queue is
-// full. The daemon shuts down gracefully on SIGINT/SIGTERM and bounds
-// every compile with -timeout.
+// that sheds load with 429 when the admission queue is full, with a
+// Retry-After derived from the scheduler's own drain estimate. The
+// daemon shuts down gracefully on SIGINT/SIGTERM and bounds every
+// compile with -timeout.
 package main
 
 import (
@@ -46,6 +59,8 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 256<<20, "max estimated bytes per compilation-cache tier")
 	workers := flag.Int("workers", 0, "compile worker goroutines (0: GOMAXPROCS)")
 	queueDepth := flag.Int("queue-depth", 64, "compile admission queue depth; overflow is a 429")
+	flightSize := flag.Int("flight", 256, "flight-recorder ring size (and slow-store size)")
+	slowThreshold := flag.Duration("slow-threshold", 500*time.Millisecond, "wall time at or above which a request's trace is retained as slow")
 	showVersion := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
 
@@ -60,15 +75,17 @@ func main() {
 		fatal(err)
 	}
 	s := newServer(serverConfig{
-		reqTimeout:   *timeout,
-		ringSize:     *ringSize,
-		cacheEntries: *cacheEntries,
-		cacheBytes:   *cacheBytes,
-		workers:      *workers,
-		queueDepth:   *queueDepth,
-		version:      version,
-		logW:         os.Stderr,
-		logLevel:     level,
+		reqTimeout:    *timeout,
+		ringSize:      *ringSize,
+		cacheEntries:  *cacheEntries,
+		cacheBytes:    *cacheBytes,
+		workers:       *workers,
+		queueDepth:    *queueDepth,
+		flightSize:    *flightSize,
+		slowThreshold: *slowThreshold,
+		version:       version,
+		logW:          os.Stderr,
+		logLevel:      level,
 	})
 	defer s.close()
 	srv := &http.Server{Addr: *addr, Handler: s.handler()}

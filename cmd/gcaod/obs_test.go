@@ -1,0 +1,673 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gcao/internal/obs"
+	"gcao/internal/obs/reqtrace"
+)
+
+// TestRequestIDEverywhere pins the ingress contract: every response —
+// success, client error, shed, timeout — carries an X-Request-Id
+// header, and every JSON error body repeats the same id.
+func TestRequestIDEverywhere(t *testing.T) {
+	_, ts := testServer(t)
+
+	// Success paths: header present on compile and on plain GETs.
+	resp, out := postCompile(t, ts, map[string]any{
+		"source": stencilSrc, "params": map[string]int{"n": 8, "steps": 1}, "procs": 4,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile status = %d", resp.StatusCode)
+	}
+	hdr := resp.Header.Get("X-Request-Id")
+	if hdr == "" || hdr != out.ReqID {
+		t.Fatalf("X-Request-Id %q != body req_id %q", hdr, out.ReqID)
+	}
+	for _, path := range []string{"/healthz", "/metrics", "/debug/cache", "/debug/flightrecorder"} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.Header.Get("X-Request-Id") == "" {
+			t.Errorf("%s response missing X-Request-Id", path)
+		}
+	}
+
+	// Error paths: body req_id matches the header.
+	checkErr := func(name string, resp *http.Response, wantStatus int) {
+		t.Helper()
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("%s status = %d, want %d", name, resp.StatusCode, wantStatus)
+		}
+		var body struct {
+			ReqID string `json:"req_id"`
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("%s body not JSON: %v", name, err)
+		}
+		id := resp.Header.Get("X-Request-Id")
+		if id == "" || body.ReqID != id {
+			t.Fatalf("%s: header id %q, body id %q", name, id, body.ReqID)
+		}
+		if body.Error == "" {
+			t.Fatalf("%s: empty error message", name)
+		}
+	}
+
+	// 400: unknown strategy.
+	raw, _ := json.Marshal(map[string]any{
+		"source": stencilSrc, "params": map[string]int{"n": 8, "steps": 1},
+		"procs": 4, "strategy": "bogus",
+	})
+	r400, err := http.Post(ts.URL+"/compile", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkErr("400", r400, http.StatusBadRequest)
+
+	// 400: bad query parameter on a debug route.
+	r400q, err := http.Get(ts.URL + "/debug/decisions?limit=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkErr("400 limit", r400q, http.StatusBadRequest)
+
+	// 404: unknown flight record.
+	r404, err := http.Get(ts.URL + "/debug/flightrecorder/r999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkErr("404", r404, http.StatusNotFound)
+
+	// 413: oversized body (valid JSON shape, so the size limit trips
+	// before a syntax error can).
+	big := []byte(`{"source":"` + strings.Repeat("x", 5<<20) + `"}`)
+	r413, err := http.Post(ts.URL+"/compile", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkErr("413", r413, http.StatusRequestEntityTooLarge)
+}
+
+// TestRequestIDOnTimeoutAnd429 covers the two shed paths: a timed-out
+// compile (503) and a queue overflow (429) both carry the id in header
+// and body, and the 429's Retry-After is a derived integer in [1,30].
+func TestRequestIDOnTimeoutAnd429(t *testing.T) {
+	s := newServer(serverConfig{
+		reqTimeout: time.Nanosecond,
+		ringSize:   8,
+		logW:       io.Discard,
+		logLevel:   obs.LevelError,
+	})
+	defer s.close()
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+	raw, _ := json.Marshal(map[string]any{
+		"source": stencilSrc, "params": map[string]int{"n": 8, "steps": 1}, "procs": 4,
+	})
+	resp, err := http.Post(ts.URL+"/compile", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		ReqID string `json:"req_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("timeout body not JSON: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("timeout status = %d, want 503", resp.StatusCode)
+	}
+	if id := resp.Header.Get("X-Request-Id"); id == "" || id != body.ReqID {
+		t.Fatalf("timeout: header id %q, body id %q", id, body.ReqID)
+	}
+
+	sb, tsb, release := blockingServer(t)
+	done := make(chan int, 2)
+	saturate(t, sb, tsb, done)
+	resp2, err := http.Post(tsb.URL+"/compile", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body2 struct {
+		ReqID string `json:"req_id"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&body2); err != nil {
+		t.Fatalf("429 body not JSON: %v", err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow status = %d, want 429", resp2.StatusCode)
+	}
+	if id := resp2.Header.Get("X-Request-Id"); id == "" || id != body2.ReqID {
+		t.Fatalf("429: header id %q, body id %q", id, body2.ReqID)
+	}
+	ra, err := strconv.Atoi(resp2.Header.Get("Retry-After"))
+	if err != nil || ra < 1 || ra > 30 {
+		t.Fatalf("Retry-After = %q, want integer in [1,30]", resp2.Header.Get("Retry-After"))
+	}
+	release()
+	<-done
+	<-done
+}
+
+// TestTraceparentRoundTrip pins W3C trace-context propagation: a valid
+// inbound traceparent's trace id is adopted and echoed with the
+// daemon's root span id; the retained trace records the remote parent.
+func TestTraceparentRoundTrip(t *testing.T) {
+	_, ts := testServer(t)
+	const traceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	const parent = "00f067aa0ba902b7"
+	inbound := "00-" + traceID + "-" + parent + "-01"
+
+	raw, _ := json.Marshal(map[string]any{
+		"source": stencilSrc, "params": map[string]int{"n": 8, "steps": 1}, "procs": 4,
+	})
+	req, _ := http.NewRequest("POST", ts.URL+"/compile", bytes.NewReader(raw))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", inbound)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile status = %d", resp.StatusCode)
+	}
+	echoed := resp.Header.Get("Traceparent")
+	gotTrace, gotSpan, _, ok := reqtrace.ParseTraceparent(echoed)
+	if !ok {
+		t.Fatalf("echoed traceparent %q invalid", echoed)
+	}
+	if gotTrace != traceID {
+		t.Fatalf("echoed trace id %q, want %q (adopted)", gotTrace, traceID)
+	}
+	if gotSpan == parent {
+		t.Fatal("echoed span id is the client's parent; want the daemon's root span")
+	}
+
+	id := resp.Header.Get("X-Request-Id")
+	var rec reqtrace.Record
+	getJSON(t, ts.URL+"/debug/flightrecorder/"+id, &rec)
+	if rec.TraceID != traceID {
+		t.Fatalf("flight record trace id %q, want %q", rec.TraceID, traceID)
+	}
+	if rec.Trace == nil || rec.Trace.RemoteParent != parent {
+		t.Fatalf("flight record remote parent not retained: %+v", rec.Trace)
+	}
+
+	// A malformed header is ignored: a fresh valid trace is minted.
+	req2, _ := http.NewRequest("POST", ts.URL+"/compile", bytes.NewReader(raw))
+	req2.Header.Set("Content-Type", "application/json")
+	req2.Header.Set("traceparent", "00-zzzz-bad-01")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if _, _, _, ok := reqtrace.ParseTraceparent(resp2.Header.Get("Traceparent")); !ok {
+		t.Fatalf("minted traceparent %q invalid", resp2.Header.Get("Traceparent"))
+	}
+}
+
+// checkPhaseSum asserts the flight-record acceptance criterion: the
+// span tree's phase durations sum to the reported wall time within 5%.
+func checkPhaseSum(t *testing.T, rec reqtrace.Record) {
+	t.Helper()
+	if rec.WallUS <= 0 {
+		t.Fatalf("record %s has no wall time", rec.ID)
+	}
+	if len(rec.Phases) == 0 {
+		t.Fatalf("record %s has no phases", rec.ID)
+	}
+	var sum int64
+	for _, d := range rec.Phases {
+		sum += d
+	}
+	diff := rec.WallUS - sum
+	if diff < 0 {
+		diff = -diff
+	}
+	if float64(diff) > 0.05*float64(rec.WallUS) {
+		t.Errorf("record %s: phases sum %dus vs wall %dus (gap %dus > 5%%): %v",
+			rec.ID, sum, rec.WallUS, diff, rec.Phases)
+	}
+}
+
+// TestFlightRecorderResolvesCompile is the tentpole acceptance check:
+// for miss, hit AND dedup cache outcomes, the X-Request-Id returned by
+// /compile resolves at /debug/flightrecorder/{id} to a span tree whose
+// phase durations account for the reported wall time within 5%.
+func TestFlightRecorderResolvesCompile(t *testing.T) {
+	type barrier struct {
+		n  atomic.Int32
+		ch chan struct{}
+	}
+	var hook atomic.Pointer[barrier]
+	s := newServer(serverConfig{
+		reqTimeout: 30 * time.Second,
+		ringSize:   32,
+		workers:    2,
+		queueDepth: 8,
+		logW:       io.Discard,
+		logLevel:   obs.LevelError,
+	})
+	s.testHook = func() {
+		b := hook.Load()
+		if b == nil {
+			return
+		}
+		if b.n.Add(1) == 2 {
+			close(b.ch)
+		}
+		<-b.ch
+	}
+	defer s.close()
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	fetchRecord := func(id string) reqtrace.Record {
+		t.Helper()
+		var rec reqtrace.Record
+		if code := getJSON(t, ts.URL+"/debug/flightrecorder/"+id, &rec); code != http.StatusOK {
+			t.Fatalf("flight record %s status = %d", id, code)
+		}
+		if rec.ID != id || rec.Trace == nil {
+			t.Fatalf("flight record %s incomplete: %+v", id, rec)
+		}
+		return rec
+	}
+
+	// Miss and dedup: two identical concurrent requests held at a
+	// barrier until both reached a worker, so their cache probes
+	// overlap and singleflight coalesces one onto the other. The
+	// source is large enough (~80 loop nests) that its compile outlasts
+	// a scheduler quantum, so the second goroutine probes mid-compile
+	// even on a single CPU; the content hash changes per attempt so a
+	// rare non-overlap just retries cleanly.
+	var big strings.Builder
+	big.WriteString("routine big(n, steps)\nreal a(0:n+1, 0:n+1), b(0:n+1, 0:n+1)\n!hpf$ distribute (block, block) :: a, b\n")
+	for k := 0; k < 40; k++ {
+		big.WriteString("do i = 1, n\ndo j = 1, n\nb(i, j) = 0.25 * (a(i-1, j) + a(i+1, j) + a(i, j-1) + a(i, j+1))\nenddo\nenddo\n")
+		big.WriteString("do i = 1, n\ndo j = 1, n\na(i, j) = b(i, j)\nenddo\nenddo\n")
+	}
+	big.WriteString("end\n")
+	var missRec, dedupRec reqtrace.Record
+	var hitBody map[string]any
+	found := false
+	for attempt := 0; attempt < 5 && !found; attempt++ {
+		src := big.String() + fmt.Sprintf("\n! attempt %d\n", attempt)
+		body := map[string]any{
+			"source": src, "params": map[string]int{"n": 10, "steps": 1},
+			"procs": 4, "strategy": "comb",
+		}
+		hook.Store(&barrier{ch: make(chan struct{})})
+		type result struct {
+			id   string
+			out  compileResponse
+			code int
+		}
+		results := make(chan result, 2)
+		for i := 0; i < 2; i++ {
+			go func() {
+				raw, _ := json.Marshal(body)
+				resp, err := http.Post(ts.URL+"/compile", "application/json", bytes.NewReader(raw))
+				if err != nil {
+					results <- result{code: -1}
+					return
+				}
+				defer resp.Body.Close()
+				var out compileResponse
+				_ = json.NewDecoder(resp.Body).Decode(&out)
+				results <- result{id: resp.Header.Get("X-Request-Id"), out: out, code: resp.StatusCode}
+			}()
+		}
+		r1, r2 := <-results, <-results
+		hook.Store(nil)
+		if r1.code != http.StatusOK || r2.code != http.StatusOK {
+			t.Fatalf("concurrent compile statuses = %d, %d", r1.code, r2.code)
+		}
+		outcomes := map[string]result{
+			r1.out.Cache.Compile: r1,
+			r2.out.Cache.Compile: r2,
+		}
+		if m, okM := outcomes["miss"]; okM {
+			if d, okD := outcomes["dedup"]; okD {
+				missRec = fetchRecord(m.id)
+				dedupRec = fetchRecord(d.id)
+				hitBody = body
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("never observed a miss+dedup pair in 5 attempts")
+	}
+	checkPhaseSum(t, missRec)
+	checkPhaseSum(t, dedupRec)
+	if missRec.Cache != "miss" || dedupRec.Cache != "dedup" {
+		t.Fatalf("record cache outcomes = %q, %q", missRec.Cache, dedupRec.Cache)
+	}
+	for _, rec := range []reqtrace.Record{missRec, dedupRec} {
+		for _, phase := range []string{"ingress", "queue.wait", "compile", "place", "finalize"} {
+			if _, ok := rec.Phases[phase]; !ok {
+				t.Errorf("record %s missing phase %q: %v", rec.ID, phase, rec.Phases)
+			}
+		}
+	}
+
+	// Hit: repeat the successful request after the dust settles.
+	resp, out := postCompile(t, ts, hitBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hit compile status = %d", resp.StatusCode)
+	}
+	if out.Cache == nil || out.Cache.Compile != "hit" {
+		t.Fatalf("expected compile cache hit, got %+v", out.Cache)
+	}
+	hitRec := fetchRecord(resp.Header.Get("X-Request-Id"))
+	checkPhaseSum(t, hitRec)
+	if hitRec.Cache != "hit" {
+		t.Fatalf("hit record cache = %q", hitRec.Cache)
+	}
+}
+
+// TestFlightRecorderRetainsErrors pins the slow/errored store: a 400
+// lands in the slow listing even though it was fast, and its full
+// trace resolves by id.
+func TestFlightRecorderRetainsErrors(t *testing.T) {
+	_, ts := testServer(t)
+	raw, _ := json.Marshal(map[string]any{
+		"source": "not hpf at all", "params": map[string]int{}, "procs": 4,
+	})
+	resp, err := http.Post(ts.URL+"/compile", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	id := resp.Header.Get("X-Request-Id")
+
+	var listing struct {
+		Recent []reqtrace.Record `json:"recent"`
+		Slow   []reqtrace.Record `json:"slow"`
+		Stats  struct {
+			Added    int64 `json:"added"`
+			Retained int64 `json:"retained"`
+		} `json:"stats"`
+	}
+	getJSON(t, ts.URL+"/debug/flightrecorder", &listing)
+	foundSlow := false
+	for _, rec := range listing.Slow {
+		if rec.ID == id {
+			foundSlow = true
+			if rec.Status != http.StatusBadRequest || rec.Error == "" {
+				t.Fatalf("retained error record incomplete: %+v", rec)
+			}
+			if rec.Trace != nil {
+				t.Fatal("listing should carry summaries, not span trees")
+			}
+		}
+	}
+	if !foundSlow {
+		t.Fatalf("errored request %s not in slow store: %+v", id, listing.Slow)
+	}
+	if listing.Stats.Retained < 1 {
+		t.Fatalf("stats retained = %d", listing.Stats.Retained)
+	}
+	var rec reqtrace.Record
+	getJSON(t, ts.URL+"/debug/flightrecorder/"+id, &rec)
+	if rec.Trace == nil {
+		t.Fatal("by-id fetch lost the span tree")
+	}
+}
+
+// TestBatchItemsInFlightRecorder checks batch items are individually
+// retained, joined to the batch by attribute and trace id.
+func TestBatchItemsInFlightRecorder(t *testing.T) {
+	_, ts := testServer(t)
+	resp, out := postBatch(t, ts, []map[string]any{
+		{"source": stencilSrc, "params": map[string]int{"n": 8, "steps": 1}, "procs": 4},
+		{"source": stencilSrc, "params": map[string]int{"n": 9, "steps": 1}, "procs": 4},
+	})
+	if resp.StatusCode != http.StatusOK || out.Succeeded != 2 {
+		t.Fatalf("batch status = %d, succeeded = %d", resp.StatusCode, out.Succeeded)
+	}
+	batchID := resp.Header.Get("X-Request-Id")
+	for _, item := range out.Items {
+		var rec reqtrace.Record
+		if code := getJSON(t, ts.URL+"/debug/flightrecorder/"+item.ReqID, &rec); code != http.StatusOK {
+			t.Fatalf("batch item %s not in flight recorder", item.ReqID)
+		}
+		if rec.Route != "/compile/batch" {
+			t.Fatalf("batch item route = %q", rec.Route)
+		}
+		if rec.Trace.Root.Attrs["batch"] != batchID {
+			t.Fatalf("batch item %s not linked to batch %s: %v",
+				item.ReqID, batchID, rec.Trace.Root.Attrs)
+		}
+		checkPhaseSum(t, rec)
+	}
+}
+
+// TestLiveSSE is the live-view acceptance check: a plain net/http
+// client receives at least three consecutive parseable snapshots while
+// compile traffic runs concurrently (exercised under -race).
+func TestLiveSSE(t *testing.T) {
+	s := newServer(serverConfig{
+		reqTimeout:   30 * time.Second,
+		ringSize:     8,
+		liveInterval: 5 * time.Millisecond,
+		logW:         io.Discard,
+		logLevel:     obs.LevelError,
+	})
+	defer s.close()
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				raw, _ := json.Marshal(map[string]any{
+					"source": stencilSrc,
+					"params": map[string]int{"n": 8 + (i+w)%4, "steps": 1}, "procs": 4,
+				})
+				resp, err := http.Post(ts.URL+"/compile", "application/json", bytes.NewReader(raw))
+				if err != nil {
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(w)
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/live?n=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var docs []liveDoc
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var doc liveDoc
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &doc); err != nil {
+			t.Fatalf("snapshot not JSON: %v\n%s", err, line)
+		}
+		docs = append(docs, doc)
+	}
+	close(stop)
+	wg.Wait()
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) < 3 {
+		t.Fatalf("got %d snapshots, want >= 3", len(docs))
+	}
+	last := docs[len(docs)-1]
+	if last.UnixNS <= docs[0].UnixNS {
+		t.Fatal("snapshots not advancing in time")
+	}
+	if last.Version == "" || last.Codes == nil {
+		t.Fatalf("snapshot incomplete: %+v", last)
+	}
+	// The stream itself appears in the route stats by the later
+	// snapshots, as does the compile traffic.
+	foundCompile := false
+	for _, r := range last.Routes {
+		if r.Route == "/compile" && r.Count > 0 && r.P99ms >= r.P50ms {
+			foundCompile = true
+		}
+	}
+	if !foundCompile {
+		t.Fatalf("live snapshot missing /compile route stats: %+v", last.Routes)
+	}
+}
+
+// TestQueueWaitHistogram saturates a one-worker pool and checks the
+// queue-wait family renders with monotone cumulative buckets and a
+// nonzero count once jobs have drained.
+func TestQueueWaitHistogram(t *testing.T) {
+	s, ts, release := blockingServer(t)
+	done := make(chan int, 2)
+	saturate(t, s, ts, done)
+	time.Sleep(30 * time.Millisecond) // let the queued job accrue wait
+	release()
+	for i := 0; i < 2; i++ {
+		if code := <-done; code != http.StatusOK {
+			t.Fatalf("blocked request finished with %d", code)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.CheckPromText(text); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+	var bucketVals []float64
+	var count float64
+	for _, line := range strings.Split(string(text), "\n") {
+		if strings.HasPrefix(line, `gcao_queue_wait_seconds_bucket{pool="compile"`) {
+			fields := strings.Fields(line)
+			v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+			if err != nil {
+				t.Fatalf("bad bucket line %q", line)
+			}
+			bucketVals = append(bucketVals, v)
+		}
+		if strings.HasPrefix(line, `gcao_queue_wait_seconds_count{pool="compile"`) {
+			fields := strings.Fields(line)
+			count, _ = strconv.ParseFloat(fields[len(fields)-1], 64)
+		}
+	}
+	if len(bucketVals) == 0 || count < 2 {
+		t.Fatalf("queue wait family missing: %d buckets, count %v", len(bucketVals), count)
+	}
+	for i := 1; i < len(bucketVals); i++ {
+		if bucketVals[i] < bucketVals[i-1] {
+			t.Fatalf("cumulative buckets not monotone: %v", bucketVals)
+		}
+	}
+	if bucketVals[len(bucketVals)-1] != count {
+		t.Fatalf("+Inf bucket %v != count %v", bucketVals[len(bucketVals)-1], count)
+	}
+}
+
+// TestBuildInfoAndHTTPMetrics checks gcao_build_info and the RED
+// families appear in a valid exposition after traffic.
+func TestBuildInfoAndHTTPMetrics(t *testing.T) {
+	_, ts := testServer(t)
+	resp, _ := postCompile(t, ts, map[string]any{
+		"source": stencilSrc, "params": map[string]int{"n": 8, "steps": 1}, "procs": 4,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile status = %d", resp.StatusCode)
+	}
+	mResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := io.ReadAll(mResp.Body)
+	mResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.CheckPromText(text); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+	for _, want := range []string{
+		"gcao_build_info{version=\"dev\"} 1",
+		"gcao_http_requests_total{code=\"200\",route=\"/compile\"} 1",
+		"gcao_http_request_seconds_bucket{route=\"/compile\",le=\"+Inf\"} 1",
+		"gcao_http_inflight 1", // the /metrics request itself
+		"gcao_pool_workers",
+		"gcao_sched_jobs_total{outcome=\"completed\"} 1",
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestRouteLabelBounded pins the label normalizer so client-controlled
+// paths cannot mint unbounded label values.
+func TestRouteLabelBounded(t *testing.T) {
+	cases := map[string]string{
+		"/compile":                     "/compile",
+		"/compile/batch":               "/compile/batch",
+		"/debug/decisions/r000001":     "/debug/decisions/{id}",
+		"/debug/critpath/r000002":      "/debug/critpath/{id}",
+		"/debug/flightrecorder/r00003": "/debug/flightrecorder/{id}",
+		"/debug/pprof/heap":            "/debug/pprof",
+		"/debug/live":                  "/debug/live",
+		"/nonsense/../path":            "other",
+		"/":                            "other",
+	}
+	for path, want := range cases {
+		if got := routeLabel(path); got != want {
+			t.Errorf("routeLabel(%q) = %q, want %q", path, got, want)
+		}
+	}
+}

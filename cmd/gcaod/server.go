@@ -16,6 +16,7 @@ import (
 
 	"gcao"
 	"gcao/internal/obs"
+	"gcao/internal/obs/reqtrace"
 	"gcao/internal/sched"
 )
 
@@ -37,7 +38,15 @@ type serverConfig struct {
 	// overflow is a 429.
 	workers    int
 	queueDepth int
-	// version identifies the build in /healthz and the startup log.
+	// flightSize bounds the flight recorder's main ring and its
+	// slow/errored store; slowThreshold marks requests at or above it
+	// for longer retention.
+	flightSize    int
+	slowThreshold time.Duration
+	// liveInterval paces /debug/live snapshots (tests shorten it).
+	liveInterval time.Duration
+	// version identifies the build in /healthz, gcao_build_info and
+	// the startup log.
 	version string
 	// logW + logLevel configure the structured event log.
 	logW     io.Writer
@@ -50,14 +59,17 @@ type serverConfig struct {
 // recent request decision logs, the structured event log, and a
 // request sequence for ids.
 type server struct {
-	cfg   serverConfig
-	reg   *gcao.Registry
-	cache *gcao.Cache
-	pool  *sched.Pool
-	ring  *obs.DecisionRing
-	log   *gcao.Logger
-	start time.Time
-	seq   atomic.Int64
+	cfg    serverConfig
+	reg    *gcao.Registry
+	cache  *gcao.Cache
+	pool   *sched.Pool
+	ring   *obs.DecisionRing
+	flight *reqtrace.FlightRecorder
+	log    *gcao.Logger
+	start  time.Time
+	seq    atomic.Int64
+	// inflight counts HTTP requests currently inside the middleware.
+	inflight atomic.Int64
 
 	// testHook, when non-nil, runs at the start of every compile job;
 	// tests use it to hold workers busy deterministically.
@@ -86,6 +98,15 @@ func newServer(cfg serverConfig) *server {
 	if cfg.queueDepth <= 0 {
 		cfg.queueDepth = 64
 	}
+	if cfg.flightSize <= 0 {
+		cfg.flightSize = 256
+	}
+	if cfg.slowThreshold <= 0 {
+		cfg.slowThreshold = 500 * time.Millisecond
+	}
+	if cfg.liveInterval <= 0 {
+		cfg.liveInterval = time.Second
+	}
 	if cfg.version == "" {
 		cfg.version = "dev"
 	}
@@ -94,15 +115,21 @@ func newServer(cfg serverConfig) *server {
 		log = gcao.NewLogger(cfg.logW, cfg.logLevel)
 	}
 	s := &server{
-		cfg:   cfg,
-		reg:   gcao.NewRegistry(),
-		cache: gcao.NewCache(gcao.CacheOptions{MaxEntries: cfg.cacheEntries, MaxBytes: cfg.cacheBytes}),
-		pool:  sched.New(cfg.workers, cfg.queueDepth),
-		ring:  obs.NewDecisionRing(cfg.ringSize),
-		log:   log,
-		start: time.Now(),
+		cfg:    cfg,
+		reg:    gcao.NewRegistry(),
+		cache:  gcao.NewCache(gcao.CacheOptions{MaxEntries: cfg.cacheEntries, MaxBytes: cfg.cacheBytes}),
+		pool:   sched.New(cfg.workers, cfg.queueDepth),
+		ring:   obs.NewDecisionRing(cfg.ringSize),
+		flight: reqtrace.NewFlightRecorder(cfg.flightSize, cfg.flightSize, cfg.slowThreshold),
+		log:    log,
+		start:  time.Now(),
 	}
 	s.reg.SetCacheStatsFunc(s.cacheTierStats)
+	s.reg.SetBuildInfo(cfg.version)
+	s.reg.SetServerStatsFunc(s.serverStats)
+	s.pool.SetQueueWaitObserver(func(d time.Duration) {
+		s.reg.ObserveQueueWait(d.Seconds())
+	})
 	return s
 }
 
@@ -127,12 +154,14 @@ func (s *server) cacheTierStats() []obs.CacheTierStats {
 // close releases the worker pool; queued jobs fail with ErrClosed.
 func (s *server) close() { s.pool.Close() }
 
-// handler builds the daemon's route table.
+// handler builds the daemon's route table, wrapped in the withObs
+// ingress middleware (request ids, trace context, RED metrics). The
+// per-request deadline lives inside handleCompile (a context, not
+// http.TimeoutHandler, so timed-out responses still carry the request
+// id).
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("POST /compile", http.TimeoutHandler(
-		http.HandlerFunc(s.handleCompile), s.cfg.reqTimeout,
-		`{"error":"compile timed out"}`))
+	mux.HandleFunc("POST /compile", s.handleCompile)
 	mux.HandleFunc("POST /compile/batch", s.handleCompileBatch)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -141,12 +170,15 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /debug/decisions/{id}", s.handleDecisions)
 	mux.HandleFunc("GET /debug/critpath", s.handleCritPathList)
 	mux.HandleFunc("GET /debug/critpath/{id}", s.handleCritPath)
+	mux.HandleFunc("GET /debug/flightrecorder", s.handleFlightList)
+	mux.HandleFunc("GET /debug/flightrecorder/{id}", s.handleFlight)
+	mux.HandleFunc("GET /debug/live", s.handleLive)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
+	return s.withObs(mux)
 }
 
 // compileRequest is the POST /compile body (and one /compile/batch
@@ -222,29 +254,39 @@ type simulateDoc struct {
 }
 
 func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
-	id := fmt.Sprintf("r%06d", s.seq.Add(1))
+	tr := reqtrace.FromContext(r.Context())
+	id := tr.ReqID()
+	root := tr.Root()
 	t0 := time.Now()
 	rec := obs.New()
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.reqTimeout)
+	defer cancel()
 	var resp *compileResponse
 	req, err := decodeJSONBody[compileRequest](r, s.cfg.maxBody)
 	if err == nil {
+		// The queue.wait phase runs from admission until a worker picks
+		// the job up; compile() opens the next phase at that instant.
+		root.Phase("queue.wait")
 		var v any
-		v, err = s.pool.Submit(r.Context(), func(context.Context) (any, error) {
-			return s.compile(id, rec, req)
+		v, err = s.pool.Submit(ctx, func(context.Context) (any, error) {
+			return s.compile(id, rec, req, root)
 		})
 		if c, ok := v.(*compileResponse); ok {
 			resp = c
 		}
 	}
+	root.Phase("finalize")
 	status := s.record(id, t0, rec, resp, err)
 	s.log.Info("http.compile",
 		obs.F("req", id), obs.F("status", status),
 		obs.F("dur_us", time.Since(t0).Microseconds()))
+	code := http.StatusOK
 	if err != nil {
-		writeError(w, id, err)
-		return
+		code = s.writeError(w, id, err)
+	} else {
+		writeJSON(w, http.StatusOK, resp)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.flightRecord(tr, "/compile", code, err, resp, t0)
 }
 
 // record absorbs one request's recorder into the registry, retains its
@@ -306,14 +348,24 @@ func httpStatus(err error) int {
 	return http.StatusInternalServerError
 }
 
-// writeError maps an error to its status and JSON body; queue
-// overflows carry a Retry-After so well-behaved clients back off.
-func writeError(w http.ResponseWriter, id string, err error) {
+// writeError maps an error to its status and JSON body (which always
+// carries the request id); queue overflows carry a Retry-After derived
+// from the scheduler's drain estimate so well-behaved clients back off
+// proportionally to the actual backlog.
+func (s *server) writeError(w http.ResponseWriter, id string, err error) int {
 	code := httpStatus(err)
 	if code == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 	}
 	writeJSON(w, code, map[string]string{"req_id": id, "error": err.Error()})
+	return code
+}
+
+// writeErrMsg writes a plain error body carrying the middleware's
+// request id, for handler-local failures (bad query params, unknown
+// ids).
+func (s *server) writeErrMsg(w http.ResponseWriter, r *http.Request, code int, msg string) {
+	writeJSON(w, code, map[string]string{"req_id": reqID(r), "error": msg})
 }
 
 // decodeJSONBody decodes a bounded request body, classifying oversized
@@ -332,8 +384,12 @@ func decodeJSONBody[T any](r *http.Request, maxBody int64) (T, error) {
 }
 
 // compile runs one request through the cached pipeline with a
-// request-scoped recorder attached.
-func (s *server) compile(id string, rec *obs.Recorder, req compileRequest) (*compileResponse, error) {
+// request-scoped recorder attached. root is the request's span; the
+// phases opened here (compile, place, estimate, simulate) tile it
+// gap-free after the handler's queue.wait, so their durations account
+// for the request's wall time.
+func (s *server) compile(id string, rec *obs.Recorder, req compileRequest, root *reqtrace.Span) (*compileResponse, error) {
+	ph := root.Phase("compile")
 	if s.testHook != nil {
 		s.testHook()
 	}
@@ -373,13 +429,16 @@ func (s *server) compile(id string, rec *obs.Recorder, req compileRequest) (*com
 	if err != nil {
 		return nil, badRequestError{err}
 	}
+	ph.SetAttr("cache", compOut.String())
 	if all {
-		return s.placeAll(id, rec, req, c, compOut, m)
+		return s.placeAll(id, rec, req, c, compOut, m, root)
 	}
+	pp := root.Phase("place")
 	placed, placeOut, err := s.cache.Place(c, strategy, gcao.PlacementOptions{}, rec)
 	if err != nil {
 		return nil, badRequestError{err}
 	}
+	pp.SetAttr("cache", placeOut.String())
 	resp := &compileResponse{
 		ReqID:    id,
 		Strategy: strategy.String(),
@@ -392,6 +451,7 @@ func (s *server) compile(id string, rec *obs.Recorder, req compileRequest) (*com
 		resp.Counts[kind.String()] = n
 	}
 	if req.Estimate {
+		root.Phase("estimate")
 		cost, err := placed.Estimate(m)
 		if err != nil {
 			return nil, badRequestError{fmt.Errorf("estimate: %w", err)}
@@ -404,6 +464,7 @@ func (s *server) compile(id string, rec *obs.Recorder, req compileRequest) (*com
 		s.reg.ObserveBytes(strategy.String(), cost.Bytes)
 	}
 	if req.Simulate {
+		root.Phase("simulate")
 		procs := c.Analysis.Unit.Grid.NumProcs()
 		run, err := placed.SimulateObs(m, procs, rec)
 		if err != nil {
@@ -426,7 +487,8 @@ func (s *server) compile(id string, rec *obs.Recorder, req compileRequest) (*com
 // of the sum. Plain goroutines, not pool.Submit — this already runs
 // on a pool worker, and re-submitting from inside a worker can
 // deadlock a full queue.
-func (s *server) placeAll(id string, rec *obs.Recorder, req compileRequest, c *gcao.Compilation, compOut gcao.CacheOutcome, m gcao.Machine) (*compileResponse, error) {
+func (s *server) placeAll(id string, rec *obs.Recorder, req compileRequest, c *gcao.Compilation, compOut gcao.CacheOutcome, m gcao.Machine, root *reqtrace.Span) (*compileResponse, error) {
+	root.Phase("place")
 	strategies := []gcao.Strategy{gcao.Vectorize, gcao.EarliestRedundancy, gcao.Combine}
 	type placeOut struct {
 		placed *gcao.Placed
@@ -484,6 +546,7 @@ func (s *server) placeAll(id string, rec *obs.Recorder, req compileRequest, c *g
 	resp.Messages = last.Messages
 	resp.Counts = last.Counts
 	if req.Simulate {
+		root.Phase("simulate")
 		procs := c.Analysis.Unit.Grid.NumProcs()
 		run, err := outs[len(outs)-1].placed.SimulateObs(m, procs, rec)
 		if err != nil {
@@ -522,6 +585,7 @@ func (s *server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"cache":     s.cache.Stats(),
 		"scheduler": s.pool.Stats(),
+		"flight":    s.flight.Stats(),
 	})
 }
 
@@ -547,7 +611,7 @@ func listLimit(r *http.Request) (int, error) {
 func (s *server) handleDecisionList(w http.ResponseWriter, r *http.Request) {
 	limit, err := listLimit(r)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		s.writeErrMsg(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -560,7 +624,7 @@ func (s *server) handleDecisions(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	rec, ok := s.ring.Get(id)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no retained request " + id})
+		s.writeErrMsg(w, r, http.StatusNotFound, "no retained request "+id)
 		return
 	}
 	writeJSON(w, http.StatusOK, rec)
@@ -571,7 +635,7 @@ func (s *server) handleDecisions(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleCritPathList(w http.ResponseWriter, r *http.Request) {
 	limit, err := listLimit(r)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		s.writeErrMsg(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	var ids []string
@@ -597,19 +661,19 @@ func (s *server) handleCritPath(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	rec, ok := s.ring.Get(id)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no retained request " + id})
+		s.writeErrMsg(w, r, http.StatusNotFound, "no retained request "+id)
 		return
 	}
 	if rec.Attr == nil {
-		writeJSON(w, http.StatusNotFound, map[string]string{
-			"error": "request " + id + " has no attribution record (simulate was not requested)"})
+		s.writeErrMsg(w, r, http.StatusNotFound,
+			"request "+id+" has no attribution record (simulate was not requested)")
 		return
 	}
 	model := gcao.DefaultAttrCostModel()
 	if q := r.URL.Query().Get("g"); q != "" {
 		v, err := strconv.ParseFloat(q, 64)
 		if err != nil || v < 0 {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad g " + q})
+			s.writeErrMsg(w, r, http.StatusBadRequest, "bad g "+q)
 			return
 		}
 		model.GSecPerByte = v
@@ -617,7 +681,7 @@ func (s *server) handleCritPath(w http.ResponseWriter, r *http.Request) {
 	if q := r.URL.Query().Get("L"); q != "" {
 		v, err := strconv.ParseFloat(q, 64)
 		if err != nil || v < 0 {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad L " + q})
+			s.writeErrMsg(w, r, http.StatusBadRequest, "bad L "+q)
 			return
 		}
 		model.LSec = v

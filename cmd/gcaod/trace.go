@@ -1,0 +1,194 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"time"
+
+	"gcao/internal/obs"
+	"gcao/internal/obs/reqtrace"
+)
+
+// routeLabel maps a request path onto the daemon's bounded route
+// vocabulary, so per-route metric labels cannot explode with client
+// garbage: known routes map to themselves, parameterized routes
+// collapse their id segment, everything else is "other".
+func routeLabel(path string) string {
+	switch path {
+	case "/compile", "/compile/batch", "/metrics", "/healthz",
+		"/debug/cache", "/debug/decisions", "/debug/critpath",
+		"/debug/flightrecorder", "/debug/live":
+		return path
+	}
+	switch {
+	case strings.HasPrefix(path, "/debug/decisions/"):
+		return "/debug/decisions/{id}"
+	case strings.HasPrefix(path, "/debug/critpath/"):
+		return "/debug/critpath/{id}"
+	case strings.HasPrefix(path, "/debug/flightrecorder/"):
+		return "/debug/flightrecorder/{id}"
+	case strings.HasPrefix(path, "/debug/pprof"):
+		return "/debug/pprof"
+	}
+	return "other"
+}
+
+// statusWriter captures the response status for the RED ledger. It
+// forwards Flush so streaming handlers (/debug/live) work through the
+// wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// withObs is the ingress middleware every route runs under: it mints
+// the request id, ingests (or mints) the W3C trace context and opens
+// the request's span tree, answers with X-Request-Id and traceparent
+// headers before the handler runs — so even sheds and timeouts carry
+// them — and feeds the RED families and the in-flight gauge.
+func (s *server) withObs(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		route := routeLabel(r.URL.Path)
+		id := fmt.Sprintf("r%06d", s.seq.Add(1))
+		tr, _ := reqtrace.FromTraceparent("http "+route, r.Header.Get("traceparent"))
+		tr.SetReqID(id)
+		// Open the first phase immediately so the tiling covers the
+		// whole request: middleware and handler overhead land in
+		// "ingress", not in an unaccounted gap.
+		tr.Root().Phase("ingress")
+		w.Header().Set("X-Request-Id", id)
+		w.Header().Set("Traceparent", tr.Traceparent())
+		sw := &statusWriter{ResponseWriter: w}
+		s.inflight.Add(1)
+		next.ServeHTTP(sw, r.WithContext(reqtrace.NewContext(r.Context(), tr)))
+		s.inflight.Add(-1)
+		s.reg.ObserveHTTP(route, sw.status(), time.Since(t0).Seconds())
+	})
+}
+
+// reqID returns the middleware-minted id of the request being served.
+func reqID(r *http.Request) string {
+	return reqtrace.FromContext(r.Context()).ReqID()
+}
+
+// flightRecord closes the request's span tree and retains it in the
+// flight recorder, keyed by the id the response's X-Request-Id header
+// carried.
+func (s *server) flightRecord(tr *reqtrace.Trace, route string, status int, err error, resp *compileResponse, t0 time.Time) {
+	tr.Root().End()
+	doc := tr.Doc()
+	rec := reqtrace.Record{
+		ID:      tr.ReqID(),
+		TraceID: doc.TraceID,
+		Route:   route,
+		Status:  status,
+		UnixNS:  t0.UnixNano(),
+		WallUS:  doc.Root.DurUS,
+		Phases:  reqtrace.PhaseTotals(doc.Root),
+		Trace:   &doc,
+	}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	if resp != nil {
+		rec.Strategy = resp.Strategy
+		if resp.Cache != nil {
+			rec.Cache = resp.Cache.Compile
+		}
+	}
+	s.flight.Add(rec)
+}
+
+// retryAfter derives the 429 backoff hint from the scheduler's own
+// drain estimate (backlog × observed service time over the workers)
+// instead of a constant, clamped to [1,30] seconds: an idle or barely
+// loaded daemon invites an immediate retry, a deeply backed-up one
+// pushes clients out to its real recovery horizon.
+func (s *server) retryAfter() int {
+	secs := int(math.Ceil(s.pool.EstimateDrain().Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
+// handleFlightList serves the flight recorder's ring and slow-store
+// summaries (no span trees; fetch /debug/flightrecorder/{id} for one).
+func (s *server) handleFlightList(w http.ResponseWriter, r *http.Request) {
+	limit, err := listLimit(r)
+	if err != nil {
+		s.writeErrMsg(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"recent": s.flight.Recent(limit),
+		"slow":   s.flight.Slow(limit),
+		"stats":  s.flight.Stats(),
+	})
+}
+
+// handleFlight serves one retained request's full record — phase
+// summary plus span tree — looked up by the X-Request-Id the original
+// response carried.
+func (s *server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.flight.Get(id)
+	if !ok {
+		s.writeErrMsg(w, r, http.StatusNotFound, "no retained flight record "+id)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// serverStats adapts the live serving-layer occupancy for the
+// registry's scrape-time gauges.
+func (s *server) serverStats() obs.ServerStats {
+	st := s.pool.Stats()
+	return obs.ServerStats{
+		HTTPInflight:      s.inflight.Load(),
+		QueueDepth:        st.Queued,
+		QueueCapacity:     int64(st.QueueDepth),
+		ActiveJobs:        st.Active,
+		Workers:           int64(st.Workers),
+		AvgServiceSeconds: float64(st.AvgServiceUS) / 1e6,
+		JobOutcomes: map[string]int64{
+			"completed": st.Completed,
+			"failed":    st.Failed,
+			"expired":   st.Expired,
+			"rejected":  st.Rejected,
+		},
+	}
+}

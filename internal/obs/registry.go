@@ -29,6 +29,15 @@ import (
 //	gcao_comm_bytes{version}            histogram of bytes moved per compile
 //	gcao_superstep_hrelation_bytes{version}  histogram of per-superstep h-relations
 //	gcao_site_comm_bytes_total{site}    counter of simulated bytes per placement site
+//	gcao_build_info{version}            constant 1, the build identity
+//	gcao_http_requests_total{route,code}  counter of served HTTP requests
+//	gcao_http_request_seconds{route}    histogram of HTTP request latency
+//	gcao_queue_wait_seconds             histogram of scheduler queue wait
+//
+// plus, when a ServerStats callback is registered, scrape-time gauges
+// (gcao_http_inflight, gcao_queue_depth, gcao_queue_capacity,
+// gcao_jobs_active, gcao_pool_workers, gcao_job_avg_service_seconds)
+// and the gcao_sched_jobs_total{outcome} counter family.
 //
 // Label values are rendered in sorted order, so the exposition is
 // byte-deterministic given deterministic inputs.
@@ -43,6 +52,15 @@ type Registry struct {
 	hrel       map[string]*Histogram
 	siteBytes  map[string]int64
 	cacheStats func() []CacheTierStats
+
+	// Serving-layer state (see serve.go): RED metrics per route,
+	// scheduler queue-wait ledger, build identity, and the live
+	// gauges callback.
+	httpReq     map[string]map[string]int64 // route -> code -> count
+	httpLat     map[string]*Histogram       // route -> latency histogram
+	queueWait   *Histogram
+	buildInfo   string
+	serverStats func() ServerStats
 }
 
 // NewRegistry builds an empty registry.
@@ -56,6 +74,9 @@ func NewRegistry() *Registry {
 		bytes:     map[string]*Histogram{},
 		hrel:      map[string]*Histogram{},
 		siteBytes: map[string]int64{},
+		httpReq:   map[string]map[string]int64{},
+		httpLat:   map[string]*Histogram{},
+		queueWait: NewHistogram(LatencyBuckets),
 	}
 }
 
@@ -197,6 +218,10 @@ type registrySnapshot struct {
 	bytes     map[string]*Histogram
 	hrel      map[string]*Histogram
 	siteBytes map[string]int64
+	httpReq   map[string]map[string]int64
+	httpLat   map[string]*Histogram
+	queueWait *Histogram
+	buildInfo string
 }
 
 // snapshot copies the registry state so rendering happens outside the
@@ -211,6 +236,10 @@ func (g *Registry) snapshot() registrySnapshot {
 		}
 		return out
 	}
+	httpReq := make(map[string]map[string]int64, len(g.httpReq))
+	for route, codes := range g.httpReq {
+		httpReq[route] = copyMap(codes)
+	}
 	return registrySnapshot{
 		req:       copyMap(g.requests),
 		ctr:       copyMap(g.counters),
@@ -220,6 +249,10 @@ func (g *Registry) snapshot() registrySnapshot {
 		bytes:     cloneHists(g.bytes),
 		hrel:      cloneHists(g.hrel),
 		siteBytes: copyMap(g.siteBytes),
+		httpReq:   httpReq,
+		httpLat:   cloneHists(g.httpLat),
+		queueWait: g.queueWait.clone(),
+		buildInfo: g.buildInfo,
 	}
 }
 
@@ -242,10 +275,21 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 	snap := g.snapshot()
 	g.mu.Lock()
 	statsFn := g.cacheStats
+	srvFn := g.serverStats
 	g.mu.Unlock()
 	var b strings.Builder
+	if snap.buildInfo != "" {
+		fmt.Fprintf(&b, "# HELP gcao_build_info Build identity; constant 1 labeled by version.\n# TYPE gcao_build_info gauge\n")
+		fmt.Fprintf(&b, "gcao_build_info{version=%s} 1\n", quoteLabel(snap.buildInfo))
+	}
 	writeScalarFamily(&b, "gcao_requests_total", "counter",
 		"Compile requests absorbed into the registry, by status.", "status", snap.req)
+	writeHTTPFamilies(&b, snap.httpReq, snap.httpLat)
+	if snap.queueWait.Count() > 0 {
+		writeHistFamily(&b, "gcao_queue_wait_seconds",
+			"Scheduler admission-queue wait in seconds, all jobs.", "pool",
+			map[string]*Histogram{"compile": snap.queueWait})
+	}
 	writeScalarFamily(&b, "gcao_pipeline_counter_total", "counter",
 		"Aggregated pipeline recorder counters, by dotted counter name.", "name", snap.ctr)
 	writeScalarFamily(&b, "gcao_pipeline_gauge", "gauge",
@@ -262,6 +306,9 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 		"Simulated communication bytes attributed to each placement site.", "site", snap.siteBytes)
 	if statsFn != nil {
 		writeCacheFamilies(&b, statsFn())
+	}
+	if srvFn != nil {
+		writeServerFamilies(&b, srvFn())
 	}
 	_, err := io.WriteString(w, b.String())
 	return err

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file holds the Registry's serving-layer surface: the RED
+// metrics the daemon's HTTP middleware feeds (rate, errors, duration
+// per route), the scheduler queue-wait ledger, the build identity,
+// and the scrape-time ServerStats callback — the families a
+// dashboard needs to watch saturation develop.
+
+// ObserveHTTP records one served HTTP request: it increments
+// gcao_http_requests_total{route,code} and feeds the route's
+// gcao_http_request_seconds histogram.
+func (g *Registry) ObserveHTTP(route string, code int, seconds float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	codes := g.httpReq[route]
+	if codes == nil {
+		codes = map[string]int64{}
+		g.httpReq[route] = codes
+	}
+	codes[strconv.Itoa(code)]++
+	g.histLocked(g.httpLat, route, LatencyBuckets).Observe(seconds)
+}
+
+// ObserveQueueWait records one job's scheduler admission-queue wait
+// into the gcao_queue_wait_seconds histogram.
+func (g *Registry) ObserveQueueWait(seconds float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.queueWait.Observe(seconds)
+}
+
+// SetBuildInfo sets the version label of the constant
+// gcao_build_info{version} 1 sample ("" removes the family), so
+// dashboards can correlate metric shifts with deploys.
+func (g *Registry) SetBuildInfo(version string) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.buildInfo = version
+}
+
+// ServerStats is the scrape-time snapshot of the serving layer's live
+// occupancy, rendered as gauges plus the per-outcome job counter.
+type ServerStats struct {
+	HTTPInflight      int64
+	QueueDepth        int64
+	QueueCapacity     int64
+	ActiveJobs        int64
+	Workers           int64
+	AvgServiceSeconds float64
+	// JobOutcomes counts finished scheduler jobs by outcome
+	// (completed, failed, expired, rejected).
+	JobOutcomes map[string]int64
+}
+
+// SetServerStatsFunc registers the callback WritePrometheus invokes
+// at scrape time to snapshot the serving layer (nil unregisters).
+// The callback must be safe for concurrent use; it is called outside
+// the registry lock.
+func (g *Registry) SetServerStatsFunc(fn func() ServerStats) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.serverStats = fn
+}
+
+// RouteStat is one route's live latency summary, derived from the
+// gcao_http_request_seconds histogram.
+type RouteStat struct {
+	Route string `json:"route"`
+	Count uint64 `json:"count"`
+	// P50ms and P99ms are bucket-interpolated latency quantiles in
+	// milliseconds.
+	P50ms float64 `json:"p50_ms"`
+	P99ms float64 `json:"p99_ms"`
+}
+
+// HTTPRouteStats summarizes every observed route, sorted by route.
+func (g *Registry) HTTPRouteStats() []RouteStat {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]RouteStat, 0, len(g.httpLat))
+	for _, route := range sortedKeys(g.httpLat) {
+		h := g.httpLat[route]
+		out = append(out, RouteStat{
+			Route: route,
+			Count: h.Count(),
+			P50ms: h.Quantile(0.50) * 1e3,
+			P99ms: h.Quantile(0.99) * 1e3,
+		})
+	}
+	return out
+}
+
+// HTTPCodeTotals sums served requests by status code across routes.
+func (g *Registry) HTTPCodeTotals() map[string]int64 {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := map[string]int64{}
+	for _, codes := range g.httpReq {
+		for code, n := range codes {
+			out[code] += n
+		}
+	}
+	return out
+}
+
+// QueueWaitQuantile reports a bucket-interpolated quantile of the
+// queue-wait histogram in seconds.
+func (g *Registry) QueueWaitQuantile(q float64) float64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.queueWait.Quantile(q)
+}
+
+// writeHTTPFamilies renders the RED families: the two-label request
+// counter (route-major, code-minor order — deterministic) and the
+// per-route latency histogram.
+func writeHTTPFamilies(b *strings.Builder, req map[string]map[string]int64, lat map[string]*Histogram) {
+	if len(req) > 0 {
+		fmt.Fprintf(b, "# HELP gcao_http_requests_total HTTP requests served, by route and status code.\n# TYPE gcao_http_requests_total counter\n")
+		for _, route := range sortedKeys(req) {
+			codes := req[route]
+			for _, code := range sortedKeys(codes) {
+				fmt.Fprintf(b, "gcao_http_requests_total{code=%s,route=%s} %d\n",
+					quoteLabel(code), quoteLabel(route), codes[code])
+			}
+		}
+	}
+	writeHistFamily(b, "gcao_http_request_seconds",
+		"HTTP request latency in seconds, by route.", "route", lat)
+}
+
+// writeServerFamilies renders the scrape-time serving gauges and the
+// per-outcome scheduler job counter.
+func writeServerFamilies(b *strings.Builder, st ServerStats) {
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, formatValue(v))
+	}
+	gauge("gcao_http_inflight", "HTTP requests currently being served.", float64(st.HTTPInflight))
+	gauge("gcao_queue_depth", "Jobs waiting in the scheduler admission queue.", float64(st.QueueDepth))
+	gauge("gcao_queue_capacity", "Admission queue capacity.", float64(st.QueueCapacity))
+	gauge("gcao_jobs_active", "Jobs currently running on scheduler workers.", float64(st.ActiveJobs))
+	gauge("gcao_pool_workers", "Scheduler worker goroutines.", float64(st.Workers))
+	gauge("gcao_job_avg_service_seconds", "EWMA of per-job service time in seconds.", st.AvgServiceSeconds)
+	if len(st.JobOutcomes) > 0 {
+		outcomes := make(map[string]int64, len(st.JobOutcomes))
+		for k, v := range st.JobOutcomes {
+			outcomes[k] = v
+		}
+		writeScalarFamily(b, "gcao_sched_jobs_total", "counter",
+			"Scheduler jobs by final outcome.", "outcome", outcomes)
+	}
+}

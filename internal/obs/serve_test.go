@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	// Uniform-ish fill: 4 obs in (0,1], 4 in (1,2], 4 in (2,4].
+	for i := 0; i < 4; i++ {
+		h.Observe(0.5)
+		h.Observe(1.5)
+		h.Observe(3)
+	}
+	// Rank 6 of 12 lands at the end of the (1,2] bucket's first half.
+	if got := h.Quantile(0.5); got < 1 || got > 2 {
+		t.Fatalf("p50 = %v, want within (1,2]", got)
+	}
+	if got := h.Quantile(0.99); got < 2 || got > 4 {
+		t.Fatalf("p99 = %v, want within (2,4]", got)
+	}
+	// Quantiles are monotone in q.
+	if h.Quantile(0.25) > h.Quantile(0.75) {
+		t.Fatal("quantiles not monotone")
+	}
+	// Overflow observations clamp to the largest finite bound.
+	h2 := NewHistogram([]float64{1})
+	h2.Observe(100)
+	if got := h2.Quantile(0.9); got != 1 {
+		t.Fatalf("overflow quantile = %v, want 1", got)
+	}
+	// Empty and nil histograms report 0.
+	if NewHistogram([]float64{1}).Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram quantile != 0")
+	}
+	// Out-of-range q is clamped, not NaN.
+	if v := h.Quantile(-1); math.IsNaN(v) {
+		t.Fatal("q<0 produced NaN")
+	}
+	if v := h.Quantile(2); math.IsNaN(v) {
+		t.Fatal("q>1 produced NaN")
+	}
+}
+
+// TestRegistryREDFamilies pins the serving-layer exposition: the
+// two-label request counter, the per-route latency histogram, the
+// queue-wait histogram and the build-info sample all render as valid
+// scrapeable text.
+func TestRegistryREDFamilies(t *testing.T) {
+	g := NewRegistry()
+	g.SetBuildInfo("v1.2.3-test")
+	g.ObserveHTTP("/compile", 200, 0.010)
+	g.ObserveHTTP("/compile", 200, 0.020)
+	g.ObserveHTTP("/compile", 429, 0.0001)
+	g.ObserveHTTP("/metrics", 200, 0.001)
+	g.ObserveQueueWait(0.005)
+	g.ObserveQueueWait(0.100)
+
+	var buf bytes.Buffer
+	if err := g.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if err := CheckPromText(buf.Bytes()); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		`gcao_build_info{version="v1.2.3-test"} 1`,
+		`gcao_http_requests_total{code="200",route="/compile"} 2`,
+		`gcao_http_requests_total{code="429",route="/compile"} 1`,
+		`gcao_http_requests_total{code="200",route="/metrics"} 1`,
+		`gcao_http_request_seconds_count{route="/compile"} 3`,
+		`gcao_http_request_seconds_bucket{route="/compile",le="+Inf"} 3`,
+		`gcao_queue_wait_seconds_count{pool="compile"} 2`,
+		`# TYPE gcao_http_requests_total counter`,
+		`# TYPE gcao_http_request_seconds histogram`,
+		`# TYPE gcao_queue_wait_seconds histogram`,
+		`# TYPE gcao_build_info gauge`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+	// Determinism: a second render is byte-identical.
+	var buf2 bytes.Buffer
+	if err := g.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatal("exposition not deterministic")
+	}
+	// Clearing the build info removes the family.
+	g.SetBuildInfo("")
+	buf.Reset()
+	g.WritePrometheus(&buf)
+	if strings.Contains(buf.String(), "gcao_build_info") {
+		t.Fatal("build info rendered after clearing")
+	}
+}
+
+func TestRegistryServerStatsFamilies(t *testing.T) {
+	g := NewRegistry()
+	g.Absorb(nil, "ok")
+	var buf bytes.Buffer
+	g.WritePrometheus(&buf)
+	if strings.Contains(buf.String(), "gcao_http_inflight") {
+		t.Fatal("server families rendered without a callback")
+	}
+	g.SetServerStatsFunc(func() ServerStats {
+		return ServerStats{
+			HTTPInflight: 2, QueueDepth: 3, QueueCapacity: 64,
+			ActiveJobs: 4, Workers: 8, AvgServiceSeconds: 0.0125,
+			JobOutcomes: map[string]int64{"completed": 10, "rejected": 1, "expired": 2},
+		}
+	})
+	buf.Reset()
+	if err := g.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if err := CheckPromText(buf.Bytes()); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"gcao_http_inflight 2",
+		"gcao_queue_depth 3",
+		"gcao_queue_capacity 64",
+		"gcao_jobs_active 4",
+		"gcao_pool_workers 8",
+		"gcao_job_avg_service_seconds 0.0125",
+		`gcao_sched_jobs_total{outcome="completed"} 10`,
+		`gcao_sched_jobs_total{outcome="rejected"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+	g.SetServerStatsFunc(nil)
+	buf.Reset()
+	g.WritePrometheus(&buf)
+	if strings.Contains(buf.String(), "gcao_http_inflight") {
+		t.Fatal("server families rendered after unregistering")
+	}
+}
+
+func TestHTTPRouteStatsAndCodeTotals(t *testing.T) {
+	g := NewRegistry()
+	for i := 0; i < 100; i++ {
+		g.ObserveHTTP("/compile", 200, 0.004)
+	}
+	g.ObserveHTTP("/compile", 500, 2.0)
+	g.ObserveHTTP("/metrics", 200, 0.0002)
+
+	stats := g.HTTPRouteStats()
+	if len(stats) != 2 || stats[0].Route != "/compile" || stats[1].Route != "/metrics" {
+		t.Fatalf("route stats = %+v", stats)
+	}
+	c := stats[0]
+	if c.Count != 101 {
+		t.Fatalf("/compile count = %d", c.Count)
+	}
+	if c.P50ms <= 0 || c.P50ms > 10 {
+		t.Fatalf("/compile p50 = %vms, want small", c.P50ms)
+	}
+	if c.P99ms < c.P50ms {
+		t.Fatalf("p99 %v < p50 %v", c.P99ms, c.P50ms)
+	}
+	totals := g.HTTPCodeTotals()
+	if totals["200"] != 101 || totals["500"] != 1 {
+		t.Fatalf("code totals = %v", totals)
+	}
+	// Nil-safety.
+	var nilG *Registry
+	nilG.ObserveHTTP("/x", 200, 1)
+	nilG.ObserveQueueWait(1)
+	nilG.SetBuildInfo("x")
+	nilG.SetServerStatsFunc(nil)
+	if nilG.HTTPRouteStats() != nil || nilG.HTTPCodeTotals() != nil || nilG.QueueWaitQuantile(0.5) != 0 {
+		t.Fatal("nil registry not inert")
+	}
+}
+
+// TestRegistryREDConcurrent exercises the new write paths under
+// concurrent scrapes (run with -race).
+func TestRegistryREDConcurrent(t *testing.T) {
+	g := NewRegistry()
+	g.SetBuildInfo("race")
+	g.SetServerStatsFunc(func() ServerStats { return ServerStats{Workers: 1} })
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				g.ObserveHTTP("/compile", 200, 0.001)
+				g.ObserveQueueWait(0.0001)
+				if i%10 == 0 {
+					var buf bytes.Buffer
+					g.WritePrometheus(&buf)
+					g.HTTPRouteStats()
+					g.HTTPCodeTotals()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := g.HTTPCodeTotals()["200"]; got != 800 {
+		t.Fatalf("code totals = %d, want 800", got)
+	}
+}

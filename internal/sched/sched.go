@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrQueueFull is returned by Submit when the admission queue has no
@@ -38,6 +39,7 @@ type job struct {
 	ctx context.Context
 	fn  Task
 	out chan result // buffered: workers never block delivering
+	enq time.Time   // admission time, for the queue-wait ledger
 }
 
 // Pool is a fixed set of workers fed from a bounded admission queue.
@@ -59,6 +61,15 @@ type Pool struct {
 	completed atomic.Int64
 	failed    atomic.Int64
 	expired   atomic.Int64
+
+	// avgServiceNS is an EWMA of per-job run time (α = 1/8), the
+	// basis of queue-drain estimates like the HTTP layer's derived
+	// Retry-After.
+	avgServiceNS atomic.Int64
+	// onQueueWait, when set, observes every job's admission→dequeue
+	// wait (including jobs that expired in the queue — that wait is
+	// exactly the signal a saturation ledger needs).
+	onQueueWait func(time.Duration)
 }
 
 // New starts a pool of workers fed from an admission queue of the
@@ -98,6 +109,9 @@ func (p *Pool) worker() {
 }
 
 func (p *Pool) run(j *job) {
+	if p.onQueueWait != nil {
+		p.onQueueWait(time.Since(j.enq))
+	}
 	// A job whose caller already gave up (queue wait exceeded the
 	// deadline) is skipped rather than run.
 	if err := j.ctx.Err(); err != nil {
@@ -106,7 +120,9 @@ func (p *Pool) run(j *job) {
 		return
 	}
 	p.active.Add(1)
+	start := time.Now()
 	v, err := j.fn(j.ctx)
+	p.observeService(time.Since(start))
 	p.active.Add(-1)
 	if err != nil {
 		p.failed.Add(1)
@@ -116,13 +132,53 @@ func (p *Pool) run(j *job) {
 	j.out <- result{v, err}
 }
 
+// observeService folds one job's run time into the service-time EWMA.
+func (p *Pool) observeService(d time.Duration) {
+	for {
+		old := p.avgServiceNS.Load()
+		next := int64(d)
+		if old > 0 {
+			next = old + (int64(d)-old)/8
+		}
+		if p.avgServiceNS.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// SetQueueWaitObserver registers a callback receiving every job's
+// queue wait (admission to dequeue). Set it before the pool serves
+// traffic; the callback must be safe for concurrent use.
+func (p *Pool) SetQueueWaitObserver(fn func(time.Duration)) {
+	p.onQueueWait = fn
+}
+
+// AvgService returns the EWMA of per-job run time (0 before the
+// first job completes).
+func (p *Pool) AvgService() time.Duration {
+	return time.Duration(p.avgServiceNS.Load())
+}
+
+// EstimateDrain estimates how long the current backlog (queued plus
+// running jobs) will take to clear: backlog × average service time
+// spread over the workers. It returns 0 until a service time has
+// been observed.
+func (p *Pool) EstimateDrain() time.Duration {
+	avg := p.avgServiceNS.Load()
+	if avg <= 0 {
+		return 0
+	}
+	backlog := p.queued.Load() + p.active.Load()
+	return time.Duration(backlog * avg / int64(p.workers))
+}
+
 // Submit enqueues one task and waits for its result. It returns
 // ErrQueueFull immediately when the admission queue is full, ErrClosed
 // after Close, and the context's error if the deadline expires first
 // (the task itself is then skipped or keeps running to completion in
 // the background — its result is discarded).
 func (p *Pool) Submit(ctx context.Context, fn Task) (any, error) {
-	j := &job{ctx: ctx, fn: fn, out: make(chan result, 1)}
+	j := &job{ctx: ctx, fn: fn, out: make(chan result, 1), enq: time.Now()}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -217,19 +273,22 @@ type Stats struct {
 	Completed  int64 `json:"completed"`
 	Failed     int64 `json:"failed"`
 	Expired    int64 `json:"expired"`
+	// AvgServiceUS is the EWMA of per-job run time in microseconds.
+	AvgServiceUS int64 `json:"avg_service_us"`
 }
 
 // Stats snapshots the pool's occupancy and lifetime counters.
 func (p *Pool) Stats() Stats {
 	return Stats{
-		Workers:    p.workers,
-		QueueDepth: p.depth,
-		Queued:     p.queued.Load(),
-		Active:     p.active.Load(),
-		Submitted:  p.submitted.Load(),
-		Rejected:   p.rejected.Load(),
-		Completed:  p.completed.Load(),
-		Failed:     p.failed.Load(),
-		Expired:    p.expired.Load(),
+		Workers:      p.workers,
+		QueueDepth:   p.depth,
+		Queued:       p.queued.Load(),
+		Active:       p.active.Load(),
+		Submitted:    p.submitted.Load(),
+		Rejected:     p.rejected.Load(),
+		Completed:    p.completed.Load(),
+		Failed:       p.failed.Load(),
+		Expired:      p.expired.Load(),
+		AvgServiceUS: p.AvgService().Microseconds(),
 	}
 }

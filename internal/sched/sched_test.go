@@ -274,3 +274,98 @@ func TestPoolHammer(t *testing.T) {
 		t.Fatalf("lost submissions: %d + %d != 800", ok.Load(), rejected.Load())
 	}
 }
+
+// TestQueueWaitObserver pins the queue-wait ledger: every dequeued
+// job reports its admission→dequeue wait, including a job held behind
+// a busy worker.
+func TestQueueWaitObserver(t *testing.T) {
+	p := New(1, 2)
+	defer p.Close()
+	var mu sync.Mutex
+	var waits []time.Duration
+	p.SetQueueWaitObserver(func(d time.Duration) {
+		mu.Lock()
+		waits = append(waits, d)
+		mu.Unlock()
+	})
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.Submit(context.Background(), func(context.Context) (any, error) {
+			close(started)
+			<-block
+			return nil, nil
+		})
+	}()
+	<-started
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.Submit(context.Background(), func(context.Context) (any, error) { return nil, nil })
+	}()
+	for i := 0; p.Stats().Queued != 1; i++ {
+		if i > 5000 {
+			t.Fatal("second job never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond) // let the queued job accrue wait
+	close(block)
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(waits) != 2 {
+		t.Fatalf("observed %d waits, want 2", len(waits))
+	}
+	// The second job waited behind the blocked worker for >= 20ms.
+	var max time.Duration
+	for _, d := range waits {
+		if d < 0 {
+			t.Fatalf("negative wait %v", d)
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if max < 20*time.Millisecond {
+		t.Fatalf("max queue wait %v, want >= 20ms", max)
+	}
+}
+
+// TestAvgServiceEWMA pins the service-time estimate used for derived
+// Retry-After: it converges toward the observed job duration and
+// EstimateDrain scales with the backlog.
+func TestAvgServiceEWMA(t *testing.T) {
+	p := New(1, 8)
+	defer p.Close()
+	if p.AvgService() != 0 || p.EstimateDrain() != 0 {
+		t.Fatal("fresh pool reports a service time")
+	}
+	for i := 0; i < 8; i++ {
+		p.Submit(context.Background(), func(context.Context) (any, error) {
+			time.Sleep(5 * time.Millisecond)
+			return nil, nil
+		})
+	}
+	avg := p.AvgService()
+	if avg < 4*time.Millisecond || avg > 100*time.Millisecond {
+		t.Fatalf("avg service %v, want around 5ms", avg)
+	}
+	if p.Stats().AvgServiceUS < 4000 {
+		t.Fatalf("stats avg_service_us = %d", p.Stats().AvgServiceUS)
+	}
+	// With an idle pool the drain estimate is zero; it grows with the
+	// backlog (checked synthetically to stay deterministic).
+	if got := p.EstimateDrain(); got != 0 {
+		t.Fatalf("idle drain estimate = %v", got)
+	}
+	p.queued.Store(6)
+	want := time.Duration(6 * p.avgServiceNS.Load())
+	if got := p.EstimateDrain(); got != want {
+		t.Fatalf("drain estimate = %v, want %v", got, want)
+	}
+	p.queued.Store(0)
+}
