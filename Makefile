@@ -3,7 +3,11 @@ GO ?= go
 # benchgate baseline file; override to pin a checked-in baseline.
 BENCH_BASELINE ?= BENCH_baseline.json
 
-.PHONY: all build test vet fmt-check race check benchgate attr-smoke obs-smoke
+# optimality-gap history store; the checked-in seed makes the first CI
+# run compare against a real prior revision.
+GAP_HISTORY ?= ci/bench-history.jsonl
+
+.PHONY: all build test vet fmt-check race check benchgate gapreport attr-smoke obs-smoke
 
 all: build
 
@@ -36,6 +40,16 @@ benchgate:
 		$(GO) run ./cmd/runbench -out "$(BENCH_BASELINE)"; \
 	fi
 	$(GO) run ./cmd/runbench -compare "$(BENCH_BASELINE)" -tolerance 0.05
+
+# gapreport appends this revision's sweep to the bench-history store,
+# renders the optimality-gap dashboard (terminal + HTML artifact), and
+# fails if any benchmark's gap ratio regressed past tolerance vs the
+# previous recorded revision. Gates on gap_ratio only — byte counts
+# over the analytic model are arch-deterministic where seconds aren't.
+gapreport:
+	@mkdir -p out
+	$(GO) run ./cmd/runbench -history "$(GAP_HISTORY)"
+	$(GO) run ./cmd/gcaoreport -history "$(GAP_HISTORY)" -check -html out/gap-dashboard.html
 
 # attr-smoke proves the cost-attribution path end to end: compile and
 # simulate one benchmark with -blame and a Chrome trace, assert the

@@ -37,6 +37,11 @@ type liveDoc struct {
 	QueueWaitP50ms float64              `json:"queue_wait_p50_ms"`
 	QueueWaitP99ms float64              `json:"queue_wait_p99_ms"`
 	Flight         reqtrace.FlightStats `json:"flight"`
+	// GapRatio aggregates estimated traffic over the communication
+	// lower bound across the benchmark×version pairs this daemon has
+	// compiled; GapPoints counts those pairs (0 until one is measured).
+	GapRatio  float64 `json:"gap_ratio"`
+	GapPoints int     `json:"gap_points"`
 }
 
 // liveSnapshot assembles one liveDoc. prevTotal is the previous
@@ -62,6 +67,7 @@ func (s *server) liveSnapshot(prevTotal int64, dt time.Duration) (liveDoc, int64
 		QueueWaitP99ms: s.reg.QueueWaitQuantile(0.99) * 1e3,
 		Flight:         s.flight.Stats(),
 	}
+	doc.GapRatio, doc.GapPoints = s.reg.AggregateGap()
 	if lookups := cache.Compile.Hits + cache.Compile.Misses; lookups > 0 {
 		doc.CacheHitRate = float64(cache.Compile.Hits) / float64(lookups)
 	}

@@ -460,8 +460,11 @@ func (s *server) compile(id string, rec *obs.Recorder, req compileRequest, root 
 			CPUSeconds: cost.CPU, NetSeconds: cost.Net,
 			Messages: cost.Messages, Bytes: cost.Bytes,
 		}
-		// Estimate-only requests still feed the bytes-moved histogram.
+		// Estimate-only requests still feed the bytes-moved histogram
+		// and the optimality-gap gauges.
 		s.reg.ObserveBytes(strategy.String(), cost.Bytes)
+		s.reg.SetOptimalityGap(c.Analysis.Unit.Routine.Name, strategy.String(),
+			c.LowerBound().TotalBytes, cost.Bytes)
 	}
 	if req.Simulate {
 		root.Phase("simulate")
@@ -517,6 +520,7 @@ func (s *server) placeAll(id string, rec *obs.Recorder, req compileRequest, c *g
 		Machine:  m.Name,
 		Cache:    &cacheDoc{Compile: compOut.String()},
 	}
+	lb := c.LowerBound()
 	for i, strat := range strategies {
 		doc := versionDoc{
 			Strategy: strat.String(),
@@ -537,6 +541,8 @@ func (s *server) placeAll(id string, rec *obs.Recorder, req compileRequest, c *g
 				Messages: cost.Messages, Bytes: cost.Bytes,
 			}
 			s.reg.ObserveBytes(strat.String(), cost.Bytes)
+			s.reg.SetOptimalityGap(c.Analysis.Unit.Routine.Name, strat.String(),
+				lb.TotalBytes, cost.Bytes)
 		}
 		resp.Versions = append(resp.Versions, doc)
 	}

@@ -720,3 +720,49 @@ func TestCompileAllStrategies(t *testing.T) {
 		}
 	}
 }
+
+// TestOptimalityGapMetrics: an estimating compile publishes the
+// communication lower bound and per-version gap gauges on /metrics,
+// and the live document reports the aggregate.
+func TestOptimalityGapMetrics(t *testing.T) {
+	s, ts := testServer(t)
+	resp, _ := postCompile(t, ts, map[string]any{
+		"source":   stencilSrc,
+		"params":   map[string]int{"n": 12, "steps": 2},
+		"procs":    4,
+		"strategy": "all",
+		"estimate": true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile status = %d", resp.StatusCode)
+	}
+	mResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mResp.Body.Close()
+	text, err := io.ReadAll(mResp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.CheckPromText(text); err != nil {
+		t.Fatalf("/metrics invalid with gap families: %v", err)
+	}
+	for _, want := range []string{
+		`gcao_comm_lower_bound_bytes{benchmark="smooth"}`,
+		`gcao_optimality_gap_ratio{benchmark="smooth",version="orig"}`,
+		`gcao_optimality_gap_ratio{benchmark="smooth",version="nored"}`,
+		`gcao_optimality_gap_ratio{benchmark="smooth",version="comb"}`,
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	doc, _ := s.liveSnapshot(-1, 0)
+	if doc.GapPoints != 3 {
+		t.Fatalf("live gap points = %d, want 3 (one per version)", doc.GapPoints)
+	}
+	if doc.GapRatio < 1 {
+		t.Errorf("aggregate gap = %v, want >= 1 (actual traffic at or above the bound)", doc.GapRatio)
+	}
+}

@@ -1,0 +1,65 @@
+// gcaoreport renders a benchmark history store (internal/bench/history
+// JSONL, written by `runbench -history`) as an optimality-gap
+// dashboard: for each Fig. 10 benchmark, how far the chosen compiler
+// version's communication traffic sits above the placement-independent
+// lower bound, and how that gap has moved across revisions.
+//
+//	gcaoreport -history bench_history.jsonl            # terminal report
+//	gcaoreport -history bench_history.jsonl -html d.html
+//	gcaoreport -history bench_history.jsonl -check     # exit 1 on regression
+//
+// -check compares the newest revision's per-benchmark gap ratios
+// against the previous revision's and fails past -tolerance; gap
+// ratios are byte ratios, deterministic across architectures, so the
+// check is safe to gate CI on where wall-clock seconds would flake.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gcao/internal/bench/history"
+)
+
+func main() {
+	histPath := flag.String("history", "", "bench history JSONL store (required)")
+	version := flag.String("version", "comb", "compiler version to report: orig, nored, comb")
+	htmlOut := flag.String("html", "", "also write a single-file HTML dashboard here")
+	check := flag.Bool("check", false, "exit 1 if the newest revision regressed any benchmark's gap ratio")
+	tolerance := flag.Float64("tolerance", 0.05, "relative gap-ratio slack for -check (0.05 = 5% worse allowed)")
+	flag.Parse()
+
+	if *histPath == "" {
+		fmt.Fprintln(os.Stderr, "gcaoreport: -history is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	recs, err := history.Load(*histPath)
+	if err != nil {
+		fatal(err)
+	}
+	if len(recs) == 0 {
+		fatal(fmt.Errorf("no records in %s", *histPath))
+	}
+
+	rep := buildReport(recs, *version, *tolerance)
+	os.Stdout.WriteString(renderText(rep))
+
+	if *htmlOut != "" {
+		if err := os.WriteFile(*htmlOut, []byte(renderHTML(rep)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("gcaoreport: wrote dashboard to %s\n", *htmlOut)
+	}
+	if *check && len(rep.Regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "gcaoreport: %d gap regression(s) past %.0f%% tolerance\n",
+			len(rep.Regressions), *tolerance*100)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gcaoreport:", err)
+	os.Exit(1)
+}

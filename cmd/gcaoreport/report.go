@@ -1,0 +1,157 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"gcao/internal/bench/history"
+)
+
+// Report is the assembled dashboard model both renderers consume: the
+// per-benchmark trend series of the chosen version, the latest
+// revision's summary rows, and the regressions of the newest step.
+type Report struct {
+	Version   string
+	Tolerance float64
+	// Revs is the deduped revision axis, oldest first.
+	Revs []string
+	// Series are the per-benchmark trajectories (history.Trend order).
+	Series []history.Series
+	// Rows summarize the latest revision, one row per benchmark.
+	Rows []Row
+	// Regressions are the newest step's gap regressions past Tolerance.
+	Regressions []history.Regression
+	// AggGap/AggPct aggregate the latest revision across benchmarks
+	// (total bytes over total bound).
+	AggGap float64
+	AggPct float64
+}
+
+// Row is one benchmark's latest state.
+type Row struct {
+	Key          string
+	Bytes        float64
+	BoundBytes   float64
+	GapRatio     float64
+	PctOfOptimal float64
+	Seconds      float64
+	// PrevGap is the previous revision's gap ratio (0 when this is the
+	// first revision the benchmark appears in).
+	PrevGap float64
+	// Regressed marks the row as past tolerance vs PrevGap.
+	Regressed bool
+}
+
+func buildReport(recs []history.Record, version string, tol float64) Report {
+	rep := Report{
+		Version:     version,
+		Tolerance:   tol,
+		Series:      history.Trend(recs, version),
+		Regressions: history.Check(recs, version, tol),
+	}
+	for _, r := range history.Dedupe(recs) {
+		rep.Revs = append(rep.Revs, r.Rev)
+	}
+	regressed := map[string]bool{}
+	for _, r := range rep.Regressions {
+		regressed[r.Key] = true
+	}
+	var sumBytes, sumBound float64
+	for _, s := range rep.Series {
+		if len(s.Points) == 0 {
+			continue
+		}
+		last := s.Points[len(s.Points)-1]
+		row := Row{
+			Key: s.Key, Bytes: last.Bytes, BoundBytes: last.BoundBytes,
+			GapRatio: last.GapRatio, PctOfOptimal: last.PctOfOptimal,
+			Seconds:   last.TotalSeconds,
+			Regressed: regressed[s.Key],
+		}
+		if len(s.Points) > 1 {
+			row.PrevGap = s.Points[len(s.Points)-2].GapRatio
+		}
+		rep.Rows = append(rep.Rows, row)
+		sumBytes += last.Bytes
+		sumBound += last.BoundBytes
+	}
+	if sumBound > 0 {
+		rep.AggGap = sumBytes / sumBound
+	}
+	if sumBytes > 0 {
+		rep.AggPct = sumBound / sumBytes * 100
+	}
+	return rep
+}
+
+// renderText is the terminal dashboard: the latest revision's gap
+// table, the per-benchmark gap trend across revisions, and the
+// regression verdict.
+func renderText(rep Report) string {
+	var b strings.Builder
+	latest := "?"
+	if len(rep.Revs) > 0 {
+		latest = rep.Revs[len(rep.Revs)-1]
+	}
+	fmt.Fprintf(&b, "optimality gap · version %s · %d revision(s) · latest %s\n",
+		rep.Version, len(rep.Revs), latest)
+	fmt.Fprintf(&b, "aggregate: %.2fx the communication lower bound (%.1f%% of optimal)\n\n",
+		rep.AggGap, rep.AggPct)
+
+	fmt.Fprintf(&b, "  %-24s %12s %12s %8s %8s %10s  %s\n",
+		"benchmark", "bytes", "bound", "gap", "%opt", "prev gap", "")
+	for _, r := range rep.Rows {
+		flag := ""
+		if r.Regressed {
+			flag = "!! regressed"
+		}
+		prev := "-"
+		if r.PrevGap > 0 {
+			prev = fmt.Sprintf("%.2fx", r.PrevGap)
+		}
+		fmt.Fprintf(&b, "  %-24s %12s %12s %7.2fx %7.1f%% %10s  %s\n",
+			r.Key, fmtBytes(r.Bytes), fmtBytes(r.BoundBytes),
+			r.GapRatio, r.PctOfOptimal, prev, flag)
+	}
+
+	b.WriteString("\ngap-ratio trend (oldest -> newest):\n")
+	for _, s := range rep.Series {
+		var steps []string
+		for _, p := range s.Points {
+			steps = append(steps, fmt.Sprintf("%s %.2fx", p.Rev, p.GapRatio))
+		}
+		fmt.Fprintf(&b, "  %-24s %s\n", s.Key, strings.Join(steps, " -> "))
+	}
+	b.WriteString("\nwall-time trend (estimated seconds, oldest -> newest):\n")
+	for _, s := range rep.Series {
+		var steps []string
+		for _, p := range s.Points {
+			steps = append(steps, fmt.Sprintf("%s %.3gs", p.Rev, p.TotalSeconds))
+		}
+		fmt.Fprintf(&b, "  %-24s %s\n", s.Key, strings.Join(steps, " -> "))
+	}
+
+	if len(rep.Regressions) > 0 {
+		fmt.Fprintf(&b, "\n%d regression(s) past %.0f%% tolerance:\n", len(rep.Regressions), rep.Tolerance*100)
+		for _, r := range rep.Regressions {
+			b.WriteString("  !! " + r.String() + "\n")
+		}
+	} else if len(rep.Revs) > 1 {
+		fmt.Fprintf(&b, "\nno gap regressions past %.0f%% tolerance\n", rep.Tolerance*100)
+	}
+	return b.String()
+}
+
+// fmtBytes renders a byte count compactly (1.2 KB, 3.4 MB).
+func fmtBytes(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2f GB", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2f MB", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1f KB", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f B", v)
+	}
+}

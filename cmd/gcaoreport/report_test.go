@@ -1,0 +1,167 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gcao/internal/bench"
+	"gcao/internal/bench/history"
+)
+
+// sweep fabricates one revision's result: two benchmarks whose comb
+// traffic is the given bytes against a fixed bound of 100 each.
+func sweep(rev string, shallowBytes, gravityBytes float64) bench.BenchResult {
+	mk := func(chart, b, routine, ver string, bytes float64) bench.BenchEntry {
+		return bench.BenchEntry{
+			Chart: chart, Bench: b, Routine: routine, Machine: "SP2",
+			Procs: 16, N: 512, Version: ver,
+			RawCPU: 1.0, RawNet: bytes / 1e6,
+			Messages: 10, Bytes: bytes, StaticGroups: 3,
+			BoundBytes: 100, GapRatio: bytes / 100,
+		}
+	}
+	return bench.BenchResult{Rev: rev, Entries: []bench.BenchEntry{
+		mk("b", "shallow", "main", "orig", 4*shallowBytes),
+		mk("b", "shallow", "main", "comb", shallowBytes),
+		mk("c", "gravity", "main", "orig", 4*gravityBytes),
+		mk("c", "gravity", "main", "comb", gravityBytes),
+	}}
+}
+
+// buildHistory writes three revisions where gravity regresses 60% in
+// the last step while shallow keeps improving.
+func buildHistory(t *testing.T) []history.Record {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "h.jsonl")
+	steps := []struct {
+		rev              string
+		shallow, gravity float64
+	}{
+		{"aaa1111", 400, 300},
+		{"bbb2222", 350, 250},
+		{"ccc3333", 320, 400}, // gravity regresses: 2.5x -> 4.0x
+	}
+	for i, s := range steps {
+		if _, err := history.Append(path, s.rev, int64(i)*1000, sweep(s.rev, s.shallow, s.gravity)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := history.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestReportFlagsInjectedRegression(t *testing.T) {
+	rep := buildReport(buildHistory(t), "comb", 0.05)
+	if len(rep.Revs) != 3 {
+		t.Fatalf("revs = %v", rep.Revs)
+	}
+	if len(rep.Regressions) != 1 || rep.Regressions[0].Key != "c/gravity@SP2" {
+		t.Fatalf("regressions = %v, want the injected gravity one", rep.Regressions)
+	}
+	var gravity, shallow *Row
+	for i := range rep.Rows {
+		switch rep.Rows[i].Key {
+		case "c/gravity@SP2":
+			gravity = &rep.Rows[i]
+		case "b/shallow@SP2":
+			shallow = &rep.Rows[i]
+		}
+	}
+	if gravity == nil || shallow == nil {
+		t.Fatalf("rows = %+v", rep.Rows)
+	}
+	if !gravity.Regressed || shallow.Regressed {
+		t.Fatalf("flags wrong: gravity %v shallow %v", gravity.Regressed, shallow.Regressed)
+	}
+	if gravity.GapRatio != 4 || gravity.PrevGap != 2.5 {
+		t.Fatalf("gravity gap %v prev %v, want 4 and 2.5", gravity.GapRatio, gravity.PrevGap)
+	}
+	if shallow.PctOfOptimal != 100.0/320*100 {
+		t.Fatalf("shallow pct = %v", shallow.PctOfOptimal)
+	}
+}
+
+func TestRenderTextTable(t *testing.T) {
+	out := renderText(buildReport(buildHistory(t), "comb", 0.05))
+	for _, want := range []string{
+		"b/shallow@SP2",
+		"c/gravity@SP2",
+		"!! regressed",
+		"aaa1111 4.00x -> bbb2222 3.50x -> ccc3333 3.20x", // shallow gap trend
+		"1 regression(s) past 5% tolerance",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("terminal report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTextNoRegression(t *testing.T) {
+	recs := buildHistory(t)[:2] // drop the regressing revision
+	out := renderText(buildReport(recs, "comb", 0.05))
+	if strings.Contains(out, "regressed") {
+		t.Errorf("clean history reports a regression:\n%s", out)
+	}
+	if !strings.Contains(out, "no gap regressions") {
+		t.Errorf("clean verdict missing:\n%s", out)
+	}
+}
+
+func TestRenderHTMLDashboard(t *testing.T) {
+	html := renderHTML(buildReport(buildHistory(t), "comb", 0.05))
+	for _, want := range []string{
+		"<!doctype html>",
+		"b/shallow@SP2",
+		"c/gravity@SP2",
+		"regressed",                  // the flagged row
+		"data-kind=\"pct\"",          // %-of-optimal panels
+		"data-kind=\"time\"",         // wall-time panels
+		"ccc3333",                    // revision axis
+		"Data table",                 // the no-hover twin
+		"prefers-color-scheme: dark", // selected dark mode
+		"<script>",                   // hover layer
+		"aria-label",                 // panels are labeled
+		"benchmark(s) regressed",     // banner
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+	// The revision label is attacker-ish data (git config): it must be
+	// escaped on the way into the document.
+	recs := buildHistory(t)
+	recs[2].Rev = "<img src=x>"
+	recs[2].Result.Rev = recs[2].Rev
+	html = renderHTML(buildReport(recs, "comb", 0.05))
+	if strings.Contains(html, "<img src=x>") {
+		t.Error("unescaped revision label in HTML")
+	}
+}
+
+func TestRenderHTMLSingleRevision(t *testing.T) {
+	recs := buildHistory(t)[:1]
+	html := renderHTML(buildReport(recs, "comb", 0.05))
+	if !strings.Contains(html, "b/shallow@SP2") {
+		t.Error("single-revision dashboard missing benchmark")
+	}
+	if strings.Contains(html, "class=\"series\"") {
+		t.Error("one point should draw no line path")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ts := niceTicks(100)
+	if ts[0] != 0 || ts[len(ts)-1] < 100 {
+		t.Fatalf("ticks for 100 = %v", ts)
+	}
+	if len(ts) < 3 || len(ts) > 7 {
+		t.Fatalf("tick count %d out of range: %v", len(ts), ts)
+	}
+	if got := niceTicks(0); len(got) != 2 {
+		t.Fatalf("ticks for 0 = %v", got)
+	}
+}

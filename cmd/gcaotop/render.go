@@ -41,6 +41,8 @@ type snapshot struct {
 		SlowRetained int   `json:"slow_retained"`
 		ThresholdUS  int64 `json:"threshold_us"`
 	} `json:"flight"`
+	GapRatio  float64 `json:"gap_ratio"`
+	GapPoints int     `json:"gap_points"`
 }
 
 func parseSnapshot(data []byte) (snapshot, error) {
@@ -64,6 +66,10 @@ func render(s snapshot) string {
 	fmt.Fprintf(&b, "cache  hit %.1f%%   flight %d recent / %d slow (threshold %s)\n",
 		s.CacheHitRate*100, s.Flight.Recent, s.Flight.SlowRetained,
 		time.Duration(s.Flight.ThresholdUS)*time.Microsecond)
+	if s.GapPoints > 0 {
+		fmt.Fprintf(&b, "gap    %.2fx the communication lower bound over %d benchmark×version pair(s)\n",
+			s.GapRatio, s.GapPoints)
+	}
 	if len(s.Codes) > 0 {
 		codes := make([]string, 0, len(s.Codes))
 		for c := range s.Codes {

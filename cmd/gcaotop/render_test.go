@@ -20,7 +20,8 @@ const fixture = `{
   "scheduler": {"workers": 4, "queue_depth": 64, "queued": 3, "active": 4,
     "rejected": 2, "expired": 1, "avg_service_us": 1500},
   "queue_wait_p50_ms": 0.4, "queue_wait_p99_ms": 7.1,
-  "flight": {"recent": 120, "slow_retained": 5, "threshold_us": 500000}
+  "flight": {"recent": 120, "slow_retained": 5, "threshold_us": 500000},
+  "gap_ratio": 3.21, "gap_points": 6
 }`
 
 func TestRenderSnapshot(t *testing.T) {
@@ -43,6 +44,8 @@ func TestRenderSnapshot(t *testing.T) {
 		"/compile",
 		"9.50",
 		"/metrics",
+		"gap    3.21x",
+		"6 benchmark×version pair(s)",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q:\n%s", want, out)
@@ -58,6 +61,9 @@ func TestRenderEmptySnapshot(t *testing.T) {
 	out := render(snap)
 	if !strings.Contains(out, "req/s") {
 		t.Fatalf("empty snapshot render broken:\n%s", out)
+	}
+	if strings.Contains(out, "lower bound") {
+		t.Errorf("gap line shown with no measured pairs:\n%s", out)
 	}
 }
 

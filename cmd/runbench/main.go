@@ -18,18 +18,23 @@
 // result (per-benchmark, per-compiler-version normalized times and
 // message/byte counts); -compare <baseline.json> re-runs the sweep and
 // exits nonzero if any metric regressed past -tolerance. `make
-// benchgate` wires the two together.
+// benchgate` wires the two together. -history <file> additionally
+// appends the sweep to an append-only JSONL store that `gcaoreport`
+// renders as the optimality-gap dashboard.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
 	"runtime/debug"
 	"strings"
+	"time"
 
 	"gcao/internal/bench"
+	"gcao/internal/bench/history"
 	"gcao/internal/core"
 	"gcao/internal/machine"
 	"gcao/internal/obs"
@@ -47,7 +52,8 @@ func main() {
 	out := flag.String("out", "", "write the benchmark sweep as machine-readable JSON and exit")
 	compare := flag.String("compare", "", "re-run the sweep and compare against a baseline JSON; exit 1 on regression")
 	tolerance := flag.Float64("tolerance", 0.05, "relative slack for -compare (0.05 = 5% worse allowed)")
-	rev := flag.String("rev", "", "revision label for -out (default: VCS revision from build info, else \"dev\")")
+	rev := flag.String("rev", "", "revision label for -out/-history (default: git rev-parse --short HEAD, else VCS revision from build info, else \"dev\")")
+	historyOut := flag.String("history", "", "append the sweep to this JSONL bench-history store (see cmd/gcaoreport)")
 	cacheDemoFlag := flag.Bool("cache-demo", false, "measure cold vs warm compile+place latency through the compilation cache and exit")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker pool width for the sweep; 1 forces the sequential path (output is identical either way)")
 	flag.Parse()
@@ -56,8 +62,8 @@ func main() {
 		cacheDemo()
 		return
 	}
-	if *out != "" || *compare != "" {
-		gate(*out, *compare, *tolerance, *rev, *jobs)
+	if *out != "" || *compare != "" || *historyOut != "" {
+		gate(*out, *compare, *historyOut, *tolerance, *rev, *jobs)
 		return
 	}
 
@@ -148,10 +154,11 @@ func main() {
 }
 
 // gate is the regression-gate mode: collect the deterministic analytic
-// sweep, optionally write it, optionally compare it against a baseline.
-func gate(out, compare string, tolerance float64, rev string, jobs int) {
+// sweep, optionally write it, optionally compare it against a
+// baseline, optionally append it to a JSONL history store.
+func gate(out, compare, historyOut string, tolerance float64, rev string, jobs int) {
 	if rev == "" {
-		rev = buildRevision()
+		rev = detectRevision()
 	}
 	res, err := bench.CollectBenchResultParallel(rev, runtime.Version(), jobs)
 	if err != nil {
@@ -169,6 +176,14 @@ func gate(out, compare string, tolerance float64, rev string, jobs int) {
 			fatal(err)
 		}
 		fmt.Printf("runbench: wrote %d entries (rev %s) to %s\n", len(res.Entries), res.Rev, out)
+	}
+	if historyOut != "" {
+		recTime := time.Now().UnixNano()
+		record, err := history.Append(historyOut, res.Rev, recTime, res)
+		if err != nil {
+			fatal(fmt.Errorf("appending history: %w", err))
+		}
+		fmt.Printf("runbench: appended seq %d (rev %s) to %s\n", record.Seq, record.Rev, historyOut)
 	}
 	if compare != "" {
 		f, err := os.Open(compare)
@@ -192,6 +207,21 @@ func gate(out, compare string, tolerance float64, rev string, jobs int) {
 		fmt.Printf("runbench: %d entries within %.0f%% of %s (rev %s)\n",
 			len(res.Entries), tolerance*100, compare, baseline.Rev)
 	}
+}
+
+// detectRevision labels the sweep with the working tree's revision:
+// `git rev-parse --short HEAD` when run inside a checkout (the usual
+// case — `go run` binaries carry no VCS stamp), else the revision
+// stamped into the binary.
+func detectRevision() string {
+	cmd := exec.Command("git", "rev-parse", "--short", "HEAD")
+	cmd.Stderr = nil
+	if out, err := cmd.Output(); err == nil {
+		if rev := strings.TrimSpace(string(out)); rev != "" {
+			return rev
+		}
+	}
+	return buildRevision()
 }
 
 // buildRevision pulls the VCS revision stamped into the binary, if any.

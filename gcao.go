@@ -29,6 +29,7 @@ import (
 	"io"
 
 	"gcao/internal/core"
+	"gcao/internal/core/bound"
 	"gcao/internal/inline"
 	"gcao/internal/machine"
 	"gcao/internal/obs"
@@ -318,6 +319,50 @@ func (c *Compilation) placeObs(s Strategy, opt PlacementOptions, rec *Recorder) 
 		return nil, err
 	}
 	return &Placed{Compilation: c, Result: res}, nil
+}
+
+// CommLowerBound re-exports the placement-independent communication
+// lower bound: the bytes any placement of the compilation must move,
+// derived from the analysis alone (package bound documents the
+// derivation and its deliberate looseness).
+type CommLowerBound = bound.Bound
+
+// LowerBound computes the compilation's communication lower bound.
+// The bound is placement-independent: it holds for every strategy,
+// every option set, and the exhaustive optimal search alike, so
+// actual-traffic/bound is a placement's optimality-gap ratio.
+func (c *Compilation) LowerBound() CommLowerBound {
+	return bound.Compute(c.Analysis)
+}
+
+// OptimalityGap relates a placement's traffic to the compilation's
+// communication lower bound.
+type OptimalityGap struct {
+	// BoundBytes is the placement-independent floor; ActualBytes the
+	// analytic estimate of this placement's traffic on the machine.
+	BoundBytes  float64 `json:"bound_bytes"`
+	ActualBytes float64 `json:"actual_bytes"`
+	// Ratio is ActualBytes/BoundBytes (0 when the bound is zero);
+	// PctOfOptimal is BoundBytes/ActualBytes as a percentage, 100
+	// meaning provably optimal.
+	Ratio        float64 `json:"ratio"`
+	PctOfOptimal float64 `json:"pct_of_optimal"`
+}
+
+// OptimalityGap estimates the placement's traffic under the machine
+// model and relates it to the communication lower bound.
+func (p *Placed) OptimalityGap(m Machine) (OptimalityGap, error) {
+	cost, err := p.Estimate(m)
+	if err != nil {
+		return OptimalityGap{}, err
+	}
+	b := bound.Compute(p.Compilation.Analysis)
+	return OptimalityGap{
+		BoundBytes:   b.TotalBytes,
+		ActualBytes:  cost.Bytes,
+		Ratio:        b.Gap(cost.Bytes),
+		PctOfOptimal: b.PctOfOptimal(cost.Bytes),
+	}, nil
 }
 
 // Placed is a routine with chosen communication placements.

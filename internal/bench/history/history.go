@@ -1,0 +1,345 @@
+// Package history is the persistent benchmark-history store: an
+// append-only JSONL file in which each line is one full benchmark
+// sweep (a bench.BenchResult) stamped with the git revision it ran at
+// and a monotonic sequence number. The format is chosen for
+// durability under the failure it actually meets — a process killed
+// mid-append — so Load tolerates a truncated final line (the store
+// self-repairs on the next Append) while corruption anywhere else is
+// reported as the error it is.
+package history
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"gcao/internal/bench"
+)
+
+// Record is one line of the store: a benchmark sweep pinned to a
+// revision and ordered by a per-file monotonic sequence.
+type Record struct {
+	// Seq orders records within one store file; Append assigns
+	// max(existing)+1 so ordering survives even when revisions repeat
+	// or clocks go backwards.
+	Seq int `json:"seq"`
+	// Rev is the git revision (or other label) the sweep ran at.
+	Rev string `json:"rev"`
+	// UnixNS is the caller-supplied wall-clock stamp of the run.
+	UnixNS int64 `json:"unix_ns"`
+	// Result is the full sweep document.
+	Result bench.BenchResult `json:"result"`
+}
+
+// Load reads every intact record of a store file in sequence order. A
+// missing file is an empty history, not an error. A truncated final
+// line — the telltale of a killed append — is dropped with no error;
+// garbage anywhere before the final line fails loudly, because that is
+// real corruption no append could have caused.
+func Load(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return read(f, path)
+}
+
+func read(r io.Reader, path string) ([]Record, error) {
+	var recs []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<28)
+	lineNo := 0
+	var pendingErr error // a bad line is only forgivable if it is last
+	var pendingLine int
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if pendingErr != nil {
+			return nil, fmt.Errorf("history: %s:%d: %w", path, pendingLine, pendingErr)
+		}
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			pendingErr, pendingLine = err, lineNo
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("history: %s: %w", path, err)
+	}
+	// pendingErr still set here means the malformed line was the final
+	// one: a truncated append, silently dropped.
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+	return recs, nil
+}
+
+// Append adds one sweep to the store, creating the file if needed, and
+// assigns Seq = max(existing)+1. If the file's last append was cut off
+// mid-line (no trailing newline, or a truncated record), appending
+// blindly would bury the broken fragment mid-file where Load rightly
+// refuses to forgive it — so Append instead rewrites the store from
+// the intact records plus the new one, via an atomic rename.
+func Append(path string, rev string, unixNS int64, result bench.BenchResult) (Record, error) {
+	recs, err := Load(path)
+	if err != nil {
+		return Record{}, err
+	}
+	maxSeq := 0
+	for _, r := range recs {
+		if r.Seq > maxSeq {
+			maxSeq = r.Seq
+		}
+	}
+	rec := Record{Seq: maxSeq + 1, Rev: rev, UnixNS: unixNS, Result: result}
+
+	damaged, err := tailDamaged(path)
+	if err != nil {
+		return Record{}, err
+	}
+	if damaged {
+		// Rewrite from the intact records: atomic replace via rename so
+		// a second crash cannot make things worse.
+		tmp := path + ".tmp"
+		f, err := os.Create(tmp)
+		if err != nil {
+			return Record{}, err
+		}
+		for _, r := range append(recs, rec) {
+			if err := writeRecord(f, r); err != nil {
+				f.Close()
+				os.Remove(tmp)
+				return Record{}, err
+			}
+		}
+		if err := f.Close(); err != nil {
+			os.Remove(tmp)
+			return Record{}, err
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			return Record{}, err
+		}
+		return rec, nil
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return Record{}, err
+	}
+	if err := writeRecord(f, rec); err != nil {
+		f.Close()
+		return Record{}, err
+	}
+	return rec, f.Close()
+}
+
+func writeRecord(w io.Writer, r Record) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// tailDamaged reports whether the file ends mid-record: either the
+// final byte is not a newline, or the final line is not valid JSON.
+func tailDamaged(path string) (bool, error) {
+	b, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	if len(b) == 0 {
+		return false, nil
+	}
+	if b[len(b)-1] != '\n' {
+		return true, nil
+	}
+	lines := bytes.Split(bytes.TrimRight(b, "\n"), []byte("\n"))
+	last := bytes.TrimSpace(lines[len(lines)-1])
+	if len(last) == 0 {
+		return false, nil
+	}
+	var rec Record
+	return json.Unmarshal(last, &rec) != nil, nil
+}
+
+// Dedupe collapses repeated revisions — re-runs of one commit — to the
+// latest record of each rev (highest Seq wins), preserving sequence
+// order among the survivors.
+func Dedupe(recs []Record) []Record {
+	best := map[string]Record{}
+	for _, r := range recs {
+		if prev, ok := best[r.Rev]; !ok || r.Seq > prev.Seq {
+			best[r.Rev] = r
+		}
+	}
+	out := make([]Record, 0, len(best))
+	for _, r := range best {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Latest returns the newest record (highest Seq), or false on an empty
+// history.
+func Latest(recs []Record) (Record, bool) {
+	if len(recs) == 0 {
+		return Record{}, false
+	}
+	best := recs[0]
+	for _, r := range recs[1:] {
+		if r.Seq > best.Seq {
+			best = r
+		}
+	}
+	return best, true
+}
+
+// Point is one revision's aggregate of one benchmark series.
+type Point struct {
+	Rev          string  `json:"rev"`
+	Seq          int     `json:"seq"`
+	UnixNS       int64   `json:"unix_ns"`
+	Bytes        float64 `json:"bytes"`
+	BoundBytes   float64 `json:"bound_bytes"`
+	GapRatio     float64 `json:"gap_ratio"`
+	PctOfOptimal float64 `json:"pct_of_optimal"`
+	TotalSeconds float64 `json:"total_seconds"`
+}
+
+// Series is one benchmark's trajectory across revisions for a fixed
+// compiler version: the per-revision traffic, bound, gap and time,
+// summed over the benchmark's problem sizes.
+type Series struct {
+	// Key identifies the benchmark: "chart/bench@machine".
+	Key    string  `json:"key"`
+	Points []Point `json:"points"`
+}
+
+// Trend aggregates a history into per-benchmark series for one
+// compiler version ("orig", "nored", "comb"). Duplicate revisions are
+// deduped (latest run of a rev wins); within a record, entries of one
+// benchmark are summed over problem sizes so each revision is a single
+// point per series.
+func Trend(recs []Record, version string) []Series {
+	recs = Dedupe(recs)
+	type agg struct {
+		bytes, bound, seconds float64
+	}
+	byKey := map[string][]Point{}
+	var order []string
+	for _, rec := range recs {
+		sums := map[string]*agg{}
+		for _, e := range rec.Result.Entries {
+			if e.Version != version {
+				continue
+			}
+			k := seriesKey(e)
+			a := sums[k]
+			if a == nil {
+				a = &agg{}
+				sums[k] = a
+				if _, seen := byKey[k]; !seen && !contains(order, k) {
+					order = append(order, k)
+				}
+			}
+			a.bytes += e.Bytes
+			a.bound += e.BoundBytes
+			a.seconds += e.RawTotal()
+		}
+		for k, a := range sums {
+			p := Point{
+				Rev: rec.Rev, Seq: rec.Seq, UnixNS: rec.UnixNS,
+				Bytes: a.bytes, BoundBytes: a.bound,
+				TotalSeconds: a.seconds,
+			}
+			if a.bound > 0 {
+				p.GapRatio = a.bytes / a.bound
+			}
+			switch {
+			case a.bytes > 0:
+				p.PctOfOptimal = a.bound / a.bytes * 100
+			case a.bound <= 0:
+				p.PctOfOptimal = 100
+			}
+			byKey[k] = append(byKey[k], p)
+		}
+	}
+	sort.Strings(order)
+	out := make([]Series, 0, len(order))
+	for _, k := range order {
+		out = append(out, Series{Key: k, Points: byKey[k]})
+	}
+	return out
+}
+
+func seriesKey(e bench.BenchEntry) string {
+	return e.Chart + "/" + e.Bench + "@" + e.Machine
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Regression is one series whose newest revision's gap ratio got worse
+// than the previous revision's by more than the tolerance.
+type Regression struct {
+	Key     string  `json:"key"`
+	PrevRev string  `json:"prev_rev"`
+	CurRev  string  `json:"cur_rev"`
+	Prev    float64 `json:"prev_gap"`
+	Cur     float64 `json:"cur_gap"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: gap %.3f (rev %s) -> %.3f (rev %s), %.1f%% worse",
+		r.Key, r.Prev, r.PrevRev, r.Cur, r.CurRev, (r.Cur/r.Prev-1)*100)
+}
+
+// Check compares the newest record's gap ratios against the previous
+// record's, per series, and reports every series that regressed past
+// the relative tolerance. Histories with fewer than two (deduped)
+// revisions have nothing to compare and pass vacuously. Gap ratios are
+// arch-deterministic (byte counts over byte counts), so Check is safe
+// to gate CI on where wall-clock seconds would flake.
+func Check(recs []Record, version string, tol float64) []Regression {
+	var regs []Regression
+	for _, s := range Trend(recs, version) {
+		if len(s.Points) < 2 {
+			continue
+		}
+		prev, cur := s.Points[len(s.Points)-2], s.Points[len(s.Points)-1]
+		if prev.GapRatio <= 0 {
+			continue // no measurable baseline gap
+		}
+		if cur.GapRatio > prev.GapRatio*(1+tol) {
+			regs = append(regs, Regression{
+				Key: s.Key, PrevRev: prev.Rev, CurRev: cur.Rev,
+				Prev: prev.GapRatio, Cur: cur.GapRatio,
+			})
+		}
+	}
+	return regs
+}

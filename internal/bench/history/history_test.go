@@ -1,0 +1,252 @@
+package history
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gcao/internal/bench"
+)
+
+// sweep fabricates a small BenchResult whose comb entry has the given
+// bytes against a fixed bound of 100, so the gap ratio is bytes/100.
+func sweep(rev string, bytes float64) bench.BenchResult {
+	mk := func(version string, b float64) bench.BenchEntry {
+		return bench.BenchEntry{
+			Chart: "b", Bench: "shallow", Routine: "main",
+			Machine: "SP2", Procs: 16, N: 512, Version: version,
+			RawCPU: 1.0, RawNet: b / 1e6,
+			Messages: 10, Bytes: b, StaticGroups: 3,
+			BoundBytes: 100, GapRatio: b / 100,
+		}
+	}
+	return bench.BenchResult{
+		Rev:     rev,
+		Entries: []bench.BenchEntry{mk("orig", 4*bytes), mk("nored", 2*bytes), mk("comb", bytes)},
+	}
+}
+
+func tmpStore(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "history.jsonl")
+}
+
+func TestLoadMissingFileIsEmpty(t *testing.T) {
+	recs, err := Load(filepath.Join(t.TempDir(), "nope.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("got %d records from a missing file", len(recs))
+	}
+}
+
+func TestAppendLoadRoundTrip(t *testing.T) {
+	path := tmpStore(t)
+	r1, err := Append(path, "aaa1111", 1000, sweep("aaa1111", 400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Append(path, "bbb2222", 2000, sweep("bbb2222", 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Seq != 1 || r2.Seq != 2 {
+		t.Fatalf("seqs = %d, %d, want 1, 2", r1.Seq, r2.Seq)
+	}
+	recs, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Rev != "aaa1111" || recs[1].Rev != "bbb2222" {
+		t.Fatalf("round trip lost data: %+v", recs)
+	}
+	if got := recs[1].Result.Entries[2].GapRatio; got != 3 {
+		t.Fatalf("comb gap ratio = %v, want 3", got)
+	}
+}
+
+// TestTruncatedLastLine kills an append mid-write: the final line is
+// cut off. Load must drop exactly that line, silently.
+func TestTruncatedLastLine(t *testing.T) {
+	path := tmpStore(t)
+	if _, err := Append(path, "aaa1111", 1000, sweep("aaa1111", 400)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Append(path, "bbb2222", 2000, sweep("bbb2222", 300)); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-37], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Load(path)
+	if err != nil {
+		t.Fatalf("truncated tail must be forgiven, got %v", err)
+	}
+	if len(recs) != 1 || recs[0].Rev != "aaa1111" {
+		t.Fatalf("want the one intact record, got %+v", recs)
+	}
+}
+
+// TestMidFileCorruptionFails: garbage before the final line is real
+// corruption, not a torn append, and must be an error.
+func TestMidFileCorruptionFails(t *testing.T) {
+	// Build the damage by hand — Append itself refuses to bury a torn
+	// tail, so a store with mid-file garbage can only come from outside.
+	path := tmpStore(t)
+	good := tmpStore(t)
+	if _, err := Append(good, "aaa1111", 1000, sweep("aaa1111", 400)); err != nil {
+		t.Fatal(err)
+	}
+	line, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := append(append([]byte{}, line...), []byte("{\"seq\": not json\n")...)
+	corrupt = append(corrupt, line...)
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("mid-file garbage loaded without error")
+	}
+}
+
+// TestAppendAfterTruncation: Append onto a torn tail must repair the
+// store, not bury the fragment mid-file.
+func TestAppendAfterTruncation(t *testing.T) {
+	path := tmpStore(t)
+	if _, err := Append(path, "aaa1111", 1000, sweep("aaa1111", 400)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Append(path, "bbb2222", 2000, sweep("bbb2222", 300)); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-41], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Append(path, "ccc3333", 3000, sweep("ccc3333", 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq != 2 {
+		t.Fatalf("seq after losing record 2 = %d, want 2", rec.Seq)
+	}
+	recs, err := Load(path)
+	if err != nil {
+		t.Fatalf("store not repaired: %v", err)
+	}
+	if len(recs) != 2 || recs[0].Rev != "aaa1111" || recs[1].Rev != "ccc3333" {
+		t.Fatalf("repaired store = %+v", recs)
+	}
+	raw, _ := os.ReadFile(path)
+	if strings.Contains(string(raw[:len(raw)-1]), "bbb2222") {
+		t.Fatal("torn fragment still buried in the store")
+	}
+}
+
+// TestDuplicateRev: re-running one commit keeps only the latest run.
+func TestDuplicateRev(t *testing.T) {
+	path := tmpStore(t)
+	for i, bytes := range []float64{400, 300, 350} {
+		rev := "aaa1111"
+		if i == 1 {
+			rev = "bbb2222"
+		}
+		if _, err := Append(path, rev, int64(i)*1000, sweep(rev, bytes)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd := Dedupe(recs)
+	if len(dd) != 2 {
+		t.Fatalf("deduped to %d records, want 2", len(dd))
+	}
+	// The aaa1111 re-run (seq 3, bytes 350) must win and order by seq:
+	// bbb2222 (seq 2) first, then aaa1111 (seq 3).
+	if dd[0].Rev != "bbb2222" || dd[1].Rev != "aaa1111" || dd[1].Seq != 3 {
+		t.Fatalf("dedupe order = %+v", dd)
+	}
+	if got := dd[1].Result.Entries[2].Bytes; got != 350 {
+		t.Fatalf("kept run has bytes %v, want the re-run's 350", got)
+	}
+}
+
+func TestTrendAndCheck(t *testing.T) {
+	path := tmpStore(t)
+	for i, bytes := range []float64{400, 300} {
+		rev := []string{"aaa1111", "bbb2222"}[i]
+		if _, err := Append(path, rev, int64(i)*1000, sweep(rev, bytes)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := Trend(recs, "comb")
+	if len(series) != 1 || series[0].Key != "b/shallow@SP2" {
+		t.Fatalf("series = %+v", series)
+	}
+	pts := series[0].Points
+	if len(pts) != 2 {
+		t.Fatalf("points = %+v", pts)
+	}
+	if pts[0].GapRatio != 4 || pts[1].GapRatio != 3 {
+		t.Fatalf("gap ratios = %v, %v, want 4, 3", pts[0].GapRatio, pts[1].GapRatio)
+	}
+	if math.Abs(pts[1].PctOfOptimal-100.0/3) > 1e-9 {
+		t.Fatalf("pct of optimal = %v", pts[1].PctOfOptimal)
+	}
+	// 400 -> 300 improved: no regression.
+	if regs := Check(recs, "comb", 0.05); len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", regs)
+	}
+	// Inject a regression: a third revision with 60% more traffic.
+	if _, err := Append(path, "ccc3333", 3000, sweep("ccc3333", 480)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := Check(recs, "comb", 0.05)
+	if len(regs) != 1 {
+		t.Fatalf("injected regression not flagged: %v", regs)
+	}
+	r := regs[0]
+	if r.Key != "b/shallow@SP2" || r.Prev != 3 || r.Cur != 4.8 || r.CurRev != "ccc3333" {
+		t.Fatalf("regression = %+v", r)
+	}
+	// Within tolerance passes.
+	if regs := Check(recs, "comb", 0.65); len(regs) != 0 {
+		t.Fatalf("tolerant check still flags: %v", regs)
+	}
+}
+
+func TestCheckSingleRevisionPasses(t *testing.T) {
+	path := tmpStore(t)
+	if _, err := Append(path, "aaa1111", 1000, sweep("aaa1111", 400)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := Check(recs, "comb", 0.05); len(regs) != 0 {
+		t.Fatalf("one-revision history flagged: %v", regs)
+	}
+}

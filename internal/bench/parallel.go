@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"gcao/internal/core"
+	"gcao/internal/core/bound"
 	"gcao/internal/machine"
 	"gcao/internal/sched"
 	"gcao/internal/spmd"
@@ -31,8 +32,9 @@ type verCost struct {
 
 // sweepCosts computes costs[specIdx][sizeIdx][versionIdx] for the
 // given chart specs over a pool of the given width (workers <= 1 runs
-// on a single pool worker, which is the sequential order).
-func sweepCosts(specs []Chart, workers int) ([][][]verCost, error) {
+// on a single pool worker, which is the sequential order). bounds is
+// the per-point communication lower bound, shared by every version.
+func sweepCosts(specs []Chart, workers int) (costs [][][]verCost, bounds [][]float64, err error) {
 	type point struct {
 		spec, size int
 		m          machine.Machine
@@ -44,11 +46,11 @@ func sweepCosts(specs []Chart, workers int) ([][][]verCost, error) {
 		spec := &specs[si]
 		m, err := machine.ByName(spec.Machine)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		pr, err := ByName(spec.Bench, spec.Routines[0])
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		for ni := range spec.Sizes {
 			points = append(points, &point{spec: si, size: ni, m: m, pr: pr})
@@ -72,9 +74,19 @@ func sweepCosts(specs []Chart, workers int) ([][][]verCost, error) {
 	for _, r := range pool.Batch(ctx, compileTasks) {
 		if r.Err != nil {
 			pt := points[r.Index]
-			return nil, fmt.Errorf("bench: compiling %s n=%d: %w", pt.pr.Bench, specs[pt.spec].Sizes[pt.size], r.Err)
+			return nil, nil, fmt.Errorf("bench: compiling %s n=%d: %w", pt.pr.Bench, specs[pt.spec].Sizes[pt.size], r.Err)
 		}
 		points[r.Index].a = r.Value.(*core.Analysis)
+	}
+
+	// The lower bound is per point (placement-independent), cheap to
+	// derive, and needed before version placement results assemble.
+	bounds = make([][]float64, len(specs))
+	for si := range specs {
+		bounds[si] = make([]float64, len(specs[si].Sizes))
+	}
+	for _, pt := range points {
+		bounds[pt.spec][pt.size] = bound.Compute(pt.a).TotalBytes
 	}
 
 	// Stage 2: place and estimate every version of every point.
@@ -98,22 +110,22 @@ func sweepCosts(specs []Chart, workers int) ([][][]verCost, error) {
 	}
 	verResults := pool.Batch(ctx, verTasks)
 
-	out := make([][][]verCost, len(specs))
+	costs = make([][][]verCost, len(specs))
 	for si := range specs {
-		out[si] = make([][]verCost, len(specs[si].Sizes))
-		for ni := range out[si] {
-			out[si][ni] = make([]verCost, len(sweepVersions))
+		costs[si] = make([][]verCost, len(specs[si].Sizes))
+		for ni := range costs[si] {
+			costs[si][ni] = make([]verCost, len(sweepVersions))
 		}
 	}
 	for i, r := range verResults {
 		pt := points[i/len(sweepVersions)]
 		if r.Err != nil {
-			return nil, fmt.Errorf("bench: placing %s n=%d %s: %w",
+			return nil, nil, fmt.Errorf("bench: placing %s n=%d %s: %w",
 				pt.pr.Bench, specs[pt.spec].Sizes[pt.size], sweepVersions[i%len(sweepVersions)], r.Err)
 		}
-		out[pt.spec][pt.size][i%len(sweepVersions)] = r.Value.(verCost)
+		costs[pt.spec][pt.size][i%len(sweepVersions)] = r.Value.(verCost)
 	}
-	return out, nil
+	return costs, bounds, nil
 }
 
 // normBars converts one point's raw costs into the normalized bars of
@@ -145,7 +157,7 @@ func RunCharts(specs []Chart, workers int) ([]Chart, error) {
 		}
 		return out, nil
 	}
-	costs, err := sweepCosts(specs, workers)
+	costs, _, err := sweepCosts(specs, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -176,7 +188,7 @@ func CollectBenchResultParallel(rev, goVersion string, workers int) (BenchResult
 		return CollectBenchResult(rev, goVersion)
 	}
 	specs := ChartSpecs()
-	costs, err := sweepCosts(specs, workers)
+	costs, bounds, err := sweepCosts(specs, workers)
 	if err != nil {
 		return BenchResult{}, err
 	}
@@ -197,9 +209,20 @@ func CollectBenchResultParallel(rev, goVersion string, workers int) (BenchResult
 					RawCPU: c.CPU, RawNet: c.Net,
 					Messages: c.Messages, Bytes: c.Bytes,
 					StaticGroups: costs[si][ni][vi].static,
+					BoundBytes:   bounds[si][ni],
+					GapRatio:     gapOf(bounds[si][ni], c.Bytes),
 				})
 			}
 		}
 	}
 	return out, nil
+}
+
+// gapOf is Bound.Gap without rebuilding the struct: actual/bound, or 0
+// when the bound is zero.
+func gapOf(boundBytes, actualBytes float64) float64 {
+	if boundBytes <= 0 {
+		return 0
+	}
+	return actualBytes / boundBytes
 }

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"gcao/internal/core"
+	"gcao/internal/core/bound"
 	"gcao/internal/machine"
 	"gcao/internal/spmd"
 )
@@ -35,6 +36,25 @@ type BenchEntry struct {
 	Messages     float64 `json:"messages"`
 	Bytes        float64 `json:"bytes"`
 	StaticGroups int     `json:"static_groups"`
+	// BoundBytes is the placement-independent communication lower bound
+	// of the compiled point (internal/core/bound); it is the same for
+	// every version of one (chart, size). GapRatio is Bytes/BoundBytes —
+	// how many times the provable floor this version moves — or 0 when
+	// the bound itself is zero (no gap measurable).
+	BoundBytes float64 `json:"bound_bytes"`
+	GapRatio   float64 `json:"gap_ratio"`
+}
+
+// PctOfOptimal is BoundBytes/Bytes as a percentage: 100 means the
+// version provably moves the minimum possible traffic.
+func (e BenchEntry) PctOfOptimal() float64 {
+	if e.Bytes <= 0 {
+		if e.BoundBytes <= 0 {
+			return 100
+		}
+		return 0
+	}
+	return e.BoundBytes / e.Bytes * 100
 }
 
 // Key identifies the entry across runs.
@@ -75,6 +95,7 @@ func CollectBenchResult(rev, goVersion string) (BenchResult, error) {
 			if err != nil {
 				return BenchResult{}, err
 			}
+			lb := bound.Compute(a)
 			var base float64
 			for i, v := range versions {
 				res, err := a.Place(core.Options{Version: v})
@@ -99,6 +120,8 @@ func CollectBenchResult(rev, goVersion string) (BenchResult, error) {
 					RawCPU: cost.CPU, RawNet: cost.Net,
 					Messages: cost.Messages, Bytes: cost.Bytes,
 					StaticGroups: res.TotalMessages(),
+					BoundBytes:   lb.TotalBytes,
+					GapRatio:     lb.Gap(cost.Bytes),
 				})
 			}
 		}
@@ -177,6 +200,11 @@ func CompareBenchResults(base, cur BenchResult, tol float64) []Regression {
 		check("messages", b.Messages, c.Messages, 0)
 		check("bytes", b.Bytes, c.Bytes, 0)
 		check("static_groups", float64(b.StaticGroups), float64(c.StaticGroups), 0)
+		// Gap ratio only gates when the baseline recorded one: baselines
+		// written before the lower bound existed decode to zero here.
+		if b.GapRatio > 0 {
+			check("gap_ratio", b.GapRatio, c.GapRatio, 0)
+		}
 	}
 	sort.Slice(regs, func(i, j int) bool {
 		if regs[i].Key != regs[j].Key {

@@ -29,6 +29,8 @@ import (
 //	gcao_comm_bytes{version}            histogram of bytes moved per compile
 //	gcao_superstep_hrelation_bytes{version}  histogram of per-superstep h-relations
 //	gcao_site_comm_bytes_total{site}    counter of simulated bytes per placement site
+//	gcao_comm_lower_bound_bytes{benchmark}  gauge, the routine's communication lower bound
+//	gcao_optimality_gap_ratio{benchmark,version}  gauge, traffic over the lower bound
 //	gcao_build_info{version}            constant 1, the build identity
 //	gcao_http_requests_total{route,code}  counter of served HTTP requests
 //	gcao_http_request_seconds{route}    histogram of HTTP request latency
@@ -53,6 +55,12 @@ type Registry struct {
 	siteBytes  map[string]int64
 	cacheStats func() []CacheTierStats
 
+	// Optimality-gap state: the per-benchmark communication lower
+	// bound and, per (benchmark, version), the latest observed traffic
+	// against it. Gauges, not counters — each compile overwrites.
+	gapBound  map[string]float64
+	gapActual map[string]map[string]float64 // benchmark -> version -> bytes
+
 	// Serving-layer state (see serve.go): RED metrics per route,
 	// scheduler queue-wait ledger, build identity, and the live
 	// gauges callback.
@@ -74,6 +82,8 @@ func NewRegistry() *Registry {
 		bytes:     map[string]*Histogram{},
 		hrel:      map[string]*Histogram{},
 		siteBytes: map[string]int64{},
+		gapBound:  map[string]float64{},
+		gapActual: map[string]map[string]float64{},
 		httpReq:   map[string]map[string]int64{},
 		httpLat:   map[string]*Histogram{},
 		queueWait: NewHistogram(LatencyBuckets),
@@ -144,6 +154,57 @@ func (g *Registry) ObserveBytes(version string, bytes float64) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.histLocked(g.bytes, version, BytesBuckets).Observe(bytes)
+}
+
+// SetOptimalityGap records a compile's communication lower bound and
+// the traffic one compiler version actually produced against it. The
+// gap ratio (actual/bound) is exported as
+// gcao_optimality_gap_ratio{benchmark,version}; the bound itself as
+// gcao_comm_lower_bound_bytes{benchmark}. A non-positive bound is
+// recorded (the bound gauge is honest about "nothing provably moves")
+// but yields no gap sample — the ratio would be meaningless.
+func (g *Registry) SetOptimalityGap(benchmark, version string, boundBytes, actualBytes float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.gapBound[benchmark] = boundBytes
+	byVer := g.gapActual[benchmark]
+	if byVer == nil {
+		byVer = map[string]float64{}
+		g.gapActual[benchmark] = byVer
+	}
+	byVer[version] = actualBytes
+}
+
+// AggregateGap sums the registry's latest per-(benchmark, version)
+// traffic against the matching lower bounds: the daemon-wide "how many
+// times the floor are we moving" number the ops view shows. points is
+// the number of (benchmark, version) samples with a measurable bound;
+// zero points means no gap is known yet.
+func (g *Registry) AggregateGap() (ratio float64, points int) {
+	if g == nil {
+		return 0, 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var actual, bound float64
+	for bench, byVer := range g.gapActual {
+		b := g.gapBound[bench]
+		if b <= 0 {
+			continue
+		}
+		for _, a := range byVer {
+			actual += a
+			bound += b
+			points++
+		}
+	}
+	if bound <= 0 {
+		return 0, 0
+	}
+	return actual / bound, points
 }
 
 // histLocked returns (allocating on demand) the labeled histogram of a
@@ -218,6 +279,8 @@ type registrySnapshot struct {
 	bytes     map[string]*Histogram
 	hrel      map[string]*Histogram
 	siteBytes map[string]int64
+	gapBound  map[string]float64
+	gapRatio  map[string]map[string]float64
 	httpReq   map[string]map[string]int64
 	httpLat   map[string]*Histogram
 	queueWait *Histogram
@@ -240,6 +303,21 @@ func (g *Registry) snapshot() registrySnapshot {
 	for route, codes := range g.httpReq {
 		httpReq[route] = copyMap(codes)
 	}
+	// Gap ratios are derived at snapshot time from the stored bound and
+	// actual bytes, so the exposition always reflects one consistent
+	// (bound, actual) pair.
+	gapRatio := make(map[string]map[string]float64, len(g.gapActual))
+	for bench, byVer := range g.gapActual {
+		b := g.gapBound[bench]
+		if b <= 0 {
+			continue
+		}
+		out := make(map[string]float64, len(byVer))
+		for ver, a := range byVer {
+			out[ver] = a / b
+		}
+		gapRatio[bench] = out
+	}
 	return registrySnapshot{
 		req:       copyMap(g.requests),
 		ctr:       copyMap(g.counters),
@@ -249,6 +327,8 @@ func (g *Registry) snapshot() registrySnapshot {
 		bytes:     cloneHists(g.bytes),
 		hrel:      cloneHists(g.hrel),
 		siteBytes: copyMap(g.siteBytes),
+		gapBound:  copyMap(g.gapBound),
+		gapRatio:  gapRatio,
 		httpReq:   httpReq,
 		httpLat:   cloneHists(g.httpLat),
 		queueWait: g.queueWait.clone(),
@@ -304,6 +384,11 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 		"Per-superstep h-relation size in bytes (max in/out per processor), by compiler version.", "version", snap.hrel)
 	writeScalarFamily(&b, "gcao_site_comm_bytes_total", "counter",
 		"Simulated communication bytes attributed to each placement site.", "site", snap.siteBytes)
+	writeScalarFamily(&b, "gcao_comm_lower_bound_bytes", "gauge",
+		"Placement-independent communication lower bound of the last compile, by routine.", "benchmark", snap.gapBound)
+	writeTwoLabelFamily(&b, "gcao_optimality_gap_ratio", "gauge",
+		"Latest traffic over the communication lower bound, by routine and compiler version.",
+		"benchmark", "version", snap.gapRatio)
 	if statsFn != nil {
 		writeCacheFamilies(&b, statsFn())
 	}
@@ -355,6 +440,26 @@ func writeScalarFamily[V int64 | float64](b *strings.Builder, name, typ, help, l
 	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
 	for _, k := range sortedKeys(samples) {
 		fmt.Fprintf(b, "%s{%s=%s} %s\n", name, label, quoteLabel(k), formatValue(float64(samples[k])))
+	}
+}
+
+// writeTwoLabelFamily renders a family whose samples carry two labels,
+// both in sorted order (outer, then inner), so the exposition stays
+// byte-deterministic.
+func writeTwoLabelFamily(b *strings.Builder, name, typ, help, outer, inner string, samples map[string]map[string]float64) {
+	n := 0
+	for _, m := range samples {
+		n += len(m)
+	}
+	if n == 0 {
+		return
+	}
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	for _, k1 := range sortedKeys(samples) {
+		for _, k2 := range sortedKeys(samples[k1]) {
+			fmt.Fprintf(b, "%s{%s=%s,%s=%s} %s\n",
+				name, outer, quoteLabel(k1), inner, quoteLabel(k2), formatValue(samples[k1][k2]))
+		}
 	}
 }
 
