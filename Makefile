@@ -7,7 +7,7 @@ BENCH_BASELINE ?= BENCH_baseline.json
 # run compare against a real prior revision.
 GAP_HISTORY ?= ci/bench-history.jsonl
 
-.PHONY: all build test vet fmt-check race check benchgate gapreport attr-smoke obs-smoke
+.PHONY: all build test vet fmt-check race check benchgate gapreport attr-smoke obs-smoke native-smoke
 
 all: build
 
@@ -113,3 +113,17 @@ obs-smoke:
 	$(GO) test ./cmd/gcaod -run 'TestFlightRecorderResolvesCompile|TestLiveSSE|TestTraceparentRoundTrip' -count=1
 	$(GO) test ./cmd/gcaotop -count=1
 	@echo "obs-smoke: ok (live snapshot at out/obs-live.json)"
+
+# native-smoke proves the native execution backend end to end: compile
+# the shallow benchmark, run it as real goroutines, verify bit-for-bit
+# against the BSP simulator from the command line, then run the
+# exhaustive native-vs-simulator matrix and the oversubscription
+# regression test.
+native-smoke:
+	@mkdir -p out
+	$(GO) run ./cmd/runbench -functional -backend native -fig b | tee out/native-smoke.txt
+	@grep -q 'native ok, bit-identical to simulator' out/native-smoke.txt || { echo "native-smoke: no native verification line"; exit 1; }
+	@n=$$(grep -c 'native ok, bit-identical to simulator' out/native-smoke.txt); \
+	[ "$$n" -ge 6 ] || { echo "native-smoke: only $$n of 6 benchmarks verified"; exit 1; }
+	$(GO) test ./internal/native -run 'TestNativeMatchesSimulator|TestNativeOversubscription' -count=1
+	@echo "native-smoke: ok"

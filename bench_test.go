@@ -19,6 +19,7 @@ import (
 	"gcao/internal/bench"
 	"gcao/internal/core"
 	"gcao/internal/machine"
+	"gcao/internal/native"
 	"gcao/internal/spmd"
 )
 
@@ -428,4 +429,40 @@ func BenchmarkParallelSimulation(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkNativeExecution measures the native goroutine backend on
+// the same hot point BenchmarkParallelSimulation uses — gravity,
+// procs=25, n=250 (short: 48) — one goroutine per logical processor
+// with placed communication realized as channel transfers. Compare
+// against BenchmarkParallelSimulation's sub-benchmarks to see real
+// execution against modeled simulation on identical placements.
+func BenchmarkNativeExecution(b *testing.B) {
+	n := 250
+	if testing.Short() {
+		n = 48
+	}
+	pr, err := bench.ByName("gravity", "main")
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := pr.Compile(n, 25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := a.Place(core.Options{Version: core.VersionCombine})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var msgs int64
+	for i := 0; i < b.N; i++ {
+		out, err := native.Run(res, 25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs = out.Stats.Messages
+	}
+	b.ReportMetric(float64(msgs), "messages")
 }

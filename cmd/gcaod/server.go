@@ -203,6 +203,11 @@ type compileRequest struct {
 	// program) and fills the communication profile.
 	Estimate bool `json:"estimate,omitempty"`
 	Simulate bool `json:"simulate,omitempty"`
+	// Backend selects how Simulate executes the program: "sim" (the
+	// default BSP simulator) or "native", which additionally runs the
+	// placement as real goroutines and reports the measured wall clock
+	// and message traffic.
+	Backend string `json:"backend,omitempty"`
 }
 
 // compileResponse is the POST /compile result: the placement report,
@@ -217,6 +222,7 @@ type compileResponse struct {
 	Cache    *cacheDoc      `json:"cache,omitempty"`
 	Estimate *estimateDoc   `json:"estimate,omitempty"`
 	Simulate *simulateDoc   `json:"simulate,omitempty"`
+	Native   *nativeDoc     `json:"native,omitempty"`
 	// Versions holds the per-strategy reports of a strategy:"all"
 	// request, in orig, nored, comb order.
 	Versions []versionDoc   `json:"versions,omitempty"`
@@ -251,6 +257,16 @@ type simulateDoc struct {
 	DynMessages int   `json:"dyn_messages"`
 	BytesMoved  int64 `json:"bytes_moved"`
 	Barriers    int   `json:"barriers"`
+}
+
+// nativeDoc reports a native-backend execution: measured wall clock
+// and the traffic the goroutine fleet actually moved.
+type nativeDoc struct {
+	Procs      int              `json:"procs"`
+	Seconds    float64          `json:"seconds"`
+	Messages   int64            `json:"messages"`
+	BytesMoved int64            `json:"bytes_moved"`
+	Ops        map[string]int64 `json:"ops,omitempty"`
 }
 
 func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
@@ -410,6 +426,9 @@ func (s *server) compile(id string, rec *obs.Recorder, req compileRequest, root 
 	if err != nil {
 		return nil, badRequestError{err}
 	}
+	if req.Backend != "" && req.Backend != "sim" && req.Backend != "native" {
+		return nil, badRequestError{fmt.Errorf("unknown backend %q (want sim or native)", req.Backend)}
+	}
 	cfg := gcao.Config{
 		Params: req.Params,
 		Procs:  req.Procs,
@@ -477,6 +496,21 @@ func (s *server) compile(id string, rec *obs.Recorder, req compileRequest, root 
 			DynMessages: run.Ledger.DynMessages,
 			BytesMoved:  int64(run.Ledger.BytesMoved),
 			Barriers:    run.Ledger.Barriers,
+		}
+		if req.Backend == "native" {
+			root.Phase("native.exec")
+			nat, err := placed.RunNativeObs(procs, rec)
+			if err != nil {
+				return nil, badRequestError{fmt.Errorf("native: %w", err)}
+			}
+			resp.Native = &nativeDoc{
+				Procs:      nat.Stats.Procs,
+				Seconds:    nat.Stats.ElapsedSeconds,
+				Messages:   nat.Stats.Messages,
+				BytesMoved: nat.Stats.Bytes,
+				Ops:        nat.Stats.Ops,
+			}
+			s.reg.ObserveNativeExec(strategy.String(), nat.Stats.ElapsedSeconds, nat.Stats.Messages)
 		}
 	}
 	resp.Metrics = rec.Doc()
@@ -562,6 +596,21 @@ func (s *server) placeAll(id string, rec *obs.Recorder, req compileRequest, c *g
 			DynMessages: run.Ledger.DynMessages,
 			BytesMoved:  int64(run.Ledger.BytesMoved),
 			Barriers:    run.Ledger.Barriers,
+		}
+		if req.Backend == "native" {
+			root.Phase("native.exec")
+			nat, err := outs[len(outs)-1].placed.RunNativeObs(procs, rec)
+			if err != nil {
+				return nil, badRequestError{fmt.Errorf("native: %w", err)}
+			}
+			resp.Native = &nativeDoc{
+				Procs:      nat.Stats.Procs,
+				Seconds:    nat.Stats.ElapsedSeconds,
+				Messages:   nat.Stats.Messages,
+				BytesMoved: nat.Stats.Bytes,
+				Ops:        nat.Stats.Ops,
+			}
+			s.reg.ObserveNativeExec(gcao.Combine.String(), nat.Stats.ElapsedSeconds, nat.Stats.Messages)
 		}
 	}
 	resp.Metrics = rec.Doc()

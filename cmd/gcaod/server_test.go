@@ -106,6 +106,62 @@ func TestCompileEndpoint(t *testing.T) {
 	}
 }
 
+// TestCompileNativeBackend drives the native goroutine backend through
+// the HTTP surface: backend:"native" adds the measured execution doc,
+// the native.exec phase span, and the gcao_native_* metric families.
+func TestCompileNativeBackend(t *testing.T) {
+	_, ts := testServer(t)
+	resp, out := postCompile(t, ts, map[string]any{
+		"source":   stencilSrc,
+		"params":   map[string]int{"n": 12, "steps": 2},
+		"procs":    4,
+		"strategy": "comb",
+		"simulate": true,
+		"backend":  "native",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile status = %d", resp.StatusCode)
+	}
+	if out.Native == nil || out.Native.Procs != 4 || out.Native.Messages <= 0 || out.Native.Seconds <= 0 {
+		t.Fatalf("native doc missing or implausible: %+v", out.Native)
+	}
+	if out.Native.Ops["exchange"] <= 0 {
+		t.Fatalf("native ops not counted under the listing vocabulary: %v", out.Native.Ops)
+	}
+	found := false
+	for _, sp := range out.Metrics.Spans {
+		if sp.Name == "native:comb" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no native:comb execution span in %+v", out.Metrics.Spans)
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	text, _ := io.ReadAll(mresp.Body)
+	if !strings.Contains(string(text), `gcao_native_exec_seconds_count{version="comb"} 1`) {
+		t.Fatalf("native exec histogram missing from /metrics")
+	}
+	if !strings.Contains(string(text), `gcao_native_messages_total{version="comb"}`) {
+		t.Fatalf("native message counter missing from /metrics")
+	}
+
+	// An unknown backend is a client error, not a server one.
+	bad, _ := postCompile(t, ts, map[string]any{
+		"source":  stencilSrc,
+		"params":  map[string]int{"n": 12, "steps": 2},
+		"procs":   4,
+		"backend": "mpi",
+	})
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown backend status = %d, want 400", bad.StatusCode)
+	}
+}
+
 // TestMetricsAfterCompile is the acceptance check: after one /compile,
 // GET /metrics returns parseable Prometheus text exposition containing
 // phase-latency histogram samples and placement counters.

@@ -25,6 +25,11 @@ type Report struct {
 	// (total bytes over total bound).
 	AggGap float64
 	AggPct float64
+	// NativeSeries are the native-backend wall-clock trajectories —
+	// empty for histories written before the native backend existed, in
+	// which case the native panel is skipped (same guard style as the
+	// gap_ratio baseline guard).
+	NativeSeries []history.NativeSeries
 }
 
 // Row is one benchmark's latest state.
@@ -44,10 +49,11 @@ type Row struct {
 
 func buildReport(recs []history.Record, version string, tol float64) Report {
 	rep := Report{
-		Version:     version,
-		Tolerance:   tol,
-		Series:      history.Trend(recs, version),
-		Regressions: history.Check(recs, version, tol),
+		Version:      version,
+		Tolerance:    tol,
+		Series:       history.Trend(recs, version),
+		Regressions:  history.Check(recs, version, tol),
+		NativeSeries: history.NativeTrend(recs, version),
 	}
 	for _, r := range history.Dedupe(recs) {
 		rep.Revs = append(rep.Revs, r.Rev)
@@ -129,6 +135,17 @@ func renderText(rep Report) string {
 			steps = append(steps, fmt.Sprintf("%s %.3gs", p.Rev, p.TotalSeconds))
 		}
 		fmt.Fprintf(&b, "  %-24s %s\n", s.Key, strings.Join(steps, " -> "))
+	}
+
+	if len(rep.NativeSeries) > 0 {
+		b.WriteString("\nnative wall-time trend (measured seconds, oldest -> newest):\n")
+		for _, s := range rep.NativeSeries {
+			var steps []string
+			for _, p := range s.Points {
+				steps = append(steps, fmt.Sprintf("%s %.3gs (%.2fx)", p.Rev, p.Seconds, p.SpeedupVsOrig))
+			}
+			fmt.Fprintf(&b, "  %-24s %s\n", s.Key, strings.Join(steps, " -> "))
+		}
 	}
 
 	if len(rep.Regressions) > 0 {

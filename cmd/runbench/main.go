@@ -37,6 +37,7 @@ import (
 	"gcao/internal/bench/history"
 	"gcao/internal/core"
 	"gcao/internal/machine"
+	"gcao/internal/native"
 	"gcao/internal/obs"
 	"gcao/internal/obs/attr"
 	"gcao/internal/spmd"
@@ -56,14 +57,19 @@ func main() {
 	historyOut := flag.String("history", "", "append the sweep to this JSONL bench-history store (see cmd/gcaoreport)")
 	cacheDemoFlag := flag.Bool("cache-demo", false, "measure cold vs warm compile+place latency through the compilation cache and exit")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker pool width for the sweep; 1 forces the sequential path (output is identical either way)")
+	backend := flag.String("backend", "sim", "execution backend for -functional and gate-mode measurement: sim or native")
 	flag.Parse()
+
+	if *backend != "sim" && *backend != "native" {
+		fatal(fmt.Errorf("unknown -backend %q (want sim or native)", *backend))
+	}
 
 	if *cacheDemoFlag {
 		cacheDemo()
 		return
 	}
 	if *out != "" || *compare != "" || *historyOut != "" {
-		gate(*out, *compare, *historyOut, *tolerance, *rev, *jobs)
+		gate(*out, *compare, *historyOut, *tolerance, *rev, *jobs, *backend == "native")
 		return
 	}
 
@@ -131,6 +137,17 @@ func main() {
 			}
 			fmt.Printf("  %-18s ok (%d dynamic messages, %d barriers)\n",
 				pr.Bench+"/"+pr.Routine, run.Ledger.DynMessages, run.Ledger.Barriers)
+			if *backend == "native" {
+				if err := native.VerifyAgainstSimulator(res, m, 4); err != nil {
+					fatal(fmt.Errorf("%s/%s: %w", pr.Bench, pr.Routine, err))
+				}
+				nat, err := native.Run(res, 4)
+				if err != nil {
+					fatal(fmt.Errorf("%s/%s: %w", pr.Bench, pr.Routine, err))
+				}
+				fmt.Printf("  %-18s native ok, bit-identical to simulator (%d messages, %d barriers)\n",
+					pr.Bench+"/"+pr.Routine, nat.Stats.Messages, nat.Stats.Barriers)
+			}
 			if *blame > 0 {
 				// The recorder keeps only the latest run's attribution,
 				// so the blame table prints per instance, right after
@@ -156,13 +173,23 @@ func main() {
 // gate is the regression-gate mode: collect the deterministic analytic
 // sweep, optionally write it, optionally compare it against a
 // baseline, optionally append it to a JSONL history store.
-func gate(out, compare, historyOut string, tolerance float64, rev string, jobs int) {
+func gate(out, compare, historyOut string, tolerance float64, rev string, jobs int, nativeBackend bool) {
 	if rev == "" {
 		rev = detectRevision()
 	}
 	res, err := bench.CollectBenchResultParallel(rev, runtime.Version(), jobs)
 	if err != nil {
 		fatal(err)
+	}
+	if nativeBackend {
+		res.Native, err = bench.CollectNativeResult()
+		if err != nil {
+			fatal(err)
+		}
+		for _, e := range res.Native {
+			fmt.Printf("runbench: native %-22s %.4fs (%.2fx vs orig, %d messages)\n",
+				e.Key(), e.NativeSeconds, e.SpeedupVsOrig, e.Messages)
+		}
 	}
 	if out != "" {
 		f, err := os.Create(out)

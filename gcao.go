@@ -32,6 +32,7 @@ import (
 	"gcao/internal/core/bound"
 	"gcao/internal/inline"
 	"gcao/internal/machine"
+	"gcao/internal/native"
 	"gcao/internal/obs"
 	"gcao/internal/obs/attr"
 	"gcao/internal/parser"
@@ -398,6 +399,28 @@ func (p *Placed) SimulateObs(m Machine, procs int, rec *Recorder) (*spmd.RunResu
 // model.
 func (p *Placed) Estimate(m Machine) (spmd.Cost, error) {
 	return spmd.Estimate(p.Result, m)
+}
+
+// RunNative executes the placed program for real: one goroutine per
+// logical processor, each owning its block of every distributed array,
+// with the placed communication groups realized as channel transfers.
+// The processor count must match the compilation's grid. Results are
+// bit-identical to Simulate by construction; VerifyNative enforces it.
+func (p *Placed) RunNative(procs int) (*native.RunResult, error) {
+	return native.Run(p.Result, procs)
+}
+
+// RunNativeObs is RunNative with an explicit recorder capturing the
+// run's phase span and message counters.
+func (p *Placed) RunNativeObs(procs int, rec *Recorder) (*native.RunResult, error) {
+	return native.RunObs(p.Result, procs, rec)
+}
+
+// VerifyNative runs the placement on both backends — the BSP simulator
+// and the native goroutine engine — and compares final distributed
+// memory and scalar state bit for bit.
+func (p *Placed) VerifyNative(m Machine, procs int) error {
+	return native.VerifyAgainstSimulator(p.Result, m, procs)
 }
 
 // CompareStrategies compiles nothing new: it places the routine under

@@ -303,6 +303,57 @@ func contains(ss []string, s string) bool {
 	return false
 }
 
+// NativePoint is one revision's native-backend wall clock for one
+// benchmark.
+type NativePoint struct {
+	Rev           string  `json:"rev"`
+	Seq           int     `json:"seq"`
+	UnixNS        int64   `json:"unix_ns"`
+	Seconds       float64 `json:"native_seconds"`
+	SpeedupVsOrig float64 `json:"speedup_vs_orig"`
+}
+
+// NativeSeries is one benchmark's native wall-clock trajectory across
+// revisions for a fixed compiler version.
+type NativeSeries struct {
+	// Key identifies the benchmark: "bench/routine".
+	Key    string        `json:"key"`
+	Points []NativePoint `json:"points"`
+}
+
+// NativeTrend aggregates a history's native-backend measurements into
+// per-benchmark series for one compiler version. Records written
+// before the native backend existed carry no native entries and simply
+// contribute no points — old histories remain loadable and gapless
+// series render shorter, never wrong. Wall-clock is host-dependent, so
+// nothing gates on these series; they exist for the dashboard.
+func NativeTrend(recs []Record, version string) []NativeSeries {
+	recs = Dedupe(recs)
+	byKey := map[string][]NativePoint{}
+	var order []string
+	for _, rec := range recs {
+		for _, e := range rec.Result.Native {
+			if e.Version != version {
+				continue
+			}
+			k := e.Bench + "/" + e.Routine
+			if _, seen := byKey[k]; !seen && !contains(order, k) {
+				order = append(order, k)
+			}
+			byKey[k] = append(byKey[k], NativePoint{
+				Rev: rec.Rev, Seq: rec.Seq, UnixNS: rec.UnixNS,
+				Seconds: e.NativeSeconds, SpeedupVsOrig: e.SpeedupVsOrig,
+			})
+		}
+	}
+	sort.Strings(order)
+	out := make([]NativeSeries, 0, len(order))
+	for _, k := range order {
+		out = append(out, NativeSeries{Key: k, Points: byKey[k]})
+	}
+	return out
+}
+
 // Regression is one series whose newest revision's gap ratio got worse
 // than the previous revision's by more than the tolerance.
 type Regression struct {

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"gcao/internal/core"
+	"gcao/internal/native"
+)
+
+// NativeEntry is one measured native-backend execution: a benchmark
+// run for real as goroutines at a fixed modest size, with the
+// wall-clock and traffic the run actually took. Wall-clock is
+// machine-dependent, so these entries ride in BenchResult.Native —
+// outside the deterministic, gated Entries — and CompareBenchResults
+// never looks at them.
+type NativeEntry struct {
+	Bench   string `json:"bench"`
+	Routine string `json:"routine"`
+	N       int    `json:"n"`
+	Procs   int    `json:"procs"`
+	Version string `json:"version"`
+	// NativeSeconds is the goroutine fleet's wall clock for the run.
+	NativeSeconds float64 `json:"native_seconds"`
+	Messages      int64   `json:"messages"`
+	Bytes         int64   `json:"bytes"`
+	// SpeedupVsOrig is the orig version's wall clock over this
+	// version's — the native analogue of the paper's normalized bars.
+	SpeedupVsOrig float64 `json:"speedup_vs_orig"`
+}
+
+// Key identifies the entry across runs.
+func (e NativeEntry) Key() string {
+	return fmt.Sprintf("%s/%s/P%d/n%d/%s", e.Bench, e.Routine, e.Procs, e.N, e.Version)
+}
+
+// nativeSize picks the problem size the native sweep runs a benchmark
+// at: big enough that communication is real, small enough that the
+// element-wise interpreter finishes in well under a second per run.
+func nativeSize(bench string) int {
+	if bench == "hydflo" {
+		return 16
+	}
+	return 48
+}
+
+// nativeProcs is the grid the native sweep runs on. Four processors
+// (2×2) exercises both grid dimensions on any host.
+const nativeProcs = 4
+
+// CollectNativeResult runs every paper benchmark natively under all
+// three compiler versions and records wall-clock, messages and bytes
+// per run, plus each version's speedup over orig.
+func CollectNativeResult() ([]NativeEntry, error) {
+	var out []NativeEntry
+	versions := []core.Version{core.VersionOrig, core.VersionRedund, core.VersionCombine}
+	for _, pr := range Programs() {
+		n := nativeSize(pr.Bench)
+		a, err := pr.Compile(n, nativeProcs)
+		if err != nil {
+			return nil, err
+		}
+		var origSecs float64
+		for i, v := range versions {
+			res, err := a.Place(core.Options{Version: v})
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			run, err := native.Run(res, nativeProcs)
+			if err != nil {
+				return nil, fmt.Errorf("bench: native %s/%s %s: %w", pr.Bench, pr.Routine, v, err)
+			}
+			secs := time.Since(start).Seconds()
+			if i == 0 {
+				origSecs = secs
+			}
+			e := NativeEntry{
+				Bench: pr.Bench, Routine: pr.Routine, N: n, Procs: nativeProcs,
+				Version:       v.String(),
+				NativeSeconds: secs,
+				Messages:      run.Stats.Messages,
+				Bytes:         run.Stats.Bytes,
+			}
+			if secs > 0 {
+				e.SpeedupVsOrig = origSecs / secs
+			}
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}

@@ -73,6 +73,11 @@ type BenchResult struct {
 	Rev     string       `json:"rev"`
 	Go      string       `json:"go,omitempty"`
 	Entries []BenchEntry `json:"entries"`
+	// Native holds wall-clock measurements from the native goroutine
+	// backend when the sweep ran with -backend native. Wall-clock is
+	// host-dependent, so the regression gate never compares these;
+	// omitempty keeps default sweeps byte-identical to older baselines.
+	Native []NativeEntry `json:"native,omitempty"`
 }
 
 // CollectBenchResult sweeps every Fig. 10 chart spec and records, per

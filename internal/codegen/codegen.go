@@ -133,7 +133,7 @@ func (e *emitter) comm(b *strings.Builder, pos core.Position, depth int) {
 			parts = append(parts, fmt.Sprintf("%s%s", en.Array, en.SectionAt(e.a, pos.Level())))
 		}
 		sort.Strings(parts)
-		line := fmt.Sprintf("%sCOMM %s %s {%s}", indent(depth), opName(g), g.Map, strings.Join(parts, ", "))
+		line := fmt.Sprintf("%sCOMM %s %s {%s}", indent(depth), OpName(g), g.Map, strings.Join(parts, ", "))
 		if g.SiteID != "" {
 			line += fmt.Sprintf("  ! site %s", g.SiteID)
 		}
@@ -149,7 +149,11 @@ func (e *emitter) comm(b *strings.Builder, pos core.Position, depth int) {
 	}
 }
 
-func opName(g *core.Group) string {
+// OpName is the listing vocabulary for a communication group: the
+// runtime operation name a COMM pseudo-call prints. Execution backends
+// label the operations they perform with the same names, so a native
+// run's operation counts can be read against the emitted listing.
+func OpName(g *core.Group) string {
 	switch g.Kind {
 	case core.KindShift:
 		return "exchange"

@@ -1,0 +1,383 @@
+package native
+
+// The channel protocol. Every transfer is a blocking operation on a
+// capacity-1 channel guarded by the engine's done latch, so the
+// backend never spins: at any GOMAXPROCS (including 1) the Go
+// scheduler parks blocked processors and progress is guaranteed as
+// long as both endpoints of each pair agree on the per-pair message
+// sequence — which the replicated CFG walk guarantees, since every
+// processor executes the same communication groups at the same program
+// points in the same order.
+//
+// Per group kind:
+//
+//   - exchange (KindShift): each processor derives the element list of
+//     the ghost strip from its own loop environment — sender and
+//     receiver compute identical lists because the concretized entry
+//     sections and the region filters are pure functions of shared
+//     state — and one message per neighbour pair carries the packed
+//     strip (combining realized literally). A validity flag rides with
+//     every element so the receiver applies exactly the deliveries the
+//     simulator's ShiftRange performs.
+//
+//   - broadcast / gather (KindBcast, KindGeneral): a star through
+//     processor 0 — owners pack their section elements in section
+//     order, the root reassembles the full section by popping each
+//     element from its owner's queue, rebroadcasts, and every
+//     processor stores the elements it does not own.
+//
+//   - global-sum (KindReduce): no data motion here — the combine
+//     happened at the SUM statement itself (collectiveSum), which is
+//     where the simulator's functional value is produced too; the
+//     group only marks the superstep in the listing.
+
+import (
+	"fmt"
+
+	"gcao/internal/ast"
+
+	"gcao/internal/codegen"
+	"gcao/internal/core"
+	"gcao/internal/runtime"
+	"gcao/internal/section"
+)
+
+// send transfers a payload to dst, counting the message at the sender.
+// A nil channel for the pair is a protocol bug, not a user error.
+func (pc *proc) send(dst int, buf []float64) error {
+	ch := pc.eng.ch[dst][pc.p]
+	if ch == nil {
+		return fmt.Errorf("native: no channel %d→%d (protocol bug)", pc.p, dst)
+	}
+	select {
+	case ch <- buf:
+		pc.msgs++
+		return nil
+	case <-pc.eng.done:
+		return pc.eng.err()
+	}
+}
+
+func (pc *proc) recv(src int) ([]float64, error) {
+	ch := pc.eng.ch[pc.p][src]
+	if ch == nil {
+		return nil, fmt.Errorf("native: no channel %d→%d (protocol bug)", src, pc.p)
+	}
+	select {
+	case buf := <-ch:
+		return buf, nil
+	case <-pc.eng.done:
+		return nil, pc.eng.err()
+	}
+}
+
+// barrier is a full synchronization: gather empty tokens into
+// processor 0, then release everyone. Used only around shared-row
+// (replicated array) writes.
+func (pc *proc) barrier() error {
+	pc.barriers++
+	if pc.p == 0 {
+		for q := 1; q < pc.eng.procs; q++ {
+			if _, err := pc.recv(q); err != nil {
+				return err
+			}
+		}
+		for q := 1; q < pc.eng.procs; q++ {
+			if err := pc.send(q, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := pc.send(0, nil); err != nil {
+		return err
+	}
+	_, err := pc.recv(0)
+	return err
+}
+
+// execComm executes the communication groups placed at one position,
+// in placement order — the exact COMM sequence the codegen listing
+// prints there.
+func (pc *proc) execComm(groups []*core.Group) error {
+	for _, g := range groups {
+		pc.colls++
+		pc.ops[codegen.OpName(g)]++
+		var err error
+		switch g.Kind {
+		case core.KindShift:
+			err = pc.shiftExchange(g)
+		case core.KindBcast, core.KindGeneral:
+			err = pc.bcastGather(g)
+		case core.KindReduce:
+			// Combine already performed at the SUM statement.
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// entrySec is one concretized group entry.
+type entrySec struct {
+	am  *runtime.ArrayMem
+	sec section.Section
+	ad  int // array dim moved by the shift (unused for collectives)
+}
+
+// concretizeEntries resolves the group's entry sections under this
+// processor's loop environment. The environment is replicated, so
+// every processor derives the identical list.
+func (pc *proc) concretizeEntries(g *core.Group, needDim bool) []entrySec {
+	var out []entrySec
+	for _, e := range g.Entries {
+		sec, ok := pc.eng.pl.ConcreteEntrySection(e, g.Pos, pc.ienv)
+		if !ok {
+			continue
+		}
+		am := pc.eng.mem.View(e.Array)
+		if am.Dist == nil {
+			continue
+		}
+		ad := -1
+		if needDim {
+			if ad = am.ShiftArrayDim(g.Map.GridDim); ad < 0 {
+				continue
+			}
+		}
+		out = append(out, entrySec{am: am, sec: sec, ad: ad})
+	}
+	return out
+}
+
+// shiftExchange performs one ghost-strip exchange. Data moves from
+// grid coordinate c to c-sign along g.Map.GridDim: this processor
+// sends its strip to the neighbour at coordinate c-sign (if any) and
+// receives the neighbour strip from coordinate c+sign (if any). The
+// payload interleaves a validity flag per element, reproducing the
+// simulator's rule that only elements the sender holds current travel.
+func (pc *proc) shiftExchange(g *core.Group) error {
+	ents := pc.concretizeEntries(g, true)
+	gridDim, sign, width := g.Map.GridDim, g.Map.Sign, g.Map.Width
+	grid := pc.eng.pl.A.Unit.Grid
+	shape := grid.Shape[gridDim]
+	myCoord := pc.coords[gridDim]
+	stride := 1
+	for i := gridDim + 1; i < grid.Rank(); i++ {
+		stride *= grid.Shape[i]
+	}
+
+	// Send leg: pack the strip for the receiving neighbour.
+	if c := myCoord - sign; c >= 0 && c < shape {
+		dst := pc.p - sign*stride
+		dstCoords := append([]int(nil), pc.coords...)
+		dstCoords[gridDim] = c
+		var payload []float64
+		for _, es := range ents {
+			es := es
+			pc.forEachStripElem(es, gridDim, sign, width, myCoord, dstCoords, func(off int) {
+				if es.am.Valid[pc.p][off] {
+					payload = append(payload, es.am.Data[pc.p][off], 1)
+					pc.bytes += 8
+				} else {
+					payload = append(payload, 0, 0)
+				}
+			})
+		}
+		if err := pc.send(dst, payload); err != nil {
+			return err
+		}
+	}
+
+	// Receive leg: unpack the neighbour's strip into our own rows.
+	if c := myCoord + sign; c >= 0 && c < shape {
+		src := pc.p + sign*stride
+		buf, err := pc.recv(src)
+		if err != nil {
+			return err
+		}
+		k := 0
+		for _, es := range ents {
+			es := es
+			pc.forEachStripElem(es, gridDim, sign, width, c, pc.coords, func(off int) {
+				if k+1 < len(buf) && buf[k+1] != 0 {
+					es.am.Data[pc.p][off] = buf[k]
+					es.am.Valid[pc.p][off] = true
+				}
+				k += 2
+			})
+		}
+		if k != len(buf) {
+			return fmt.Errorf("native: exchange %d→%d protocol mismatch: %d elements packed, %d expected", src, pc.p, len(buf)/2, k/2)
+		}
+	}
+	return nil
+}
+
+// forEachStripElem visits the offsets of one entry's strip elements in
+// section order: elements owned (along the moved dimension) by
+// srcCoord, inside the sender's boundary strip of the given width, and
+// within the receiver's extended local region. Sender and receiver
+// call this with the same arguments and visit the same list.
+func (pc *proc) forEachStripElem(es entrySec, gridDim, sign, width, srcCoord int, dstCoords []int, f func(off int)) {
+	am, ad := es.am, es.ad
+	es.sec.Elems(func(idx []int) bool {
+		x := idx[ad]
+		if am.Dist.OwnerDim(ad, x) != srcCoord {
+			return true
+		}
+		lo, hi, ok := am.Dist.LocalRange(ad, srcCoord)
+		if !ok {
+			return true
+		}
+		inStrip := false
+		if sign > 0 {
+			inStrip = x >= lo && x < lo+width
+		} else {
+			inStrip = x <= hi && x > hi-width
+		}
+		if !inStrip {
+			return true
+		}
+		if !runtime.InExtendedRegion(am.Arr, dstCoords, idx, ad, width) {
+			return true
+		}
+		f(am.Offset(idx))
+		return true
+	})
+}
+
+// bcastGather performs one broadcast/gather group as a star through
+// processor 0: per entry, owners pack their elements in section order,
+// the root reassembles the full section (popping each element from its
+// owner's queue — the same owner-order scan SumSection uses), sends it
+// back out, and every processor keeps the elements it does not own.
+func (pc *proc) bcastGather(g *core.Group) error {
+	for _, es := range pc.concretizeEntries(g, false) {
+		am := es.am
+		r := am.Dist.Grid.Rank()
+		if cap(pc.cbuf) < r {
+			pc.cbuf = make([]int, r)
+		}
+		coords := pc.cbuf[:r]
+
+		var mine []float64
+		es.sec.Elems(func(idx []int) bool {
+			if am.OwnerInto(idx, coords) == pc.p {
+				mine = append(mine, am.Data[pc.p][am.Offset(idx)])
+			}
+			return true
+		})
+
+		var full []float64
+		if pc.p == 0 {
+			bufs := make([][]float64, pc.eng.procs)
+			bufs[0] = mine
+			for q := 1; q < pc.eng.procs; q++ {
+				b, err := pc.recv(q)
+				if err != nil {
+					return err
+				}
+				bufs[q] = b
+			}
+			cur := make([]int, pc.eng.procs)
+			es.sec.Elems(func(idx []int) bool {
+				o := am.OwnerInto(idx, coords)
+				full = append(full, bufs[o][cur[o]])
+				cur[o]++
+				return true
+			})
+			for q := 1; q < pc.eng.procs; q++ {
+				if err := pc.send(q, full); err != nil {
+					return err
+				}
+				pc.bytes += 8 * int64(len(full))
+			}
+		} else {
+			pc.bytes += 8 * int64(len(mine))
+			if err := pc.send(0, mine); err != nil {
+				return err
+			}
+			var err error
+			if full, err = pc.recv(0); err != nil {
+				return err
+			}
+		}
+
+		k := 0
+		es.sec.Elems(func(idx []int) bool {
+			o := am.OwnerInto(idx, coords)
+			if o != pc.p {
+				off := am.Offset(idx)
+				am.Data[pc.p][off] = full[k]
+				am.Valid[pc.p][off] = true
+			}
+			k++
+			return true
+		})
+	}
+	return nil
+}
+
+// collectiveSum combines a distributed SUM: owners stream their
+// section elements to processor 0, which replays the simulator's
+// global section-order scan — popping each element from its owner's
+// queue, so the floating-point accumulation order is bit-identical to
+// SumSection — and broadcasts the total.
+func (pc *proc) collectiveSum(ref *ast.Ref, am *runtime.ArrayMem) (float64, error) {
+	sec, err := pc.eng.pl.ConcreteRefSection(ref, am, pc.ienv)
+	if err != nil {
+		return 0, err
+	}
+	r := am.Dist.Grid.Rank()
+	if cap(pc.cbuf) < r {
+		pc.cbuf = make([]int, r)
+	}
+	coords := pc.cbuf[:r]
+
+	var mine []float64
+	sec.Elems(func(idx []int) bool {
+		if am.OwnerInto(idx, coords) == pc.p {
+			mine = append(mine, am.Data[pc.p][am.Offset(idx)])
+		}
+		return true
+	})
+
+	if pc.p != 0 {
+		pc.bytes += 8 * int64(len(mine))
+		if err := pc.send(0, mine); err != nil {
+			return 0, err
+		}
+		buf, err := pc.recv(0)
+		if err != nil {
+			return 0, err
+		}
+		return buf[0], nil
+	}
+
+	bufs := make([][]float64, pc.eng.procs)
+	bufs[0] = mine
+	for q := 1; q < pc.eng.procs; q++ {
+		b, err := pc.recv(q)
+		if err != nil {
+			return 0, err
+		}
+		bufs[q] = b
+	}
+	cur := make([]int, pc.eng.procs)
+	total := 0.0
+	sec.Elems(func(idx []int) bool {
+		o := am.OwnerInto(idx, coords)
+		total += bufs[o][cur[o]]
+		cur[o]++
+		return true
+	})
+	for q := 1; q < pc.eng.procs; q++ {
+		if err := pc.send(q, []float64{total}); err != nil {
+			return 0, err
+		}
+		pc.bytes += 8
+	}
+	return total, nil
+}

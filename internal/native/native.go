@@ -1,0 +1,689 @@
+// Package native executes a placed program as real concurrent
+// goroutines — one per logical processor — instead of simulating it
+// under the BSP cost model. Each goroutine owns its processor's row of
+// every distributed array (the same per-processor memory image package
+// runtime gives the simulator) and the placed communication groups are
+// realized as actual channel transfers: ghost-strip exchanges as
+// neighbour sends, broadcasts and gathers as star collectives through
+// processor 0, distributed SUMs as a gather–combine–rebroadcast at the
+// statement that consumes them.
+//
+// The backend is built to be bit-for-bit equivalent to the simulator
+// (spmd.Run): both execute the same plan.Plan, every floating-point
+// accumulation happens in the same order on the same values, and the
+// VerifyAgainstSimulator harness enforces the equivalence for every
+// paper benchmark × compiler version × processor count. The codegen
+// listing is the contract between the two: the operations a native run
+// performs are exactly the COMM pseudo-calls the listing prints, and
+// Stats.Ops counts them under the listing's vocabulary (exchange,
+// broadcast, gather, global-sum).
+//
+// Determinism argument (see DESIGN.md §13): each processor's state —
+// its array rows, validity planes, scalar environment and loop frames
+// — is written only by its own goroutine outside of barriers, and
+// evolves as a pure function of program order plus the messages it
+// receives. Message contents are pure functions of the senders' state
+// at matched program points, and every collective combines partial
+// values in a fixed processor/section order. By induction the whole
+// run is a deterministic function of the placement, independent of
+// goroutine scheduling; since the simulator computes the same function
+// (same plan, same evaluation order, same combine order), the final
+// states agree bitwise.
+package native
+
+import (
+	"fmt"
+	"math"
+	goruntime "runtime"
+	"sync"
+	"time"
+
+	"gcao/internal/ast"
+	"gcao/internal/cfg"
+	"gcao/internal/core"
+	"gcao/internal/obs"
+	"gcao/internal/plan"
+	"gcao/internal/runtime"
+)
+
+// Stats summarizes one native run.
+type Stats struct {
+	// Procs is the logical processor (goroutine) count.
+	Procs int
+	// Messages counts payload-bearing channel transfers (each message
+	// once, at the sender); Bytes counts the delivered element payload
+	// (8 bytes per float64), excluding protocol framing.
+	Messages int64
+	Bytes    int64
+	// Collectives counts executed communication groups; Barriers the
+	// full synchronization barriers (replicated-array stores).
+	Collectives int64
+	Barriers    int64
+	// Ops counts the executed communication operations under the
+	// codegen listing's vocabulary (exchange, broadcast, gather,
+	// global-sum).
+	Ops map[string]int64
+	// ElapsedSeconds is the wall clock of the run proper (memory
+	// allocation through final barrier).
+	ElapsedSeconds float64
+}
+
+// RunResult is the outcome of a native execution: the distributed
+// memory image (owner rows hold the canonical values), the replicated
+// scalar state, and the run statistics.
+type RunResult struct {
+	Mem     *runtime.Memory
+	Scalars map[string]float64
+	Stats   Stats
+}
+
+// MaxProcs returns the largest logical processor count Run accepts
+// under the oversubscription policy: up to 256 goroutines per
+// available core (and never fewer than 1024 total) run multiplexed on
+// the Go scheduler — every native operation blocks on a channel or a
+// barrier, never spins, so progress is guaranteed at any GOMAXPROCS,
+// including P=64 on a single core. Beyond the clamp a run is refused:
+// that many parked goroutines signals a misconfigured grid, not a
+// bigger machine.
+func MaxProcs() int {
+	n := goruntime.GOMAXPROCS(0) * 256
+	if n < 1024 {
+		n = 1024
+	}
+	return n
+}
+
+// Run executes the placement natively on procs goroutines.
+func Run(res *core.Result, procs int) (*RunResult, error) {
+	return RunObs(res, procs, nil)
+}
+
+// RunObs is Run with an obs recorder: the run is wrapped in a
+// "native:<version>" phase span and its message/byte/collective
+// counters are added under the native.<version>. prefix.
+func RunObs(res *core.Result, procs int, rec *obs.Recorder) (*RunResult, error) {
+	a := res.Analysis
+	if got := a.Unit.Grid.NumProcs(); got != procs {
+		return nil, fmt.Errorf("native: unit compiled for %d processors, run requested %d", got, procs)
+	}
+	if max := MaxProcs(); procs > max {
+		return nil, fmt.Errorf("native: %d processors exceeds the oversubscription clamp of %d (256×GOMAXPROCS, min 1024)", procs, max)
+	}
+	endRun := rec.Start("native:" + res.Version.String())
+	defer endRun()
+	start := time.Now()
+
+	mem := runtime.NewMemory(a.Unit, procs)
+	eng := &engine{
+		pl:    plan.New(res, mem),
+		mem:   mem,
+		procs: procs,
+		done:  make(chan struct{}),
+	}
+	eng.connectFabric()
+	eng.ps = make([]*proc, procs)
+	for p := 0; p < procs; p++ {
+		pc := &proc{
+			eng:     eng,
+			p:       p,
+			coords:  a.Unit.Grid.Coords(p),
+			ienv:    map[string]int{},
+			scalars: map[string]float64{},
+			frames:  map[*cfg.Loop]*frame{},
+			sumMemo: map[*ast.Call]float64{},
+			ops:     map[string]int64{},
+		}
+		for name, v := range a.Unit.Params {
+			pc.scalars[name] = float64(v)
+		}
+		eng.ps[p] = pc
+	}
+
+	var wg sync.WaitGroup
+	for _, pc := range eng.ps[1:] {
+		wg.Add(1)
+		go func(pc *proc) {
+			defer wg.Done()
+			pc.main()
+		}(pc)
+	}
+	eng.ps[0].main()
+	wg.Wait()
+	if err := eng.err(); err != nil {
+		return nil, err
+	}
+
+	st := Stats{
+		Procs:          procs,
+		Collectives:    eng.ps[0].colls,
+		Barriers:       eng.ps[0].barriers,
+		Ops:            eng.ps[0].ops,
+		ElapsedSeconds: time.Since(start).Seconds(),
+	}
+	for _, pc := range eng.ps {
+		st.Messages += pc.msgs
+		st.Bytes += pc.bytes
+	}
+	if rec != nil {
+		prefix := "native." + res.Version.String() + "."
+		rec.Add(prefix+"messages", st.Messages)
+		rec.Add(prefix+"bytes", st.Bytes)
+		rec.Add(prefix+"collectives", st.Collectives)
+		rec.Add(prefix+"barriers", st.Barriers)
+		rec.Event(obs.LevelInfo, "native.done",
+			obs.F("version", res.Version.String()),
+			obs.F("procs", procs),
+			obs.F("messages", st.Messages),
+			obs.F("bytes", st.Bytes),
+			obs.F("seconds", st.ElapsedSeconds))
+	}
+	return &RunResult{Mem: mem, Scalars: eng.ps[0].scalars, Stats: st}, nil
+}
+
+// ---------------------------------------------------------------------
+// engine: shared immutable state plus the error latch
+
+type engine struct {
+	pl    *plan.Plan
+	mem   *runtime.Memory
+	procs int
+	ps    []*proc
+
+	// ch[dst][src] carries messages src→dst; allocated only for pairs
+	// the protocol uses (grid neighbours and the processor-0 star), so
+	// the fabric stays O(P·rank) instead of O(P²).
+	ch [][]chan []float64
+
+	// done is closed once on the first failure; every channel
+	// operation selects on it, so an error unwinds all goroutines
+	// without deadlock.
+	done     chan struct{}
+	failOnce sync.Once
+	errMu    sync.Mutex
+	errVal   error
+}
+
+// connectFabric allocates the channel pairs the protocol can use: the
+// star through processor 0 (collectives, barriers, condition
+// broadcasts) and both directions between grid neighbours (shift
+// exchanges). Capacity 1 lets a sender run one message ahead.
+func (eng *engine) connectFabric() {
+	eng.ch = make([][]chan []float64, eng.procs)
+	for d := range eng.ch {
+		eng.ch[d] = make([]chan []float64, eng.procs)
+	}
+	connect := func(dst, src int) {
+		if dst != src && eng.ch[dst][src] == nil {
+			eng.ch[dst][src] = make(chan []float64, 1)
+		}
+	}
+	shape := eng.pl.A.Unit.Grid.Shape
+	for p := 0; p < eng.procs; p++ {
+		connect(p, 0)
+		connect(0, p)
+		coords := eng.pl.A.Unit.Grid.Coords(p)
+		stride := 1
+		for d := len(shape) - 1; d >= 0; d-- {
+			if coords[d]+1 < shape[d] {
+				connect(p, p+stride)
+				connect(p+stride, p)
+			}
+			stride *= shape[d]
+		}
+	}
+}
+
+func (eng *engine) fail(err error) {
+	eng.errMu.Lock()
+	if eng.errVal == nil {
+		eng.errVal = err
+	}
+	eng.errMu.Unlock()
+	eng.failOnce.Do(func() { close(eng.done) })
+}
+
+func (eng *engine) err() error {
+	eng.errMu.Lock()
+	defer eng.errMu.Unlock()
+	return eng.errVal
+}
+
+// ---------------------------------------------------------------------
+// proc: one logical processor's goroutine state
+
+// frame is one loop's iteration state (replicated per processor).
+type frame struct {
+	lo, hi, step, cur int
+}
+
+type proc struct {
+	eng     *engine
+	p       int
+	coords  []int
+	ienv    map[string]int
+	scalars map[string]float64
+	frames  map[*cfg.Loop]*frame
+	// sumMemo caches SUM totals per call site within one statement
+	// execution, mirroring the simulator's per-statement memo.
+	sumMemo map[*ast.Call]float64
+	cbuf    []int // grid-coordinate scratch for owner computations
+
+	msgs, bytes     int64
+	colls, barriers int64
+	ops             map[string]int64
+}
+
+func (pc *proc) main() {
+	if err := pc.run(); err != nil {
+		pc.eng.fail(err)
+	}
+}
+
+func (pc *proc) run() error {
+	cur := pc.eng.pl.A.G.EntryBlock
+	var prev *cfg.Block
+	for cur != nil {
+		next, err := pc.execBlock(cur, prev)
+		if err != nil {
+			return err
+		}
+		prev, cur = cur, next
+	}
+	return nil
+}
+
+// execBlock mirrors the simulator shard's CFG walk exactly: the same
+// loop frame updates, the same zero-trip and post-exit edges, the same
+// communication positions.
+func (pc *proc) execBlock(b *cfg.Block, prev *cfg.Block) (*cfg.Block, error) {
+	pl := pc.eng.pl
+	switch b.Kind {
+	case cfg.Header:
+		loop := b.Loop
+		fr := pc.frames[loop]
+		if prev == loop.PreHeader {
+			fr.cur = fr.lo
+		} else {
+			fr.cur += fr.step
+		}
+		pc.ienv[loop.Var()] = fr.cur
+		cont := fr.cur <= fr.hi
+		if fr.step < 0 {
+			cont = fr.cur >= fr.hi
+		}
+		if !cont {
+			return b.Succs[1], nil // postexit
+		}
+		if err := pc.execComm(pl.Comm[b.ID][0]); err != nil {
+			return nil, err
+		}
+		return b.Succs[0], nil
+
+	case cfg.PreHeader:
+		loop := pl.LoopOf[b.ID]
+		if loop == nil {
+			panic("native: preheader without loop")
+		}
+		if err := pc.execComm(pl.Comm[b.ID][0]); err != nil {
+			return nil, err
+		}
+		lo, err1 := pc.evalInt(loop.Do.Lo)
+		hi, err2 := pc.evalInt(loop.Do.Hi)
+		if err1 != nil {
+			return nil, err1
+		}
+		if err2 != nil {
+			return nil, err2
+		}
+		step := 1
+		if loop.Do.Step != nil {
+			s, err := pc.evalInt(loop.Do.Step)
+			if err != nil {
+				return nil, err
+			}
+			if s == 0 {
+				return nil, fmt.Errorf("native: zero loop step at %s", loop.Do.Pos)
+			}
+			step = s
+		}
+		pc.frames[loop] = &frame{lo: lo, hi: hi, step: step}
+		empty := lo > hi
+		if step < 0 {
+			empty = lo < hi
+		}
+		if empty {
+			return b.Succs[1], nil // zero-trip edge
+		}
+		return b.Succs[0], nil
+
+	default:
+		if err := pc.execComm(pl.Comm[b.ID][0]); err != nil {
+			return nil, err
+		}
+		for k, st := range b.Stmts {
+			if err := pc.execStmt(st); err != nil {
+				return nil, err
+			}
+			if err := pc.execComm(pl.Comm[b.ID][k+1]); err != nil {
+				return nil, err
+			}
+		}
+		if b.Branch != nil {
+			v, err := pc.evalCond(b)
+			if err != nil {
+				return nil, err
+			}
+			if v {
+				return b.Succs[0], nil
+			}
+			return b.Succs[1], nil
+		}
+		if len(b.Succs) == 0 {
+			return nil, nil
+		}
+		return b.Succs[0], nil
+	}
+}
+
+// execStmt executes one assignment. Distributed SUMs in the RHS are
+// statement-level collectives: every processor participates before any
+// evaluation, exactly where the simulator's rendezvous sits.
+func (pc *proc) execStmt(st *cfg.Stmt) error {
+	si := pc.eng.pl.Info[st]
+	if si.HasSum {
+		clear(pc.sumMemo)
+		if err := pc.precomputeSums(st.Assign.RHS); err != nil {
+			return err
+		}
+	}
+	as := st.Assign
+
+	if si.LHS == nil {
+		// Scalar target: every processor computes the replicated value
+		// locally (determinism makes the copies identical).
+		v, err := pc.eval(as.RHS)
+		if err != nil {
+			return err
+		}
+		pc.scalars[as.LHS.Name] = v
+		return nil
+	}
+
+	idx, err := pc.lhsIndex(as)
+	if err != nil {
+		return err
+	}
+	am := si.LHS
+	off := am.Offset(idx)
+
+	if am.Dist == nil {
+		// Replicated-array store: the single shared row 0 is written by
+		// processor 0 alone, inside a pair of barriers that separate
+		// the write from every other processor's reads in program
+		// order.
+		v, err := pc.eval(as.RHS)
+		if err != nil {
+			return err
+		}
+		if err := pc.barrier(); err != nil {
+			return err
+		}
+		if pc.p == 0 {
+			am.StoreOwner(off, 0, v)
+		}
+		return pc.barrier()
+	}
+
+	// Owner-computes: the owner evaluates from its own rows and stores
+	// into its own row; every other processor kills its stale copy in
+	// its own validity plane (same program point, own row only — no
+	// cross-row writes anywhere).
+	owner := pc.ownerOf(am, idx)
+	if owner == pc.p {
+		v, err := pc.eval(as.RHS)
+		if err != nil {
+			return err
+		}
+		am.StoreOwner(off, owner, v)
+	} else {
+		am.Valid[pc.p][off] = false
+	}
+	return nil
+}
+
+func (pc *proc) lhsIndex(as *ast.AssignStmt) ([]int, error) {
+	idx := make([]int, len(as.LHS.Subs))
+	for i, sub := range as.LHS.Subs {
+		if sub.Kind != ast.SubExpr {
+			return nil, fmt.Errorf("native: unscalarized section on LHS at %s", as.Pos)
+		}
+		x, err := pc.evalInt(sub.X)
+		if err != nil {
+			return nil, err
+		}
+		idx[i] = x
+	}
+	return idx, nil
+}
+
+func (pc *proc) ownerOf(am *runtime.ArrayMem, idx []int) int {
+	r := am.Dist.Grid.Rank()
+	if cap(pc.cbuf) < r {
+		pc.cbuf = make([]int, r)
+	}
+	return am.OwnerInto(idx, pc.cbuf[:r])
+}
+
+// evalCond evaluates a branch condition. Conditions over scalar or
+// replicated data are evaluated locally (identical on every
+// processor); conditions reading distributed data run their SUM
+// collectives, then processor 0 evaluates its own view and broadcasts
+// the taken edge so control flow cannot diverge.
+func (pc *proc) evalCond(b *cfg.Block) (bool, error) {
+	clear(pc.sumMemo)
+	cond := b.Branch.Cond
+	if !pc.eng.pl.CondSync[b.ID] {
+		v, err := pc.eval(cond)
+		return v != 0, err
+	}
+	if err := pc.precomputeSums(cond); err != nil {
+		return false, err
+	}
+	if pc.p == 0 {
+		v, err := pc.eval(cond)
+		if err != nil {
+			return false, err
+		}
+		for q := 1; q < pc.eng.procs; q++ {
+			if err := pc.send(q, []float64{v}); err != nil {
+				return false, err
+			}
+		}
+		return v != 0, nil
+	}
+	buf, err := pc.recv(0)
+	if err != nil {
+		return false, err
+	}
+	return buf[0] != 0, nil
+}
+
+func (pc *proc) evalInt(e ast.Expr) (int, error) {
+	return pc.eng.pl.A.Unit.EvalIntEnv(e, pc.ienv)
+}
+
+// eval evaluates an expression from this processor's point of view,
+// mirroring the simulator's evalOn case for case so every
+// floating-point operation happens in the same order.
+func (pc *proc) eval(e ast.Expr) (float64, error) {
+	switch e := e.(type) {
+	case *ast.NumLit:
+		return e.Value, nil
+	case *ast.Ident:
+		if v, ok := pc.ienv[e.Name]; ok {
+			return float64(v), nil
+		}
+		if v, ok := pc.scalars[e.Name]; ok {
+			return v, nil
+		}
+		return 0, fmt.Errorf("native: unbound scalar %q", e.Name)
+	case *ast.UnaryExpr:
+		v, err := pc.eval(e.X)
+		return -v, err
+	case *ast.BinExpr:
+		x, err := pc.eval(e.X)
+		if err != nil {
+			return 0, err
+		}
+		y, err := pc.eval(e.Y)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case ast.Add:
+			return x + y, nil
+		case ast.Sub_:
+			return x - y, nil
+		case ast.Mul:
+			return x * y, nil
+		case ast.Div:
+			return x / y, nil
+		case ast.Pow:
+			return math.Pow(x, y), nil
+		case ast.CmpLt:
+			return b2f(x < y), nil
+		case ast.CmpGt:
+			return b2f(x > y), nil
+		case ast.CmpLe:
+			return b2f(x <= y), nil
+		case ast.CmpGe:
+			return b2f(x >= y), nil
+		case ast.CmpEq:
+			return b2f(x == y), nil
+		case ast.CmpNe:
+			return b2f(x != y), nil
+		}
+		return 0, fmt.Errorf("native: bad operator %v", e.Op)
+	case *ast.Ref:
+		am := pc.eng.pl.RefArr[e]
+		if am == nil {
+			if v, ok := pc.ienv[e.Name]; ok {
+				return float64(v), nil
+			}
+			return pc.scalars[e.Name], nil
+		}
+		idx := make([]int, len(e.Subs))
+		for i, sub := range e.Subs {
+			if sub.Kind != ast.SubExpr {
+				return 0, fmt.Errorf("native: section read outside SUM at %s", e.Pos)
+			}
+			x, err := pc.evalInt(sub.X)
+			if err != nil {
+				return 0, err
+			}
+			idx[i] = x
+		}
+		return am.ReadAt(pc.p, am.Offset(idx), idx)
+	case *ast.Call:
+		if e.Func == "sum" {
+			return pc.evalSum(e)
+		}
+		args := make([]float64, len(e.Args))
+		for i, a := range e.Args {
+			v, err := pc.eval(a)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = v
+		}
+		switch e.Func {
+		case "sqrt":
+			return math.Sqrt(args[0]), nil
+		case "abs":
+			return math.Abs(args[0]), nil
+		case "exp":
+			return math.Exp(args[0]), nil
+		case "min":
+			return math.Min(args[0], args[1]), nil
+		case "max":
+			return math.Max(args[0], args[1]), nil
+		case "mod":
+			return math.Mod(args[0], args[1]), nil
+		}
+		return 0, fmt.Errorf("native: unknown intrinsic %q", e.Func)
+	}
+	return 0, fmt.Errorf("native: cannot evaluate %T", e)
+}
+
+// evalSum resolves a SUM call: distributed sums must already be in the
+// memo (precomputeSums runs the collective at the statement level —
+// finding one here means a processor would deadlock waiting for peers
+// that are not summing); replicated sums are computed locally from the
+// shared row in section order, matching the simulator's scan.
+func (pc *proc) evalSum(e *ast.Call) (float64, error) {
+	if v, ok := pc.sumMemo[e]; ok {
+		return v, nil
+	}
+	if len(e.Args) != 1 {
+		return 0, fmt.Errorf("native: sum wants 1 argument")
+	}
+	ref, ok := e.Args[0].(*ast.Ref)
+	if !ok {
+		return 0, fmt.Errorf("native: sum argument must be an array section")
+	}
+	am := pc.eng.pl.RefArr[ref]
+	if am == nil {
+		return 0, fmt.Errorf("native: sum over non-array %q", ref.Name)
+	}
+	if am.Dist != nil {
+		return 0, fmt.Errorf("native: distributed sum of %q reached evaluation without a collective", ref.Name)
+	}
+	sec, err := pc.eng.pl.ConcreteRefSection(ref, am, pc.ienv)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	sec.Elems(func(idx []int) bool {
+		total += am.Data[0][am.Offset(idx)]
+		return true
+	})
+	pc.sumMemo[e] = total
+	return total, nil
+}
+
+// precomputeSums runs the collective combine for every distributed SUM
+// of an expression, in WalkCalls order (identical on all processors),
+// filling the memo eval reads from.
+func (pc *proc) precomputeSums(e ast.Expr) error {
+	var calls []*ast.Call
+	plan.WalkCalls(e, func(c *ast.Call) {
+		if c.Func != "sum" || len(c.Args) != 1 {
+			return
+		}
+		if ref, ok := c.Args[0].(*ast.Ref); ok {
+			if am := pc.eng.pl.RefArr[ref]; am != nil && am.Dist != nil {
+				calls = append(calls, c)
+			}
+		}
+	})
+	for _, c := range calls {
+		if _, ok := pc.sumMemo[c]; ok {
+			continue
+		}
+		ref := c.Args[0].(*ast.Ref)
+		am := pc.eng.pl.RefArr[ref]
+		total, err := pc.collectiveSum(ref, am)
+		if err != nil {
+			return err
+		}
+		pc.sumMemo[c] = total
+	}
+	return nil
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,134 @@
+package native_test
+
+import (
+	"fmt"
+	goruntime "runtime"
+	"testing"
+
+	"gcao/internal/bench"
+	"gcao/internal/core"
+	"gcao/internal/machine"
+	"gcao/internal/native"
+)
+
+var versions = []core.Version{core.VersionOrig, core.VersionRedund, core.VersionCombine}
+
+func place(t *testing.T, pr *bench.Program, n, p int, v core.Version) *core.Result {
+	t.Helper()
+	a, err := pr.Compile(n, p)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := a.Place(core.Options{Version: v})
+	if err != nil {
+		t.Fatalf("place: %v", err)
+	}
+	return res
+}
+
+// TestNativeMatchesSimulator is the acceptance matrix: every paper
+// benchmark × every compiler version × P ∈ {1, 4, 16, 25} must
+// produce bit-identical final memory and scalars on both backends.
+func TestNativeMatchesSimulator(t *testing.T) {
+	m := machine.SP2()
+	for _, pr := range bench.Programs() {
+		pr := pr
+		n := 12
+		if pr.Bench == "hydflo" {
+			n = 10
+		}
+		for _, v := range versions {
+			for _, p := range []int{1, 4, 16, 25} {
+				name := fmt.Sprintf("%s/%s/%s/P%d", pr.Bench, pr.Routine, v, p)
+				t.Run(name, func(t *testing.T) {
+					res := place(t, pr, n, p, v)
+					if err := native.VerifyAgainstSimulator(res, m, p); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestNativeConcurrentBenchmarks runs the native backend on all four
+// paper benchmarks at once; under -race this proves the row-ownership
+// discipline (each goroutine writes only its own data/validity rows,
+// shared rows only inside barriers).
+func TestNativeConcurrentBenchmarks(t *testing.T) {
+	m := machine.SP2()
+	for _, pr := range bench.Programs() {
+		pr := pr
+		t.Run(pr.Bench+"/"+pr.Routine, func(t *testing.T) {
+			t.Parallel()
+			n := 8
+			if pr.Bench == "hydflo" {
+				n = 6
+			}
+			res := place(t, pr, n, 4, core.VersionCombine)
+			if err := native.VerifyAgainstSimulator(res, m, 4); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestNativeOversubscription is the regression test for the
+// oversubscription policy: P=64 logical processors on GOMAXPROCS=1
+// must complete (every native operation blocks, none spins) and still
+// match the simulator.
+func TestNativeOversubscription(t *testing.T) {
+	old := goruntime.GOMAXPROCS(1)
+	defer goruntime.GOMAXPROCS(old)
+
+	pr, err := bench.ByName("shallow", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := place(t, pr, 16, 64, core.VersionCombine)
+	if err := native.VerifyAgainstSimulator(res, machine.SP2(), 64); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNativeProcsClamp verifies both sides of the clamp: a count past
+// MaxProcs is refused with the policy in the error, and a mismatched
+// grid is rejected before any goroutine starts.
+func TestNativeProcsClamp(t *testing.T) {
+	pr, err := bench.ByName("gravity", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := place(t, pr, 8, 4, core.VersionCombine)
+	if _, err := native.Run(res, 5); err == nil {
+		t.Fatal("grid/procs mismatch not rejected")
+	}
+	if native.MaxProcs() < 1024 {
+		t.Fatalf("MaxProcs() = %d, want >= 1024", native.MaxProcs())
+	}
+}
+
+// TestNativeStats sanity-checks the run statistics: a multi-processor
+// stencil run must move real messages and count its operations under
+// the codegen listing vocabulary.
+func TestNativeStats(t *testing.T) {
+	pr, err := bench.ByName("shallow", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := place(t, pr, 12, 4, core.VersionCombine)
+	out, err := native.Run(res, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := out.Stats
+	if st.Procs != 4 || st.Messages == 0 || st.Bytes == 0 || st.Collectives == 0 {
+		t.Fatalf("implausible stats: %+v", st)
+	}
+	if st.Ops["exchange"] == 0 {
+		t.Fatalf("no exchange ops counted: %v", st.Ops)
+	}
+	if st.ElapsedSeconds <= 0 {
+		t.Fatalf("elapsed = %v", st.ElapsedSeconds)
+	}
+}

@@ -1,0 +1,62 @@
+package native
+
+import (
+	"fmt"
+	"math"
+
+	"gcao/internal/core"
+	"gcao/internal/machine"
+	"gcao/internal/spmd"
+)
+
+// VerifyAgainstSimulator runs the placement on both backends — the BSP
+// simulator (the reference, per ROADMAP) and the native goroutine
+// engine — and compares the final distributed memory and scalar state
+// bit for bit. The machine model only prices the simulator's ledger;
+// it cannot influence values.
+func VerifyAgainstSimulator(res *core.Result, m machine.Machine, procs int) error {
+	sim, err := spmd.Run(res, m, procs)
+	if err != nil {
+		return fmt.Errorf("native: simulator reference failed: %w", err)
+	}
+	nat, err := Run(res, procs)
+	if err != nil {
+		return fmt.Errorf("native: native run failed: %w", err)
+	}
+	return Diff(nat, sim)
+}
+
+// Diff compares a native result against a simulator result bit for bit
+// (math.Float64bits equality, NaN pairs forgiven): every array's
+// canonical (owner-assembled) image, then the replicated scalars. It
+// returns an error naming the first difference.
+func Diff(nat *RunResult, sim *spmd.RunResult) error {
+	for _, name := range nat.Mem.Unit.ArrayNames {
+		nv := nat.Mem.Canonical(name)
+		sv := sim.Mem.Canonical(name)
+		if len(nv) != len(sv) {
+			return fmt.Errorf("native: array %q size differs: native %d vs simulator %d", name, len(nv), len(sv))
+		}
+		for i := range nv {
+			if !sameBits(nv[i], sv[i]) {
+				return fmt.Errorf("native: array %q differs at flat index %d: native %v vs simulator %v (bits %016x vs %016x)",
+					name, i, nv[i], sv[i], math.Float64bits(nv[i]), math.Float64bits(sv[i]))
+			}
+		}
+	}
+	for k, v := range sim.Scalars {
+		if nv, ok := nat.Scalars[k]; ok && !sameBits(nv, v) {
+			return fmt.Errorf("native: scalar %q differs: native %v vs simulator %v", k, nv, v)
+		}
+	}
+	return nil
+}
+
+// sameBits is bit equality with the one forgiveness VerifyAgainst-
+// Sequential also grants: any NaN equals any NaN.
+func sameBits(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Float64bits(a) == math.Float64bits(b)
+}

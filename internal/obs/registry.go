@@ -61,6 +61,11 @@ type Registry struct {
 	gapBound  map[string]float64
 	gapActual map[string]map[string]float64 // benchmark -> version -> bytes
 
+	// Native-backend execution: wall-clock per run and message totals,
+	// by compiler version (see internal/native).
+	nativeSecs map[string]*Histogram
+	nativeMsgs map[string]int64
+
 	// Serving-layer state (see serve.go): RED metrics per route,
 	// scheduler queue-wait ledger, build identity, and the live
 	// gauges callback.
@@ -74,20 +79,35 @@ type Registry struct {
 // NewRegistry builds an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		requests:  map[string]int64{},
-		counters:  map[string]int64{},
-		gauges:    map[string]float64{},
-		phase:     map[string]*Histogram{},
-		placed:    map[string]*Histogram{},
-		bytes:     map[string]*Histogram{},
-		hrel:      map[string]*Histogram{},
-		siteBytes: map[string]int64{},
-		gapBound:  map[string]float64{},
-		gapActual: map[string]map[string]float64{},
-		httpReq:   map[string]map[string]int64{},
-		httpLat:   map[string]*Histogram{},
-		queueWait: NewHistogram(LatencyBuckets),
+		requests:   map[string]int64{},
+		counters:   map[string]int64{},
+		gauges:     map[string]float64{},
+		phase:      map[string]*Histogram{},
+		placed:     map[string]*Histogram{},
+		bytes:      map[string]*Histogram{},
+		hrel:       map[string]*Histogram{},
+		siteBytes:  map[string]int64{},
+		gapBound:   map[string]float64{},
+		gapActual:  map[string]map[string]float64{},
+		httpReq:    map[string]map[string]int64{},
+		httpLat:    map[string]*Histogram{},
+		queueWait:  NewHistogram(LatencyBuckets),
+		nativeSecs: map[string]*Histogram{},
+		nativeMsgs: map[string]int64{},
 	}
+}
+
+// ObserveNativeExec records one native-backend run: the wall-clock the
+// goroutine fleet took and how many point-to-point messages it moved,
+// labeled by compiler version.
+func (g *Registry) ObserveNativeExec(version string, seconds float64, messages int64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.histLocked(g.nativeSecs, version, LatencyBuckets).Observe(seconds)
+	g.nativeMsgs[version] += messages
 }
 
 // versions are the compiler versions whose per-compile counters Absorb
@@ -271,20 +291,22 @@ func (g *Registry) Counter(name string) int64 {
 // registrySnapshot is the copied registry state rendering reads
 // outside the lock.
 type registrySnapshot struct {
-	req       map[string]int64
-	ctr       map[string]int64
-	gau       map[string]float64
-	phase     map[string]*Histogram
-	placed    map[string]*Histogram
-	bytes     map[string]*Histogram
-	hrel      map[string]*Histogram
-	siteBytes map[string]int64
-	gapBound  map[string]float64
-	gapRatio  map[string]map[string]float64
-	httpReq   map[string]map[string]int64
-	httpLat   map[string]*Histogram
-	queueWait *Histogram
-	buildInfo string
+	req        map[string]int64
+	ctr        map[string]int64
+	gau        map[string]float64
+	phase      map[string]*Histogram
+	placed     map[string]*Histogram
+	bytes      map[string]*Histogram
+	hrel       map[string]*Histogram
+	siteBytes  map[string]int64
+	gapBound   map[string]float64
+	gapRatio   map[string]map[string]float64
+	httpReq    map[string]map[string]int64
+	httpLat    map[string]*Histogram
+	queueWait  *Histogram
+	buildInfo  string
+	nativeSecs map[string]*Histogram
+	nativeMsgs map[string]int64
 }
 
 // snapshot copies the registry state so rendering happens outside the
@@ -319,20 +341,22 @@ func (g *Registry) snapshot() registrySnapshot {
 		gapRatio[bench] = out
 	}
 	return registrySnapshot{
-		req:       copyMap(g.requests),
-		ctr:       copyMap(g.counters),
-		gau:       copyMap(g.gauges),
-		phase:     cloneHists(g.phase),
-		placed:    cloneHists(g.placed),
-		bytes:     cloneHists(g.bytes),
-		hrel:      cloneHists(g.hrel),
-		siteBytes: copyMap(g.siteBytes),
-		gapBound:  copyMap(g.gapBound),
-		gapRatio:  gapRatio,
-		httpReq:   httpReq,
-		httpLat:   cloneHists(g.httpLat),
-		queueWait: g.queueWait.clone(),
-		buildInfo: g.buildInfo,
+		req:        copyMap(g.requests),
+		ctr:        copyMap(g.counters),
+		gau:        copyMap(g.gauges),
+		phase:      cloneHists(g.phase),
+		placed:     cloneHists(g.placed),
+		bytes:      cloneHists(g.bytes),
+		hrel:       cloneHists(g.hrel),
+		siteBytes:  copyMap(g.siteBytes),
+		gapBound:   copyMap(g.gapBound),
+		gapRatio:   gapRatio,
+		httpReq:    httpReq,
+		httpLat:    cloneHists(g.httpLat),
+		queueWait:  g.queueWait.clone(),
+		buildInfo:  g.buildInfo,
+		nativeSecs: cloneHists(g.nativeSecs),
+		nativeMsgs: copyMap(g.nativeMsgs),
 	}
 }
 
@@ -384,6 +408,10 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 		"Per-superstep h-relation size in bytes (max in/out per processor), by compiler version.", "version", snap.hrel)
 	writeScalarFamily(&b, "gcao_site_comm_bytes_total", "counter",
 		"Simulated communication bytes attributed to each placement site.", "site", snap.siteBytes)
+	writeHistFamily(&b, "gcao_native_exec_seconds",
+		"Native goroutine-backend wall clock per run in seconds, by compiler version.", "version", snap.nativeSecs)
+	writeScalarFamily(&b, "gcao_native_messages_total", "counter",
+		"Point-to-point messages moved by the native backend, by compiler version.", "version", snap.nativeMsgs)
 	writeScalarFamily(&b, "gcao_comm_lower_bound_bytes", "gauge",
 		"Placement-independent communication lower bound of the last compile, by routine.", "benchmark", snap.gapBound)
 	writeTwoLabelFamily(&b, "gcao_optimality_gap_ratio", "gauge",

@@ -116,6 +116,30 @@ func TestRegistryObserveBytes(t *testing.T) {
 	}
 }
 
+func TestRegistryObserveNativeExec(t *testing.T) {
+	reg := NewRegistry()
+	reg.ObserveNativeExec("comb", 0.012, 96)
+	reg.ObserveNativeExec("comb", 0.014, 96)
+	reg.ObserveNativeExec("orig", 0.020, 480)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if err := CheckPromText(buf.Bytes()); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, text)
+	}
+	if !strings.Contains(text, `gcao_native_exec_seconds_count{version="comb"} 2`) {
+		t.Fatalf("native exec histogram missing:\n%s", text)
+	}
+	if !strings.Contains(text, `gcao_native_messages_total{version="orig"} 480`) {
+		t.Fatalf("native message counter missing:\n%s", text)
+	}
+	if !strings.Contains(text, `gcao_native_messages_total{version="comb"} 192`) {
+		t.Fatalf("native message counter not accumulated:\n%s", text)
+	}
+}
+
 func TestCheckPromTextRejectsGarbage(t *testing.T) {
 	for _, bad := range []string{
 		"metric_without_type 1\n",

@@ -1,0 +1,267 @@
+// Package plan precomputes the execution recipe shared by every
+// backend that runs a placed program: the BSP simulator (package spmd)
+// and the native goroutine backend (package native) both walk the same
+// CFG, execute the same communication groups at the same positions,
+// and resolve the same array references. Building that index once here
+// keeps the backends' group/CFG walking logically identical — the
+// bit-for-bit equivalence argument between them starts with "both
+// executed the same Plan".
+//
+// A Plan is immutable after New and safe for concurrent readers.
+package plan
+
+import (
+	"gcao/internal/ast"
+	"gcao/internal/cfg"
+	"gcao/internal/core"
+	"gcao/internal/runtime"
+	"gcao/internal/section"
+)
+
+// StmtInfo is the precomputed execution recipe of one statement.
+type StmtInfo struct {
+	// Flops counts the statement's floating-point operations (see
+	// CountFlops).
+	Flops int
+	// LHS is the resolved LHS array view, nil for scalar targets.
+	LHS *runtime.ArrayMem
+	// Sync marks statements that need cross-processor agreement before
+	// the store: a replicated-array store (single shared row) or a SUM
+	// over a distributed array (reads owner rows across processors).
+	Sync bool
+	// HasSum marks statements whose RHS contains any SUM, so
+	// per-statement reduction memos are reset before evaluation.
+	HasSum bool
+}
+
+// Plan is the immutable per-run precomputation: communication groups
+// indexed by block and statement position (instead of a map keyed by
+// core.Position), per-statement recipes, resolved array views per AST
+// reference, and the rendezvous requirements of branch conditions.
+type Plan struct {
+	A   *core.Analysis
+	Res *core.Result
+	// Comm[b.ID][k+1] lists the groups placed after statement k of
+	// block b (index 0 is the block-top position After=-1), in
+	// Res.Groups order.
+	Comm [][][]*core.Group
+	Info map[*cfg.Stmt]*StmtInfo
+	// RefArr resolves array references to their memory views; scalar
+	// references are absent.
+	RefArr map[*ast.Ref]*runtime.ArrayMem
+	// CondSync[b.ID] marks branch conditions that read distributed
+	// data and therefore need cross-processor agreement on the taken
+	// edge.
+	CondSync []bool
+	LoopOf   []*cfg.Loop // by preheader block ID
+}
+
+// New builds the plan for one placement over one memory image.
+func New(res *core.Result, mem *runtime.Memory) *Plan {
+	a := res.Analysis
+	pl := &Plan{A: a, Res: res}
+	n := len(a.G.Blocks)
+	pl.Comm = make([][][]*core.Group, n)
+	for _, b := range a.G.Blocks {
+		pl.Comm[b.ID] = make([][]*core.Group, len(b.Stmts)+1)
+	}
+	for _, g := range res.Groups {
+		b := g.Pos.Block
+		pl.Comm[b.ID][g.Pos.After+1] = append(pl.Comm[b.ID][g.Pos.After+1], g)
+	}
+	pl.Info = make(map[*cfg.Stmt]*StmtInfo, len(a.G.Stmts))
+	pl.RefArr = map[*ast.Ref]*runtime.ArrayMem{}
+	resolve := func(e ast.Expr) {
+		WalkRefs(e, func(r *ast.Ref) {
+			if a.Unit.Arrays[r.Name] != nil {
+				pl.RefArr[r] = mem.View(r.Name)
+			}
+		})
+	}
+	for _, st := range a.G.Stmts {
+		si := &StmtInfo{Flops: CountFlops(st.Assign.RHS)}
+		if arr := a.Unit.Arrays[st.Assign.LHS.Name]; arr != nil {
+			si.LHS = mem.View(st.Assign.LHS.Name)
+		}
+		si.HasSum = ExprHasSum(st.Assign.RHS)
+		si.Sync = (si.LHS != nil && si.LHS.Dist == nil) ||
+			ExprHasDistributedSum(a, st.Assign.RHS)
+		pl.Info[st] = si
+		resolve(st.Assign.RHS)
+	}
+	pl.CondSync = make([]bool, n)
+	pl.LoopOf = make([]*cfg.Loop, n)
+	for _, b := range a.G.Blocks {
+		if b.Branch != nil {
+			pl.CondSync[b.ID] = ExprReadsDistributed(a, b.Branch.Cond)
+			resolve(b.Branch.Cond)
+		}
+	}
+	for _, l := range a.G.Loops {
+		if l.PreHeader != nil {
+			pl.LoopOf[l.PreHeader.ID] = l
+		}
+	}
+	return pl
+}
+
+// WalkRefs visits every array/scalar reference of an expression,
+// including references nested in subscript and section bounds.
+func WalkRefs(e ast.Expr, f func(*ast.Ref)) {
+	switch e := e.(type) {
+	case *ast.UnaryExpr:
+		WalkRefs(e.X, f)
+	case *ast.BinExpr:
+		WalkRefs(e.X, f)
+		WalkRefs(e.Y, f)
+	case *ast.Call:
+		for _, a := range e.Args {
+			WalkRefs(a, f)
+		}
+	case *ast.Ref:
+		f(e)
+		for _, sub := range e.Subs {
+			for _, x := range []ast.Expr{sub.X, sub.Lo, sub.Hi, sub.Step} {
+				if x != nil {
+					WalkRefs(x, f)
+				}
+			}
+		}
+	}
+}
+
+// WalkCalls visits every intrinsic call of an expression in evaluation
+// order (a call before its arguments).
+func WalkCalls(e ast.Expr, f func(*ast.Call)) {
+	switch e := e.(type) {
+	case *ast.UnaryExpr:
+		WalkCalls(e.X, f)
+	case *ast.BinExpr:
+		WalkCalls(e.X, f)
+		WalkCalls(e.Y, f)
+	case *ast.Call:
+		f(e)
+		for _, a := range e.Args {
+			WalkCalls(a, f)
+		}
+	}
+}
+
+// ExprHasSum reports whether the expression contains any SUM call.
+func ExprHasSum(e ast.Expr) bool {
+	found := false
+	WalkCalls(e, func(c *ast.Call) {
+		if c.Func == "sum" {
+			found = true
+		}
+	})
+	return found
+}
+
+// ExprHasDistributedSum reports whether the expression sums a
+// distributed array (the case that needs a cross-processor combine).
+func ExprHasDistributedSum(a *core.Analysis, e ast.Expr) bool {
+	found := false
+	WalkCalls(e, func(c *ast.Call) {
+		if c.Func != "sum" || len(c.Args) != 1 {
+			return
+		}
+		if ref, ok := c.Args[0].(*ast.Ref); ok {
+			if arr := a.Unit.Arrays[ref.Name]; arr != nil && arr.Dist != nil {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+// ExprReadsDistributed reports whether the expression references any
+// distributed array.
+func ExprReadsDistributed(a *core.Analysis, e ast.Expr) bool {
+	found := false
+	WalkRefs(e, func(r *ast.Ref) {
+		if arr := a.Unit.Arrays[r.Name]; arr != nil && arr.Dist != nil {
+			found = true
+		}
+	})
+	return found
+}
+
+// CountFlops counts the floating-point operations of an expression,
+// excluding integer subscript arithmetic (which compiled code strength-
+// reduces away).
+func CountFlops(e ast.Expr) int {
+	switch e := e.(type) {
+	case *ast.BinExpr:
+		return 1 + CountFlops(e.X) + CountFlops(e.Y)
+	case *ast.UnaryExpr:
+		return 1 + CountFlops(e.X)
+	case *ast.Call:
+		n := 1
+		for _, a := range e.Args {
+			n += CountFlops(a)
+		}
+		return n
+	default:
+		return 0 // literals, scalars, array refs (subscripts excluded)
+	}
+}
+
+// ConcreteRefSection resolves a (possibly sectioned) reference to a
+// concrete section under a loop environment.
+func (pl *Plan) ConcreteRefSection(ref *ast.Ref, am *runtime.ArrayMem, ienv map[string]int) (sec section.Section, err error) {
+	arr := am.Arr
+	dims := make([]section.Dim, arr.Rank())
+	if len(ref.Subs) == 0 {
+		for i := range dims {
+			dims[i] = section.Dim{Lo: arr.Lo[i], Hi: arr.Hi[i], Step: 1}
+		}
+		return section.Section{Dims: dims}, nil
+	}
+	for i, sub := range ref.Subs {
+		if sub.Kind == ast.SubExpr {
+			x, err := pl.A.Unit.EvalIntEnv(sub.X, ienv)
+			if err != nil {
+				return section.Section{}, err
+			}
+			dims[i] = section.Dim{Lo: x, Hi: x, Step: 1}
+			continue
+		}
+		lo, hi, step := arr.Lo[i], arr.Hi[i], 1
+		if sub.Lo != nil {
+			if lo, err = pl.A.Unit.EvalIntEnv(sub.Lo, ienv); err != nil {
+				return section.Section{}, err
+			}
+		}
+		if sub.Hi != nil {
+			if hi, err = pl.A.Unit.EvalIntEnv(sub.Hi, ienv); err != nil {
+				return section.Section{}, err
+			}
+		}
+		if sub.Step != nil {
+			if step, err = pl.A.Unit.EvalIntEnv(sub.Step, ienv); err != nil {
+				return section.Section{}, err
+			}
+		}
+		dims[i] = section.Dim{Lo: lo, Hi: hi, Step: step}
+	}
+	return section.Section{Dims: dims}, nil
+}
+
+// ConcreteEntrySection concretizes one group entry's communicated
+// section under a loop environment, clipped to the declared array
+// bounds (vectorized subscript ranges like i-1 over i=2..n already
+// stay inside, but defensive clipping keeps hulls in range).
+func (pl *Plan) ConcreteEntrySection(e *core.Entry, pos core.Position, ienv map[string]int) (section.Section, bool) {
+	sym := pl.Res.CommSection(e, pos.Level())
+	env := map[string]int{}
+	for k, v := range ienv {
+		env[k] = v
+	}
+	sec, ok := sym.Concrete(env)
+	if !ok {
+		return section.Section{}, false
+	}
+	arr := pl.A.Unit.Arrays[e.Array]
+	return sec.Clip(arr.Lo, arr.Hi), true
+}

@@ -1,0 +1,85 @@
+package plan_test
+
+import (
+	"testing"
+
+	"gcao/internal/bench"
+	"gcao/internal/core"
+	"gcao/internal/plan"
+	"gcao/internal/runtime"
+)
+
+// TestPlanShape builds a plan for a placed benchmark and checks the
+// indexes both backends rely on: every placed group is reachable
+// through Comm, every statement has a recipe, and the per-block tables
+// span the CFG.
+func TestPlanShape(t *testing.T) {
+	pr, err := bench.ByName("shallow", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := pr.Compile(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Place(core.Options{Version: core.VersionCombine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := runtime.NewMemory(a.Unit, 4)
+	pl := plan.New(res, mem)
+
+	if pl.A != a || pl.Res != res {
+		t.Fatal("plan does not reference its inputs")
+	}
+	nblocks := len(a.G.Blocks)
+	if len(pl.Comm) != nblocks || len(pl.CondSync) != nblocks || len(pl.LoopOf) != nblocks {
+		t.Fatalf("per-block tables sized %d/%d/%d, want %d",
+			len(pl.Comm), len(pl.CondSync), len(pl.LoopOf), nblocks)
+	}
+	placed := 0
+	for _, byPos := range pl.Comm {
+		for _, groups := range byPos {
+			placed += len(groups)
+		}
+	}
+	if placed != len(res.Groups) {
+		t.Fatalf("Comm indexes %d groups, placement has %d", placed, len(res.Groups))
+	}
+	stmts := 0
+	for _, b := range a.G.Blocks {
+		for _, st := range b.Stmts {
+			stmts++
+			if pl.Info[st] == nil {
+				t.Fatalf("no recipe for statement in block %d", b.ID)
+			}
+		}
+	}
+	if stmts == 0 {
+		t.Fatal("no statements walked")
+	}
+}
+
+// TestCountFlops spot-checks the flop counter the estimator and both
+// backends charge work with.
+func TestCountFlops(t *testing.T) {
+	pr, err := bench.ByName("shallow", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := pr.Compile(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, b := range a.G.Blocks {
+		for _, st := range b.Stmts {
+			if st.Assign != nil {
+				total += plan.CountFlops(st.Assign.RHS)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("counted zero flops over the shallow benchmark")
+	}
+}

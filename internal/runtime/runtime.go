@@ -427,6 +427,21 @@ func (m *Memory) Canonical(name string) []float64 {
 // ---------------------------------------------------------------------
 // Communication operations
 
+// ShiftArrayDim returns the array dimension mapped to the given grid
+// dimension (the axis a shift along gridDim moves data over), or -1
+// when the array is not distributed along it.
+func (am *ArrayMem) ShiftArrayDim(gridDim int) int {
+	if am.Dist == nil {
+		return -1
+	}
+	for k := range am.Arr.Lo {
+		if am.Dist.Dims[k].Kind != 0 && am.Dist.Dims[k].GridDim == gridDim {
+			return k
+		}
+	}
+	return -1
+}
+
 // Shift performs a ghost exchange for one array section along one
 // grid dimension: every processor sends the strip of width elements at
 // its sign-side block boundary — including ghost copies it received in
@@ -454,14 +469,7 @@ func (m *Memory) ShiftRange(name string, sec section.Section, gridDim, sign, wid
 	if am.Dist == nil {
 		return nil
 	}
-	// Find the array dimension mapped to gridDim.
-	ad := -1
-	for k := range arr.Lo {
-		if am.Dist.Dims[k].Kind != 0 && am.Dist.Dims[k].GridDim == gridDim {
-			ad = k
-			break
-		}
-	}
+	ad := am.ShiftArrayDim(gridDim)
 	if ad < 0 {
 		return nil
 	}
@@ -536,6 +544,15 @@ func (m *Memory) ShiftRange(name string, sec section.Section, gridDim, sign, wid
 // processor's local block extended by the ghost margin in every
 // distributed dimension other than ad.
 func (m *Memory) inExtendedRegion(arr *sem.Array, coords []int, idx []int, ad, margin int) bool {
+	return InExtendedRegion(arr, coords, idx, ad, margin)
+}
+
+// InExtendedRegion reports whether an element lies within a
+// processor's local block extended by the ghost margin in every
+// distributed dimension other than ad — the receiver-side filter of a
+// ghost exchange, shared by the simulator's ShiftRange and the native
+// backend's pack/unpack (both sides must agree on the element list).
+func InExtendedRegion(arr *sem.Array, coords []int, idx []int, ad, margin int) bool {
 	for k := range arr.Lo {
 		if k == ad || arr.Dist.Dims[k].Kind == 0 {
 			continue

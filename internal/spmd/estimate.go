@@ -8,6 +8,7 @@ import (
 	"gcao/internal/cfg"
 	"gcao/internal/core"
 	"gcao/internal/machine"
+	"gcao/internal/plan"
 )
 
 // Cost is the analytic per-processor cost estimate of one program
@@ -52,7 +53,7 @@ func Estimate(res *core.Result, m machine.Machine) (Cost, error) {
 		if err != nil {
 			return Cost{}, err
 		}
-		flops := float64(countFlops(st.Assign.RHS))
+		flops := float64(plan.CountFlops(st.Assign.RHS))
 		// SUM over a section adds one flop per element, split across
 		// owners.
 		sumElems, err := sumSectionElems(a, st)

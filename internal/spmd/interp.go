@@ -26,8 +26,8 @@ import (
 
 	"gcao/internal/ast"
 	"gcao/internal/cfg"
-	"gcao/internal/core"
 	"gcao/internal/obs"
+	"gcao/internal/plan"
 	"gcao/internal/runtime"
 	"gcao/internal/section"
 )
@@ -43,167 +43,6 @@ type RunResult struct {
 	Ledger  *runtime.Ledger
 	Mem     *runtime.Memory
 	Scalars map[string]float64
-}
-
-// ---------------------------------------------------------------------
-// run plan: per-run precomputation shared read-only by all shards
-
-// stmtInfo is the precomputed execution recipe of one statement.
-type stmtInfo struct {
-	flops int
-	// lhs is the resolved LHS array view, nil for scalar targets.
-	lhs *runtime.ArrayMem
-	// sync marks statements that need a shard rendezvous: a
-	// replicated-array store (single shared row) or a SUM over a
-	// distributed array (reads owner rows across shard ranges).
-	sync bool
-	// hasSum marks statements whose RHS contains any SUM, so the
-	// per-statement reduction memo is reset before evaluation.
-	hasSum bool
-}
-
-// plan is the immutable per-run precomputation: communication groups
-// indexed by block and statement position (instead of a map keyed by
-// core.Position), per-statement recipes, resolved array views per AST
-// reference, and the rendezvous requirements of branch conditions.
-type plan struct {
-	a   *core.Analysis
-	res *core.Result
-	// comm[b.ID][k+1] lists the groups placed after statement k of
-	// block b (index 0 is the block-top position After=-1), in
-	// res.Groups order.
-	comm [][][]*core.Group
-	info map[*cfg.Stmt]*stmtInfo
-	// refArr resolves array references to their memory views; scalar
-	// references are absent.
-	refArr map[*ast.Ref]*runtime.ArrayMem
-	// condSync[b.ID] marks branch conditions that read distributed
-	// data and therefore need a rendezvous with a leader evaluation.
-	condSync []bool
-	loopOf   []*cfg.Loop // by preheader block ID
-}
-
-func newPlan(res *core.Result, mem *runtime.Memory) *plan {
-	a := res.Analysis
-	pl := &plan{a: a, res: res}
-	n := len(a.G.Blocks)
-	pl.comm = make([][][]*core.Group, n)
-	for _, b := range a.G.Blocks {
-		pl.comm[b.ID] = make([][]*core.Group, len(b.Stmts)+1)
-	}
-	for _, g := range res.Groups {
-		b := g.Pos.Block
-		pl.comm[b.ID][g.Pos.After+1] = append(pl.comm[b.ID][g.Pos.After+1], g)
-	}
-	pl.info = make(map[*cfg.Stmt]*stmtInfo, len(a.G.Stmts))
-	pl.refArr = map[*ast.Ref]*runtime.ArrayMem{}
-	resolve := func(e ast.Expr) {
-		walkRefs(e, func(r *ast.Ref) {
-			if a.Unit.Arrays[r.Name] != nil {
-				pl.refArr[r] = mem.View(r.Name)
-			}
-		})
-	}
-	for _, st := range a.G.Stmts {
-		si := &stmtInfo{flops: countFlops(st.Assign.RHS)}
-		if arr := a.Unit.Arrays[st.Assign.LHS.Name]; arr != nil {
-			si.lhs = mem.View(st.Assign.LHS.Name)
-		}
-		si.hasSum = exprHasSum(st.Assign.RHS)
-		si.sync = (si.lhs != nil && si.lhs.Dist == nil) ||
-			exprHasDistributedSum(a, st.Assign.RHS)
-		pl.info[st] = si
-		resolve(st.Assign.RHS)
-	}
-	pl.condSync = make([]bool, n)
-	pl.loopOf = make([]*cfg.Loop, n)
-	for _, b := range a.G.Blocks {
-		if b.Branch != nil {
-			pl.condSync[b.ID] = exprReadsDistributed(a, b.Branch.Cond)
-			resolve(b.Branch.Cond)
-		}
-	}
-	for _, l := range a.G.Loops {
-		if l.PreHeader != nil {
-			pl.loopOf[l.PreHeader.ID] = l
-		}
-	}
-	return pl
-}
-
-// walkRefs visits every array/scalar reference of an expression,
-// including references nested in subscript and section bounds.
-func walkRefs(e ast.Expr, f func(*ast.Ref)) {
-	switch e := e.(type) {
-	case *ast.UnaryExpr:
-		walkRefs(e.X, f)
-	case *ast.BinExpr:
-		walkRefs(e.X, f)
-		walkRefs(e.Y, f)
-	case *ast.Call:
-		for _, a := range e.Args {
-			walkRefs(a, f)
-		}
-	case *ast.Ref:
-		f(e)
-		for _, sub := range e.Subs {
-			for _, x := range []ast.Expr{sub.X, sub.Lo, sub.Hi, sub.Step} {
-				if x != nil {
-					walkRefs(x, f)
-				}
-			}
-		}
-	}
-}
-
-func exprHasSum(e ast.Expr) bool {
-	found := false
-	walkCalls(e, func(c *ast.Call) {
-		if c.Func == "sum" {
-			found = true
-		}
-	})
-	return found
-}
-
-func exprHasDistributedSum(a *core.Analysis, e ast.Expr) bool {
-	found := false
-	walkCalls(e, func(c *ast.Call) {
-		if c.Func != "sum" || len(c.Args) != 1 {
-			return
-		}
-		if ref, ok := c.Args[0].(*ast.Ref); ok {
-			if arr := a.Unit.Arrays[ref.Name]; arr != nil && arr.Dist != nil {
-				found = true
-			}
-		}
-	})
-	return found
-}
-
-func exprReadsDistributed(a *core.Analysis, e ast.Expr) bool {
-	found := false
-	walkRefs(e, func(r *ast.Ref) {
-		if arr := a.Unit.Arrays[r.Name]; arr != nil && arr.Dist != nil {
-			found = true
-		}
-	})
-	return found
-}
-
-func walkCalls(e ast.Expr, f func(*ast.Call)) {
-	switch e := e.(type) {
-	case *ast.UnaryExpr:
-		walkCalls(e.X, f)
-	case *ast.BinExpr:
-		walkCalls(e.X, f)
-		walkCalls(e.Y, f)
-	case *ast.Call:
-		f(e)
-		for _, a := range e.Args {
-			walkCalls(a, f)
-		}
-	}
 }
 
 // ---------------------------------------------------------------------
@@ -244,7 +83,7 @@ type shard struct {
 }
 
 func (sh *shard) run() error {
-	cur := sh.eng.pl.a.G.EntryBlock
+	cur := sh.eng.pl.A.G.EntryBlock
 	var prev *cfg.Block
 	for cur != nil {
 		next, err := sh.execBlock(cur, prev)
@@ -277,17 +116,17 @@ func (sh *shard) execBlock(b *cfg.Block, prev *cfg.Block) (*cfg.Block, error) {
 		}
 		// Communication placed at the loop header executes once per
 		// iteration, after the φ point.
-		if err := sh.execComm(pl.comm[b.ID][0]); err != nil {
+		if err := sh.execComm(pl.Comm[b.ID][0]); err != nil {
 			return nil, err
 		}
 		return b.Succs[0], nil
 
 	case cfg.PreHeader:
-		loop := pl.loopOf[b.ID]
+		loop := pl.LoopOf[b.ID]
 		if loop == nil {
 			panic("spmd: preheader without loop")
 		}
-		if err := sh.execComm(pl.comm[b.ID][0]); err != nil {
+		if err := sh.execComm(pl.Comm[b.ID][0]); err != nil {
 			return nil, err
 		}
 		lo, err1 := sh.evalInt(loop.Do.Lo)
@@ -320,14 +159,14 @@ func (sh *shard) execBlock(b *cfg.Block, prev *cfg.Block) (*cfg.Block, error) {
 		return b.Succs[0], nil
 
 	default:
-		if err := sh.execComm(pl.comm[b.ID][0]); err != nil {
+		if err := sh.execComm(pl.Comm[b.ID][0]); err != nil {
 			return nil, err
 		}
 		for k, st := range b.Stmts {
 			if err := sh.execStmt(st); err != nil {
 				return nil, err
 			}
-			if err := sh.execComm(pl.comm[b.ID][k+1]); err != nil {
+			if err := sh.execComm(pl.Comm[b.ID][k+1]); err != nil {
 				return nil, err
 			}
 		}
@@ -356,21 +195,21 @@ func (sh *shard) execBlock(b *cfg.Block, prev *cfg.Block) (*cfg.Block, error) {
 // statement execution
 
 func (sh *shard) execStmt(st *cfg.Stmt) error {
-	si := sh.eng.pl.info[st]
-	if si.hasSum {
+	si := sh.eng.pl.Info[st]
+	if si.HasSum {
 		clear(sh.sumMemo)
 	}
-	if si.sync {
+	if si.Sync {
 		return sh.execSyncStmt(st, si)
 	}
 	as := st.Assign
 
-	if si.lhs == nil {
+	if si.LHS == nil {
 		// Scalar target: every processor computes the replicated value;
 		// this shard evaluates its range (the value is processor-
 		// independent, cross-shard agreement is checked at the next
 		// rendezvous).
-		v, err := sh.evalRange(as.RHS, si.flops)
+		v, err := sh.evalRange(as.RHS, si.Flops)
 		if err != nil {
 			return err
 		}
@@ -384,7 +223,7 @@ func (sh *shard) execStmt(st *cfg.Stmt) error {
 	if err != nil {
 		return err
 	}
-	am := si.lhs
+	am := si.LHS
 	off := am.Offset(idx)
 	owner := sh.ownerOf(am, idx)
 	if owner >= sh.lo && owner < sh.hi {
@@ -393,7 +232,7 @@ func (sh *shard) execStmt(st *cfg.Stmt) error {
 			return err
 		}
 		am.StoreOwner(off, owner, v)
-		sh.led.Compute(owner, si.flops+extra)
+		sh.led.Compute(owner, si.Flops+extra)
 	}
 	am.InvalidateRange(off, owner, sh.lo, sh.hi)
 	return nil
@@ -403,7 +242,7 @@ func (sh *shard) execStmt(st *cfg.Stmt) error {
 // its RHS sums a distributed array (reading owner rows across shard
 // ranges, so all shards must quiesce first) or its LHS is a
 // replicated array (single shared row, written once by the leader).
-func (sh *shard) execSyncStmt(st *cfg.Stmt, si *stmtInfo) error {
+func (sh *shard) execSyncStmt(st *cfg.Stmt, si *plan.StmtInfo) error {
 	eng := sh.eng
 	as := st.Assign
 
@@ -417,18 +256,18 @@ func (sh *shard) execSyncStmt(st *cfg.Stmt, si *stmtInfo) error {
 	var off, owner int
 	var serr error
 	eng.syncHas[sh.idx] = false
-	if si.lhs != nil {
+	if si.LHS != nil {
 		idx, serr = sh.lhsIndex(as)
-		if serr == nil && si.lhs.Dist != nil {
-			off = si.lhs.Offset(idx)
-			owner = sh.ownerOf(si.lhs, idx)
+		if serr == nil && si.LHS.Dist != nil {
+			off = si.LHS.Offset(idx)
+			owner = sh.ownerOf(si.LHS, idx)
 		} else if serr == nil {
-			off = si.lhs.Offset(idx)
+			off = si.LHS.Offset(idx)
 		}
 	}
 	if serr == nil {
 		switch {
-		case si.lhs != nil && si.lhs.Dist != nil:
+		case si.LHS != nil && si.LHS.Dist != nil:
 			// Owner-computes: only the owner's shard evaluates.
 			if owner >= sh.lo && owner < sh.hi {
 				v, extra, err := sh.evalOn(owner, as.RHS)
@@ -437,13 +276,13 @@ func (sh *shard) execSyncStmt(st *cfg.Stmt, si *stmtInfo) error {
 				} else {
 					eng.syncVals[sh.idx] = v
 					eng.syncHas[sh.idx] = true
-					sh.led.Compute(owner, si.flops+extra)
+					sh.led.Compute(owner, si.Flops+extra)
 				}
 			}
 		default:
 			// Scalar or replicated-array target: the value is
 			// replicated; this shard evaluates and charges its range.
-			v, err := sh.evalRange(as.RHS, si.flops)
+			v, err := sh.evalRange(as.RHS, si.Flops)
 			if err != nil {
 				serr = err
 			} else {
@@ -473,24 +312,24 @@ func (sh *shard) execSyncStmt(st *cfg.Stmt, si *stmtInfo) error {
 				return fmt.Errorf("spmd: replicated computation diverged: %g vs %g", v0, v)
 			}
 		}
-		if si.lhs != nil && !have {
+		if si.LHS != nil && !have {
 			return fmt.Errorf("spmd: no shard computed %s", as.LHS.Name)
 		}
 		eng.syncResult = v0
-		if si.lhs != nil && si.lhs.Dist != nil {
-			si.lhs.StoreOwner(off, owner, v0)
-		} else if si.lhs != nil {
-			si.lhs.StoreOwner(off, 0, v0)
+		if si.LHS != nil && si.LHS.Dist != nil {
+			si.LHS.StoreOwner(off, owner, v0)
+		} else if si.LHS != nil {
+			si.LHS.StoreOwner(off, 0, v0)
 		}
 		return nil
 	})
 	if err != nil {
 		return err
 	}
-	if si.lhs == nil {
+	if si.LHS == nil {
 		sh.scalars[as.LHS.Name] = eng.syncResult
-	} else if si.lhs.Dist != nil {
-		si.lhs.InvalidateRange(off, owner, sh.lo, sh.hi)
+	} else if si.LHS.Dist != nil {
+		si.LHS.InvalidateRange(off, owner, sh.lo, sh.hi)
 	}
 	return nil
 }
@@ -592,7 +431,7 @@ func (sh *shard) evalOn(p int, e ast.Expr) (val float64, extra int, err error) {
 		}
 		return 0, 0, fmt.Errorf("spmd: bad operator %v", e.Op)
 	case *ast.Ref:
-		am := sh.eng.pl.refArr[e]
+		am := sh.eng.pl.RefArr[e]
 		if am == nil {
 			if v, ok := sh.ienv[e.Name]; ok {
 				return float64(v), 0, nil
@@ -664,11 +503,11 @@ func (sh *shard) evalSum(p int, e *ast.Call) (float64, int, error) {
 		}
 		return m.total, m.n, nil
 	}
-	am := sh.eng.pl.refArr[ref]
+	am := sh.eng.pl.RefArr[ref]
 	if am == nil {
 		return 0, 0, fmt.Errorf("spmd: sum over non-array %q", ref.Name)
 	}
-	sec, err := sh.concreteRefSection(ref, am)
+	sec, err := sh.eng.pl.ConcreteRefSection(ref, am, sh.ienv)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -703,7 +542,7 @@ func b2f(b bool) float64 {
 func (sh *shard) evalCond(b *cfg.Block) (bool, error) {
 	eng := sh.eng
 	clear(sh.sumMemo)
-	if !eng.pl.condSync[b.ID] {
+	if !eng.pl.CondSync[b.ID] {
 		v, _, err := sh.evalOn(0, b.Branch.Cond)
 		return v != 0, err
 	}
@@ -723,85 +562,7 @@ func (sh *shard) evalCond(b *cfg.Block) (bool, error) {
 }
 
 func (sh *shard) evalInt(e ast.Expr) (int, error) {
-	return sh.eng.pl.a.Unit.EvalIntEnv(e, sh.ienv)
-}
-
-// concreteRefSection resolves a (possibly sectioned) reference to a
-// concrete section under the current loop environment.
-func (sh *shard) concreteRefSection(ref *ast.Ref, am *runtime.ArrayMem) (sec sectionT, err error) {
-	arr := am.Arr
-	dims := make([]sectionDimT, arr.Rank())
-	if len(ref.Subs) == 0 {
-		for i := range dims {
-			dims[i] = sectionDimT{Lo: arr.Lo[i], Hi: arr.Hi[i], Step: 1}
-		}
-		return sectionT{Dims: dims}, nil
-	}
-	for i, sub := range ref.Subs {
-		if sub.Kind == ast.SubExpr {
-			x, err := sh.evalInt(sub.X)
-			if err != nil {
-				return sectionT{}, err
-			}
-			dims[i] = sectionDimT{Lo: x, Hi: x, Step: 1}
-			continue
-		}
-		lo, hi, step := arr.Lo[i], arr.Hi[i], 1
-		if sub.Lo != nil {
-			if lo, err = sh.evalInt(sub.Lo); err != nil {
-				return sectionT{}, err
-			}
-		}
-		if sub.Hi != nil {
-			if hi, err = sh.evalInt(sub.Hi); err != nil {
-				return sectionT{}, err
-			}
-		}
-		if sub.Step != nil {
-			if step, err = sh.evalInt(sub.Step); err != nil {
-				return sectionT{}, err
-			}
-		}
-		dims[i] = sectionDimT{Lo: lo, Hi: hi, Step: step}
-	}
-	return sectionT{Dims: dims}, nil
-}
-
-func (sh *shard) concreteEntrySection(e *core.Entry, pos core.Position) (sectionT, bool) {
-	sym := sh.eng.pl.res.CommSection(e, pos.Level())
-	env := map[string]int{}
-	for k, v := range sh.ienv {
-		env[k] = v
-	}
-	sec, ok := sym.Concrete(env)
-	if !ok {
-		return sectionT{}, false
-	}
-	// Clip to the declared array bounds: vectorized subscript ranges
-	// like i-1 over i=2..n already stay inside, but defensive clipping
-	// keeps hulls in range.
-	arr := sh.eng.pl.a.Unit.Arrays[e.Array]
-	return sec.Clip(arr.Lo, arr.Hi), true
-}
-
-// countFlops counts the floating-point operations of an expression,
-// excluding integer subscript arithmetic (which compiled code strength-
-// reduces away).
-func countFlops(e ast.Expr) int {
-	switch e := e.(type) {
-	case *ast.BinExpr:
-		return 1 + countFlops(e.X) + countFlops(e.Y)
-	case *ast.UnaryExpr:
-		return 1 + countFlops(e.X)
-	case *ast.Call:
-		n := 1
-		for _, a := range e.Args {
-			n += countFlops(a)
-		}
-		return n
-	default:
-		return 0 // literals, scalars, array refs (subscripts excluded)
-	}
+	return sh.eng.pl.A.Unit.EvalIntEnv(e, sh.ienv)
 }
 
 // VerifyAgainstSequential compares the canonical memory of a parallel

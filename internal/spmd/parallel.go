@@ -29,6 +29,7 @@ import (
 	"gcao/internal/machine"
 	"gcao/internal/obs"
 	"gcao/internal/obs/attr"
+	"gcao/internal/plan"
 	"gcao/internal/runtime"
 )
 
@@ -90,7 +91,7 @@ func RunParallelObs(res *core.Result, m machine.Machine, procs, workers int, rec
 
 	mem := runtime.NewMemory(a.Unit, procs)
 	eng := &engine{
-		pl:           newPlan(res, mem),
+		pl:           plan.New(res, mem),
 		mem:          mem,
 		led:          runtime.NewLedger(procs, m),
 		ph:           newPhaser(workers),
@@ -176,7 +177,7 @@ func (sh *shard) main() {
 // engine: shared run state and rendezvous scratch
 
 type engine struct {
-	pl     *plan
+	pl     *plan.Plan
 	mem    *runtime.Memory
 	led    *runtime.Ledger
 	ph     *phaser
@@ -342,13 +343,13 @@ func (eng *engine) finishProfile(rec *obs.Recorder) {
 	eng.prof.IdleSec = append([]float64(nil), eng.idle...)
 	rec.SetProfile(eng.prof)
 	rec.SetAttribution(eng.attrRun)
-	prefix := "spmd." + eng.pl.res.Version.String() + "."
+	prefix := "spmd." + eng.pl.Res.Version.String() + "."
 	rec.Add(prefix+"supersteps", int64(len(eng.prof.Steps)))
 	rec.Add(prefix+"messages", int64(eng.led.DynMessages))
 	rec.Add(prefix+"bytes", int64(eng.led.BytesMoved))
 	rec.Add(prefix+"barriers", int64(eng.led.Barriers))
 	rec.Event(obs.LevelInfo, "simulate.done",
-		obs.F("version", eng.pl.res.Version.String()),
+		obs.F("version", eng.pl.Res.Version.String()),
 		obs.F("procs", eng.led.P),
 		obs.F("messages", eng.led.DynMessages),
 		obs.F("bytes", eng.led.BytesMoved),
@@ -383,7 +384,7 @@ func (sh *shard) execComm(groups []*core.Group) error {
 			eng.secs = make([]sectionT, len(g.Entries))
 			eng.secOK = make([]bool, len(g.Entries))
 			for i, e := range g.Entries {
-				eng.secs[i], eng.secOK[i] = sh.concreteEntrySection(e, g.Pos)
+				eng.secs[i], eng.secOK[i] = eng.pl.ConcreteEntrySection(e, g.Pos, sh.ienv)
 			}
 			if g.Kind == core.KindReduce {
 				// Functionally the SUM statement computes the value; the

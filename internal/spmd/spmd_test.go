@@ -7,6 +7,7 @@ import (
 	"gcao/internal/core"
 	"gcao/internal/machine"
 	"gcao/internal/parser"
+	"gcao/internal/plan"
 	"gcao/internal/sem"
 )
 
@@ -300,7 +301,7 @@ func TestCountFlops(t *testing.T) {
 	found := false
 	for _, st := range a.G.Stmts {
 		if st.Assign.LHS.Name == "b" && st.NL() == 3 {
-			if got := countFlops(st.Assign.RHS); got != 4 {
+			if got := plan.CountFlops(st.Assign.RHS); got != 4 {
 				t.Errorf("stencil flops = %d, want 4", got)
 			}
 			found = true
