@@ -118,7 +118,11 @@ obs-smoke:
 # the shallow benchmark, run it as real goroutines, verify bit-for-bit
 # against the BSP simulator from the command line, then run the
 # exhaustive native-vs-simulator matrix and the oversubscription
-# regression test.
+# regression test. Finally it measures the steady-state allocation
+# benchmark (gravity, P=16, engine reuse) and fails if allocs/op
+# exceeds the checked-in budget in ci/native-alloc-budget.txt — the
+# recycled message fabric is the point of the backend, so a hot path
+# that starts allocating again is a regression.
 native-smoke:
 	@mkdir -p out
 	$(GO) run ./cmd/runbench -functional -backend native -fig b | tee out/native-smoke.txt
@@ -126,4 +130,10 @@ native-smoke:
 	@n=$$(grep -c 'native ok, bit-identical to simulator' out/native-smoke.txt); \
 	[ "$$n" -ge 6 ] || { echo "native-smoke: only $$n of 6 benchmarks verified"; exit 1; }
 	$(GO) test ./internal/native -run 'TestNativeMatchesSimulator|TestNativeOversubscription' -count=1
+	$(GO) test -short -run XXX -bench BenchmarkNativeAlloc -benchtime 3x -benchmem . | tee out/native-alloc.txt
+	@budget=$$(cat ci/native-alloc-budget.txt); \
+	allocs=$$(awk '/^BenchmarkNativeAlloc/ {for (i=1; i<NF; i++) if ($$(i+1) == "allocs/op") print $$i}' out/native-alloc.txt); \
+	[ -n "$$allocs" ] || { echo "native-smoke: no allocs/op in benchmark output"; exit 1; }; \
+	[ "$$allocs" -le "$$budget" ] || { echo "native-smoke: $$allocs allocs/op exceeds budget $$budget (ci/native-alloc-budget.txt)"; exit 1; }; \
+	echo "native-smoke: $$allocs allocs/op within budget $$budget"
 	@echo "native-smoke: ok"

@@ -434,9 +434,12 @@ func BenchmarkParallelSimulation(b *testing.B) {
 // BenchmarkNativeExecution measures the native goroutine backend on
 // the same hot point BenchmarkParallelSimulation uses — gravity,
 // procs=25, n=250 (short: 48) — one goroutine per logical processor
-// with placed communication realized as channel transfers. Compare
-// against BenchmarkParallelSimulation's sub-benchmarks to see real
-// execution against modeled simulation on identical placements.
+// with placed communication realized as channel transfers. The engine
+// is built once and warmed outside the timer, so the loop measures
+// steady-state execution: recycled message buffers and per-processor
+// scratch in play, setup (memory image, plan, fabric) excluded.
+// Compare against BenchmarkParallelSimulation's sub-benchmarks to see
+// real execution against modeled simulation on identical placements.
 func BenchmarkNativeExecution(b *testing.B) {
 	n := 250
 	if testing.Short() {
@@ -454,15 +457,59 @@ func BenchmarkNativeExecution(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	eng, err := native.NewEngine(res, 25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.Run(); err != nil { // warm pools and scratch
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
-	var msgs int64
+	var msgs, wire int64
 	for i := 0; i < b.N; i++ {
-		out, err := native.Run(res, 25)
+		out, err := eng.Run()
 		if err != nil {
 			b.Fatal(err)
 		}
 		msgs = out.Stats.Messages
+		wire = out.Stats.WireBytes
 	}
 	b.ReportMetric(float64(msgs), "messages")
+	b.ReportMetric(float64(wire), "wirebytes")
+}
+
+// BenchmarkNativeAlloc is the allocation budget the native-smoke CI
+// target gates on: gravity at P=16 (short-friendly n=48), steady-state
+// engine reuse. The recycled fabric and hoisted scratch are the point,
+// so allocs/op here regressing means a hot path started allocating
+// again; ci/native-alloc-budget.txt holds the ceiling `make
+// native-smoke` enforces with -benchmem.
+func BenchmarkNativeAlloc(b *testing.B) {
+	pr, err := bench.ByName("gravity", "main")
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := pr.Compile(48, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := a.Place(core.Options{Version: core.VersionCombine})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := native.NewEngine(res, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

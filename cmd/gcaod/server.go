@@ -266,6 +266,9 @@ type nativeDoc struct {
 	Seconds    float64          `json:"seconds"`
 	Messages   int64            `json:"messages"`
 	BytesMoved int64            `json:"bytes_moved"`
+	WireBytes  int64            `json:"wire_bytes"`
+	Hops       int64            `json:"collective_hops"`
+	AllocBytes int64            `json:"alloc_bytes"`
 	Ops        map[string]int64 `json:"ops,omitempty"`
 }
 
@@ -508,9 +511,18 @@ func (s *server) compile(id string, rec *obs.Recorder, req compileRequest, root 
 				Seconds:    nat.Stats.ElapsedSeconds,
 				Messages:   nat.Stats.Messages,
 				BytesMoved: nat.Stats.Bytes,
+				WireBytes:  nat.Stats.WireBytes,
+				Hops:       nat.Stats.Hops,
+				AllocBytes: nat.Stats.AllocBytes,
 				Ops:        nat.Stats.Ops,
 			}
-			s.reg.ObserveNativeExec(strategy.String(), nat.Stats.ElapsedSeconds, nat.Stats.Messages)
+			s.reg.ObserveNativeExec(strategy.String(), obs.NativeExecSample{
+				Seconds:    nat.Stats.ElapsedSeconds,
+				Messages:   nat.Stats.Messages,
+				WireBytes:  nat.Stats.WireBytes,
+				Hops:       nat.Stats.Hops,
+				AllocBytes: nat.Stats.AllocBytes,
+			})
 		}
 	}
 	resp.Metrics = rec.Doc()
@@ -608,9 +620,18 @@ func (s *server) placeAll(id string, rec *obs.Recorder, req compileRequest, c *g
 				Seconds:    nat.Stats.ElapsedSeconds,
 				Messages:   nat.Stats.Messages,
 				BytesMoved: nat.Stats.Bytes,
+				WireBytes:  nat.Stats.WireBytes,
+				Hops:       nat.Stats.Hops,
+				AllocBytes: nat.Stats.AllocBytes,
 				Ops:        nat.Stats.Ops,
 			}
-			s.reg.ObserveNativeExec(gcao.Combine.String(), nat.Stats.ElapsedSeconds, nat.Stats.Messages)
+			s.reg.ObserveNativeExec(gcao.Combine.String(), obs.NativeExecSample{
+				Seconds:    nat.Stats.ElapsedSeconds,
+				Messages:   nat.Stats.Messages,
+				WireBytes:  nat.Stats.WireBytes,
+				Hops:       nat.Stats.Hops,
+				AllocBytes: nat.Stats.AllocBytes,
+			})
 		}
 	}
 	resp.Metrics = rec.Doc()

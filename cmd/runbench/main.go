@@ -145,8 +145,8 @@ func main() {
 				if err != nil {
 					fatal(fmt.Errorf("%s/%s: %w", pr.Bench, pr.Routine, err))
 				}
-				fmt.Printf("  %-18s native ok, bit-identical to simulator (%d messages, %d barriers)\n",
-					pr.Bench+"/"+pr.Routine, nat.Stats.Messages, nat.Stats.Barriers)
+				fmt.Printf("  %-18s native ok, bit-identical to simulator (%d messages, %d barriers, %d wire bytes, %d hops)\n",
+					pr.Bench+"/"+pr.Routine, nat.Stats.Messages, nat.Stats.Barriers, nat.Stats.WireBytes, nat.Stats.Hops)
 			}
 			if *blame > 0 {
 				// The recorder keeps only the latest run's attribution,
@@ -187,8 +187,8 @@ func gate(out, compare, historyOut string, tolerance float64, rev string, jobs i
 			fatal(err)
 		}
 		for _, e := range res.Native {
-			fmt.Printf("runbench: native %-22s %.4fs (%.2fx vs orig, %d messages)\n",
-				e.Key(), e.NativeSeconds, e.SpeedupVsOrig, e.Messages)
+			fmt.Printf("runbench: native %-22s %.4fs (%.2fx vs orig, %d messages, %d wire bytes, %d allocs)\n",
+				e.Key(), e.NativeSeconds, e.SpeedupVsOrig, e.Messages, e.WireBytes, e.Allocs)
 		}
 	}
 	if out != "" {

@@ -311,6 +311,9 @@ type NativePoint struct {
 	UnixNS        int64   `json:"unix_ns"`
 	Seconds       float64 `json:"native_seconds"`
 	SpeedupVsOrig float64 `json:"speedup_vs_orig"`
+	// WireBytes is the run's raw bytes on the wire; zero for records
+	// written before the native backend measured it.
+	WireBytes int64 `json:"wire_bytes,omitempty"`
 }
 
 // NativeSeries is one benchmark's native wall-clock trajectory across
@@ -343,6 +346,7 @@ func NativeTrend(recs []Record, version string) []NativeSeries {
 			byKey[k] = append(byKey[k], NativePoint{
 				Rev: rec.Rev, Seq: rec.Seq, UnixNS: rec.UnixNS,
 				Seconds: e.NativeSeconds, SpeedupVsOrig: e.SpeedupVsOrig,
+				WireBytes: e.WireBytes,
 			})
 		}
 	}

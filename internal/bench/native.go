@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	goruntime "runtime"
 	"time"
 
 	"gcao/internal/core"
@@ -13,17 +14,29 @@ import (
 // wall-clock and traffic the run actually took. Wall-clock is
 // machine-dependent, so these entries ride in BenchResult.Native —
 // outside the deterministic, gated Entries — and CompareBenchResults
-// never looks at them.
+// never looks at them (histories written before a field existed
+// simply decode it as zero).
 type NativeEntry struct {
 	Bench   string `json:"bench"`
 	Routine string `json:"routine"`
 	N       int    `json:"n"`
 	Procs   int    `json:"procs"`
 	Version string `json:"version"`
-	// NativeSeconds is the goroutine fleet's wall clock for the run.
+	// NativeSeconds is the goroutine fleet's wall clock for a
+	// steady-state run (engine construction excluded).
 	NativeSeconds float64 `json:"native_seconds"`
 	Messages      int64   `json:"messages"`
 	Bytes         int64   `json:"bytes"`
+	// WireBytes counts every word actually sent — payload, validity
+	// bitmaps and framing — where Bytes counts delivered element
+	// payload only. Omitted (zero) in histories older than the
+	// tree-collective fabric.
+	WireBytes int64 `json:"wire_bytes,omitempty"`
+	// Allocs is the Go-heap allocation count of the measured
+	// steady-state run; AllocBytes is the payload-buffer bytes the
+	// message fabric itself allocated (zero once its pools are warm).
+	Allocs     uint64 `json:"allocs,omitempty"`
+	AllocBytes int64  `json:"alloc_bytes,omitempty"`
 	// SpeedupVsOrig is the orig version's wall clock over this
 	// version's — the native analogue of the paper's normalized bars.
 	SpeedupVsOrig float64 `json:"speedup_vs_orig"`
@@ -49,8 +62,12 @@ func nativeSize(bench string) int {
 const nativeProcs = 4
 
 // CollectNativeResult runs every paper benchmark natively under all
-// three compiler versions and records wall-clock, messages and bytes
-// per run, plus each version's speedup over orig.
+// three compiler versions and records wall-clock, messages, bytes on
+// the wire and heap allocations per run, plus each version's speedup
+// over orig. Each measurement is a steady-state run: the engine is
+// built and warmed once (filling the recycled buffer pools), then the
+// measured run reuses it, so the numbers reflect execution cost, not
+// setup.
 func CollectNativeResult() ([]NativeEntry, error) {
 	var out []NativeEntry
 	versions := []core.Version{core.VersionOrig, core.VersionRedund, core.VersionCombine}
@@ -66,12 +83,22 @@ func CollectNativeResult() ([]NativeEntry, error) {
 			if err != nil {
 				return nil, err
 			}
+			eng, err := native.NewEngine(res, nativeProcs)
+			if err != nil {
+				return nil, fmt.Errorf("bench: native %s/%s %s: %w", pr.Bench, pr.Routine, v, err)
+			}
+			if _, err := eng.Run(); err != nil { // warm pools and scratch
+				return nil, fmt.Errorf("bench: native %s/%s %s: %w", pr.Bench, pr.Routine, v, err)
+			}
+			var ms0, ms1 goruntime.MemStats
+			goruntime.ReadMemStats(&ms0)
 			start := time.Now()
-			run, err := native.Run(res, nativeProcs)
+			run, err := eng.Run()
 			if err != nil {
 				return nil, fmt.Errorf("bench: native %s/%s %s: %w", pr.Bench, pr.Routine, v, err)
 			}
 			secs := time.Since(start).Seconds()
+			goruntime.ReadMemStats(&ms1)
 			if i == 0 {
 				origSecs = secs
 			}
@@ -81,6 +108,9 @@ func CollectNativeResult() ([]NativeEntry, error) {
 				NativeSeconds: secs,
 				Messages:      run.Stats.Messages,
 				Bytes:         run.Stats.Bytes,
+				WireBytes:     run.Stats.WireBytes,
+				Allocs:        ms1.Mallocs - ms0.Mallocs,
+				AllocBytes:    run.Stats.AllocBytes,
 			}
 			if secs > 0 {
 				e.SpeedupVsOrig = origSecs / secs

@@ -186,3 +186,36 @@ func TestCollectBenchResult(t *testing.T) {
 		t.Fatal("perturbed baseline not detected")
 	}
 }
+
+// TestCompareBenchResultsIgnoresOldNativeEntries pins the
+// forward-compatibility guard for native entries: histories written
+// before the tree-collective fabric carry native measurements without
+// wire_bytes/allocs/alloc_bytes (they decode as zero), and comparing
+// against them must neither error nor report regressions — native
+// wall-clock is machine-dependent and never gates.
+func TestCompareBenchResultsIgnoresOldNativeEntries(t *testing.T) {
+	old := `{
+  "rev": "aaa",
+  "entries": [],
+  "native": [
+    {"bench": "gravity", "routine": "main", "n": 48, "procs": 4,
+     "version": "comb", "native_seconds": 0.5,
+     "messages": 100, "bytes": 4096, "speedup_vs_orig": 1.5}
+  ]
+}`
+	base, err := ReadBenchResult(strings.NewReader(old))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Native) != 1 || base.Native[0].WireBytes != 0 || base.Native[0].Allocs != 0 {
+		t.Fatalf("old-format native entry mis-decoded: %+v", base.Native)
+	}
+	cur := BenchResult{Rev: "bbb", Native: []NativeEntry{{
+		Bench: "gravity", Routine: "main", N: 48, Procs: 4, Version: "comb",
+		NativeSeconds: 0.1, Messages: 100, Bytes: 4096,
+		WireBytes: 3200, Allocs: 250, AllocBytes: 0, SpeedupVsOrig: 1.5,
+	}}}
+	if regs := CompareBenchResults(base, cur, 0.05); len(regs) != 0 {
+		t.Fatalf("native entries must not gate: %v", regs)
+	}
+}

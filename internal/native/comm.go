@@ -9,6 +9,18 @@ package native
 // processor executes the same communication groups at the same program
 // points in the same order.
 //
+// Buffer lifecycle (zero allocation in steady state). Alongside every
+// data channel src→dst rides a recycle channel dst→src. A send
+// transfers ownership of the payload slice to the receiver; once the
+// receiver has fully consumed the message it returns the slice through
+// the recycle channel, and the sender's next getBuf reuses it. At most
+// two buffers are ever in flight per pair (one queued in the capacity-1
+// data channel, one being consumed), so the recycle channel's capacity
+// of two never drops a buffer in practice; if a slice is ever too small
+// it is grown once and the grown slice recycles thereafter. Initial
+// capacities come from the plan's per-group payload bounds, so after
+// the first execution of each group the fabric allocates nothing.
+//
 // Per group kind:
 //
 //   - exchange (KindShift): each processor derives the element list of
@@ -16,34 +28,48 @@ package native
 //     receiver compute identical lists because the concretized entry
 //     sections and the region filters are pure functions of shared
 //     state — and one message per neighbour pair carries the packed
-//     strip (combining realized literally). A validity flag rides with
-//     every element so the receiver applies exactly the deliveries the
-//     simulator's ShiftRange performs.
+//     strip (combining realized literally). Validity travels as a
+//     packed bitmap trailer (one bit per strip element) instead of a
+//     flag word per element, so only the elements the sender holds
+//     current occupy payload words: the wire format is
+//     [valid values...][bitmap words][element count], roughly halving
+//     exchange bytes versus the value+flag interleaving.
 //
-//   - broadcast / gather (KindBcast, KindGeneral): a star through
-//     processor 0 — owners pack their section elements in section
-//     order, the root reassembles the full section by popping each
-//     element from its owner's queue, rebroadcasts, and every
-//     processor stores the elements it does not own.
+//   - broadcast / gather (KindBcast, KindGeneral): a binomial tree
+//     rooted at processor 0 (plan.Tree). Owners pack their section
+//     elements in section order; payloads concatenate up the tree in
+//     DFS pre-order; the root carves the received subtree buffers back
+//     into per-processor streams (using per-owner element counts from
+//     its own section scan — no headers) and reassembles the full
+//     section by popping each element from its owner's stream, exactly
+//     the owner-order scan SumSection uses. The full section then
+//     descends the tree, each hop forwarding a private copy, and every
+//     processor stores the elements it does not own. Critical path:
+//     ceil(log2 P) hops up, the same down.
 //
 //   - global-sum (KindReduce): no data motion here — the combine
 //     happened at the SUM statement itself (collectiveSum), which is
 //     where the simulator's functional value is produced too; the
-//     group only marks the superstep in the listing.
+//     group only marks the superstep in the listing. The collective
+//     gathers raw operands up the tree (never partial sums) so the
+//     root's section-order accumulation is bit-identical to the
+//     simulator's scan, then broadcasts the total down the tree.
 
 import (
 	"fmt"
-
-	"gcao/internal/ast"
+	"math"
 
 	"gcao/internal/codegen"
 	"gcao/internal/core"
+	"gcao/internal/plan"
 	"gcao/internal/runtime"
 	"gcao/internal/section"
 )
 
-// send transfers a payload to dst, counting the message at the sender.
-// A nil channel for the pair is a protocol bug, not a user error.
+// send transfers ownership of a payload to dst, counting the message
+// and its wire words at the sender. A nil channel for the pair is a
+// protocol bug, not a user error. The sender must not touch buf again
+// until it comes back through the pair's recycle channel.
 func (pc *proc) send(dst int, buf []float64) error {
 	ch := pc.eng.ch[dst][pc.p]
 	if ch == nil {
@@ -52,6 +78,7 @@ func (pc *proc) send(dst int, buf []float64) error {
 	select {
 	case ch <- buf:
 		pc.msgs++
+		pc.wire += int64(8 * len(buf))
 		return nil
 	case <-pc.eng.done:
 		return pc.eng.err()
@@ -71,29 +98,92 @@ func (pc *proc) recv(src int) ([]float64, error) {
 	}
 }
 
-// barrier is a full synchronization: gather empty tokens into
-// processor 0, then release everyone. Used only around shared-row
-// (replicated array) writes.
+// getBuf returns an empty payload slice for a message to dst: the
+// pair's recycled buffer when one is available, a fresh allocation
+// (counted in Stats.AllocBytes) only when the pool is empty or the
+// recycled slice is too small for need.
+func (pc *proc) getBuf(dst, need int) []float64 {
+	var buf []float64
+	select {
+	case buf = <-pc.eng.free[pc.p][dst]:
+	default:
+	}
+	if cap(buf) < need {
+		buf = make([]float64, 0, need)
+		pc.allocBytes += int64(8 * need)
+		return buf
+	}
+	return buf[:0]
+}
+
+// putBuf returns a fully consumed message from src to the pair's
+// recycle channel. The caller must hold no live reference into buf.
+func (pc *proc) putBuf(src int, buf []float64) {
+	if buf == nil {
+		return
+	}
+	select {
+	case pc.eng.free[src][pc.p] <- buf:
+	default:
+	}
+}
+
+// barrier is a full synchronization over the binomial tree: completion
+// tokens ascend (a processor signals its parent only after all its
+// children signaled), then the release descends. Used only around
+// shared-row (replicated array) writes.
 func (pc *proc) barrier() error {
 	pc.barriers++
-	if pc.p == 0 {
-		for q := 1; q < pc.eng.procs; q++ {
-			if _, err := pc.recv(q); err != nil {
-				return err
-			}
+	t := pc.eng.pl.Tree
+	for _, c := range t.Children[pc.p] {
+		if _, err := pc.recv(c); err != nil {
+			return err
 		}
-		for q := 1; q < pc.eng.procs; q++ {
-			if err := pc.send(q, nil); err != nil {
-				return err
-			}
+	}
+	if pc.p != 0 {
+		if err := pc.send(t.Parent[pc.p], nil); err != nil {
+			return err
 		}
-		return nil
+		if _, err := pc.recv(t.Parent[pc.p]); err != nil {
+			return err
+		}
 	}
-	if err := pc.send(0, nil); err != nil {
-		return err
+	for _, c := range t.Children[pc.p] {
+		if err := pc.send(c, nil); err != nil {
+			return err
+		}
 	}
-	_, err := pc.recv(0)
-	return err
+	return nil
+}
+
+// bcastValue broadcasts one float64 from processor 0 down the tree,
+// returning the value on every processor (bit-identical: the bits are
+// copied, never recomputed). Used for condition agreement and SUM
+// totals.
+func (pc *proc) bcastValue(v float64) (float64, error) {
+	t := pc.eng.pl.Tree
+	if pc.p != 0 {
+		buf, err := pc.recv(t.Parent[pc.p])
+		if err != nil {
+			return 0, err
+		}
+		v = buf[0]
+		pc.putBuf(t.Parent[pc.p], buf)
+	}
+	for _, c := range t.Children[pc.p] {
+		b := pc.getBuf(c, 1)
+		b = append(b, v)
+		pc.hops++
+		if err := pc.send(c, b); err != nil {
+			return 0, err
+		}
+	}
+	if pc.p != 0 {
+		pc.bytes += 8 * int64(len(t.Children[pc.p]))
+	} else {
+		pc.bytes += 8 * int64(len(t.Children[pc.p]))
+	}
+	return v, nil
 }
 
 // execComm executes the communication groups placed at one position,
@@ -127,10 +217,11 @@ type entrySec struct {
 }
 
 // concretizeEntries resolves the group's entry sections under this
-// processor's loop environment. The environment is replicated, so
-// every processor derives the identical list.
+// processor's loop environment into the per-proc scratch (valid until
+// the next call). The environment is replicated, so every processor
+// derives the identical list.
 func (pc *proc) concretizeEntries(g *core.Group, needDim bool) []entrySec {
-	var out []entrySec
+	out := pc.entbuf[:0]
 	for _, e := range g.Entries {
 		sec, ok := pc.eng.pl.ConcreteEntrySection(e, g.Pos, pc.ienv)
 		if !ok {
@@ -148,6 +239,7 @@ func (pc *proc) concretizeEntries(g *core.Group, needDim bool) []entrySec {
 		}
 		out = append(out, entrySec{am: am, sec: sec, ad: ad})
 	}
+	pc.entbuf = out
 	return out
 }
 
@@ -155,8 +247,9 @@ func (pc *proc) concretizeEntries(g *core.Group, needDim bool) []entrySec {
 // grid coordinate c to c-sign along g.Map.GridDim: this processor
 // sends its strip to the neighbour at coordinate c-sign (if any) and
 // receives the neighbour strip from coordinate c+sign (if any). The
-// payload interleaves a validity flag per element, reproducing the
-// simulator's rule that only elements the sender holds current travel.
+// payload carries only the elements the sender holds current plus a
+// packed validity bitmap trailer, reproducing the simulator's rule
+// that only valid elements travel.
 func (pc *proc) shiftExchange(g *core.Group) error {
 	ents := pc.concretizeEntries(g, true)
 	gridDim, sign, width := g.Map.GridDim, g.Map.Sign, g.Map.Width
@@ -168,49 +261,76 @@ func (pc *proc) shiftExchange(g *core.Group) error {
 		stride *= grid.Shape[i]
 	}
 
-	// Send leg: pack the strip for the receiving neighbour.
+	// Send leg: pack the valid strip elements and the validity bitmap
+	// for the receiving neighbour. Wire format:
+	// [values...][bitmap words][element count].
 	if c := myCoord - sign; c >= 0 && c < shape {
 		dst := pc.p - sign*stride
-		dstCoords := append([]int(nil), pc.coords...)
+		dstCoords := pc.coordbuf[:len(pc.coords)]
+		copy(dstCoords, pc.coords)
 		dstCoords[gridDim] = c
-		var payload []float64
+		bound := pc.eng.pl.Bound[g]
+		payload := pc.getBuf(dst, bound+bound/64+2)
+		bits := pc.bitbuf[:0]
+		n := 0
 		for _, es := range ents {
 			es := es
 			pc.forEachStripElem(es, gridDim, sign, width, myCoord, dstCoords, func(off int) {
-				if es.am.Valid[pc.p][off] {
-					payload = append(payload, es.am.Data[pc.p][off], 1)
-					pc.bytes += 8
-				} else {
-					payload = append(payload, 0, 0)
+				if n%64 == 0 {
+					bits = append(bits, 0)
 				}
+				if es.am.Valid[pc.p][off] {
+					bits[n/64] |= 1 << (n % 64)
+					payload = append(payload, es.am.Data[pc.p][off])
+					pc.bytes += 8
+				}
+				n++
 			})
 		}
+		pc.bitbuf = bits
+		for _, w := range bits {
+			payload = append(payload, math.Float64frombits(w))
+		}
+		payload = append(payload, float64(n))
 		if err := pc.send(dst, payload); err != nil {
 			return err
 		}
 	}
 
-	// Receive leg: unpack the neighbour's strip into our own rows.
+	// Receive leg: unpack the neighbour's strip into our own rows,
+	// consulting the bitmap trailer, then recycle the buffer.
 	if c := myCoord + sign; c >= 0 && c < shape {
 		src := pc.p + sign*stride
 		buf, err := pc.recv(src)
 		if err != nil {
 			return err
 		}
-		k := 0
+		if len(buf) == 0 {
+			return fmt.Errorf("native: exchange %d→%d protocol mismatch: empty payload", src, pc.p)
+		}
+		n := int(buf[len(buf)-1])
+		nw := (n + 63) / 64
+		nv := len(buf) - 1 - nw
+		if nv < 0 {
+			return fmt.Errorf("native: exchange %d→%d protocol mismatch: %d words cannot hold %d elements", src, pc.p, len(buf), n)
+		}
+		words := buf[nv : len(buf)-1]
+		k, vpos := 0, 0
 		for _, es := range ents {
 			es := es
 			pc.forEachStripElem(es, gridDim, sign, width, c, pc.coords, func(off int) {
-				if k+1 < len(buf) && buf[k+1] != 0 {
-					es.am.Data[pc.p][off] = buf[k]
+				if k < n && math.Float64bits(words[k/64])&(1<<uint(k%64)) != 0 {
+					es.am.Data[pc.p][off] = buf[vpos]
 					es.am.Valid[pc.p][off] = true
+					vpos++
 				}
-				k += 2
+				k++
 			})
 		}
-		if k != len(buf) {
-			return fmt.Errorf("native: exchange %d→%d protocol mismatch: %d elements packed, %d expected", src, pc.p, len(buf)/2, k/2)
+		if k != n || vpos != nv {
+			return fmt.Errorf("native: exchange %d→%d protocol mismatch: %d/%d elements packed, %d/%d expected", src, pc.p, n, nv, k, vpos)
 		}
+		pc.putBuf(src, buf)
 	}
 	return nil
 }
@@ -248,61 +368,160 @@ func (pc *proc) forEachStripElem(es entrySec, gridDim, sign, width, srcCoord int
 	})
 }
 
-// bcastGather performs one broadcast/gather group as a star through
-// processor 0: per entry, owners pack their elements in section order,
-// the root reassembles the full section (popping each element from its
-// owner's queue — the same owner-order scan SumSection uses), sends it
-// back out, and every processor keeps the elements it does not own.
+// gatherUp moves this processor's contribution (already packed into
+// pc.minebuf in section order) up the binomial tree. Intermediate
+// nodes concatenate — own elements, then each child subtree's payload
+// in child order, which is DFS pre-order by induction — and forward to
+// the parent; no floating-point operation happens on the way up, so
+// the root sees every operand bit-exact. At the root, gatherUp carves
+// the child buffers into per-processor streams using cnt (the
+// element count each processor contributed, from the caller's own
+// section scan) and returns them; the caller must call releaseGather
+// once the streams are consumed. Non-roots return nil.
+//
+// bound is a per-processor payload bound used to size the up-edge
+// buffer once; exceeding it grows the buffer one time, after which the
+// grown slice recycles.
+func (pc *proc) gatherUp(cnt []int, bound int) ([][]float64, error) {
+	t := pc.eng.pl.Tree
+	if pc.p != 0 {
+		out := pc.getBuf(t.Parent[pc.p], bound)
+		out = append(out, pc.minebuf...)
+		for _, c := range t.Children[pc.p] {
+			b, err := pc.recv(c)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, b...)
+			pc.putBuf(c, b)
+		}
+		pc.hops++
+		return nil, pc.send(t.Parent[pc.p], out)
+	}
+	// Root: keep the child buffers and index per-processor streams into
+	// them. streams[q] aliases a child buffer until releaseGather.
+	streams := pc.streams
+	streams[0] = pc.minebuf
+	pc.childbufs = pc.childbufs[:0]
+	for _, c := range t.Children[0] {
+		b, err := pc.recv(c)
+		if err != nil {
+			return nil, err
+		}
+		pc.childbufs = append(pc.childbufs, b)
+		off := 0
+		for _, q := range t.Subtree(c) {
+			if off+cnt[q] > len(b) {
+				return nil, fmt.Errorf("native: gather from %d short: %d words for processor %d at offset %d", c, len(b), q, off)
+			}
+			streams[q] = b[off : off+cnt[q]]
+			off += cnt[q]
+		}
+		if off != len(b) {
+			return nil, fmt.Errorf("native: gather from %d protocol mismatch: %d words, %d expected", c, len(b), off)
+		}
+	}
+	return streams, nil
+}
+
+// releaseGather recycles the child buffers a root-side gatherUp left
+// in flight. No stream returned by gatherUp may be read afterwards.
+func (pc *proc) releaseGather() {
+	t := pc.eng.pl.Tree
+	for i, c := range t.Children[0] {
+		pc.putBuf(c, pc.childbufs[i])
+	}
+	pc.childbufs = pc.childbufs[:0]
+}
+
+// bcastDown broadcasts the root's assembled buffer down the tree: each
+// hop forwards a private copy to every child (ownership of a sent
+// buffer transfers to the receiver, so forwarding shares nothing),
+// then returns the received buffer for local consumption. The root
+// passes its own assembled slice; non-roots pass nil and receive.
+// Non-roots must putBuf the returned slice to their parent when done.
+func (pc *proc) bcastDown(full []float64) ([]float64, error) {
+	t := pc.eng.pl.Tree
+	if pc.p != 0 {
+		var err error
+		if full, err = pc.recv(t.Parent[pc.p]); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range t.Children[pc.p] {
+		b := pc.getBuf(c, len(full))
+		b = append(b, full...)
+		pc.hops++
+		pc.bytes += 8 * int64(len(full))
+		if err := pc.send(c, b); err != nil {
+			return nil, err
+		}
+	}
+	return full, nil
+}
+
+// bcastGather performs one broadcast/gather group over the binomial
+// tree: per entry, owners pack their section elements in section
+// order, operands ascend the tree, the root reassembles the full
+// section by popping each element from its owner's stream (the same
+// owner-order scan SumSection uses), the section descends the tree,
+// and every processor stores the elements it does not own.
 func (pc *proc) bcastGather(g *core.Group) error {
+	bound := pc.eng.pl.Bound[g]
 	for _, es := range pc.concretizeEntries(g, false) {
 		am := es.am
-		r := am.Dist.Grid.Rank()
-		if cap(pc.cbuf) < r {
-			pc.cbuf = make([]int, r)
-		}
-		coords := pc.cbuf[:r]
+		coords := pc.cbuf[:am.Dist.Grid.Rank()]
 
-		var mine []float64
-		es.sec.Elems(func(idx []int) bool {
-			if am.OwnerInto(idx, coords) == pc.p {
-				mine = append(mine, am.Data[pc.p][am.Offset(idx)])
+		// Pack owned elements in section order; the root also counts
+		// every processor's contribution for stream reconstruction.
+		mine := pc.minebuf[:0]
+		cnt := pc.cnt
+		if pc.p == 0 {
+			for i := range cnt {
+				cnt[i] = 0
 			}
-			return true
-		})
+			es.sec.Elems(func(idx []int) bool {
+				o := am.OwnerInto(idx, coords)
+				cnt[o]++
+				if o == 0 {
+					mine = append(mine, am.Data[0][am.Offset(idx)])
+				}
+				return true
+			})
+		} else {
+			es.sec.Elems(func(idx []int) bool {
+				if am.OwnerInto(idx, coords) == pc.p {
+					mine = append(mine, am.Data[pc.p][am.Offset(idx)])
+				}
+				return true
+			})
+			pc.bytes += 8 * int64(len(mine))
+		}
+		pc.minebuf = mine
+
+		streams, err := pc.gatherUp(cnt, bound)
+		if err != nil {
+			return err
+		}
 
 		var full []float64
 		if pc.p == 0 {
-			bufs := make([][]float64, pc.eng.procs)
-			bufs[0] = mine
-			for q := 1; q < pc.eng.procs; q++ {
-				b, err := pc.recv(q)
-				if err != nil {
-					return err
-				}
-				bufs[q] = b
+			full = pc.fullbuf[:0]
+			pos := pc.pos
+			for i := range pos {
+				pos[i] = 0
 			}
-			cur := make([]int, pc.eng.procs)
 			es.sec.Elems(func(idx []int) bool {
 				o := am.OwnerInto(idx, coords)
-				full = append(full, bufs[o][cur[o]])
-				cur[o]++
+				full = append(full, streams[o][pos[o]])
+				pos[o]++
 				return true
 			})
-			for q := 1; q < pc.eng.procs; q++ {
-				if err := pc.send(q, full); err != nil {
-					return err
-				}
-				pc.bytes += 8 * int64(len(full))
-			}
-		} else {
-			pc.bytes += 8 * int64(len(mine))
-			if err := pc.send(0, mine); err != nil {
-				return err
-			}
-			var err error
-			if full, err = pc.recv(0); err != nil {
-				return err
-			}
+			pc.fullbuf = full
+			pc.releaseGather()
+		}
+		if full, err = pc.bcastDown(full); err != nil {
+			return err
 		}
 
 		k := 0
@@ -316,68 +535,72 @@ func (pc *proc) bcastGather(g *core.Group) error {
 			k++
 			return true
 		})
+		if pc.p != 0 {
+			pc.putBuf(pc.eng.pl.Tree.Parent[pc.p], full)
+		}
 	}
 	return nil
 }
 
 // collectiveSum combines a distributed SUM: owners stream their
-// section elements to processor 0, which replays the simulator's
-// global section-order scan — popping each element from its owner's
-// queue, so the floating-point accumulation order is bit-identical to
-// SumSection — and broadcasts the total.
-func (pc *proc) collectiveSum(ref *ast.Ref, am *runtime.ArrayMem) (float64, error) {
-	sec, err := pc.eng.pl.ConcreteRefSection(ref, am, pc.ienv)
+// section elements up the binomial tree as raw operands, the root
+// replays the simulator's global section-order scan — popping each
+// element from its owner's stream, so the floating-point accumulation
+// order is bit-identical to SumSection — and the total descends the
+// tree.
+func (pc *proc) collectiveSum(sc plan.SumCall) (float64, error) {
+	am := sc.Am
+	sec, err := pc.eng.pl.ConcreteRefSection(sc.Ref, am, pc.ienv)
 	if err != nil {
 		return 0, err
 	}
-	r := am.Dist.Grid.Rank()
-	if cap(pc.cbuf) < r {
-		pc.cbuf = make([]int, r)
-	}
-	coords := pc.cbuf[:r]
+	coords := pc.cbuf[:am.Dist.Grid.Rank()]
 
-	var mine []float64
-	sec.Elems(func(idx []int) bool {
-		if am.OwnerInto(idx, coords) == pc.p {
-			mine = append(mine, am.Data[pc.p][am.Offset(idx)])
+	mine := pc.minebuf[:0]
+	cnt := pc.cnt
+	if pc.p == 0 {
+		for i := range cnt {
+			cnt[i] = 0
 		}
-		return true
-	})
+		sec.Elems(func(idx []int) bool {
+			o := am.OwnerInto(idx, coords)
+			cnt[o]++
+			if o == 0 {
+				mine = append(mine, am.Data[0][am.Offset(idx)])
+			}
+			return true
+		})
+	} else {
+		sec.Elems(func(idx []int) bool {
+			if am.OwnerInto(idx, coords) == pc.p {
+				mine = append(mine, am.Data[pc.p][am.Offset(idx)])
+			}
+			return true
+		})
+		pc.bytes += 8 * int64(len(mine))
+	}
+	pc.minebuf = mine
+
+	streams, err := pc.gatherUp(cnt, sc.Bound)
+	if err != nil {
+		return 0, err
+	}
 
 	if pc.p != 0 {
-		pc.bytes += 8 * int64(len(mine))
-		if err := pc.send(0, mine); err != nil {
-			return 0, err
-		}
-		buf, err := pc.recv(0)
-		if err != nil {
-			return 0, err
-		}
-		return buf[0], nil
+		return pc.bcastValue(0)
 	}
 
-	bufs := make([][]float64, pc.eng.procs)
-	bufs[0] = mine
-	for q := 1; q < pc.eng.procs; q++ {
-		b, err := pc.recv(q)
-		if err != nil {
-			return 0, err
-		}
-		bufs[q] = b
+	pos := pc.pos
+	for i := range pos {
+		pos[i] = 0
 	}
-	cur := make([]int, pc.eng.procs)
 	total := 0.0
 	sec.Elems(func(idx []int) bool {
 		o := am.OwnerInto(idx, coords)
-		total += bufs[o][cur[o]]
-		cur[o]++
+		total += streams[o][pos[o]]
+		pos[o]++
 		return true
 	})
-	for q := 1; q < pc.eng.procs; q++ {
-		if err := pc.send(q, []float64{total}); err != nil {
-			return 0, err
-		}
-		pc.bytes += 8
-	}
-	return total, nil
+	pc.releaseGather()
+	return pc.bcastValue(total)
 }

@@ -4,9 +4,11 @@
 // every distributed array (the same per-processor memory image package
 // runtime gives the simulator) and the placed communication groups are
 // realized as actual channel transfers: ghost-strip exchanges as
-// neighbour sends, broadcasts and gathers as star collectives through
-// processor 0, distributed SUMs as a gather–combine–rebroadcast at the
-// statement that consumes them.
+// neighbour sends with packed validity bitmaps, broadcasts, gathers
+// and distributed SUMs as binomial-tree collectives rooted at
+// processor 0 (log-P critical path), with every payload slice recycled
+// through per-pair free channels so the fabric allocates nothing in
+// steady state.
 //
 // The backend is built to be bit-for-bit equivalent to the simulator
 // (spmd.Run): both execute the same plan.Plan, every floating-point
@@ -23,12 +25,13 @@
 // — is written only by its own goroutine outside of barriers, and
 // evolves as a pure function of program order plus the messages it
 // receives. Message contents are pure functions of the senders' state
-// at matched program points, and every collective combines partial
-// values in a fixed processor/section order. By induction the whole
-// run is a deterministic function of the placement, independent of
-// goroutine scheduling; since the simulator computes the same function
-// (same plan, same evaluation order, same combine order), the final
-// states agree bitwise.
+// at matched program points, tree hops move bits without arithmetic,
+// and every collective combines operands in a fixed section order at
+// the root only. By induction the whole run is a deterministic
+// function of the placement, independent of goroutine scheduling;
+// since the simulator computes the same function (same plan, same
+// evaluation order, same combine order), the final states agree
+// bitwise.
 package native
 
 import (
@@ -55,6 +58,18 @@ type Stats struct {
 	// (8 bytes per float64), excluding protocol framing.
 	Messages int64
 	Bytes    int64
+	// WireBytes counts every float64 word actually sent per hop —
+	// payload, validity bitmaps and framing included — so it is the
+	// bytes-on-the-wire figure the optimality-gap dashboard can compare
+	// against the modeled ledger.
+	WireBytes int64
+	// Hops counts the tree messages collectives moved (gather ascents,
+	// broadcast descents, value broadcasts); the critical path of one
+	// collective is ceil(log2 P) of them.
+	Hops int64
+	// AllocBytes counts payload-buffer bytes the message fabric
+	// allocated because no recycled buffer fit; zero in steady state.
+	AllocBytes int64
 	// Collectives counts executed communication groups; Barriers the
 	// full synchronization barriers (replicated-array stores).
 	Collectives int64
@@ -63,8 +78,8 @@ type Stats struct {
 	// codegen listing's vocabulary (exchange, broadcast, gather,
 	// global-sum).
 	Ops map[string]int64
-	// ElapsedSeconds is the wall clock of the run proper (memory
-	// allocation through final barrier).
+	// ElapsedSeconds is the wall clock of the run proper (first
+	// goroutine launch through final barrier).
 	ElapsedSeconds float64
 }
 
@@ -102,6 +117,58 @@ func Run(res *core.Result, procs int) (*RunResult, error) {
 // "native:<version>" phase span and its message/byte/collective
 // counters are added under the native.<version>. prefix.
 func RunObs(res *core.Result, procs int, rec *obs.Recorder) (*RunResult, error) {
+	eng, err := NewEngine(res, procs)
+	if err != nil {
+		return nil, err
+	}
+	endRun := rec.Start("native:" + res.Version.String())
+	defer endRun()
+	out, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	if rec != nil {
+		st := out.Stats
+		prefix := "native." + res.Version.String() + "."
+		rec.Add(prefix+"messages", st.Messages)
+		rec.Add(prefix+"bytes", st.Bytes)
+		rec.Add(prefix+"wire_bytes", st.WireBytes)
+		rec.Add(prefix+"collective_hops", st.Hops)
+		rec.Add(prefix+"alloc_bytes", st.AllocBytes)
+		rec.Add(prefix+"collectives", st.Collectives)
+		rec.Add(prefix+"barriers", st.Barriers)
+		rec.Event(obs.LevelInfo, "native.done",
+			obs.F("version", res.Version.String()),
+			obs.F("procs", procs),
+			obs.F("messages", st.Messages),
+			obs.F("bytes", st.Bytes),
+			obs.F("wire_bytes", st.WireBytes),
+			obs.F("seconds", st.ElapsedSeconds))
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Engine: a prepared native execution, reusable across runs
+
+// Engine is a prepared native execution: the plan, the memory image,
+// the channel fabric and every per-processor scratch, built once.
+// Run resets the memory image and replays the program, so repeated
+// runs measure steady-state execution — the recycled message buffers
+// and scratches survive between runs and the fabric allocates nothing
+// after the first. An Engine is not safe for concurrent Runs, and a
+// failed run poisons the engine (the error latch stays closed).
+type Engine struct {
+	eng *engine
+	res *core.Result
+}
+
+// NewEngine prepares a native execution of the placement on procs
+// goroutines: builds the memory image and shared plan, connects the
+// channel fabric (tree and grid-neighbour pairs with their recycle
+// channels), and sizes every per-processor scratch from the plan's
+// bounds so the hot paths allocate nothing.
+func NewEngine(res *core.Result, procs int) (*Engine, error) {
 	a := res.Analysis
 	if got := a.Unit.Grid.NumProcs(); got != procs {
 		return nil, fmt.Errorf("native: unit compiled for %d processors, run requested %d", got, procs)
@@ -109,10 +176,6 @@ func RunObs(res *core.Result, procs int, rec *obs.Recorder) (*RunResult, error) 
 	if max := MaxProcs(); procs > max {
 		return nil, fmt.Errorf("native: %d processors exceeds the oversubscription clamp of %d (256×GOMAXPROCS, min 1024)", procs, max)
 	}
-	endRun := rec.Start("native:" + res.Version.String())
-	defer endRun()
-	start := time.Now()
-
 	mem := runtime.NewMemory(a.Unit, procs)
 	eng := &engine{
 		pl:    plan.New(res, mem),
@@ -121,24 +184,79 @@ func RunObs(res *core.Result, procs int, rec *obs.Recorder) (*RunResult, error) 
 		done:  make(chan struct{}),
 	}
 	eng.connectFabric()
+
+	// Scratch sizing: the maximum array rank bounds subscript vectors,
+	// the grid rank bounds owner-coordinate vectors.
+	maxRank, gridRank := 1, a.Unit.Grid.Rank()
+	for _, arr := range a.Unit.Arrays {
+		if r := arr.Rank(); r > maxRank {
+			maxRank = r
+		}
+	}
+	if gridRank < 1 {
+		gridRank = 1
+	}
+
 	eng.ps = make([]*proc, procs)
 	for p := 0; p < procs; p++ {
 		pc := &proc{
-			eng:     eng,
-			p:       p,
-			coords:  a.Unit.Grid.Coords(p),
-			ienv:    map[string]int{},
-			scalars: map[string]float64{},
-			frames:  map[*cfg.Loop]*frame{},
-			sumMemo: map[*ast.Call]float64{},
-			ops:     map[string]int64{},
+			eng:      eng,
+			p:        p,
+			coords:   a.Unit.Grid.Coords(p),
+			ienv:     map[string]int{},
+			scalars:  map[string]float64{},
+			frames:   map[*cfg.Loop]*frame{},
+			sumMemo:  map[*ast.Call]float64{},
+			ops:      map[string]int64{},
+			cbuf:     make([]int, gridRank),
+			coordbuf: make([]int, gridRank),
+			lhsidx:   make([]int, maxRank),
+		}
+		if p == 0 {
+			// Gather-assembly scratch: only the tree root carves
+			// per-processor streams out of child buffers.
+			pc.cnt = make([]int, procs)
+			pc.pos = make([]int, procs)
+			pc.streams = make([][]float64, procs)
+			pc.childbufs = make([][]float64, 0, len(eng.pl.Tree.Children[0]))
 		}
 		for name, v := range a.Unit.Params {
 			pc.scalars[name] = float64(v)
 		}
 		eng.ps[p] = pc
 	}
+	return &Engine{eng: eng, res: res}, nil
+}
 
+// Run executes the prepared program once. The first call initializes,
+// later calls reset the memory image and per-processor state first —
+// message buffers and scratches are recycled, so steady-state runs do
+// not allocate. The returned RunResult shares the engine's memory
+// image; it is valid until the next Run.
+func (e *Engine) Run() (*RunResult, error) {
+	eng := e.eng
+	if err := eng.err(); err != nil {
+		return nil, fmt.Errorf("native: engine poisoned by earlier failure: %w", err)
+	}
+	if eng.ran {
+		eng.mem.Reset()
+	}
+	eng.ran = true
+	a := e.res.Analysis
+	for _, pc := range eng.ps {
+		clear(pc.ienv)
+		clear(pc.frames)
+		clear(pc.sumMemo)
+		clear(pc.ops)
+		clear(pc.scalars)
+		for name, v := range a.Unit.Params {
+			pc.scalars[name] = float64(v)
+		}
+		pc.msgs, pc.bytes, pc.wire, pc.hops, pc.allocBytes = 0, 0, 0, 0, 0
+		pc.colls, pc.barriers = 0, 0
+	}
+
+	start := time.Now()
 	var wg sync.WaitGroup
 	for _, pc := range eng.ps[1:] {
 		wg.Add(1)
@@ -154,7 +272,7 @@ func RunObs(res *core.Result, procs int, rec *obs.Recorder) (*RunResult, error) 
 	}
 
 	st := Stats{
-		Procs:          procs,
+		Procs:          eng.procs,
 		Collectives:    eng.ps[0].colls,
 		Barriers:       eng.ps[0].barriers,
 		Ops:            eng.ps[0].ops,
@@ -163,21 +281,11 @@ func RunObs(res *core.Result, procs int, rec *obs.Recorder) (*RunResult, error) 
 	for _, pc := range eng.ps {
 		st.Messages += pc.msgs
 		st.Bytes += pc.bytes
+		st.WireBytes += pc.wire
+		st.Hops += pc.hops
+		st.AllocBytes += pc.allocBytes
 	}
-	if rec != nil {
-		prefix := "native." + res.Version.String() + "."
-		rec.Add(prefix+"messages", st.Messages)
-		rec.Add(prefix+"bytes", st.Bytes)
-		rec.Add(prefix+"collectives", st.Collectives)
-		rec.Add(prefix+"barriers", st.Barriers)
-		rec.Event(obs.LevelInfo, "native.done",
-			obs.F("version", res.Version.String()),
-			obs.F("procs", procs),
-			obs.F("messages", st.Messages),
-			obs.F("bytes", st.Bytes),
-			obs.F("seconds", st.ElapsedSeconds))
-	}
-	return &RunResult{Mem: mem, Scalars: eng.ps[0].scalars, Stats: st}, nil
+	return &RunResult{Mem: eng.mem, Scalars: eng.ps[0].scalars, Stats: st}, nil
 }
 
 // ---------------------------------------------------------------------
@@ -188,11 +296,15 @@ type engine struct {
 	mem   *runtime.Memory
 	procs int
 	ps    []*proc
+	ran   bool
 
-	// ch[dst][src] carries messages src→dst; allocated only for pairs
-	// the protocol uses (grid neighbours and the processor-0 star), so
-	// the fabric stays O(P·rank) instead of O(P²).
-	ch [][]chan []float64
+	// ch[dst][src] carries messages src→dst; free[src][dst] carries
+	// consumed buffers back from dst to src for reuse. Both are
+	// allocated only for pairs the protocol uses (binomial-tree edges
+	// and grid neighbours), so the fabric stays O(P·rank) instead of
+	// O(P²).
+	ch   [][]chan []float64
+	free [][]chan []float64
 
 	// done is closed once on the first failure; every channel
 	// operation selects on it, so an error unwinds all goroutines
@@ -204,23 +316,30 @@ type engine struct {
 }
 
 // connectFabric allocates the channel pairs the protocol can use: the
-// star through processor 0 (collectives, barriers, condition
-// broadcasts) and both directions between grid neighbours (shift
-// exchanges). Capacity 1 lets a sender run one message ahead.
+// binomial-tree edges (collectives, barriers, condition broadcasts)
+// and both directions between grid neighbours (shift exchanges).
+// Capacity 1 lets a sender run one message ahead; each pair's recycle
+// channel holds the at most two buffers the pair can have in flight.
 func (eng *engine) connectFabric() {
 	eng.ch = make([][]chan []float64, eng.procs)
+	eng.free = make([][]chan []float64, eng.procs)
 	for d := range eng.ch {
 		eng.ch[d] = make([]chan []float64, eng.procs)
+		eng.free[d] = make([]chan []float64, eng.procs)
 	}
 	connect := func(dst, src int) {
 		if dst != src && eng.ch[dst][src] == nil {
 			eng.ch[dst][src] = make(chan []float64, 1)
+			eng.free[src][dst] = make(chan []float64, 2)
 		}
+	}
+	for p := 1; p < eng.procs; p++ {
+		parent := eng.pl.Tree.Parent[p]
+		connect(p, parent)
+		connect(parent, p)
 	}
 	shape := eng.pl.A.Unit.Grid.Shape
 	for p := 0; p < eng.procs; p++ {
-		connect(p, 0)
-		connect(0, p)
 		coords := eng.pl.A.Unit.Grid.Coords(p)
 		stride := 1
 		for d := len(shape) - 1; d >= 0; d-- {
@@ -266,9 +385,31 @@ type proc struct {
 	// sumMemo caches SUM totals per call site within one statement
 	// execution, mirroring the simulator's per-statement memo.
 	sumMemo map[*ast.Call]float64
-	cbuf    []int // grid-coordinate scratch for owner computations
+
+	// Reusable scratch, sized once at engine setup so the hot paths
+	// allocate nothing: grid-coordinate vectors for owner computations
+	// (cbuf) and shift destinations (coordbuf), the LHS subscript
+	// vector, stack-disciplined subscript/argument scratch for
+	// expression evaluation, the concretized entry list, the packed
+	// contribution and assembled-section buffers, the shift validity
+	// bitmap, and — root only — the gather stream-carving scratch.
+	cbuf      []int
+	coordbuf  []int
+	lhsidx    []int
+	idxstack  []int
+	argstack  []float64
+	entbuf    []entrySec
+	minebuf   []float64
+	fullbuf   []float64
+	bitbuf    []uint64
+	cnt       []int       // root: per-proc element counts of one gather
+	pos       []int       // root: per-proc stream positions
+	streams   [][]float64 // root: per-proc operand streams
+	childbufs [][]float64 // root: child buffers held during assembly
 
 	msgs, bytes     int64
+	wire, hops      int64
+	allocBytes      int64
 	colls, barriers int64
 	ops             map[string]int64
 }
@@ -346,7 +487,12 @@ func (pc *proc) execBlock(b *cfg.Block, prev *cfg.Block) (*cfg.Block, error) {
 			}
 			step = s
 		}
-		pc.frames[loop] = &frame{lo: lo, hi: hi, step: step}
+		fr := pc.frames[loop]
+		if fr == nil {
+			fr = &frame{}
+			pc.frames[loop] = fr
+		}
+		fr.lo, fr.hi, fr.step = lo, hi, step
 		empty := lo > hi
 		if step < 0 {
 			empty = lo < hi
@@ -392,7 +538,7 @@ func (pc *proc) execStmt(st *cfg.Stmt) error {
 	si := pc.eng.pl.Info[st]
 	if si.HasSum {
 		clear(pc.sumMemo)
-		if err := pc.precomputeSums(st.Assign.RHS); err != nil {
+		if err := pc.precomputeSums(si.DistSums); err != nil {
 			return err
 		}
 	}
@@ -438,7 +584,7 @@ func (pc *proc) execStmt(st *cfg.Stmt) error {
 	// into its own row; every other processor kills its stale copy in
 	// its own validity plane (same program point, own row only — no
 	// cross-row writes anywhere).
-	owner := pc.ownerOf(am, idx)
+	owner := am.OwnerInto(idx, pc.cbuf[:am.Dist.Grid.Rank()])
 	if owner == pc.p {
 		v, err := pc.eval(as.RHS)
 		if err != nil {
@@ -451,8 +597,10 @@ func (pc *proc) execStmt(st *cfg.Stmt) error {
 	return nil
 }
 
+// lhsIndex evaluates the LHS subscripts into the per-proc scratch
+// (valid until the next statement).
 func (pc *proc) lhsIndex(as *ast.AssignStmt) ([]int, error) {
-	idx := make([]int, len(as.LHS.Subs))
+	idx := pc.lhsidx[:len(as.LHS.Subs)]
 	for i, sub := range as.LHS.Subs {
 		if sub.Kind != ast.SubExpr {
 			return nil, fmt.Errorf("native: unscalarized section on LHS at %s", as.Pos)
@@ -466,19 +614,11 @@ func (pc *proc) lhsIndex(as *ast.AssignStmt) ([]int, error) {
 	return idx, nil
 }
 
-func (pc *proc) ownerOf(am *runtime.ArrayMem, idx []int) int {
-	r := am.Dist.Grid.Rank()
-	if cap(pc.cbuf) < r {
-		pc.cbuf = make([]int, r)
-	}
-	return am.OwnerInto(idx, pc.cbuf[:r])
-}
-
 // evalCond evaluates a branch condition. Conditions over scalar or
 // replicated data are evaluated locally (identical on every
 // processor); conditions reading distributed data run their SUM
-// collectives, then processor 0 evaluates its own view and broadcasts
-// the taken edge so control flow cannot diverge.
+// collectives, then processor 0 evaluates its own view and the taken
+// edge descends the broadcast tree so control flow cannot diverge.
 func (pc *proc) evalCond(b *cfg.Block) (bool, error) {
 	clear(pc.sumMemo)
 	cond := b.Branch.Cond
@@ -486,26 +626,18 @@ func (pc *proc) evalCond(b *cfg.Block) (bool, error) {
 		v, err := pc.eval(cond)
 		return v != 0, err
 	}
-	if err := pc.precomputeSums(cond); err != nil {
+	if err := pc.precomputeSums(pc.eng.pl.CondSums[b.ID]); err != nil {
 		return false, err
 	}
+	var v float64
 	if pc.p == 0 {
-		v, err := pc.eval(cond)
-		if err != nil {
+		var err error
+		if v, err = pc.eval(cond); err != nil {
 			return false, err
 		}
-		for q := 1; q < pc.eng.procs; q++ {
-			if err := pc.send(q, []float64{v}); err != nil {
-				return false, err
-			}
-		}
-		return v != 0, nil
 	}
-	buf, err := pc.recv(0)
-	if err != nil {
-		return false, err
-	}
-	return buf[0] != 0, nil
+	v, err := pc.bcastValue(v)
+	return v != 0, err
 }
 
 func (pc *proc) evalInt(e ast.Expr) (int, error) {
@@ -572,47 +704,69 @@ func (pc *proc) eval(e ast.Expr) (float64, error) {
 			}
 			return pc.scalars[e.Name], nil
 		}
-		idx := make([]int, len(e.Subs))
-		for i, sub := range e.Subs {
+		// Subscripts evaluate through the integer environment (no
+		// float recursion), so a stack-disciplined scratch keeps this
+		// per-element path allocation-free.
+		base := len(pc.idxstack)
+		for _, sub := range e.Subs {
 			if sub.Kind != ast.SubExpr {
+				pc.idxstack = pc.idxstack[:base]
 				return 0, fmt.Errorf("native: section read outside SUM at %s", e.Pos)
 			}
 			x, err := pc.evalInt(sub.X)
 			if err != nil {
+				pc.idxstack = pc.idxstack[:base]
 				return 0, err
 			}
-			idx[i] = x
+			pc.idxstack = append(pc.idxstack, x)
 		}
-		return am.ReadAt(pc.p, am.Offset(idx), idx)
+		idx := pc.idxstack[base:]
+		v, err := am.ReadAt(pc.p, am.Offset(idx), idx)
+		pc.idxstack = pc.idxstack[:base]
+		return v, err
 	case *ast.Call:
 		if e.Func == "sum" {
 			return pc.evalSum(e)
 		}
-		args := make([]float64, len(e.Args))
-		for i, a := range e.Args {
-			v, err := pc.eval(a)
-			if err != nil {
-				return 0, err
-			}
-			args[i] = v
-		}
-		switch e.Func {
-		case "sqrt":
-			return math.Sqrt(args[0]), nil
-		case "abs":
-			return math.Abs(args[0]), nil
-		case "exp":
-			return math.Exp(args[0]), nil
-		case "min":
-			return math.Min(args[0], args[1]), nil
-		case "max":
-			return math.Max(args[0], args[1]), nil
-		case "mod":
-			return math.Mod(args[0], args[1]), nil
-		}
-		return 0, fmt.Errorf("native: unknown intrinsic %q", e.Func)
+		return pc.evalIntrinsic(e)
 	}
 	return 0, fmt.Errorf("native: cannot evaluate %T", e)
+}
+
+// evalIntrinsic evaluates a non-SUM intrinsic call, staging arguments
+// on the per-proc value stack (calls nest, so the scratch is a stack,
+// not a buffer).
+func (pc *proc) evalIntrinsic(e *ast.Call) (float64, error) {
+	base := len(pc.argstack)
+	for _, a := range e.Args {
+		v, err := pc.eval(a)
+		if err != nil {
+			pc.argstack = pc.argstack[:base]
+			return 0, err
+		}
+		pc.argstack = append(pc.argstack, v)
+	}
+	args := pc.argstack[base:]
+	var v float64
+	var err error
+	switch e.Func {
+	case "sqrt":
+		v = math.Sqrt(args[0])
+	case "abs":
+		v = math.Abs(args[0])
+	case "exp":
+		v = math.Exp(args[0])
+	case "min":
+		v = math.Min(args[0], args[1])
+	case "max":
+		v = math.Max(args[0], args[1])
+	case "mod":
+		v = math.Mod(args[0], args[1])
+	default:
+		err = fmt.Errorf("native: unknown intrinsic %q", e.Func)
+	}
+	pc.argstack = pc.argstack[:base]
+	return v, err
 }
 
 // evalSum resolves a SUM call: distributed sums must already be in the
@@ -652,31 +806,19 @@ func (pc *proc) evalSum(e *ast.Call) (float64, error) {
 }
 
 // precomputeSums runs the collective combine for every distributed SUM
-// of an expression, in WalkCalls order (identical on all processors),
-// filling the memo eval reads from.
-func (pc *proc) precomputeSums(e ast.Expr) error {
-	var calls []*ast.Call
-	plan.WalkCalls(e, func(c *ast.Call) {
-		if c.Func != "sum" || len(c.Args) != 1 {
-			return
-		}
-		if ref, ok := c.Args[0].(*ast.Ref); ok {
-			if am := pc.eng.pl.RefArr[ref]; am != nil && am.Dist != nil {
-				calls = append(calls, c)
-			}
-		}
-	})
-	for _, c := range calls {
-		if _, ok := pc.sumMemo[c]; ok {
+// of a statement or condition — the plan precomputed the call list in
+// WalkCalls order (identical on all processors) — filling the memo
+// eval reads from.
+func (pc *proc) precomputeSums(calls []plan.SumCall) error {
+	for _, sc := range calls {
+		if _, ok := pc.sumMemo[sc.Call]; ok {
 			continue
 		}
-		ref := c.Args[0].(*ast.Ref)
-		am := pc.eng.pl.RefArr[ref]
-		total, err := pc.collectiveSum(ref, am)
+		total, err := pc.collectiveSum(sc)
 		if err != nil {
 			return err
 		}
-		pc.sumMemo[c] = total
+		pc.sumMemo[sc.Call] = total
 	}
 	return nil
 }

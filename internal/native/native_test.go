@@ -2,6 +2,7 @@ package native_test
 
 import (
 	"fmt"
+	"math"
 	goruntime "runtime"
 	"testing"
 
@@ -131,4 +132,92 @@ func TestNativeStats(t *testing.T) {
 	if st.ElapsedSeconds <= 0 {
 		t.Fatalf("elapsed = %v", st.ElapsedSeconds)
 	}
+}
+
+// TestNativeTreeOddP exercises the binomial-tree collectives at
+// non-power-of-two and prime processor counts — ragged trees whose
+// last subtree is clipped — and requires bit-identical agreement with
+// the simulator.
+func TestNativeTreeOddP(t *testing.T) {
+	m := machine.SP2()
+	for _, name := range []string{"gravity", "shallow"} {
+		pr, err := bench.ByName(name, "main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []int{3, 5, 7, 13} {
+			t.Run(fmt.Sprintf("%s/P%d", name, p), func(t *testing.T) {
+				res := place(t, pr, 12, p, core.VersionCombine)
+				if err := native.VerifyAgainstSimulator(res, m, p); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestNativeEngineReuse verifies the reusable-engine contract: a
+// second Run on the same engine resets state and reproduces the first
+// run bit for bit, and the recycled fabric means the repeat run
+// allocates no new payload buffers.
+func TestNativeEngineReuse(t *testing.T) {
+	pr, err := bench.ByName("gravity", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := place(t, pr, 12, 4, core.VersionCombine)
+	eng, err := native.NewEngine(res, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot run 1 (the result aliases engine memory).
+	scal1 := map[string]float64{}
+	for k, v := range first.Scalars {
+		scal1[k] = v
+	}
+	data1 := map[string][][]float64{}
+	for _, arr := range res.Analysis.Unit.Arrays {
+		am := first.Mem.View(arr.Name)
+		rows := make([][]float64, len(am.Data))
+		for i := range am.Data {
+			rows[i] = append([]float64(nil), am.Data[i]...)
+		}
+		data1[arr.Name] = rows
+	}
+	st1 := first.Stats
+
+	second, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range scal1 {
+		if !sameBitsTest(second.Scalars[k], v) {
+			t.Fatalf("scalar %s: run2 %v != run1 %v", k, second.Scalars[k], v)
+		}
+	}
+	for name, rows := range data1 {
+		am := second.Mem.View(name)
+		for i := range rows {
+			for j := range rows[i] {
+				if !sameBitsTest(am.Data[i][j], rows[i][j]) {
+					t.Fatalf("%s row %d off %d: run2 %v != run1 %v", name, i, j, am.Data[i][j], rows[i][j])
+				}
+			}
+		}
+	}
+	st2 := second.Stats
+	if st2.Messages != st1.Messages || st2.Bytes != st1.Bytes || st2.WireBytes != st1.WireBytes || st2.Hops != st1.Hops {
+		t.Fatalf("traffic differs between runs: run1 %+v run2 %+v", st1, st2)
+	}
+	if st2.AllocBytes != 0 {
+		t.Fatalf("steady-state run allocated %d payload bytes, want 0", st2.AllocBytes)
+	}
+}
+
+func sameBitsTest(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
 }

@@ -1,0 +1,135 @@
+package native
+
+// White-box tests for the recycled message fabric: the ownership
+// discipline (a sent buffer is never handed out again until the
+// receiver returns it) is what makes buffer reuse safe, and these
+// tests are meant to run under -race so any aliasing between a live
+// payload and a writer shows up as a data race.
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// pairEngine wires a minimal two-processor fabric by hand — just the
+// 0↔1 channel pair — so the pool can be driven without a program.
+func pairEngine() (*proc, *proc) {
+	eng := &engine{procs: 2, done: make(chan struct{})}
+	eng.ch = make([][]chan []float64, 2)
+	eng.free = make([][]chan []float64, 2)
+	for d := range eng.ch {
+		eng.ch[d] = make([]chan []float64, 2)
+		eng.free[d] = make([]chan []float64, 2)
+	}
+	for _, pair := range [][2]int{{1, 0}, {0, 1}} {
+		eng.ch[pair[0]][pair[1]] = make(chan []float64, 1)
+		eng.free[pair[1]][pair[0]] = make(chan []float64, 2)
+	}
+	p0 := &proc{eng: eng, p: 0}
+	p1 := &proc{eng: eng, p: 1}
+	return p0, p1
+}
+
+func base(buf []float64) uintptr {
+	return uintptr(unsafe.Pointer(unsafe.SliceData(buf)))
+}
+
+// TestPoolNoAliasWhileInFlight is the mutate-after-send detector: once
+// a buffer is sent, the sender's next getBuf must return different
+// backing memory, and writing through it while the receiver is still
+// reading the in-flight payload must be race-free. Only after the
+// receiver returns the buffer may the pool hand the original memory
+// out again.
+func TestPoolNoAliasWhileInFlight(t *testing.T) {
+	p0, p1 := pairEngine()
+
+	first := p0.getBuf(1, 64)
+	firstBase := base(first)
+	for i := 0; i < 64; i++ {
+		first = append(first, float64(i))
+	}
+	if err := p0.send(1, first); err != nil {
+		t.Fatal(err)
+	}
+
+	// Receiver drains the in-flight payload concurrently with the
+	// sender's writes into its next buffer; -race arbitrates.
+	done := make(chan float64)
+	go func() {
+		buf, err := p1.recv(0)
+		if err != nil {
+			t.Error(err)
+			done <- 0
+			return
+		}
+		sum := 0.0
+		for _, v := range buf {
+			sum += v
+		}
+		p1.putBuf(0, buf)
+		done <- sum
+	}()
+
+	second := p0.getBuf(1, 64)
+	if base(second) == firstBase {
+		t.Fatal("getBuf returned the in-flight buffer")
+	}
+	for i := 0; i < 64; i++ {
+		second = append(second, -1)
+	}
+	if sum := <-done; sum != 64*63/2 {
+		t.Fatalf("receiver read %v, want %v (payload corrupted)", sum, 64*63/2)
+	}
+
+	// The consumed buffer is home again: the third getBuf must recycle
+	// the original backing memory rather than allocate.
+	allocBefore := p0.allocBytes
+	third := p0.getBuf(1, 64)
+	if base(third) != firstBase {
+		t.Fatal("returned buffer was not recycled")
+	}
+	if p0.allocBytes != allocBefore {
+		t.Fatalf("recycled getBuf allocated %d bytes", p0.allocBytes-allocBefore)
+	}
+	if len(third) != 0 {
+		t.Fatalf("recycled buffer not reset: len %d", len(third))
+	}
+}
+
+// TestPoolGrowsUndersizedBuffer checks the grow-once path: a recycled
+// buffer too small for the next message is replaced (counted in
+// allocBytes) and the larger buffer recycles thereafter.
+func TestPoolGrowsUndersizedBuffer(t *testing.T) {
+	p0, p1 := pairEngine()
+
+	small := p0.getBuf(1, 8)
+	small = append(small, 1)
+	if err := p0.send(1, small); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := p1.recv(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1.putBuf(0, buf)
+
+	grown := p0.getBuf(1, 128)
+	if cap(grown) < 128 {
+		t.Fatalf("cap %d, want >= 128", cap(grown))
+	}
+	if p0.allocBytes != 8*8+128*8 {
+		t.Fatalf("allocBytes = %d, want %d", p0.allocBytes, 8*8+128*8)
+	}
+	grownBase := base(grown)
+	if err := p0.send(1, grown); err != nil {
+		t.Fatal(err)
+	}
+	buf, err = p1.recv(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1.putBuf(0, buf)
+	if again := p0.getBuf(1, 128); base(again) != grownBase {
+		t.Fatal("grown buffer was not recycled")
+	}
+}

@@ -61,10 +61,14 @@ type Registry struct {
 	gapBound  map[string]float64
 	gapActual map[string]map[string]float64 // benchmark -> version -> bytes
 
-	// Native-backend execution: wall-clock per run and message totals,
-	// by compiler version (see internal/native).
-	nativeSecs map[string]*Histogram
-	nativeMsgs map[string]int64
+	// Native-backend execution: wall-clock per run, message and
+	// bytes-on-wire totals, collective tree hops and fabric buffer
+	// allocations, by compiler version (see internal/native).
+	nativeSecs  map[string]*Histogram
+	nativeMsgs  map[string]int64
+	nativeWire  map[string]int64
+	nativeHops  map[string]int64
+	nativeAlloc map[string]int64
 
 	// Serving-layer state (see serve.go): RED metrics per route,
 	// scheduler queue-wait ledger, build identity, and the live
@@ -79,35 +83,53 @@ type Registry struct {
 // NewRegistry builds an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		requests:   map[string]int64{},
-		counters:   map[string]int64{},
-		gauges:     map[string]float64{},
-		phase:      map[string]*Histogram{},
-		placed:     map[string]*Histogram{},
-		bytes:      map[string]*Histogram{},
-		hrel:       map[string]*Histogram{},
-		siteBytes:  map[string]int64{},
-		gapBound:   map[string]float64{},
-		gapActual:  map[string]map[string]float64{},
-		httpReq:    map[string]map[string]int64{},
-		httpLat:    map[string]*Histogram{},
-		queueWait:  NewHistogram(LatencyBuckets),
-		nativeSecs: map[string]*Histogram{},
-		nativeMsgs: map[string]int64{},
+		requests:    map[string]int64{},
+		counters:    map[string]int64{},
+		gauges:      map[string]float64{},
+		phase:       map[string]*Histogram{},
+		placed:      map[string]*Histogram{},
+		bytes:       map[string]*Histogram{},
+		hrel:        map[string]*Histogram{},
+		siteBytes:   map[string]int64{},
+		gapBound:    map[string]float64{},
+		gapActual:   map[string]map[string]float64{},
+		httpReq:     map[string]map[string]int64{},
+		httpLat:     map[string]*Histogram{},
+		queueWait:   NewHistogram(LatencyBuckets),
+		nativeSecs:  map[string]*Histogram{},
+		nativeMsgs:  map[string]int64{},
+		nativeWire:  map[string]int64{},
+		nativeHops:  map[string]int64{},
+		nativeAlloc: map[string]int64{},
 	}
 }
 
-// ObserveNativeExec records one native-backend run: the wall-clock the
-// goroutine fleet took and how many point-to-point messages it moved,
-// labeled by compiler version.
-func (g *Registry) ObserveNativeExec(version string, seconds float64, messages int64) {
+// NativeExecSample is one native-backend run's traffic summary as the
+// registry records it: wall clock, point-to-point messages, raw bytes
+// on the wire (payload plus validity bitmaps and framing), collective
+// tree hops, and payload-buffer bytes the message fabric had to
+// allocate (zero once the recycled pools are warm).
+type NativeExecSample struct {
+	Seconds    float64
+	Messages   int64
+	WireBytes  int64
+	Hops       int64
+	AllocBytes int64
+}
+
+// ObserveNativeExec records one native-backend run, labeled by
+// compiler version.
+func (g *Registry) ObserveNativeExec(version string, s NativeExecSample) {
 	if g == nil {
 		return
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	g.histLocked(g.nativeSecs, version, LatencyBuckets).Observe(seconds)
-	g.nativeMsgs[version] += messages
+	g.histLocked(g.nativeSecs, version, LatencyBuckets).Observe(s.Seconds)
+	g.nativeMsgs[version] += s.Messages
+	g.nativeWire[version] += s.WireBytes
+	g.nativeHops[version] += s.Hops
+	g.nativeAlloc[version] += s.AllocBytes
 }
 
 // versions are the compiler versions whose per-compile counters Absorb
@@ -291,22 +313,25 @@ func (g *Registry) Counter(name string) int64 {
 // registrySnapshot is the copied registry state rendering reads
 // outside the lock.
 type registrySnapshot struct {
-	req        map[string]int64
-	ctr        map[string]int64
-	gau        map[string]float64
-	phase      map[string]*Histogram
-	placed     map[string]*Histogram
-	bytes      map[string]*Histogram
-	hrel       map[string]*Histogram
-	siteBytes  map[string]int64
-	gapBound   map[string]float64
-	gapRatio   map[string]map[string]float64
-	httpReq    map[string]map[string]int64
-	httpLat    map[string]*Histogram
-	queueWait  *Histogram
-	buildInfo  string
-	nativeSecs map[string]*Histogram
-	nativeMsgs map[string]int64
+	req         map[string]int64
+	ctr         map[string]int64
+	gau         map[string]float64
+	phase       map[string]*Histogram
+	placed      map[string]*Histogram
+	bytes       map[string]*Histogram
+	hrel        map[string]*Histogram
+	siteBytes   map[string]int64
+	gapBound    map[string]float64
+	gapRatio    map[string]map[string]float64
+	httpReq     map[string]map[string]int64
+	httpLat     map[string]*Histogram
+	queueWait   *Histogram
+	buildInfo   string
+	nativeSecs  map[string]*Histogram
+	nativeMsgs  map[string]int64
+	nativeWire  map[string]int64
+	nativeHops  map[string]int64
+	nativeAlloc map[string]int64
 }
 
 // snapshot copies the registry state so rendering happens outside the
@@ -341,22 +366,25 @@ func (g *Registry) snapshot() registrySnapshot {
 		gapRatio[bench] = out
 	}
 	return registrySnapshot{
-		req:        copyMap(g.requests),
-		ctr:        copyMap(g.counters),
-		gau:        copyMap(g.gauges),
-		phase:      cloneHists(g.phase),
-		placed:     cloneHists(g.placed),
-		bytes:      cloneHists(g.bytes),
-		hrel:       cloneHists(g.hrel),
-		siteBytes:  copyMap(g.siteBytes),
-		gapBound:   copyMap(g.gapBound),
-		gapRatio:   gapRatio,
-		httpReq:    httpReq,
-		httpLat:    cloneHists(g.httpLat),
-		queueWait:  g.queueWait.clone(),
-		buildInfo:  g.buildInfo,
-		nativeSecs: cloneHists(g.nativeSecs),
-		nativeMsgs: copyMap(g.nativeMsgs),
+		req:         copyMap(g.requests),
+		ctr:         copyMap(g.counters),
+		gau:         copyMap(g.gauges),
+		phase:       cloneHists(g.phase),
+		placed:      cloneHists(g.placed),
+		bytes:       cloneHists(g.bytes),
+		hrel:        cloneHists(g.hrel),
+		siteBytes:   copyMap(g.siteBytes),
+		gapBound:    copyMap(g.gapBound),
+		gapRatio:    gapRatio,
+		httpReq:     httpReq,
+		httpLat:     cloneHists(g.httpLat),
+		queueWait:   g.queueWait.clone(),
+		buildInfo:   g.buildInfo,
+		nativeSecs:  cloneHists(g.nativeSecs),
+		nativeMsgs:  copyMap(g.nativeMsgs),
+		nativeWire:  copyMap(g.nativeWire),
+		nativeHops:  copyMap(g.nativeHops),
+		nativeAlloc: copyMap(g.nativeAlloc),
 	}
 }
 
@@ -412,6 +440,12 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 		"Native goroutine-backend wall clock per run in seconds, by compiler version.", "version", snap.nativeSecs)
 	writeScalarFamily(&b, "gcao_native_messages_total", "counter",
 		"Point-to-point messages moved by the native backend, by compiler version.", "version", snap.nativeMsgs)
+	writeScalarFamily(&b, "gcao_native_wire_bytes_total", "counter",
+		"Raw bytes the native backend put on the wire (payload, validity bitmaps and framing), by compiler version.", "version", snap.nativeWire)
+	writeScalarFamily(&b, "gcao_native_collective_hops_total", "counter",
+		"Binomial-tree hops moved by native collectives (gather ascents, broadcast descents), by compiler version.", "version", snap.nativeHops)
+	writeScalarFamily(&b, "gcao_native_alloc_bytes_total", "counter",
+		"Payload-buffer bytes the native message fabric allocated because no recycled buffer fit, by compiler version.", "version", snap.nativeAlloc)
 	writeScalarFamily(&b, "gcao_comm_lower_bound_bytes", "gauge",
 		"Placement-independent communication lower bound of the last compile, by routine.", "benchmark", snap.gapBound)
 	writeTwoLabelFamily(&b, "gcao_optimality_gap_ratio", "gauge",

@@ -118,9 +118,9 @@ func TestRegistryObserveBytes(t *testing.T) {
 
 func TestRegistryObserveNativeExec(t *testing.T) {
 	reg := NewRegistry()
-	reg.ObserveNativeExec("comb", 0.012, 96)
-	reg.ObserveNativeExec("comb", 0.014, 96)
-	reg.ObserveNativeExec("orig", 0.020, 480)
+	reg.ObserveNativeExec("comb", NativeExecSample{Seconds: 0.012, Messages: 96, WireBytes: 4096, Hops: 12, AllocBytes: 0})
+	reg.ObserveNativeExec("comb", NativeExecSample{Seconds: 0.014, Messages: 96, WireBytes: 4096, Hops: 12, AllocBytes: 512})
+	reg.ObserveNativeExec("orig", NativeExecSample{Seconds: 0.020, Messages: 480, WireBytes: 20480, Hops: 60, AllocBytes: 2048})
 	var buf bytes.Buffer
 	if err := reg.WritePrometheus(&buf); err != nil {
 		t.Fatal(err)
@@ -137,6 +137,15 @@ func TestRegistryObserveNativeExec(t *testing.T) {
 	}
 	if !strings.Contains(text, `gcao_native_messages_total{version="comb"} 192`) {
 		t.Fatalf("native message counter not accumulated:\n%s", text)
+	}
+	if !strings.Contains(text, `gcao_native_wire_bytes_total{version="comb"} 8192`) {
+		t.Fatalf("native wire-byte counter missing:\n%s", text)
+	}
+	if !strings.Contains(text, `gcao_native_collective_hops_total{version="orig"} 60`) {
+		t.Fatalf("native hop counter missing:\n%s", text)
+	}
+	if !strings.Contains(text, `gcao_native_alloc_bytes_total{version="comb"} 512`) {
+		t.Fatalf("native alloc counter missing:\n%s", text)
 	}
 }
 

@@ -11,6 +11,7 @@
 package plan
 
 import (
+	"gcao/internal/asd"
 	"gcao/internal/ast"
 	"gcao/internal/cfg"
 	"gcao/internal/core"
@@ -32,6 +33,21 @@ type StmtInfo struct {
 	// HasSum marks statements whose RHS contains any SUM, so
 	// per-statement reduction memos are reset before evaluation.
 	HasSum bool
+	// DistSums lists the RHS's distributed SUM calls in WalkCalls
+	// order — the statement-level collectives every processor must run
+	// before evaluation, precomputed so backends never re-walk the
+	// expression tree per execution.
+	DistSums []SumCall
+}
+
+// SumCall is one distributed SUM collective: the call site, the summed
+// reference, its resolved memory view, and a conservative element-count
+// bound for sizing gather buffers once at setup.
+type SumCall struct {
+	Call  *ast.Call
+	Ref   *ast.Ref
+	Am    *runtime.ArrayMem
+	Bound int
 }
 
 // Plan is the immutable per-run precomputation: communication groups
@@ -51,9 +67,24 @@ type Plan struct {
 	RefArr map[*ast.Ref]*runtime.ArrayMem
 	// CondSync[b.ID] marks branch conditions that read distributed
 	// data and therefore need cross-processor agreement on the taken
-	// edge.
+	// edge; CondSums[b.ID] lists the condition's distributed SUM
+	// collectives in WalkCalls order.
 	CondSync []bool
+	CondSums [][]SumCall
 	LoopOf   []*cfg.Loop // by preheader block ID
+	// Tree is the binomial collective schedule for the run's processor
+	// count: broadcasts, gathers, reductions and barriers follow its
+	// parent/child edges for a log-P critical path.
+	Tree *Tree
+	// Bound maps each placed group to a conservative element-count
+	// bound of its concretized payload (per processor pair), so backend
+	// buffer capacities are decided once at setup, not per transfer.
+	// The bound uses the symbolic section's constant element count when
+	// it has one and degrades to the full declared array size otherwise.
+	Bound map[*core.Group]int
+	// symSec caches each placed entry's expanded symbolic section at
+	// its group's level (see New); ConcreteEntrySection reads it.
+	symSec map[*core.Entry]asd.SymSection
 }
 
 // New builds the plan for one placement over one memory image.
@@ -86,14 +117,17 @@ func New(res *core.Result, mem *runtime.Memory) *Plan {
 		si.HasSum = ExprHasSum(st.Assign.RHS)
 		si.Sync = (si.LHS != nil && si.LHS.Dist == nil) ||
 			ExprHasDistributedSum(a, st.Assign.RHS)
+		si.DistSums = pl.distSums(st.Assign.RHS, mem)
 		pl.Info[st] = si
 		resolve(st.Assign.RHS)
 	}
 	pl.CondSync = make([]bool, n)
+	pl.CondSums = make([][]SumCall, n)
 	pl.LoopOf = make([]*cfg.Loop, n)
 	for _, b := range a.G.Blocks {
 		if b.Branch != nil {
 			pl.CondSync[b.ID] = ExprReadsDistributed(a, b.Branch.Cond)
+			pl.CondSums[b.ID] = pl.distSums(b.Branch.Cond, mem)
 			resolve(b.Branch.Cond)
 		}
 	}
@@ -102,7 +136,151 @@ func New(res *core.Result, mem *runtime.Memory) *Plan {
 			pl.LoopOf[l.PreHeader.ID] = l
 		}
 	}
+	pl.Tree = BuildTree(mem.P)
+	pl.Bound = make(map[*core.Group]int, len(res.Groups))
+	pl.symSec = map[*core.Entry]asd.SymSection{}
+	for _, g := range res.Groups {
+		total := 0
+		for _, e := range g.Entries {
+			// Expanding the symbolic section (SectionAt) walks the
+			// dependence forms and is by far the most allocation-heavy
+			// step of entry concretization; it depends only on the
+			// entry and its group's placement level, so it is done
+			// exactly once here and the executors concretize from the
+			// cache.
+			sym := res.CommSection(e, g.Pos.Level())
+			pl.symSec[e] = sym
+			total += pl.entryBound(sym, a.Unit.Arrays[e.Array].Size())
+		}
+		pl.Bound[g] = total
+	}
 	return pl
+}
+
+// distSums collects the distributed SUM calls of an expression in
+// WalkCalls order, with their references, memory views and gather
+// bounds resolved once.
+func (pl *Plan) distSums(e ast.Expr, mem *runtime.Memory) []SumCall {
+	var out []SumCall
+	WalkCalls(e, func(c *ast.Call) {
+		if c.Func != "sum" || len(c.Args) != 1 {
+			return
+		}
+		ref, ok := c.Args[0].(*ast.Ref)
+		if !ok {
+			return
+		}
+		if arr := pl.A.Unit.Arrays[ref.Name]; arr != nil && arr.Dist != nil {
+			out = append(out, SumCall{Call: c, Ref: ref, Am: mem.View(ref.Name), Bound: arr.Size()})
+		}
+	})
+	return out
+}
+
+// entryBound bounds one entry's concretized element count: the
+// symbolic section's constant count when it has one (point dimensions
+// count 1 even while symbolic), else the full declared array size —
+// sections are clipped to the array bounds, so the fallback is sound.
+func (pl *Plan) entryBound(sym asd.SymSection, arraySize int) int {
+	if n, ok := sym.NumElems(); ok {
+		return n
+	}
+	return arraySize
+}
+
+// Tree is a binomial collective tree over processors 0..Procs-1,
+// rooted at processor 0: gathers ascend it, broadcasts and barrier
+// releases descend it, giving every collective a ceil(log2 P) critical
+// path instead of the O(P) star through the root. The shape is the
+// classic binomial construction — the parent of p clears p's lowest
+// set bit, the children of p are p+1, p+2, p+4, ... up to the next
+// power of two (clipped to Procs) — which is defined for every P, not
+// just powers of two.
+//
+// Gathered payloads concatenate in DFS pre-order: a node's own
+// contribution followed by each child subtree's payload in child
+// order. Order, Pos and SubSize let the root carve a received child
+// buffer back into per-processor streams without any per-message
+// headers: child c's buffer holds the contributions of
+// Order[Pos[c] : Pos[c]+SubSize[c]], in that order.
+type Tree struct {
+	Procs    int
+	Parent   []int   // Parent[p]; -1 for the root
+	Children [][]int // in ascending processor order
+	Order    []int   // DFS pre-order from the root
+	Pos      []int   // Pos[p] = index of p in Order
+	SubSize  []int   // SubSize[p] = size of p's subtree
+}
+
+// BuildTree constructs the binomial tree for procs processors.
+func BuildTree(procs int) *Tree {
+	t := &Tree{
+		Procs:    procs,
+		Parent:   make([]int, procs),
+		Children: make([][]int, procs),
+		Order:    make([]int, 0, procs),
+		Pos:      make([]int, procs),
+		SubSize:  make([]int, procs),
+	}
+	for p := 0; p < procs; p++ {
+		if p == 0 {
+			t.Parent[p] = -1
+		} else {
+			t.Parent[p] = p &^ (p & -p) // clear the lowest set bit
+		}
+		// Children are p + 2^k for 2^k below p's lowest set bit (every
+		// power of two for the root), clipped to the processor count.
+		lim := p & -p
+		if p == 0 {
+			lim = procs
+		}
+		for step := 1; step < lim && p+step < procs; step <<= 1 {
+			t.Children[p] = append(t.Children[p], p+step)
+		}
+	}
+	// DFS pre-order and subtree sizes, iteratively (procs can be large).
+	type visit struct{ p, child int }
+	stack := make([]visit, 0, 64)
+	stack = append(stack, visit{0, 0})
+	t.Pos[0] = 0
+	t.Order = append(t.Order, 0)
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.child < len(t.Children[top.p]) {
+			c := t.Children[top.p][top.child]
+			top.child++
+			t.Pos[c] = len(t.Order)
+			t.Order = append(t.Order, c)
+			stack = append(stack, visit{c, 0})
+			continue
+		}
+		t.SubSize[top.p] = len(t.Order) - t.Pos[top.p]
+		stack = stack[:len(stack)-1]
+	}
+	return t
+}
+
+// Subtree returns the processors of p's subtree in DFS pre-order — the
+// concatenation order of p's gathered payload.
+func (t *Tree) Subtree(p int) []int {
+	return t.Order[t.Pos[p] : t.Pos[p]+t.SubSize[p]]
+}
+
+// Depth returns the length of the longest root-to-leaf edge path — the
+// collective critical path in hops.
+func (t *Tree) Depth() int {
+	depth := make([]int, t.Procs)
+	max := 0
+	// Order is pre-order, so parents appear before children.
+	for _, p := range t.Order {
+		if t.Parent[p] >= 0 {
+			depth[p] = depth[t.Parent[p]] + 1
+			if depth[p] > max {
+				max = depth[p]
+			}
+		}
+	}
+	return max
 }
 
 // WalkRefs visits every array/scalar reference of an expression,
@@ -253,12 +431,15 @@ func (pl *Plan) ConcreteRefSection(ref *ast.Ref, am *runtime.ArrayMem, ienv map[
 // bounds (vectorized subscript ranges like i-1 over i=2..n already
 // stay inside, but defensive clipping keeps hulls in range).
 func (pl *Plan) ConcreteEntrySection(e *core.Entry, pos core.Position, ienv map[string]int) (section.Section, bool) {
-	sym := pl.Res.CommSection(e, pos.Level())
-	env := map[string]int{}
-	for k, v := range ienv {
-		env[k] = v
+	// The symbolic section was expanded once at plan time (see New);
+	// Concrete only reads the environment (lin.Form.Eval is pure), so
+	// the caller's loop environment is passed through without the
+	// per-call copy this hot path used to allocate.
+	sym, ok := pl.symSec[e]
+	if !ok {
+		sym = pl.Res.CommSection(e, pos.Level())
 	}
-	sec, ok := sym.Concrete(env)
+	sec, ok := sym.Concrete(ienv)
 	if !ok {
 		return section.Section{}, false
 	}

@@ -83,3 +83,64 @@ func TestCountFlops(t *testing.T) {
 		t.Fatal("counted zero flops over the shallow benchmark")
 	}
 }
+
+// TestBuildTree checks the binomial-tree invariants the native
+// collectives rely on, across powers of two, primes and composites:
+// parent/child consistency, the DFS pre-order permutation with its
+// inverse and subtree sizes, and the log-P depth bound.
+func TestBuildTree(t *testing.T) {
+	for _, procs := range []int{1, 2, 3, 4, 5, 7, 8, 13, 16, 25, 64, 100} {
+		tr := plan.BuildTree(procs)
+		if tr.Procs != procs || len(tr.Order) != procs {
+			t.Fatalf("P=%d: order has %d entries", procs, len(tr.Order))
+		}
+		if tr.Parent[0] != -1 {
+			t.Fatalf("P=%d: root parent = %d", procs, tr.Parent[0])
+		}
+		seen := make([]bool, procs)
+		for i, p := range tr.Order {
+			if seen[p] {
+				t.Fatalf("P=%d: %d appears twice in Order", procs, p)
+			}
+			seen[p] = true
+			if tr.Pos[p] != i {
+				t.Fatalf("P=%d: Pos[%d] = %d, want %d", procs, p, tr.Pos[p], i)
+			}
+		}
+		for p := 1; p < procs; p++ {
+			if want := p &^ (p & -p); tr.Parent[p] != want {
+				t.Fatalf("P=%d: Parent[%d] = %d, want %d", procs, p, tr.Parent[p], want)
+			}
+		}
+		for p := 0; p < procs; p++ {
+			size := 1
+			for i, c := range tr.Children[p] {
+				if c <= p || c >= procs {
+					t.Fatalf("P=%d: child %d of %d out of range", procs, c, p)
+				}
+				if i > 0 && c <= tr.Children[p][i-1] {
+					t.Fatalf("P=%d: children of %d not ascending: %v", procs, p, tr.Children[p])
+				}
+				if tr.Parent[c] != p {
+					t.Fatalf("P=%d: Parent[%d] = %d, want %d", procs, c, tr.Parent[c], p)
+				}
+				size += tr.SubSize[c]
+			}
+			if tr.SubSize[p] != size {
+				t.Fatalf("P=%d: SubSize[%d] = %d, want %d", procs, p, tr.SubSize[p], size)
+			}
+			// A subtree is the node followed by its children's subtrees
+			// contiguously; spot-check the slice starts at p.
+			if sub := tr.Subtree(p); sub[0] != p || len(sub) != size {
+				t.Fatalf("P=%d: Subtree(%d) = %v", procs, p, sub)
+			}
+		}
+		logP := 0
+		for 1<<logP < procs {
+			logP++
+		}
+		if d := tr.Depth(); d > logP {
+			t.Fatalf("P=%d: depth %d exceeds ceil(log2 P) = %d", procs, d, logP)
+		}
+	}
+}

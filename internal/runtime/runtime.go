@@ -251,20 +251,39 @@ func NewMemory(u *sem.Unit, p int) *Memory {
 			am.Valid[c] = make([]bool, size)
 		}
 		m.views[name] = am
-		// Owned (or replicated) elements start valid with value zero.
-		if arr.Dist == nil {
-			for i := range am.Valid[0] {
-				am.Valid[0][i] = true
-			}
-			continue
-		}
-		coords := make([]int, arr.Dist.Grid.Rank())
-		m.forEachIndex(arr, func(idx []int) {
-			o := am.OwnerInto(idx, coords)
-			am.Valid[o][am.Offset(idx)] = true
-		})
+		m.initValidity(am)
 	}
 	return m
+}
+
+// initValidity marks the owned (or replicated) elements of one array
+// valid; everything starts at value zero.
+func (m *Memory) initValidity(am *ArrayMem) {
+	arr := am.Arr
+	if arr.Dist == nil {
+		for i := range am.Valid[0] {
+			am.Valid[0][i] = true
+		}
+		return
+	}
+	coords := make([]int, arr.Dist.Grid.Rank())
+	m.forEachIndex(arr, func(idx []int) {
+		o := am.OwnerInto(idx, coords)
+		am.Valid[o][am.Offset(idx)] = true
+	})
+}
+
+// Reset restores the memory image to its just-constructed state —
+// every value zero, validity back to the ownership pattern — reusing
+// the existing rows so repeated native runs do not allocate.
+func (m *Memory) Reset() {
+	for _, am := range m.views {
+		for c := range am.Data {
+			clear(am.Data[c])
+			clear(am.Valid[c])
+		}
+		m.initValidity(am)
+	}
 }
 
 // View returns the resolved per-array view, panicking on unknown
