@@ -7,7 +7,7 @@ BENCH_BASELINE ?= BENCH_baseline.json
 # run compare against a real prior revision.
 GAP_HISTORY ?= ci/bench-history.jsonl
 
-.PHONY: all build test vet fmt-check race check benchgate gapreport attr-smoke obs-smoke native-smoke
+.PHONY: all build test vet fmt-check race check benchgate gapreport attr-smoke obs-smoke native-smoke nativeprof-smoke
 
 all: build
 
@@ -137,3 +137,30 @@ native-smoke:
 	[ "$$allocs" -le "$$budget" ] || { echo "native-smoke: $$allocs allocs/op exceeds budget $$budget (ci/native-alloc-budget.txt)"; exit 1; }; \
 	echo "native-smoke: $$allocs allocs/op within budget $$budget"
 	@echo "native-smoke: ok"
+
+# nativeprof-smoke proves the native runtime profiler end to end:
+# profile a real gravity run at P=16 through commprof, assert the
+# per-processor phase heatmap and skew line rendered, assert the
+# least-squares calibration against the simulator's attribution record
+# fitted a finite positive g, assert the Chrome trace carries the
+# native processor lanes (process 2), run the bit-identity and fold
+# tests (the latter under the race detector), and finally re-measure
+# the profiling-OFF allocation benchmark against the checked-in budget
+# — an armed-but-disabled profiler must cost nothing on the warm path.
+nativeprof-smoke:
+	@mkdir -p out
+	$(GO) run ./cmd/commprof -bench gravity -n 12 -procs 16 -version comb \
+		-native -trace-out out/nativeprof-trace.json | tee out/nativeprof.txt
+	@grep -q '== native run: 16 procs' out/nativeprof.txt || { echo "nativeprof-smoke: no native run section"; exit 1; }
+	@grep -Eq 'skew [0-9]+\.[0-9]+x' out/nativeprof.txt || { echo "nativeprof-smoke: no skew line"; exit 1; }
+	@grep -Eq 'fitted +L=[0-9.e+-]+s +g=[0-9][0-9.e+-]*s/B' out/nativeprof.txt || { echo "nativeprof-smoke: fitted g missing, non-finite or negative"; exit 1; }
+	@grep -q '"pid":2' out/nativeprof-trace.json || { echo "nativeprof-smoke: trace lacks native processor lanes"; exit 1; }
+	$(GO) test ./internal/native -run 'TestNativeProfileBitIdentity|TestNativeProfileTilesWallTime|TestNativeProfilingOffCostsNothing' -count=1
+	$(GO) test -race ./internal/native -run 'TestNativeProfileFoldRace' -count=1
+	$(GO) test -short -run XXX -bench BenchmarkNativeAlloc -benchtime 3x -benchmem . | tee out/nativeprof-alloc.txt
+	@budget=$$(cat ci/native-alloc-budget.txt); \
+	allocs=$$(awk '/^BenchmarkNativeAlloc/ {for (i=1; i<NF; i++) if ($$(i+1) == "allocs/op") print $$i}' out/nativeprof-alloc.txt); \
+	[ -n "$$allocs" ] || { echo "nativeprof-smoke: no allocs/op in benchmark output"; exit 1; }; \
+	[ "$$allocs" -le "$$budget" ] || { echo "nativeprof-smoke: $$allocs allocs/op exceeds budget $$budget with the profiler compiled in"; exit 1; }; \
+	echo "nativeprof-smoke: $$allocs allocs/op within budget $$budget (profiling off)"
+	@echo "nativeprof-smoke: ok (trace at out/nativeprof-trace.json)"

@@ -16,17 +16,28 @@
 // critical path under a BSP cost model (-g/-L override the
 // machine-derived per-byte and per-superstep knobs) — and -trace-out
 // gains a superstep lane (tid 2) carrying the per-step h-relations.
+//
+// -native additionally executes the placement on the profiled native
+// goroutine backend and prints the measured side: a per-processor
+// phase heatmap (where each processor's wall time actually went),
+// the straggler ranking, and the measured-vs-modeled calibration —
+// machine constants (L, g) fitted by least squares from the run's own
+// supersteps against the -machine model. With -trace-out the trace
+// gains one lane per native processor (pid 2).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 
 	"gcao/internal/bench"
 	"gcao/internal/core"
 	"gcao/internal/machine"
+	"gcao/internal/native"
+	nprof "gcao/internal/native/prof"
 	"gcao/internal/obs"
 	"gcao/internal/obs/attr"
 	"gcao/internal/spmd"
@@ -47,6 +58,7 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write counters, decision log and the communication profile as JSON")
 	explain := flag.Bool("explain", false, "print the placement decision log")
 	blame := flag.Int("blame", 0, "print the top-k communication blame table and critical path (0: off)")
+	nativeRun := flag.Bool("native", false, "execute on the profiled native backend and print the measured per-processor profile and (L, g) calibration")
 	gFlag := flag.Float64("g", 0, "BSP per-byte cost override for -blame, seconds/byte (0: derive from -machine)")
 	lFlag := flag.Float64("L", 0, "BSP per-superstep latency override for -blame, seconds (0: derive from -machine)")
 	flag.Parse()
@@ -122,6 +134,13 @@ func main() {
 	writeProcSplit(prof)
 	if *blame > 0 {
 		writeBlame(rec, m, *blame, *gFlag, *lFlag)
+	}
+	if *nativeRun {
+		out, err := native.RunProfiled(res, *procs, rec)
+		if err != nil {
+			fatal(err)
+		}
+		writeNativeProfile(out.Profile, rec, m, *gFlag, *lFlag)
 	}
 
 	if *explain {
@@ -212,6 +231,86 @@ func writeBlame(rec *obs.Recorder, m machine.Machine, k int, g, l float64) {
 	fmt.Println("critical path chain:")
 	for _, cs := range rep.CriticalPath {
 		fmt.Printf("  step %4d  %-28s cost %10.4gs  cum %10.4gs\n", cs.Index, cs.Site, cs.CostSec, cs.CumSec)
+	}
+	fmt.Println()
+}
+
+// writeNativeProfile prints the measured side of the run: one heatmap
+// row per native processor shading where its wall time went across the
+// profiler's phases, the straggler ranking, and the least-squares
+// (L, g) calibration against the simulator's attribution record under
+// the -machine (or -g/-L) cost model.
+func writeNativeProfile(np *nprof.NativeProfile, rec *obs.Recorder, m machine.Machine, g, l float64) {
+	if np == nil {
+		fatal(fmt.Errorf("native backend produced no profile"))
+	}
+	fmt.Printf("== native run: %d procs, %.6fs wall, %d supersteps ==\n",
+		np.Procs, np.WallSeconds, len(np.Steps))
+	fmt.Println("per-processor phase split (share of wall time):")
+	fmt.Printf("  %-5s %-9s %-9s %-11s %-11s %-9s %10s %10s\n",
+		"proc", "compute", "send", "recv-wait", "tree-wait", "sum", "wall(s)", "blocked(s)")
+	for _, ps := range np.ProcTotals {
+		cell := func(sec float64) string {
+			if ps.WallSeconds <= 0 || sec <= 0 {
+				return shades[0]
+			}
+			idx := 1 + int(sec/ps.WallSeconds*float64(len(shades)-2))
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			return shades[idx]
+		}
+		fmt.Printf("  p%-4d %-9s %-9s %-11s %-11s %-9s %10.6f %10.6f\n",
+			ps.Proc, cell(ps.ComputeSeconds), cell(ps.SendSeconds), cell(ps.RecvWaitSeconds),
+			cell(ps.TreeWaitSeconds), cell(ps.SumSeconds), ps.WallSeconds, ps.BlockedSeconds)
+	}
+	fmt.Printf("  skew %.3fx (max/mean compute per superstep)", np.SkewRatio)
+	if len(np.Stragglers) > 0 {
+		fmt.Printf("  stragglers:")
+		for i, p := range np.Stragglers {
+			if i == 3 {
+				break
+			}
+			fmt.Printf(" p%d", p)
+		}
+	}
+	if np.Truncated {
+		fmt.Printf("  [ring truncated]")
+	}
+	fmt.Println()
+
+	run := rec.Attribution()
+	if run == nil {
+		fmt.Println("  (no attribution record; calibration skipped)")
+		fmt.Println()
+		return
+	}
+	model := attr.CostModel{GSecPerByte: m.PerByte, LSec: m.SendOverhead + m.RecvOverhead + m.Latency}
+	if g > 0 {
+		model.GSecPerByte = g
+	}
+	if l > 0 {
+		model.LSec = l
+	}
+	c := np.Calibrate(obs.ModelSteps(run, model))
+	if c.Degenerate {
+		fmt.Printf("  calibration degenerate (%d points, no h spread)\n\n", c.Points)
+		return
+	}
+	fmt.Printf("measured vs modeled (%d supersteps, R²=%.3f):\n", c.Points, c.R2)
+	fmt.Printf("  fitted  L=%.4gs  g=%.4gs/B\n", c.FittedL, c.FittedG)
+	fmt.Printf("  model   L=%.4gs  g=%.4gs/B (%s)\n", model.LSec, model.GSecPerByte, m.Name)
+	fmt.Println("  worst per-site residuals (measured/modeled):")
+	for i, r := range c.Residuals {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("    %-32s %d step(s)  %8.4gs vs %8.4gs  %.2fx\n",
+			r.Site, r.Steps, r.MeasuredSec, r.ModeledSec, r.Ratio)
+	}
+	if w := c.WorstResidual(); w != nil && (w.Ratio > 2 || w.Ratio < 0.5) && !math.IsInf(w.Ratio, 0) {
+		fmt.Printf("  warning: site %s measured %.2fx its modeled cost — the %s constants do not describe this host\n",
+			w.Site, w.Ratio, m.Name)
 	}
 	fmt.Println()
 }

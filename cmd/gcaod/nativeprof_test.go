@@ -1,0 +1,108 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"gcao/internal/native/prof"
+)
+
+// TestNativeProfEndpoint: a backend:"native" compile is profiled end
+// to end — the response carries the skew/blocked/calibration headline,
+// /debug/nativeprof lists the request, /debug/nativeprof/{id} serves
+// the retained profile, and the profiler metric families reach
+// /metrics. A plain request has no profile and 404s.
+func TestNativeProfEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	respPlain, outPlain := postCompile(t, ts, map[string]any{
+		"source": stencilSrc,
+		"params": map[string]int{"n": 12, "steps": 2},
+		"procs":  4,
+	})
+	if respPlain.StatusCode != http.StatusOK {
+		t.Fatalf("plain compile status = %d", respPlain.StatusCode)
+	}
+	respNat, outNat := postCompile(t, ts, map[string]any{
+		"source":   stencilSrc,
+		"params":   map[string]int{"n": 12, "steps": 3},
+		"procs":    4,
+		"strategy": "comb",
+		"simulate": true,
+		"backend":  "native",
+	})
+	if respNat.StatusCode != http.StatusOK {
+		t.Fatalf("native compile status = %d", respNat.StatusCode)
+	}
+	if outNat.Native == nil {
+		t.Fatal("native doc missing")
+	}
+	if outNat.Native.SkewRatio < 1 {
+		t.Fatalf("skew ratio = %g, want >= 1 on a profiled run", outNat.Native.SkewRatio)
+	}
+	if outNat.Native.BlockedSeconds <= 0 {
+		t.Fatalf("blocked seconds = %g, want > 0 on a communicating run", outNat.Native.BlockedSeconds)
+	}
+	if outNat.Metrics.NativeProf == nil {
+		t.Fatal("metrics doc lost the native profile")
+	}
+
+	// The list endpoint names only the profiled request.
+	var list struct {
+		IDs      []string `json:"ids"`
+		Retained int      `json:"retained"`
+	}
+	if code := getJSON(t, ts.URL+"/debug/nativeprof", &list); code != http.StatusOK {
+		t.Fatalf("nativeprof list status = %d", code)
+	}
+	if len(list.IDs) != 1 || list.IDs[0] != outNat.ReqID || list.Retained != 2 {
+		t.Fatalf("nativeprof list = %+v (native req %s)", list, outNat.ReqID)
+	}
+
+	var detail struct {
+		ReqID   string              `json:"req_id"`
+		Profile *prof.NativeProfile `json:"profile"`
+	}
+	if code := getJSON(t, ts.URL+"/debug/nativeprof/"+outNat.ReqID, &detail); code != http.StatusOK {
+		t.Fatalf("nativeprof detail status = %d", code)
+	}
+	np := detail.Profile
+	if detail.ReqID != outNat.ReqID || np == nil {
+		t.Fatalf("nativeprof detail = %+v", detail)
+	}
+	if np.Procs != 4 || len(np.Steps) == 0 || len(np.ProcTotals) != 4 {
+		t.Fatalf("profile shape: procs %d, %d steps, %d proc totals",
+			np.Procs, len(np.Steps), len(np.ProcTotals))
+	}
+	if np.SkewRatio != outNat.Native.SkewRatio {
+		t.Fatalf("retained skew %g != response skew %g", np.SkewRatio, outNat.Native.SkewRatio)
+	}
+
+	// The profiler families reach the scrape.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	text, _ := io.ReadAll(mresp.Body)
+	for _, want := range []string{
+		`gcao_native_skew_ratio{version="comb"}`,
+		`gcao_native_blocked_seconds_total{version="comb"}`,
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Fatalf("%s missing from /metrics", want)
+		}
+	}
+
+	// Error paths: unprofiled request, unknown id, bad limit.
+	if code := getJSON(t, ts.URL+"/debug/nativeprof/"+outPlain.ReqID, nil); code != http.StatusNotFound {
+		t.Fatalf("unprofiled request status = %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/debug/nativeprof/nope", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown id status = %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/debug/nativeprof?limit=frog", nil); code != http.StatusBadRequest {
+		t.Fatalf("bad limit status = %d", code)
+	}
+}

@@ -170,6 +170,8 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /debug/decisions/{id}", s.handleDecisions)
 	mux.HandleFunc("GET /debug/critpath", s.handleCritPathList)
 	mux.HandleFunc("GET /debug/critpath/{id}", s.handleCritPath)
+	mux.HandleFunc("GET /debug/nativeprof", s.handleNativeProfList)
+	mux.HandleFunc("GET /debug/nativeprof/{id}", s.handleNativeProf)
 	mux.HandleFunc("GET /debug/flightrecorder", s.handleFlightList)
 	mux.HandleFunc("GET /debug/flightrecorder/{id}", s.handleFlight)
 	mux.HandleFunc("GET /debug/live", s.handleLive)
@@ -259,17 +261,72 @@ type simulateDoc struct {
 	Barriers    int   `json:"barriers"`
 }
 
-// nativeDoc reports a native-backend execution: measured wall clock
-// and the traffic the goroutine fleet actually moved.
+// nativeDoc reports a native-backend execution: measured wall clock,
+// the traffic the goroutine fleet actually moved, and — since every
+// daemon-served native run is profiled — the runtime profile's
+// headline numbers: compute skew, total blocked time, and the machine
+// constants fitted against the simulator's cost attribution (absent
+// when the fit was degenerate).
 type nativeDoc struct {
-	Procs      int              `json:"procs"`
-	Seconds    float64          `json:"seconds"`
-	Messages   int64            `json:"messages"`
-	BytesMoved int64            `json:"bytes_moved"`
-	WireBytes  int64            `json:"wire_bytes"`
-	Hops       int64            `json:"collective_hops"`
-	AllocBytes int64            `json:"alloc_bytes"`
-	Ops        map[string]int64 `json:"ops,omitempty"`
+	Procs          int              `json:"procs"`
+	Seconds        float64          `json:"seconds"`
+	Messages       int64            `json:"messages"`
+	BytesMoved     int64            `json:"bytes_moved"`
+	WireBytes      int64            `json:"wire_bytes"`
+	Hops           int64            `json:"collective_hops"`
+	AllocBytes     int64            `json:"alloc_bytes"`
+	Ops            map[string]int64 `json:"ops,omitempty"`
+	SkewRatio      float64          `json:"skew_ratio,omitempty"`
+	BlockedSeconds float64          `json:"blocked_seconds,omitempty"`
+	FittedL        float64          `json:"fitted_l_seconds,omitempty"`
+	FittedG        float64          `json:"fitted_g_seconds_per_byte,omitempty"`
+	CalibR2        float64          `json:"calib_r2,omitempty"`
+}
+
+// execNative runs the placed program on the profiled native backend,
+// calibrates the measured timings against the attribution record the
+// preceding simulate phase left on the recorder, and feeds both the
+// response document and the registry. The profile itself stays on the
+// recorder for the metrics document, the Chrome trace, and the
+// /debug/nativeprof retention ring.
+func (s *server) execNative(placed *gcao.Placed, version string, procs int, rec *obs.Recorder, m gcao.Machine) (*nativeDoc, error) {
+	nat, err := placed.RunNativeProfiled(procs, rec)
+	if err != nil {
+		return nil, badRequestError{fmt.Errorf("native: %w", err)}
+	}
+	doc := &nativeDoc{
+		Procs:      nat.Stats.Procs,
+		Seconds:    nat.Stats.ElapsedSeconds,
+		Messages:   nat.Stats.Messages,
+		BytesMoved: nat.Stats.Bytes,
+		WireBytes:  nat.Stats.WireBytes,
+		Hops:       nat.Stats.Hops,
+		AllocBytes: nat.Stats.AllocBytes,
+		Ops:        nat.Stats.Ops,
+	}
+	sample := obs.NativeExecSample{
+		Seconds:    nat.Stats.ElapsedSeconds,
+		Messages:   nat.Stats.Messages,
+		WireBytes:  nat.Stats.WireBytes,
+		Hops:       nat.Stats.Hops,
+		AllocBytes: nat.Stats.AllocBytes,
+	}
+	if np := nat.Profile; np != nil {
+		doc.SkewRatio = np.SkewRatio
+		doc.BlockedSeconds = np.BlockedSeconds
+		sample.SkewRatio = np.SkewRatio
+		sample.BlockedSeconds = np.BlockedSeconds
+		if run := rec.Attribution(); run != nil {
+			c := np.Calibrate(obs.ModelSteps(run, gcao.AttrCostModelFor(m)))
+			if !c.Degenerate && c.Mismatched == 0 {
+				doc.FittedL, doc.FittedG, doc.CalibR2 = c.FittedL, c.FittedG, c.R2
+				sample.FittedL, sample.FittedG = c.FittedL, c.FittedG
+				sample.Calibrated = true
+			}
+		}
+	}
+	s.reg.ObserveNativeExec(version, sample)
+	return doc, nil
 }
 
 func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
@@ -317,12 +374,13 @@ func (s *server) record(id string, t0 time.Time, rec *obs.Recorder, resp *compil
 	}
 	s.reg.Absorb(rec, status)
 	record := obs.RequestRecord{
-		ID:       id,
-		UnixNS:   t0.UnixNano(),
-		Status:   status,
-		Decision: rec.Decisions(),
-		Counters: rec.Counters(),
-		Attr:     rec.Attribution(),
+		ID:         id,
+		UnixNS:     t0.UnixNano(),
+		Status:     status,
+		Decision:   rec.Decisions(),
+		Counters:   rec.Counters(),
+		Attr:       rec.Attribution(),
+		NativeProf: rec.NativeProfile(),
 	}
 	if resp != nil {
 		record.Strategy = resp.Strategy
@@ -502,27 +560,10 @@ func (s *server) compile(id string, rec *obs.Recorder, req compileRequest, root 
 		}
 		if req.Backend == "native" {
 			root.Phase("native.exec")
-			nat, err := placed.RunNativeObs(procs, rec)
+			resp.Native, err = s.execNative(placed, strategy.String(), procs, rec, m)
 			if err != nil {
-				return nil, badRequestError{fmt.Errorf("native: %w", err)}
+				return nil, err
 			}
-			resp.Native = &nativeDoc{
-				Procs:      nat.Stats.Procs,
-				Seconds:    nat.Stats.ElapsedSeconds,
-				Messages:   nat.Stats.Messages,
-				BytesMoved: nat.Stats.Bytes,
-				WireBytes:  nat.Stats.WireBytes,
-				Hops:       nat.Stats.Hops,
-				AllocBytes: nat.Stats.AllocBytes,
-				Ops:        nat.Stats.Ops,
-			}
-			s.reg.ObserveNativeExec(strategy.String(), obs.NativeExecSample{
-				Seconds:    nat.Stats.ElapsedSeconds,
-				Messages:   nat.Stats.Messages,
-				WireBytes:  nat.Stats.WireBytes,
-				Hops:       nat.Stats.Hops,
-				AllocBytes: nat.Stats.AllocBytes,
-			})
 		}
 	}
 	resp.Metrics = rec.Doc()
@@ -611,27 +652,10 @@ func (s *server) placeAll(id string, rec *obs.Recorder, req compileRequest, c *g
 		}
 		if req.Backend == "native" {
 			root.Phase("native.exec")
-			nat, err := outs[len(outs)-1].placed.RunNativeObs(procs, rec)
+			resp.Native, err = s.execNative(outs[len(outs)-1].placed, gcao.Combine.String(), procs, rec, m)
 			if err != nil {
-				return nil, badRequestError{fmt.Errorf("native: %w", err)}
+				return nil, err
 			}
-			resp.Native = &nativeDoc{
-				Procs:      nat.Stats.Procs,
-				Seconds:    nat.Stats.ElapsedSeconds,
-				Messages:   nat.Stats.Messages,
-				BytesMoved: nat.Stats.Bytes,
-				WireBytes:  nat.Stats.WireBytes,
-				Hops:       nat.Stats.Hops,
-				AllocBytes: nat.Stats.AllocBytes,
-				Ops:        nat.Stats.Ops,
-			}
-			s.reg.ObserveNativeExec(gcao.Combine.String(), obs.NativeExecSample{
-				Seconds:    nat.Stats.ElapsedSeconds,
-				Messages:   nat.Stats.Messages,
-				WireBytes:  nat.Stats.WireBytes,
-				Hops:       nat.Stats.Hops,
-				AllocBytes: nat.Stats.AllocBytes,
-			})
 		}
 	}
 	resp.Metrics = rec.Doc()
@@ -765,6 +789,52 @@ func (s *server) handleCritPath(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"req_id": id,
 		"report": gcao.AnalyzeAttribution(rec.Attr, model),
+	})
+}
+
+// handleNativeProfList lists the retained requests that carry a native
+// runtime profile (only backend:"native" requests do).
+func (s *server) handleNativeProfList(w http.ResponseWriter, r *http.Request) {
+	limit, err := listLimit(r)
+	if err != nil {
+		s.writeErrMsg(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	var ids []string
+	for _, id := range s.ring.RecentIDs(0) {
+		if limit > 0 && len(ids) >= limit {
+			break
+		}
+		if rec, ok := s.ring.Get(id); ok && rec.NativeProf != nil {
+			ids = append(ids, id)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ids":      ids,
+		"retained": s.ring.Len(),
+	})
+}
+
+// handleNativeProf serves one retained request's native runtime
+// profile: per-superstep per-processor timelines, the wait accounting,
+// compute skew and straggler ranking, and — when the request also
+// simulated — the measured-vs-modeled calibration, refit on demand
+// against the attribution record retained alongside it.
+func (s *server) handleNativeProf(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.ring.Get(id)
+	if !ok {
+		s.writeErrMsg(w, r, http.StatusNotFound, "no retained request "+id)
+		return
+	}
+	if rec.NativeProf == nil {
+		s.writeErrMsg(w, r, http.StatusNotFound,
+			"request "+id+" has no native profile (backend native was not requested)")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"req_id":  id,
+		"profile": rec.NativeProf,
 	})
 }
 

@@ -19,7 +19,7 @@ func routeLabel(path string) string {
 	switch path {
 	case "/compile", "/compile/batch", "/metrics", "/healthz",
 		"/debug/cache", "/debug/decisions", "/debug/critpath",
-		"/debug/flightrecorder", "/debug/live":
+		"/debug/nativeprof", "/debug/flightrecorder", "/debug/live":
 		return path
 	}
 	switch {
@@ -27,6 +27,8 @@ func routeLabel(path string) string {
 		return "/debug/decisions/{id}"
 	case strings.HasPrefix(path, "/debug/critpath/"):
 		return "/debug/critpath/{id}"
+	case strings.HasPrefix(path, "/debug/nativeprof/"):
+		return "/debug/nativeprof/{id}"
 	case strings.HasPrefix(path, "/debug/flightrecorder/"):
 		return "/debug/flightrecorder/{id}"
 	case strings.HasPrefix(path, "/debug/pprof"):
@@ -124,6 +126,10 @@ func (s *server) flightRecord(tr *reqtrace.Trace, route string, status int, err 
 		rec.Strategy = resp.Strategy
 		if resp.Cache != nil {
 			rec.Cache = resp.Cache.Compile
+		}
+		if resp.Native != nil {
+			rec.NativeSkew = resp.Native.SkewRatio
+			rec.NativeBlockedSec = resp.Native.BlockedSeconds
 		}
 	}
 	s.flight.Add(rec)

@@ -146,6 +146,29 @@ func renderText(rep Report) string {
 			}
 			fmt.Fprintf(&b, "  %-24s %s\n", s.Key, strings.Join(steps, " -> "))
 		}
+		// Profiler trend — skipped entirely for histories written before
+		// the native runtime profiler measured skew and calibration.
+		var prof []string
+		for _, s := range rep.NativeSeries {
+			var steps []string
+			for _, p := range s.Points {
+				if p.SkewRatio <= 0 {
+					continue
+				}
+				step := fmt.Sprintf("%s skew %.2fx blocked %.0f%%", p.Rev, p.SkewRatio, p.BlockedFrac*100)
+				if p.FittedG != 0 || p.FittedL != 0 {
+					step += fmt.Sprintf(" L=%.3gs g=%.3gs/B", p.FittedL, p.FittedG)
+				}
+				steps = append(steps, step)
+			}
+			if len(steps) > 0 {
+				prof = append(prof, fmt.Sprintf("  %-24s %s", s.Key, strings.Join(steps, " -> ")))
+			}
+		}
+		if len(prof) > 0 {
+			b.WriteString("\nnative profiler trend (compute skew, blocked share, fitted constants):\n")
+			b.WriteString(strings.Join(prof, "\n") + "\n")
+		}
 	}
 
 	if len(rep.Regressions) > 0 {

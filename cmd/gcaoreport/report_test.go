@@ -153,6 +153,82 @@ func TestRenderHTMLSingleRevision(t *testing.T) {
 	}
 }
 
+// buildNativeHistory writes two revisions with native measurements:
+// the first from before the runtime profiler (no skew), the second
+// profiled and calibrated.
+func buildNativeHistory(t *testing.T, profiled bool) []history.Record {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "h.jsonl")
+	for i, rev := range []string{"aaa1111", "bbb2222"} {
+		res := sweep(rev, 400, 300)
+		e := bench.NativeEntry{
+			Bench: "gravity", Routine: "main", N: 48, Procs: 4,
+			Version: "comb", NativeSeconds: 0.5, SpeedupVsOrig: 2,
+		}
+		if profiled && i == 1 {
+			e.SkewRatio = 1.75
+			e.BlockedFrac = 0.42
+			e.FittedL = 4e-5
+			e.FittedG = 1.1e-9
+		}
+		res.Native = []bench.NativeEntry{e}
+		if _, err := history.Append(path, rev, int64(i)*1000, res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := history.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestRenderNativeProfilerTrend(t *testing.T) {
+	rep := buildReport(buildNativeHistory(t, true), "comb", 0.05)
+	text := renderText(rep)
+	for _, want := range []string{
+		"native profiler trend",
+		"bbb2222 skew 1.75x blocked 42%",
+		"L=4e-05s g=1.1e-09s/B",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("terminal report missing %q:\n%s", want, text)
+		}
+	}
+	html := renderHTML(rep)
+	for _, want := range []string{
+		"Native compute skew across revisions",
+		"data-kind=\"skew\"",
+		"1.75x · 42% blocked",
+		"native skew, blocked share and fitted (L, g)",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+}
+
+func TestRenderNativeProfilerSkippedWhenUnprofiled(t *testing.T) {
+	// Histories whose native runs predate the profiler carry zero skew
+	// on every point: both renderers must omit the profiler sections
+	// while still showing the wall-clock trend.
+	rep := buildReport(buildNativeHistory(t, false), "comb", 0.05)
+	text := renderText(rep)
+	if !strings.Contains(text, "native wall-time trend") {
+		t.Errorf("wall-time trend missing:\n%s", text)
+	}
+	if strings.Contains(text, "native profiler trend") {
+		t.Errorf("unprofiled history rendered a profiler trend:\n%s", text)
+	}
+	html := renderHTML(rep)
+	if !strings.Contains(html, "Native wall time across revisions") {
+		t.Error("dashboard missing native wall-time section")
+	}
+	if strings.Contains(html, "Native compute skew across revisions") {
+		t.Error("unprofiled history rendered skew panels")
+	}
+}
+
 func TestNiceTicks(t *testing.T) {
 	ts := niceTicks(100)
 	if ts[0] != 0 || ts[len(ts)-1] < 100 {

@@ -190,6 +190,24 @@ func gate(out, compare, historyOut string, tolerance float64, rev string, jobs i
 			fmt.Printf("runbench: native %-22s %.4fs (%.2fx vs orig, %d messages, %d wire bytes, %d allocs)\n",
 				e.Key(), e.NativeSeconds, e.SpeedupVsOrig, e.Messages, e.WireBytes, e.Allocs)
 		}
+		// Measured vs modeled: one line per calibrated entry comparing
+		// the run's fitted BSP constants to the SP2 model it was checked
+		// against — the Fig. 5 replay sanity check. A site straying past
+		// 2x its modeled cost earns a warning: the paper's constants do
+		// not describe this host.
+		m := machine.SP2()
+		modelL := m.SendOverhead + m.RecvOverhead + m.Latency
+		for _, e := range res.Native {
+			if e.FittedG == 0 && e.FittedL == 0 {
+				continue
+			}
+			fmt.Printf("runbench: calib  %-22s fitted L=%.3gs g=%.3gs/B (model %s: L=%.3gs g=%.3gs/B)  skew %.2fx  blocked %.0f%%\n",
+				e.Key(), e.FittedL, e.FittedG, m.Name, modelL, m.PerByte, e.SkewRatio, e.BlockedFrac*100)
+			if e.WorstResidualRatio > 2 || (e.WorstResidualRatio > 0 && e.WorstResidualRatio < 0.5) {
+				fmt.Printf("runbench: warning: %s site %s measured %.2fx its modeled cost\n",
+					e.Key(), e.WorstResidualSite, e.WorstResidualRatio)
+			}
+		}
 	}
 	if out != "" {
 		f, err := os.Create(out)

@@ -416,6 +416,15 @@ func (p *Placed) RunNativeObs(procs int, rec *Recorder) (*native.RunResult, erro
 	return native.RunObs(p.Result, procs, rec)
 }
 
+// RunNativeProfiled is RunNativeObs with the runtime profiler armed:
+// every processor records its communication events into a preallocated
+// ring, and the result (and the recorder) carry the folded
+// NativeProfile — per-superstep timelines, wait accounting, compute
+// skew — ready for Calibrate against a simulator attribution record.
+func (p *Placed) RunNativeProfiled(procs int, rec *Recorder) (*native.RunResult, error) {
+	return native.RunProfiled(p.Result, procs, rec)
+}
+
 // VerifyNative runs the placement on both backends — the BSP simulator
 // and the native goroutine engine — and compares final distributed
 // memory and scalar state bit for bit.

@@ -314,6 +314,13 @@ type NativePoint struct {
 	// WireBytes is the run's raw bytes on the wire; zero for records
 	// written before the native backend measured it.
 	WireBytes int64 `json:"wire_bytes,omitempty"`
+	// Profiler fields: compute skew, blocked-time fraction and the
+	// fitted machine constants; zero for records written before the
+	// native runtime profiler existed.
+	SkewRatio   float64 `json:"skew_ratio,omitempty"`
+	BlockedFrac float64 `json:"blocked_frac,omitempty"`
+	FittedL     float64 `json:"fitted_l_seconds,omitempty"`
+	FittedG     float64 `json:"fitted_g_seconds_per_byte,omitempty"`
 }
 
 // NativeSeries is one benchmark's native wall-clock trajectory across
@@ -347,6 +354,8 @@ func NativeTrend(recs []Record, version string) []NativeSeries {
 				Rev: rec.Rev, Seq: rec.Seq, UnixNS: rec.UnixNS,
 				Seconds: e.NativeSeconds, SpeedupVsOrig: e.SpeedupVsOrig,
 				WireBytes: e.WireBytes,
+				SkewRatio: e.SkewRatio, BlockedFrac: e.BlockedFrac,
+				FittedL: e.FittedL, FittedG: e.FittedG,
 			})
 		}
 	}

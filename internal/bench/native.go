@@ -6,7 +6,11 @@ import (
 	"time"
 
 	"gcao/internal/core"
+	"gcao/internal/machine"
 	"gcao/internal/native"
+	"gcao/internal/obs"
+	"gcao/internal/obs/attr"
+	"gcao/internal/spmd"
 )
 
 // NativeEntry is one measured native-backend execution: a benchmark
@@ -40,6 +44,18 @@ type NativeEntry struct {
 	// SpeedupVsOrig is the orig version's wall clock over this
 	// version's — the native analogue of the paper's normalized bars.
 	SpeedupVsOrig float64 `json:"speedup_vs_orig"`
+	// Runtime-profiler fields, from a separate profiled run of the same
+	// engine (omitted in histories older than the profiler): compute
+	// skew (max/mean per superstep), the fraction of processor time
+	// spent blocked in communication, the machine constants fitted by
+	// least squares against the SP2-modeled supersteps, and the site
+	// whose measured cost strays furthest from its model.
+	SkewRatio          float64 `json:"skew_ratio,omitempty"`
+	BlockedFrac        float64 `json:"blocked_frac,omitempty"`
+	FittedL            float64 `json:"fitted_l_seconds,omitempty"`
+	FittedG            float64 `json:"fitted_g_seconds_per_byte,omitempty"`
+	WorstResidualSite  string  `json:"worst_residual_site,omitempty"`
+	WorstResidualRatio float64 `json:"worst_residual_ratio,omitempty"`
 }
 
 // Key identifies the entry across runs.
@@ -115,8 +131,52 @@ func CollectNativeResult() ([]NativeEntry, error) {
 			if secs > 0 {
 				e.SpeedupVsOrig = origSecs / secs
 			}
+			if err := profileNativeEntry(&e, eng, res); err != nil {
+				return nil, fmt.Errorf("bench: native %s/%s %s: %w", pr.Bench, pr.Routine, v, err)
+			}
 			out = append(out, e)
 		}
 	}
 	return out, nil
+}
+
+// profileNativeEntry runs the already-warm engine once more with the
+// runtime profiler armed (the measured steady-state run above stays
+// unperturbed), simulates the same placement to obtain the analytic
+// per-superstep model, and fills the entry's profiler fields: skew,
+// blocked-time fraction, and the (L, g) constants fitted against the
+// SP2 cost model. A degenerate fit (no h spread) leaves the fitted
+// fields zero; the skew and blocked fraction are still measured.
+func profileNativeEntry(e *NativeEntry, eng *native.Engine, res *core.Result) error {
+	eng.EnableProfiling(0)
+	defer eng.DisableProfiling()
+	run, err := eng.Run()
+	if err != nil {
+		return err
+	}
+	np := run.Profile
+	if np == nil {
+		return fmt.Errorf("profiled run produced no profile")
+	}
+	e.SkewRatio = np.SkewRatio
+	if tot := np.ComputeSeconds + np.BlockedSeconds; tot > 0 {
+		e.BlockedFrac = np.BlockedSeconds / tot
+	}
+	m := machine.SP2()
+	rec := obs.New()
+	if _, err := spmd.RunObs(res, m, e.Procs, rec); err != nil {
+		return err
+	}
+	c := np.Calibrate(obs.ModelSteps(rec.Attribution(), attr.CostModel{
+		GSecPerByte: m.PerByte,
+		LSec:        m.SendOverhead + m.RecvOverhead + m.Latency,
+	}))
+	if c.Degenerate || c.Mismatched > 0 {
+		return nil
+	}
+	e.FittedL, e.FittedG = c.FittedL, c.FittedG
+	if w := c.WorstResidual(); w != nil {
+		e.WorstResidualSite, e.WorstResidualRatio = w.Site, w.Ratio
+	}
+	return nil
 }

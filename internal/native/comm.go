@@ -61,6 +61,7 @@ import (
 
 	"gcao/internal/codegen"
 	"gcao/internal/core"
+	"gcao/internal/native/prof"
 	"gcao/internal/plan"
 	"gcao/internal/runtime"
 	"gcao/internal/section"
@@ -75,10 +76,20 @@ func (pc *proc) send(dst int, buf []float64) error {
 	if ch == nil {
 		return fmt.Errorf("native: no channel %d→%d (protocol bug)", pc.p, dst)
 	}
+	var t0 int64
+	if pc.ring != nil {
+		t0 = pc.nowNS()
+	}
 	select {
 	case ch <- buf:
 		pc.msgs++
 		pc.wire += int64(8 * len(buf))
+		if pc.ring != nil {
+			pc.ring.Record(prof.Event{
+				Start: t0, Dur: pc.nowNS() - t0,
+				Step: pc.evStep, Site: pc.evSite, Phase: pc.evSend,
+			})
+		}
 		return nil
 	case <-pc.eng.done:
 		return pc.eng.err()
@@ -90,8 +101,18 @@ func (pc *proc) recv(src int) ([]float64, error) {
 	if ch == nil {
 		return nil, fmt.Errorf("native: no channel %d→%d (protocol bug)", src, pc.p)
 	}
+	var t0 int64
+	if pc.ring != nil {
+		t0 = pc.nowNS()
+	}
 	select {
 	case buf := <-ch:
+		if pc.ring != nil {
+			pc.ring.Record(prof.Event{
+				Start: t0, Dur: pc.nowNS() - t0,
+				Step: pc.evStep, Site: pc.evSite, Phase: pc.evRecv,
+			})
+		}
 		return buf, nil
 	case <-pc.eng.done:
 		return nil, pc.eng.err()
@@ -134,6 +155,12 @@ func (pc *proc) putBuf(src int, buf []float64) {
 // shared-row (replicated array) writes.
 func (pc *proc) barrier() error {
 	pc.barriers++
+	if pc.ring != nil {
+		// Barriers guard replicated-array stores; they belong to no
+		// placed group.
+		pc.evStep, pc.evSite = -1, -1
+		pc.evSend, pc.evRecv = prof.PhaseTreeWait, prof.PhaseTreeWait
+	}
 	t := pc.eng.pl.Tree
 	for _, c := range t.Children[pc.p] {
 		if _, err := pc.recv(c); err != nil {
@@ -191,8 +218,19 @@ func (pc *proc) bcastValue(v float64) (float64, error) {
 // prints there.
 func (pc *proc) execComm(groups []*core.Group) error {
 	for _, g := range groups {
+		step := pc.nextStep
+		pc.nextStep++
 		pc.colls++
 		pc.ops[codegen.OpName(g)]++
+		if pc.ring != nil {
+			pc.evStep, pc.evSite = step, int32(g.ID)
+			pc.evSend = prof.PhaseSend
+			if g.Kind == core.KindShift {
+				pc.evRecv = prof.PhaseRecvWait
+			} else {
+				pc.evRecv = prof.PhaseTreeWait
+			}
+		}
 		var err error
 		switch g.Kind {
 		case core.KindShift:
@@ -200,11 +238,25 @@ func (pc *proc) execComm(groups []*core.Group) error {
 		case core.KindBcast, core.KindGeneral:
 			err = pc.bcastGather(g)
 		case core.KindReduce:
-			// Combine already performed at the SUM statement.
+			// Combine already performed at the SUM statement (the
+			// group's position is after it) — the group only marks the
+			// superstep. Claim the SUM's pending events for this step
+			// and drop a zero-duration marker so the fold sees the
+			// step's site even when the collective moved nothing.
+			if pc.ring != nil {
+				pc.ring.PatchPending(step, int32(g.ID))
+				pc.ring.Record(prof.Event{
+					Start: pc.nowNS(), Dur: 0,
+					Step: step, Site: int32(g.ID), Phase: prof.PhaseSum,
+				})
+			}
 		}
 		if err != nil {
 			return err
 		}
+	}
+	if pc.ring != nil {
+		pc.evStep, pc.evSite = -1, -1
 	}
 	return nil
 }
@@ -549,6 +601,13 @@ func (pc *proc) bcastGather(g *core.Group) error {
 // order is bit-identical to SumSection — and the total descends the
 // tree.
 func (pc *proc) collectiveSum(sc plan.SumCall) (float64, error) {
+	if pc.ring != nil {
+		// The combine runs at the SUM statement, before its global-sum
+		// marker group's position assigns a superstep index: record
+		// the legs as pending and let the marker patch them.
+		pc.evStep, pc.evSite = prof.PendingStep, -1
+		pc.evSend, pc.evRecv = prof.PhaseSum, prof.PhaseSum
+	}
 	am := sc.Am
 	sec, err := pc.eng.pl.ConcreteRefSection(sc.Ref, am, pc.ienv)
 	if err != nil {

@@ -44,6 +44,7 @@ import (
 	"gcao/internal/ast"
 	"gcao/internal/cfg"
 	"gcao/internal/core"
+	"gcao/internal/native/prof"
 	"gcao/internal/obs"
 	"gcao/internal/plan"
 	"gcao/internal/runtime"
@@ -90,6 +91,9 @@ type RunResult struct {
 	Mem     *runtime.Memory
 	Scalars map[string]float64
 	Stats   Stats
+	// Profile is the folded runtime profile when the engine ran with
+	// profiling enabled (see Engine.EnableProfiling), nil otherwise.
+	Profile *prof.NativeProfile
 }
 
 // MaxProcs returns the largest logical processor count Run accepts
@@ -145,6 +149,25 @@ func RunObs(res *core.Result, procs int, rec *obs.Recorder) (*RunResult, error) 
 			obs.F("wire_bytes", st.WireBytes),
 			obs.F("seconds", st.ElapsedSeconds))
 	}
+	return out, nil
+}
+
+// RunProfiled executes the placement natively with the runtime
+// profiler enabled, installs the folded profile on the recorder (when
+// one is given) and returns the result with RunResult.Profile set.
+func RunProfiled(res *core.Result, procs int, rec *obs.Recorder) (*RunResult, error) {
+	eng, err := NewEngine(res, procs)
+	if err != nil {
+		return nil, err
+	}
+	eng.EnableProfiling(0)
+	endRun := rec.Start("native:" + res.Version.String())
+	defer endRun()
+	out, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	rec.SetNativeProfile(out.Profile)
 	return out, nil
 }
 
@@ -228,6 +251,32 @@ func NewEngine(res *core.Result, procs int) (*Engine, error) {
 	return &Engine{eng: eng, res: res}, nil
 }
 
+// EnableProfiling arms the runtime profiler: every processor gets a
+// preallocated event ring of at least eventsPerProc entries (<= 0
+// selects prof.DefaultRingSize) and subsequent Runs fold the rings
+// into RunResult.Profile. The rings are allocated here, once — the
+// warm path records into them without allocating. Superstep indices in
+// the profile follow group execution order, matching the simulator's
+// attr.Step indices; the site table is the placement's stable SiteIDs.
+func (e *Engine) EnableProfiling(eventsPerProc int) {
+	eng := e.eng
+	eng.sites = make([]string, len(e.res.Groups))
+	for _, g := range e.res.Groups {
+		eng.sites[g.ID] = g.SiteID
+	}
+	for _, pc := range eng.ps {
+		pc.ring = prof.NewRing(eventsPerProc)
+	}
+}
+
+// DisableProfiling disarms the profiler; later Runs record nothing and
+// pay nothing (the nil-ring check is the only residue on hot paths).
+func (e *Engine) DisableProfiling() {
+	for _, pc := range e.eng.ps {
+		pc.ring = nil
+	}
+}
+
 // Run executes the prepared program once. The first call initializes,
 // later calls reset the memory image and per-processor state first —
 // message buffers and scratches are recycled, so steady-state runs do
@@ -254,9 +303,17 @@ func (e *Engine) Run() (*RunResult, error) {
 		}
 		pc.msgs, pc.bytes, pc.wire, pc.hops, pc.allocBytes = 0, 0, 0, 0, 0
 		pc.colls, pc.barriers = 0, 0
+		pc.nextStep = 0
+		if pc.ring != nil {
+			pc.ring.Reset()
+			pc.evStep, pc.evSite = -1, -1
+			pc.evSend, pc.evRecv = prof.PhaseSend, prof.PhaseTreeWait
+			pc.endNS = 0
+		}
 	}
 
 	start := time.Now()
+	eng.profStart = start
 	var wg sync.WaitGroup
 	for _, pc := range eng.ps[1:] {
 		wg.Add(1)
@@ -285,7 +342,40 @@ func (e *Engine) Run() (*RunResult, error) {
 		st.Hops += pc.hops
 		st.AllocBytes += pc.allocBytes
 	}
-	return &RunResult{Mem: eng.mem, Scalars: eng.ps[0].scalars, Stats: st}, nil
+	out := &RunResult{Mem: eng.mem, Scalars: eng.ps[0].scalars, Stats: st}
+	if eng.ps[0].ring != nil {
+		rings := make([]*prof.Ring, eng.procs)
+		ends := make([]int64, eng.procs)
+		for p, pc := range eng.ps {
+			rings[p] = pc.ring
+			ends[p] = pc.endNS
+		}
+		out.Profile = prof.Fold(eng.sites, rings, ends, int64(st.ElapsedSeconds*1e9))
+	}
+	return out, nil
+}
+
+// Profile returns the last Run's folded profile (nil when profiling is
+// disabled or no profiled Run completed). The profile is rebuilt per
+// Run; a retained pointer stays valid but stale.
+func (e *Engine) Profile() *prof.NativeProfile {
+	// Folding happens in Run; re-fold on demand so callers holding
+	// only the engine can still read the last run's profile.
+	eng := e.eng
+	if eng.ps[0].ring == nil || !eng.ran {
+		return nil
+	}
+	rings := make([]*prof.Ring, eng.procs)
+	ends := make([]int64, eng.procs)
+	var wall int64
+	for p, pc := range eng.ps {
+		rings[p] = pc.ring
+		ends[p] = pc.endNS
+		if pc.endNS > wall {
+			wall = pc.endNS
+		}
+	}
+	return prof.Fold(eng.sites, rings, ends, wall)
 }
 
 // ---------------------------------------------------------------------
@@ -297,6 +387,12 @@ type engine struct {
 	procs int
 	ps    []*proc
 	ran   bool
+
+	// profStart anchors profiler timestamps (set per Run); sites is
+	// the placement-site table indexed by group ID, built when
+	// profiling is enabled.
+	profStart time.Time
+	sites     []string
 
 	// ch[dst][src] carries messages src→dst; free[src][dst] carries
 	// consumed buffers back from dst to src for reuse. Both are
@@ -412,11 +508,36 @@ type proc struct {
 	allocBytes      int64
 	colls, barriers int64
 	ops             map[string]int64
+
+	// Profiler state. ring is nil when profiling is off — every
+	// recording site guards on that, so the disabled path costs one
+	// predictable branch. nextStep counts executed communication
+	// groups (the superstep index, matching attr.Step order);
+	// evStep/evSite/evSend/evRecv are the attribution context the
+	// comm primitives stamp onto events. Distributed-SUM legs run at
+	// the SUM statement, before their global-sum marker group's
+	// position assigns a step index, so they record with
+	// prof.PendingStep and the marker patches them (this goroutine's
+	// own ring — single writer). endNS is the goroutine's finish
+	// mark, nanoseconds since run start.
+	ring           *prof.Ring
+	nextStep       int32
+	evStep, evSite int32
+	evSend, evRecv prof.Phase
+	endNS          int64
+}
+
+// nowNS is the profiler clock: nanoseconds since the run started.
+func (pc *proc) nowNS() int64 {
+	return int64(time.Since(pc.eng.profStart))
 }
 
 func (pc *proc) main() {
 	if err := pc.run(); err != nil {
 		pc.eng.fail(err)
+	}
+	if pc.ring != nil {
+		pc.endNS = pc.nowNS()
 	}
 }
 
@@ -635,6 +756,11 @@ func (pc *proc) evalCond(b *cfg.Block) (bool, error) {
 		if v, err = pc.eval(cond); err != nil {
 			return false, err
 		}
+	}
+	if pc.ring != nil {
+		// Condition agreement happens outside any placed group.
+		pc.evStep, pc.evSite = -1, -1
+		pc.evSend, pc.evRecv = prof.PhaseTreeWait, prof.PhaseTreeWait
 	}
 	v, err := pc.bcastValue(v)
 	return v != 0, err

@@ -1,0 +1,563 @@
+// Package prof is the native runtime profiler: fixed-size phase events
+// recorded by each engine goroutine into a preallocated per-processor
+// ring, folded after the run into a NativeProfile — per-superstep
+// per-processor timelines, blocked-vs-compute accounting, skew and
+// straggler ranking — and calibrated against the analytic L+g·h model
+// by a least-squares fit of the measured (L, g) machine constants.
+//
+// The package is stdlib-only (time is not even needed: events carry
+// nanoseconds the engine stamped) so every layer of the observability
+// stack can embed its types without an import cycle.
+//
+// Recording discipline: only communication operations are recorded —
+// sends, receive waits, tree waits, reduction legs. Compute time is
+// derived at fold time as the gaps between consecutive events on each
+// processor (the leading gap from run start, the trailing gap to the
+// processor's end mark), attributed to the FOLLOWING event's superstep.
+// Compute + blocked therefore tile each processor's wall time by
+// construction, and an empty lane is pure compute. Timings are
+// excluded from any bit-identity claim: the scheduler decides who
+// blocks for how long; only event counts, order, phases and site
+// attribution are deterministic.
+package prof
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Phase classifies where a native processor's wall time went.
+type Phase uint8
+
+const (
+	// PhaseCompute is derived at fold time (gaps between events);
+	// engines never record it directly.
+	PhaseCompute Phase = iota
+	// PhaseSend is time blocked handing a payload to a channel.
+	PhaseSend
+	// PhaseRecvWait is time blocked waiting for a ghost-strip
+	// neighbour message.
+	PhaseRecvWait
+	// PhaseTreeWait is time blocked in a binomial-tree collective leg
+	// (broadcast, gather, barrier, condition agreement).
+	PhaseTreeWait
+	// PhaseSum is time blocked in a distributed-SUM collective
+	// (operand gather and total broadcast).
+	PhaseSum
+
+	numPhases
+)
+
+// String names the phase under the vocabulary the issue and the docs
+// use.
+func (p Phase) String() string {
+	switch p {
+	case PhaseCompute:
+		return "compute"
+	case PhaseSend:
+		return "send"
+	case PhaseRecvWait:
+		return "recv-wait"
+	case PhaseTreeWait:
+		return "tree-wait"
+	case PhaseSum:
+		return "sum"
+	}
+	return fmt.Sprintf("phase(%d)", uint8(p))
+}
+
+// Event is one fixed-size profiler record: a communication operation
+// on one processor. Start and Dur are nanoseconds relative to the
+// engine's run start. Step is the superstep index — the run-global
+// execution index of the communication group, matching the simulator's
+// attr.Step indices — and Site indexes the profiler's site table (the
+// placed group's ID); both are -1 for operations outside any group
+// (barriers, condition broadcasts).
+type Event struct {
+	Start int64 `json:"start_ns"`
+	Dur   int64 `json:"dur_ns"`
+	Step  int32 `json:"step"`
+	Site  int32 `json:"site"`
+	Phase Phase `json:"phase"`
+}
+
+// Ring is a preallocated fixed-capacity event buffer for one
+// processor. Record never allocates and never blocks: past the
+// capacity it wraps, keeping the newest events and counting the
+// drops. A Ring is single-writer (its processor's goroutine); readers
+// must wait for the run to finish.
+type Ring struct {
+	buf  []Event
+	mask uint64
+	n    uint64 // total events recorded since Reset
+}
+
+// DefaultRingSize is the per-processor event capacity when the caller
+// does not choose one: 64Ki events × 24 bytes ≈ 1.5 MiB per processor,
+// enough for every paper benchmark's full run without wrapping.
+const DefaultRingSize = 1 << 16
+
+// NewRing builds a ring with at least the requested capacity, rounded
+// up to a power of two; n <= 0 selects DefaultRingSize.
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = DefaultRingSize
+	}
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	return &Ring{buf: make([]Event, c), mask: uint64(c - 1)}
+}
+
+// Record appends one event, overwriting the oldest when full.
+func (r *Ring) Record(ev Event) {
+	r.buf[r.n&r.mask] = ev
+	r.n++
+}
+
+// Reset forgets every recorded event (the buffer is retained).
+func (r *Ring) Reset() { r.n = 0 }
+
+// PendingStep is the sentinel a recorder stamps on events whose
+// superstep is not yet known — distributed-SUM legs run at the SUM
+// statement, before their marker group's position assigns the step
+// index. PatchPending resolves them; unresolved sentinels fold as
+// unattributed (they count in processor totals, not in any step).
+const PendingStep int32 = -2
+
+// PatchPending rewrites the newest contiguous run of PendingStep
+// events to the given step and site, stopping at the first event that
+// is not pending. Stopping early under-attributes but never
+// mis-attributes: a sentinel that another event buried stays
+// unattributed rather than joining the wrong superstep.
+func (r *Ring) PatchPending(step, site int32) {
+	lo := uint64(0)
+	if r.n > uint64(len(r.buf)) {
+		lo = r.n - uint64(len(r.buf))
+	}
+	for seq := r.n; seq > lo; seq-- {
+		ev := &r.buf[(seq-1)&r.mask]
+		if ev.Step != PendingStep {
+			return
+		}
+		ev.Step, ev.Site = step, site
+	}
+}
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int {
+	if r.n > uint64(len(r.buf)) {
+		return len(r.buf)
+	}
+	return int(r.n)
+}
+
+// Dropped returns how many events were overwritten by wraparound.
+func (r *Ring) Dropped() uint64 {
+	if r.n > uint64(len(r.buf)) {
+		return r.n - uint64(len(r.buf))
+	}
+	return 0
+}
+
+// Snapshot copies the retained events oldest-first (recording order,
+// which is also chronological: each processor records sequentially).
+func (r *Ring) Snapshot() []Event {
+	n := r.Len()
+	out := make([]Event, 0, n)
+	if r.n > uint64(len(r.buf)) {
+		head := r.n & r.mask
+		out = append(out, r.buf[head:]...)
+		out = append(out, r.buf[:head]...)
+		return out
+	}
+	return append(out, r.buf[:n]...)
+}
+
+// ---------------------------------------------------------------------
+// Folding: rings → NativeProfile
+
+// StepStat aggregates one superstep across processors. Compute and
+// blocked are reported per processor (index = processor number) so the
+// skew and straggler accounting — and any timeline rendering — can see
+// the distribution, not just the moments.
+type StepStat struct {
+	// Step is the superstep index (group execution order, run-global).
+	Step int32 `json:"step"`
+	// Site indexes the profile's site table; -1 when no event of the
+	// step carried one.
+	Site int32 `json:"site"`
+	// Events counts the step's recorded events across processors.
+	Events int64 `json:"events"`
+	// ComputeSec[p] is the gap time attributed to this step on
+	// processor p; BlockedSec[p] the recorded send/wait time.
+	ComputeSec []float64 `json:"compute_sec"`
+	BlockedSec []float64 `json:"blocked_sec"`
+	// MaxComputeSec / MeanComputeSec summarize the compute
+	// distribution; their ratio is the step's skew.
+	MaxComputeSec  float64 `json:"max_compute_sec"`
+	MeanComputeSec float64 `json:"mean_compute_sec"`
+	// CommSec is the measured cost of the superstep: the maximum over
+	// processors of its blocked time — the native analogue of the
+	// model's L + g·h, and the t_k the calibration fits.
+	CommSec float64 `json:"comm_sec"`
+}
+
+// ProcStat is one processor's wall-time split. WallSeconds is the
+// processor's own end mark, and ComputeSeconds plus the four blocked
+// phases tile it exactly (up to ring truncation).
+type ProcStat struct {
+	Proc            int     `json:"proc"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	ComputeSeconds  float64 `json:"compute_seconds"`
+	SendSeconds     float64 `json:"send_seconds"`
+	RecvWaitSeconds float64 `json:"recv_wait_seconds"`
+	TreeWaitSeconds float64 `json:"tree_wait_seconds"`
+	SumSeconds      float64 `json:"sum_seconds"`
+	BlockedSeconds  float64 `json:"blocked_seconds"`
+	Events          int     `json:"events"`
+	Dropped         uint64  `json:"dropped,omitempty"`
+	// StragglerSteps counts the supersteps where this processor had
+	// the maximum compute time — the straggler ranking key.
+	StragglerSteps int `json:"straggler_steps"`
+}
+
+// NativeProfile is the folded result of one profiled native run.
+type NativeProfile struct {
+	Procs       int     `json:"procs"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// Sites is the placement-site table; Event.Site and StepStat.Site
+	// index it.
+	Sites []string   `json:"sites"`
+	Steps []StepStat `json:"steps"`
+	// ProcTotals has one entry per processor, in processor order.
+	ProcTotals []ProcStat `json:"proc_totals"`
+	// SkewRatio is Σ_s max_p compute(s,p) / Σ_s mean_p compute(s,p):
+	// 1.0 is a perfectly balanced run, 2.0 means the critical path
+	// spends twice the average processor's compute per superstep.
+	SkewRatio float64 `json:"skew_ratio"`
+	// ComputeSeconds / BlockedSeconds are totals across processors.
+	ComputeSeconds float64 `json:"compute_seconds"`
+	BlockedSeconds float64 `json:"blocked_seconds"`
+	// Stragglers ranks processors by StragglerSteps, worst first.
+	Stragglers []int `json:"stragglers,omitempty"`
+	// Truncated marks a profile where at least one ring wrapped; gap
+	// derivation is then incomplete and per-step stats undercount.
+	Truncated bool `json:"truncated,omitempty"`
+	// Calib is attached by Calibrate; nil until then.
+	Calib *Calibration `json:"calib,omitempty"`
+	// Events holds each processor's chronological event stream. It is
+	// excluded from JSON (it dwarfs the aggregates) but kept in memory
+	// so trace exporters can render per-processor lanes.
+	Events [][]Event `json:"-"`
+}
+
+// Fold builds the profile from each processor's ring, end mark
+// (nanoseconds since run start, when the goroutine finished) and the
+// site table. Rings and ends must have one entry per processor.
+func Fold(sites []string, rings []*Ring, endNS []int64, wallNS int64) *NativeProfile {
+	p := &NativeProfile{
+		Procs:       len(rings),
+		WallSeconds: float64(wallNS) / 1e9,
+		Sites:       sites,
+		Events:      make([][]Event, len(rings)),
+		ProcTotals:  make([]ProcStat, len(rings)),
+	}
+
+	// Pass 1: snapshot streams, find the step count.
+	maxStep := int32(-1)
+	for q, r := range rings {
+		evs := r.Snapshot()
+		p.Events[q] = evs
+		if r.Dropped() > 0 {
+			p.Truncated = true
+		}
+		for _, ev := range evs {
+			if ev.Step > maxStep {
+				maxStep = ev.Step
+			}
+		}
+	}
+	steps := int(maxStep) + 1
+	p.Steps = make([]StepStat, steps)
+	for s := range p.Steps {
+		p.Steps[s] = StepStat{
+			Step:       int32(s),
+			Site:       -1,
+			ComputeSec: make([]float64, len(rings)),
+			BlockedSec: make([]float64, len(rings)),
+		}
+	}
+
+	// Pass 2: per processor, walk the stream deriving compute gaps and
+	// accumulating phase totals. A gap belongs to the FOLLOWING
+	// event's step; the trailing gap (last event → end mark) and gaps
+	// before step -1 events count only in the processor totals.
+	for q, evs := range p.Events {
+		ps := &p.ProcTotals[q]
+		ps.Proc = q
+		ps.Events = len(evs)
+		ps.Dropped = rings[q].Dropped()
+		ps.WallSeconds = float64(endNS[q]) / 1e9
+		cursor := int64(0)
+		if ps.Dropped > 0 && len(evs) > 0 {
+			// The stream's head was overwritten: gaps before the
+			// oldest surviving event are unknowable, so start the
+			// cursor there instead of at zero.
+			cursor = evs[0].Start
+		}
+		for _, ev := range evs {
+			gap := ev.Start - cursor
+			if gap < 0 {
+				gap = 0
+			}
+			cursor = ev.Start + ev.Dur
+			gapSec := float64(gap) / 1e9
+			durSec := float64(ev.Dur) / 1e9
+			ps.ComputeSeconds += gapSec
+			switch ev.Phase {
+			case PhaseSend:
+				ps.SendSeconds += durSec
+			case PhaseRecvWait:
+				ps.RecvWaitSeconds += durSec
+			case PhaseTreeWait:
+				ps.TreeWaitSeconds += durSec
+			case PhaseSum:
+				ps.SumSeconds += durSec
+			}
+			if ev.Step >= 0 {
+				st := &p.Steps[ev.Step]
+				st.Events++
+				st.ComputeSec[q] += gapSec
+				st.BlockedSec[q] += durSec
+				if st.Site < 0 && ev.Site >= 0 {
+					st.Site = ev.Site
+				}
+			}
+		}
+		if tail := endNS[q] - cursor; tail > 0 {
+			ps.ComputeSeconds += float64(tail) / 1e9
+		}
+		ps.BlockedSeconds = ps.SendSeconds + ps.RecvWaitSeconds +
+			ps.TreeWaitSeconds + ps.SumSeconds
+		p.ComputeSeconds += ps.ComputeSeconds
+		p.BlockedSeconds += ps.BlockedSeconds
+	}
+
+	// Pass 3: step moments, skew, stragglers.
+	var skewNum, skewDen float64
+	for s := range p.Steps {
+		st := &p.Steps[s]
+		maxC, sumC, argmax := 0.0, 0.0, 0
+		for q, c := range st.ComputeSec {
+			sumC += c
+			if c > maxC {
+				maxC, argmax = c, q
+			}
+			if b := st.BlockedSec[q]; b > st.CommSec {
+				st.CommSec = b
+			}
+		}
+		st.MaxComputeSec = maxC
+		st.MeanComputeSec = sumC / float64(len(rings))
+		if maxC > 0 {
+			p.ProcTotals[argmax].StragglerSteps++
+		}
+		skewNum += st.MaxComputeSec
+		skewDen += st.MeanComputeSec
+	}
+	if skewDen > 0 {
+		p.SkewRatio = skewNum / skewDen
+	} else {
+		p.SkewRatio = 1
+	}
+	p.Stragglers = make([]int, len(rings))
+	for q := range p.Stragglers {
+		p.Stragglers[q] = q
+	}
+	sort.SliceStable(p.Stragglers, func(i, j int) bool {
+		return p.ProcTotals[p.Stragglers[i]].StragglerSteps >
+			p.ProcTotals[p.Stragglers[j]].StragglerSteps
+	})
+	return p
+}
+
+// SiteName resolves a site index against the table; -1 and
+// out-of-range render as "?".
+func (p *NativeProfile) SiteName(site int32) string {
+	if site < 0 || int(site) >= len(p.Sites) {
+		return "?"
+	}
+	return p.Sites[site]
+}
+
+// ---------------------------------------------------------------------
+// Calibration: measured supersteps vs the analytic model
+
+// ModelStep is the analytic model's view of one superstep, converted
+// from the simulator's cost-attribution record (attr.Step) by the
+// caller so this package stays stdlib-only. Index must match the
+// native superstep index — both backends execute the identical group
+// sequence in program order, so position k is the same group in both.
+type ModelStep struct {
+	// Index is the superstep index.
+	Index int `json:"index"`
+	// Site is the group's stable placement-site id, asserted against
+	// the profile's site table at join time.
+	Site string `json:"site"`
+	// HBytes is the step's h-relation in bytes: max over processors
+	// of bytes in/out, the h the model charges g against.
+	HBytes int64 `json:"h_bytes"`
+	// ModeledSec is the step's analytic cost L + g·h under the paper
+	// machine's constants.
+	ModeledSec float64 `json:"modeled_sec"`
+}
+
+// SiteResidual compares measured and modeled time for one placement
+// site (summed over its supersteps).
+type SiteResidual struct {
+	Site        string  `json:"site"`
+	Steps       int     `json:"steps"`
+	MeasuredSec float64 `json:"measured_sec"`
+	ModeledSec  float64 `json:"modeled_sec"`
+	// Ratio is measured/modeled; > 1 means the model is optimistic
+	// for this site on this machine.
+	Ratio float64 `json:"ratio"`
+}
+
+// Calibration is the least-squares fit of the measured superstep costs
+// t_k against the model's h-relations: t_k ≈ L + g·h_k. FittedL is in
+// seconds, FittedG in seconds per byte — directly comparable to the
+// paper's per-machine constants.
+type Calibration struct {
+	FittedL float64 `json:"fitted_l_seconds"`
+	FittedG float64 `json:"fitted_g_seconds_per_byte"`
+	// R2 is the fit's coefficient of determination over the joined
+	// points.
+	R2 float64 `json:"r2"`
+	// Points counts the joined (h_k, t_k) pairs; Mismatched counts
+	// steps whose site ids disagreed between profile and model (they
+	// are excluded from the fit).
+	Points     int `json:"points"`
+	Mismatched int `json:"mismatched,omitempty"`
+	// Degenerate marks fits with fewer than two points or no spread
+	// in h; FittedG is 0 and FittedL the mean measured cost then.
+	Degenerate bool           `json:"degenerate,omitempty"`
+	Residuals  []SiteResidual `json:"residuals,omitempty"`
+}
+
+// Calibrate joins the profile's measured supersteps against the
+// model's record by index (asserting site agreement), fits (L, g) by
+// least squares, attaches the result to the profile and returns it.
+// Supersteps missing on either side are skipped.
+func (p *NativeProfile) Calibrate(model []ModelStep) *Calibration {
+	c := &Calibration{}
+	type pt struct {
+		h, t    float64
+		modeled float64
+		site    string
+	}
+	var pts []pt
+	for _, ms := range model {
+		if ms.Index < 0 || ms.Index >= len(p.Steps) {
+			continue
+		}
+		st := &p.Steps[ms.Index]
+		if st.Site >= 0 && ms.Site != "" && p.SiteName(st.Site) != ms.Site {
+			c.Mismatched++
+			continue
+		}
+		pts = append(pts, pt{
+			h: float64(ms.HBytes), t: st.CommSec,
+			modeled: ms.ModeledSec, site: ms.Site,
+		})
+	}
+	c.Points = len(pts)
+
+	// Closed-form simple linear regression t = L + g·h.
+	var sh, st2, shh, sht float64
+	for _, q := range pts {
+		sh += q.h
+		st2 += q.t
+		shh += q.h * q.h
+		sht += q.h * q.t
+	}
+	n := float64(len(pts))
+	den := n*shh - sh*sh
+	if len(pts) < 2 || den == 0 {
+		c.Degenerate = true
+		if n > 0 {
+			c.FittedL = st2 / n
+		}
+	} else {
+		c.FittedG = (n*sht - sh*st2) / den
+		c.FittedL = (st2 - c.FittedG*sh) / n
+		mean := st2 / n
+		var ssRes, ssTot float64
+		for _, q := range pts {
+			d := q.t - (c.FittedL + c.FittedG*q.h)
+			ssRes += d * d
+			ssTot += (q.t - mean) * (q.t - mean)
+		}
+		if ssTot > 0 {
+			c.R2 = 1 - ssRes/ssTot
+		}
+	}
+
+	// Per-site residuals, worst measured/modeled ratio first.
+	bySite := map[string]*SiteResidual{}
+	var order []string
+	for _, q := range pts {
+		r := bySite[q.site]
+		if r == nil {
+			r = &SiteResidual{Site: q.site}
+			bySite[q.site] = r
+			order = append(order, q.site)
+		}
+		r.Steps++
+		r.MeasuredSec += q.t
+		r.ModeledSec += q.modeled
+	}
+	for _, site := range order {
+		r := bySite[site]
+		if r.ModeledSec > 0 {
+			r.Ratio = r.MeasuredSec / r.ModeledSec
+		} else if r.MeasuredSec > 0 {
+			r.Ratio = math.Inf(1)
+		}
+		c.Residuals = append(c.Residuals, *r)
+	}
+	sort.SliceStable(c.Residuals, func(i, j int) bool {
+		return c.Residuals[i].Ratio > c.Residuals[j].Ratio
+	})
+	p.Calib = c
+	return c
+}
+
+// WorstResidual returns the residual whose measured/modeled ratio is
+// furthest from 1 (in either direction), or nil when none exist.
+func (c *Calibration) WorstResidual() *SiteResidual {
+	if c == nil || len(c.Residuals) == 0 {
+		return nil
+	}
+	worst, score := -1, -1.0
+	for i := range c.Residuals {
+		r := c.Residuals[i].Ratio
+		if r <= 0 {
+			continue
+		}
+		s := r
+		if s < 1 {
+			s = 1 / s
+		}
+		if s > score {
+			worst, score = i, s
+		}
+	}
+	if worst < 0 {
+		return nil
+	}
+	return &c.Residuals[worst]
+}

@@ -1,0 +1,219 @@
+package prof
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRingWraparoundKeepsNewest(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 7; i++ {
+		r.Record(Event{Start: int64(i), Step: int32(i)})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len = %d, want 4", r.Len())
+	}
+	if r.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", r.Dropped())
+	}
+	evs := r.Snapshot()
+	for i, ev := range evs {
+		if want := int64(3 + i); ev.Start != want {
+			t.Fatalf("snapshot[%d].Start = %d, want %d (oldest-first)", i, ev.Start, want)
+		}
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Fatalf("after reset: len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+}
+
+func TestNewRingRoundsUpAndDefaults(t *testing.T) {
+	if got := len(NewRing(0).buf); got != DefaultRingSize {
+		t.Fatalf("default capacity = %d, want %d", got, DefaultRingSize)
+	}
+	if got := len(NewRing(5).buf); got != 8 {
+		t.Fatalf("capacity for 5 = %d, want 8", got)
+	}
+}
+
+func TestRingRecordDoesNotAllocate(t *testing.T) {
+	r := NewRing(1 << 10)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			r.Record(Event{Start: int64(i), Dur: 1, Step: 0, Site: 0, Phase: PhaseSend})
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocated %.1f allocs/run, want 0", allocs)
+	}
+}
+
+// foldFixture builds a two-processor, two-superstep profile:
+//
+//	proc 0: [0,10) compute, [10,20) send step 0, [20,30) compute, [30,40) sum step 1, end 45
+//	proc 1: [0,30) compute, [30,35) recv-wait step 0, end 40 (step 1 never blocks here)
+func foldFixture() *NativeProfile {
+	r0, r1 := NewRing(16), NewRing(16)
+	r0.Record(Event{Start: 10, Dur: 10, Step: 0, Site: 0, Phase: PhaseSend})
+	r0.Record(Event{Start: 30, Dur: 10, Step: 1, Site: 1, Phase: PhaseSum})
+	r1.Record(Event{Start: 30, Dur: 5, Step: 0, Site: 0, Phase: PhaseRecvWait})
+	return Fold([]string{"v/g0@pos/NNC", "v/g1@pos/SUM"}, []*Ring{r0, r1}, []int64{45, 40}, 50)
+}
+
+func TestFoldTilesWallTime(t *testing.T) {
+	p := foldFixture()
+	// Compute gaps + blocked spans must tile each processor's wall
+	// time exactly.
+	for q, ps := range p.ProcTotals {
+		sum := ps.ComputeSeconds + ps.BlockedSeconds
+		if math.Abs(sum-ps.WallSeconds) > 1e-12 {
+			t.Errorf("proc %d: compute+blocked = %g, wall = %g", q, sum, ps.WallSeconds)
+		}
+	}
+	p0 := p.ProcTotals[0]
+	if p0.ComputeSeconds != 25e-9 || p0.SendSeconds != 10e-9 || p0.SumSeconds != 10e-9 {
+		t.Errorf("proc 0 split = compute %g send %g sum %g", p0.ComputeSeconds, p0.SendSeconds, p0.SumSeconds)
+	}
+	p1 := p.ProcTotals[1]
+	if math.Abs(p1.ComputeSeconds-35e-9) > 1e-15 || p1.RecvWaitSeconds != 5e-9 {
+		t.Errorf("proc 1 split = compute %g recv %g", p1.ComputeSeconds, p1.RecvWaitSeconds)
+	}
+}
+
+func TestFoldStepAttribution(t *testing.T) {
+	p := foldFixture()
+	if len(p.Steps) != 2 {
+		t.Fatalf("steps = %d, want 2", len(p.Steps))
+	}
+	s0 := p.Steps[0]
+	if s0.Site != 0 || s0.Events != 2 {
+		t.Fatalf("step 0 = %+v", s0)
+	}
+	// Gaps attribute to the following event's step: proc 0's leading
+	// 10ns and proc 1's leading 30ns both precede step-0 events.
+	if s0.ComputeSec[0] != 10e-9 || s0.ComputeSec[1] != 30e-9 {
+		t.Errorf("step 0 compute = %v", s0.ComputeSec)
+	}
+	// CommSec is the max blocked across procs: proc 0 sent for 10ns.
+	if s0.CommSec != 10e-9 {
+		t.Errorf("step 0 comm = %g, want 10e-9", s0.CommSec)
+	}
+	s1 := p.Steps[1]
+	if s1.Site != 1 || s1.ComputeSec[0] != 10e-9 || s1.CommSec != 10e-9 {
+		t.Errorf("step 1 = %+v", s1)
+	}
+	// Skew: step 0 max 30 mean 20, step 1 max 10 mean 5.
+	want := (30.0 + 10.0) / (20.0 + 5.0)
+	if math.Abs(p.SkewRatio-want) > 1e-12 {
+		t.Errorf("skew = %g, want %g", p.SkewRatio, want)
+	}
+	// Proc 1 is the step-0 straggler, proc 0 the step-1 straggler —
+	// both had one max-compute step, so the ranking is stable order.
+	if p.ProcTotals[0].StragglerSteps != 1 || p.ProcTotals[1].StragglerSteps != 1 {
+		t.Errorf("straggler steps = %d, %d", p.ProcTotals[0].StragglerSteps, p.ProcTotals[1].StragglerSteps)
+	}
+}
+
+func TestFoldTruncationStartsAtOldestSurvivor(t *testing.T) {
+	r := NewRing(2)
+	r.Record(Event{Start: 10, Dur: 5, Step: 0, Site: 0, Phase: PhaseSend})
+	r.Record(Event{Start: 20, Dur: 5, Step: 1, Site: 0, Phase: PhaseSend})
+	r.Record(Event{Start: 30, Dur: 5, Step: 2, Site: 0, Phase: PhaseSend})
+	p := Fold([]string{"s"}, []*Ring{r}, []int64{40}, 40)
+	if !p.Truncated {
+		t.Fatal("profile not marked truncated")
+	}
+	// The head was overwritten: compute starts at the oldest
+	// survivor (20), so gaps are 0 + 5 + tail 5.
+	if got := p.ProcTotals[0].ComputeSeconds; got != 10e-9 {
+		t.Errorf("compute = %g, want 10e-9", got)
+	}
+}
+
+func TestCalibrateRecoversPlantedConstants(t *testing.T) {
+	// Plant t_k = L + g·h_k exactly and check the fit recovers it.
+	const L, g = 40e-6, 0.9e-6 // SP2-flavoured constants
+	sites := []string{"v/g0@p/NNC", "v/g1@p/BCAST", "v/g2@p/SUM"}
+	rings := []*Ring{NewRing(16)}
+	hs := []int64{800, 4000, 64}
+	start := int64(0)
+	for k, h := range hs {
+		d := int64((L + g*float64(h)) * 1e9)
+		rings[0].Record(Event{Start: start, Dur: d, Step: int32(k), Site: int32(k), Phase: PhaseSend})
+		start += d + 100
+	}
+	p := Fold(sites, rings, []int64{start}, start)
+	model := make([]ModelStep, len(hs))
+	for k, h := range hs {
+		model[k] = ModelStep{Index: k, Site: sites[k], HBytes: h, ModeledSec: L + g*float64(h)}
+	}
+	c := p.Calibrate(model)
+	if c.Degenerate || c.Points != 3 || c.Mismatched != 0 {
+		t.Fatalf("calibration = %+v", c)
+	}
+	if math.Abs(c.FittedL-L) > 5e-9 || math.Abs(c.FittedG-g) > 1e-10 {
+		t.Errorf("fitted L=%g g=%g, want L=%g g=%g", c.FittedL, c.FittedG, L, g)
+	}
+	if c.R2 < 0.999 {
+		t.Errorf("R2 = %g, want ~1", c.R2)
+	}
+	// Durations are stored in whole nanoseconds, so the replanted
+	// ratio carries a sub-ppm truncation error.
+	for _, r := range c.Residuals {
+		if math.Abs(r.Ratio-1) > 1e-4 {
+			t.Errorf("site %s ratio = %g, want ~1", r.Site, r.Ratio)
+		}
+	}
+	if p.Calib != c {
+		t.Error("Calibrate did not attach the result to the profile")
+	}
+}
+
+func TestCalibrateDegenerateAndMismatch(t *testing.T) {
+	r := NewRing(4)
+	r.Record(Event{Start: 0, Dur: 100, Step: 0, Site: 0, Phase: PhaseSend})
+	p := Fold([]string{"v/g0@p/NNC"}, []*Ring{r}, []int64{100}, 100)
+	c := p.Calibrate([]ModelStep{{Index: 0, Site: "v/g0@p/NNC", HBytes: 8, ModeledSec: 1e-6}})
+	if !c.Degenerate || c.FittedG != 0 || c.FittedL != 100e-9 {
+		t.Fatalf("single-point fit = %+v", c)
+	}
+	// A site mismatch excludes the step instead of joining wrong data.
+	c = p.Calibrate([]ModelStep{{Index: 0, Site: "OTHER", HBytes: 8, ModeledSec: 1e-6}})
+	if c.Mismatched != 1 || c.Points != 0 {
+		t.Fatalf("mismatched fit = %+v", c)
+	}
+	// Out-of-range indexes are skipped silently.
+	c = p.Calibrate([]ModelStep{{Index: 99, Site: "x", HBytes: 8}})
+	if c.Points != 0 {
+		t.Fatalf("out-of-range join = %+v", c)
+	}
+}
+
+func TestWorstResidual(t *testing.T) {
+	c := &Calibration{Residuals: []SiteResidual{
+		{Site: "a", Ratio: 1.5},
+		{Site: "b", Ratio: 0.2}, // 5× off, worse than 1.5×
+	}}
+	if w := c.WorstResidual(); w == nil || w.Site != "b" {
+		t.Fatalf("worst = %+v", w)
+	}
+	if (&Calibration{}).WorstResidual() != nil {
+		t.Error("empty calibration has a worst residual")
+	}
+	var nilc *Calibration
+	if nilc.WorstResidual() != nil {
+		t.Error("nil calibration has a worst residual")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	for p, want := range map[Phase]string{
+		PhaseCompute: "compute", PhaseSend: "send", PhaseRecvWait: "recv-wait",
+		PhaseTreeWait: "tree-wait", PhaseSum: "sum",
+	} {
+		if p.String() != want {
+			t.Errorf("Phase(%d).String() = %q, want %q", p, p.String(), want)
+		}
+	}
+}

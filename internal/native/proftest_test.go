@@ -1,0 +1,305 @@
+package native_test
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"gcao/internal/bench"
+	"gcao/internal/core"
+	"gcao/internal/machine"
+	"gcao/internal/native"
+	"gcao/internal/native/prof"
+	"gcao/internal/obs"
+	"gcao/internal/obs/attr"
+	"gcao/internal/spmd"
+)
+
+func profiledEngine(t *testing.T, benchName string, n, p int, v core.Version) (*native.Engine, *core.Result) {
+	t.Helper()
+	pr, err := bench.ByName(benchName, "main")
+	if err != nil {
+		t.Fatalf("bench: %v", err)
+	}
+	res := place(t, pr, n, p, v)
+	eng, err := native.NewEngine(res, p)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	eng.EnableProfiling(0)
+	return eng, res
+}
+
+// eventKey is an Event stripped of its timings — the part of the
+// profile that is deterministic (see DESIGN.md §14: the scheduler
+// decides who blocks for how long, so Start/Dur are excluded from any
+// bit-identity claim).
+type eventKey struct {
+	Step  int32
+	Site  int32
+	Phase prof.Phase
+}
+
+func eventKeys(evs []prof.Event) []eventKey {
+	out := make([]eventKey, len(evs))
+	for i, ev := range evs {
+		out[i] = eventKey{Step: ev.Step, Site: ev.Site, Phase: ev.Phase}
+	}
+	return out
+}
+
+// TestNativeProfileBitIdentity: event counts, order, phases, superstep
+// and site attribution are identical across repeated runs of the same
+// engine, for every P in the acceptance matrix. Timings are not
+// compared.
+func TestNativeProfileBitIdentity(t *testing.T) {
+	for _, p := range []int{1, 4, 16, 25} {
+		t.Run(fmt.Sprintf("P%d", p), func(t *testing.T) {
+			eng, _ := profiledEngine(t, "gravity", 12, p, core.VersionCombine)
+			first, err := eng.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make([][]eventKey, p)
+			for q, evs := range first.Profile.Events {
+				want[q] = eventKeys(evs)
+			}
+			wantSteps := len(first.Profile.Steps)
+			// Sends inside barriers, value broadcasts and SUM
+			// collectives record under tree-wait/sum phases, so
+			// send-phase events are a subset of the message count —
+			// and present whenever the run communicated at all.
+			sends := countSends(first.Profile)
+			if sends > first.Stats.Messages {
+				t.Errorf("send events = %d > Stats.Messages = %d", sends, first.Stats.Messages)
+			}
+			if p > 1 && sends == 0 {
+				t.Error("multi-processor run recorded no send events")
+			}
+			for run := 1; run <= 2; run++ {
+				out, err := eng.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := len(out.Profile.Steps); got != wantSteps {
+					t.Fatalf("run %d: %d supersteps, want %d", run, got, wantSteps)
+				}
+				for q, evs := range out.Profile.Events {
+					got := eventKeys(evs)
+					if len(got) != len(want[q]) {
+						t.Fatalf("run %d proc %d: %d events, want %d", run, q, len(got), len(want[q]))
+					}
+					for i := range got {
+						if got[i] != want[q][i] {
+							t.Fatalf("run %d proc %d event %d: %+v, want %+v", run, q, i, got[i], want[q][i])
+						}
+					}
+				}
+				// Site attribution resolves against the site table.
+				for _, st := range out.Profile.Steps {
+					if st.Site >= int32(len(out.Profile.Sites)) {
+						t.Fatalf("step %d site %d out of range", st.Step, st.Site)
+					}
+				}
+			}
+		})
+	}
+}
+
+func countSends(p *prof.NativeProfile) int64 {
+	var n int64
+	for _, evs := range p.Events {
+		for _, ev := range evs {
+			if ev.Phase == prof.PhaseSend {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TestNativeProfileTilesWallTime: each processor's compute + blocked
+// seconds must tile its measured wall time within 5% (the acceptance
+// criterion; the fold's gap construction makes it near-exact).
+func TestNativeProfileTilesWallTime(t *testing.T) {
+	eng, _ := profiledEngine(t, "gravity", 24, 16, core.VersionCombine)
+	out, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	np := out.Profile
+	if np == nil {
+		t.Fatal("profiled run returned no profile")
+	}
+	if np.Truncated {
+		t.Fatal("profile truncated; enlarge the test ring")
+	}
+	for _, ps := range np.ProcTotals {
+		sum := ps.ComputeSeconds + ps.BlockedSeconds
+		if ps.WallSeconds <= 0 {
+			t.Fatalf("proc %d: wall %g", ps.Proc, ps.WallSeconds)
+		}
+		if rel := math.Abs(sum-ps.WallSeconds) / ps.WallSeconds; rel > 0.05 {
+			t.Errorf("proc %d: compute+blocked %.3gs vs wall %.3gs (%.1f%% off)",
+				ps.Proc, sum, ps.WallSeconds, rel*100)
+		}
+	}
+	if np.SkewRatio < 1 {
+		t.Errorf("skew ratio %g < 1", np.SkewRatio)
+	}
+}
+
+// TestNativeProfileCalibrationJoin: the native supersteps join the
+// simulator's cost-attribution record 1:1 by index with agreeing site
+// ids, and the fit comes back non-degenerate on a real benchmark.
+func TestNativeProfileCalibrationJoin(t *testing.T) {
+	eng, res := profiledEngine(t, "gravity", 12, 16, core.VersionCombine)
+	out, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.New()
+	if _, err := spmd.RunObs(res, machine.SP2(), 16, rec); err != nil {
+		t.Fatal(err)
+	}
+	attrRun := rec.Attribution()
+	if attrRun == nil {
+		t.Fatal("simulator recorded no attribution")
+	}
+	if len(attrRun.Steps) != len(out.Profile.Steps) {
+		t.Fatalf("superstep mismatch: simulator %d, native %d", len(attrRun.Steps), len(out.Profile.Steps))
+	}
+	m := machine.SP2()
+	model := obs.ModelSteps(attrRun, attr.CostModel{
+		GSecPerByte: m.PerByte,
+		LSec:        m.SendOverhead + m.RecvOverhead + m.Latency,
+	})
+	c := out.Profile.Calibrate(model)
+	if c.Mismatched != 0 {
+		t.Fatalf("%d site mismatches joining native to model", c.Mismatched)
+	}
+	if c.Points != len(model) {
+		t.Fatalf("joined %d of %d supersteps", c.Points, len(model))
+	}
+	if c.Degenerate {
+		t.Fatal("fit degenerate on a benchmark with h spread")
+	}
+	if math.IsNaN(c.FittedG) || math.IsInf(c.FittedG, 0) {
+		t.Fatalf("fitted g = %g", c.FittedG)
+	}
+	if len(c.Residuals) == 0 {
+		t.Fatal("no per-site residuals")
+	}
+}
+
+// TestNativeProfileFoldRace hammers profiled runs back to back and
+// folds the rings from concurrent readers the moment each run's
+// goroutines exit; under -race this pins the happens-before edge
+// between a processor's last ring write (and its end mark) and the
+// fold's reads.
+func TestNativeProfileFoldRace(t *testing.T) {
+	eng, _ := profiledEngine(t, "shallow", 12, 16, core.VersionCombine)
+	for iter := 0; iter < 8; iter++ {
+		out, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for r := 0; r < 4; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				np := eng.Profile()
+				if np == nil {
+					t.Error("concurrent fold returned nil")
+					return
+				}
+				var total float64
+				for _, ps := range np.ProcTotals {
+					total += ps.ComputeSeconds + ps.BlockedSeconds
+				}
+				if total < 0 {
+					t.Error("negative fold total")
+				}
+			}()
+		}
+		wg.Wait()
+		if out.Profile == nil {
+			t.Fatal("run lost its profile")
+		}
+	}
+}
+
+// BenchmarkNativeProfOverhead{Off,On} measure the acceptance
+// criterion directly: profiling enabled must cost gravity P=25 less
+// than 5% of wall time. Compare ns/op across the pair.
+func BenchmarkNativeProfOverheadOff(b *testing.B) { profOverhead(b, false) }
+func BenchmarkNativeProfOverheadOn(b *testing.B)  { profOverhead(b, true) }
+
+func profOverhead(b *testing.B, on bool) {
+	pr, err := bench.ByName("gravity", "main")
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := pr.Compile(48, 25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := a.Place(core.Options{Version: core.VersionCombine})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := native.NewEngine(res, 25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if on {
+		eng.EnableProfiling(0)
+	}
+	if _, err := eng.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestNativeProfilingOffCostsNothing: a run without profiling returns
+// no profile and records nothing, and DisableProfiling actually
+// disarms a profiled engine.
+func TestNativeProfilingOffCostsNothing(t *testing.T) {
+	pr, err := bench.ByName("shallow", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := place(t, pr, 12, 4, core.VersionCombine)
+	eng, err := native.NewEngine(res, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Profile != nil {
+		t.Fatal("unprofiled run produced a profile")
+	}
+	eng.EnableProfiling(0)
+	if out, err = eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if out.Profile == nil {
+		t.Fatal("profiled run produced no profile")
+	}
+	eng.DisableProfiling()
+	if out, err = eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if out.Profile != nil {
+		t.Fatal("disabled profiler still produced a profile")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"gcao/internal/native/prof"
 	"gcao/internal/obs/attr"
 )
 
@@ -45,6 +46,7 @@ type Recorder struct {
 	decisions []Decision
 	profile   *CommProfile
 	attrRun   *attr.Run
+	natProf   *prof.NativeProfile
 	log       *Logger
 	reqID     string
 }
@@ -261,4 +263,46 @@ func (r *Recorder) Attribution() *attr.Run {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.attrRun
+}
+
+// SetNativeProfile installs the runtime profile of the latest profiled
+// native run (a later run replaces an earlier one; nil clears).
+func (r *Recorder) SetNativeProfile(p *prof.NativeProfile) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.natProf = p
+}
+
+// NativeProfile returns the installed native runtime profile, or nil.
+func (r *Recorder) NativeProfile() *prof.NativeProfile {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.natProf
+}
+
+// ModelSteps converts a simulator cost-attribution record into the
+// profiler's model-step form under the given cost model: one entry per
+// superstep, carrying the stable site id, the h-relation in bytes and
+// the analytic cost L + g·h. Both backends execute the identical group
+// sequence in program order, so index k joins native superstep k.
+func ModelSteps(run *attr.Run, model attr.CostModel) []prof.ModelStep {
+	if run == nil {
+		return nil
+	}
+	out := make([]prof.ModelStep, len(run.Steps))
+	for i, s := range run.Steps {
+		out[i] = prof.ModelStep{
+			Index:      s.Index,
+			Site:       s.Site,
+			HBytes:     s.H(),
+			ModeledSec: model.StepCost(s),
+		}
+	}
+	return out
 }

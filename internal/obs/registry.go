@@ -63,12 +63,19 @@ type Registry struct {
 
 	// Native-backend execution: wall-clock per run, message and
 	// bytes-on-wire totals, collective tree hops and fabric buffer
-	// allocations, by compiler version (see internal/native).
-	nativeSecs  map[string]*Histogram
-	nativeMsgs  map[string]int64
-	nativeWire  map[string]int64
-	nativeHops  map[string]int64
-	nativeAlloc map[string]int64
+	// allocations, by compiler version (see internal/native). Profiled
+	// runs additionally feed the skew/blocked-time gauges and the
+	// measured machine constants fitted against the BSP cost model
+	// (see internal/native/prof).
+	nativeSecs    map[string]*Histogram
+	nativeMsgs    map[string]int64
+	nativeWire    map[string]int64
+	nativeHops    map[string]int64
+	nativeAlloc   map[string]int64
+	nativeSkew    map[string]float64
+	nativeBlocked map[string]float64
+	nativeFitL    map[string]float64
+	nativeFitG    map[string]float64
 
 	// Serving-layer state (see serve.go): RED metrics per route,
 	// scheduler queue-wait ledger, build identity, and the live
@@ -83,24 +90,28 @@ type Registry struct {
 // NewRegistry builds an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		requests:    map[string]int64{},
-		counters:    map[string]int64{},
-		gauges:      map[string]float64{},
-		phase:       map[string]*Histogram{},
-		placed:      map[string]*Histogram{},
-		bytes:       map[string]*Histogram{},
-		hrel:        map[string]*Histogram{},
-		siteBytes:   map[string]int64{},
-		gapBound:    map[string]float64{},
-		gapActual:   map[string]map[string]float64{},
-		httpReq:     map[string]map[string]int64{},
-		httpLat:     map[string]*Histogram{},
-		queueWait:   NewHistogram(LatencyBuckets),
-		nativeSecs:  map[string]*Histogram{},
-		nativeMsgs:  map[string]int64{},
-		nativeWire:  map[string]int64{},
-		nativeHops:  map[string]int64{},
-		nativeAlloc: map[string]int64{},
+		requests:      map[string]int64{},
+		counters:      map[string]int64{},
+		gauges:        map[string]float64{},
+		phase:         map[string]*Histogram{},
+		placed:        map[string]*Histogram{},
+		bytes:         map[string]*Histogram{},
+		hrel:          map[string]*Histogram{},
+		siteBytes:     map[string]int64{},
+		gapBound:      map[string]float64{},
+		gapActual:     map[string]map[string]float64{},
+		httpReq:       map[string]map[string]int64{},
+		httpLat:       map[string]*Histogram{},
+		queueWait:     NewHistogram(LatencyBuckets),
+		nativeSecs:    map[string]*Histogram{},
+		nativeMsgs:    map[string]int64{},
+		nativeWire:    map[string]int64{},
+		nativeHops:    map[string]int64{},
+		nativeAlloc:   map[string]int64{},
+		nativeSkew:    map[string]float64{},
+		nativeBlocked: map[string]float64{},
+		nativeFitL:    map[string]float64{},
+		nativeFitG:    map[string]float64{},
 	}
 }
 
@@ -115,6 +126,19 @@ type NativeExecSample struct {
 	WireBytes  int64
 	Hops       int64
 	AllocBytes int64
+
+	// Profiler-derived fields, present when the run was profiled:
+	// compute skew (max/mean compute per superstep, 1.0 = perfectly
+	// balanced), total seconds processors spent blocked in
+	// communication, and — when the run was also calibrated against the
+	// simulator's cost attribution — the measured machine constants.
+	// Calibrated gates the fitted pair: an unprofiled or uncalibrated
+	// run must not export stale zeros as "measured L and g".
+	SkewRatio      float64
+	BlockedSeconds float64
+	FittedL        float64
+	FittedG        float64
+	Calibrated     bool
 }
 
 // ObserveNativeExec records one native-backend run, labeled by
@@ -130,6 +154,63 @@ func (g *Registry) ObserveNativeExec(version string, s NativeExecSample) {
 	g.nativeWire[version] += s.WireBytes
 	g.nativeHops[version] += s.Hops
 	g.nativeAlloc[version] += s.AllocBytes
+	// The fold pins SkewRatio >= 1 on every profiled run, so a positive
+	// skew is the "this run was profiled" marker; unprofiled runs must
+	// not materialize the profiler families at zero.
+	if s.SkewRatio > 0 {
+		g.nativeSkew[version] = s.SkewRatio
+		g.nativeBlocked[version] += s.BlockedSeconds
+	}
+	if s.Calibrated {
+		g.nativeFitL[version] = s.FittedL
+		g.nativeFitG[version] = s.FittedG
+	}
+}
+
+// NativeLiveStats is the profiled-native headline the ops view
+// (/debug/live, gcaotop) shows: how many native runs the daemon has
+// executed, the worst compute skew any version showed, accumulated
+// blocked time, and the fitted machine constants of the preferred
+// (comb, else lexicographically first calibrated) version.
+type NativeLiveStats struct {
+	Runs           int64   `json:"runs"`
+	SkewRatio      float64 `json:"skew_ratio,omitempty"`
+	BlockedSeconds float64 `json:"blocked_seconds,omitempty"`
+	FittedL        float64 `json:"fitted_l_seconds,omitempty"`
+	FittedG        float64 `json:"fitted_g_seconds_per_byte,omitempty"`
+	Calibrated     bool    `json:"calibrated,omitempty"`
+}
+
+// NativeLive summarizes the native-backend state for the live view;
+// ok is false until the daemon has observed at least one native run.
+func (g *Registry) NativeLive() (NativeLiveStats, bool) {
+	if g == nil {
+		return NativeLiveStats{}, false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var st NativeLiveStats
+	for _, h := range g.nativeSecs {
+		st.Runs += int64(h.Count())
+	}
+	for _, skew := range g.nativeSkew {
+		if skew > st.SkewRatio {
+			st.SkewRatio = skew
+		}
+	}
+	for _, sec := range g.nativeBlocked {
+		st.BlockedSeconds += sec
+	}
+	if len(g.nativeFitG) > 0 {
+		ver := "comb"
+		if _, ok := g.nativeFitG[ver]; !ok {
+			ver = sortedKeys(g.nativeFitG)[0]
+		}
+		st.FittedL = g.nativeFitL[ver]
+		st.FittedG = g.nativeFitG[ver]
+		st.Calibrated = true
+	}
+	return st, st.Runs > 0
 }
 
 // versions are the compiler versions whose per-compile counters Absorb
@@ -313,25 +394,29 @@ func (g *Registry) Counter(name string) int64 {
 // registrySnapshot is the copied registry state rendering reads
 // outside the lock.
 type registrySnapshot struct {
-	req         map[string]int64
-	ctr         map[string]int64
-	gau         map[string]float64
-	phase       map[string]*Histogram
-	placed      map[string]*Histogram
-	bytes       map[string]*Histogram
-	hrel        map[string]*Histogram
-	siteBytes   map[string]int64
-	gapBound    map[string]float64
-	gapRatio    map[string]map[string]float64
-	httpReq     map[string]map[string]int64
-	httpLat     map[string]*Histogram
-	queueWait   *Histogram
-	buildInfo   string
-	nativeSecs  map[string]*Histogram
-	nativeMsgs  map[string]int64
-	nativeWire  map[string]int64
-	nativeHops  map[string]int64
-	nativeAlloc map[string]int64
+	req           map[string]int64
+	ctr           map[string]int64
+	gau           map[string]float64
+	phase         map[string]*Histogram
+	placed        map[string]*Histogram
+	bytes         map[string]*Histogram
+	hrel          map[string]*Histogram
+	siteBytes     map[string]int64
+	gapBound      map[string]float64
+	gapRatio      map[string]map[string]float64
+	httpReq       map[string]map[string]int64
+	httpLat       map[string]*Histogram
+	queueWait     *Histogram
+	buildInfo     string
+	nativeSecs    map[string]*Histogram
+	nativeMsgs    map[string]int64
+	nativeWire    map[string]int64
+	nativeHops    map[string]int64
+	nativeAlloc   map[string]int64
+	nativeSkew    map[string]float64
+	nativeBlocked map[string]float64
+	nativeFitL    map[string]float64
+	nativeFitG    map[string]float64
 }
 
 // snapshot copies the registry state so rendering happens outside the
@@ -366,25 +451,29 @@ func (g *Registry) snapshot() registrySnapshot {
 		gapRatio[bench] = out
 	}
 	return registrySnapshot{
-		req:         copyMap(g.requests),
-		ctr:         copyMap(g.counters),
-		gau:         copyMap(g.gauges),
-		phase:       cloneHists(g.phase),
-		placed:      cloneHists(g.placed),
-		bytes:       cloneHists(g.bytes),
-		hrel:        cloneHists(g.hrel),
-		siteBytes:   copyMap(g.siteBytes),
-		gapBound:    copyMap(g.gapBound),
-		gapRatio:    gapRatio,
-		httpReq:     httpReq,
-		httpLat:     cloneHists(g.httpLat),
-		queueWait:   g.queueWait.clone(),
-		buildInfo:   g.buildInfo,
-		nativeSecs:  cloneHists(g.nativeSecs),
-		nativeMsgs:  copyMap(g.nativeMsgs),
-		nativeWire:  copyMap(g.nativeWire),
-		nativeHops:  copyMap(g.nativeHops),
-		nativeAlloc: copyMap(g.nativeAlloc),
+		req:           copyMap(g.requests),
+		ctr:           copyMap(g.counters),
+		gau:           copyMap(g.gauges),
+		phase:         cloneHists(g.phase),
+		placed:        cloneHists(g.placed),
+		bytes:         cloneHists(g.bytes),
+		hrel:          cloneHists(g.hrel),
+		siteBytes:     copyMap(g.siteBytes),
+		gapBound:      copyMap(g.gapBound),
+		gapRatio:      gapRatio,
+		httpReq:       httpReq,
+		httpLat:       cloneHists(g.httpLat),
+		queueWait:     g.queueWait.clone(),
+		buildInfo:     g.buildInfo,
+		nativeSecs:    cloneHists(g.nativeSecs),
+		nativeMsgs:    copyMap(g.nativeMsgs),
+		nativeWire:    copyMap(g.nativeWire),
+		nativeHops:    copyMap(g.nativeHops),
+		nativeAlloc:   copyMap(g.nativeAlloc),
+		nativeSkew:    copyMap(g.nativeSkew),
+		nativeBlocked: copyMap(g.nativeBlocked),
+		nativeFitL:    copyMap(g.nativeFitL),
+		nativeFitG:    copyMap(g.nativeFitG),
 	}
 }
 
@@ -446,6 +535,14 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 		"Binomial-tree hops moved by native collectives (gather ascents, broadcast descents), by compiler version.", "version", snap.nativeHops)
 	writeScalarFamily(&b, "gcao_native_alloc_bytes_total", "counter",
 		"Payload-buffer bytes the native message fabric allocated because no recycled buffer fit, by compiler version.", "version", snap.nativeAlloc)
+	writeScalarFamily(&b, "gcao_native_skew_ratio", "gauge",
+		"Compute skew of the last profiled native run (max/mean compute per superstep; 1.0 is perfectly balanced), by compiler version.", "version", snap.nativeSkew)
+	writeScalarFamily(&b, "gcao_native_blocked_seconds_total", "counter",
+		"Seconds native processors spent blocked in sends, receive waits, barrier trees and SUM collectives, by compiler version.", "version", snap.nativeBlocked)
+	writeScalarFamily(&b, "gcao_native_fitted_l_seconds", "gauge",
+		"Per-superstep latency constant L fitted by least squares from the last calibrated native run, by compiler version.", "version", snap.nativeFitL)
+	writeScalarFamily(&b, "gcao_native_fitted_g_seconds_per_byte", "gauge",
+		"Inverse-bandwidth constant g fitted by least squares from the last calibrated native run, by compiler version.", "version", snap.nativeFitG)
 	writeScalarFamily(&b, "gcao_comm_lower_bound_bytes", "gauge",
 		"Placement-independent communication lower bound of the last compile, by routine.", "benchmark", snap.gapBound)
 	writeTwoLabelFamily(&b, "gcao_optimality_gap_ratio", "gauge",

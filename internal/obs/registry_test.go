@@ -147,6 +147,51 @@ func TestRegistryObserveNativeExec(t *testing.T) {
 	if !strings.Contains(text, `gcao_native_alloc_bytes_total{version="comb"} 512`) {
 		t.Fatalf("native alloc counter missing:\n%s", text)
 	}
+	// No run was profiled, so none of the profiler-derived families may
+	// appear — an uncalibrated run must not export zeros as measurements.
+	for _, fam := range []string{
+		"gcao_native_skew_ratio", "gcao_native_blocked_seconds_total",
+		"gcao_native_fitted_l_seconds", "gcao_native_fitted_g_seconds_per_byte",
+	} {
+		if strings.Contains(text, fam) {
+			t.Fatalf("unprofiled run exported %s:\n%s", fam, text)
+		}
+	}
+}
+
+func TestRegistryObserveNativeProfiled(t *testing.T) {
+	reg := NewRegistry()
+	reg.ObserveNativeExec("comb", NativeExecSample{
+		Seconds: 0.012, Messages: 96, WireBytes: 4096,
+		SkewRatio: 1.25, BlockedSeconds: 0.004,
+		FittedL: 42e-6, FittedG: 0.9e-9, Calibrated: true,
+	})
+	reg.ObserveNativeExec("comb", NativeExecSample{
+		Seconds: 0.013, Messages: 96, WireBytes: 4096,
+		SkewRatio: 1.5, BlockedSeconds: 0.006,
+		FittedL: 40e-6, FittedG: 1.1e-9, Calibrated: true,
+	})
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if err := CheckPromText(buf.Bytes()); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, text)
+	}
+	// Gauges carry the latest profiled run; blocked time accumulates.
+	if !strings.Contains(text, `gcao_native_skew_ratio{version="comb"} 1.5`) {
+		t.Fatalf("skew gauge missing or stale:\n%s", text)
+	}
+	if !strings.Contains(text, `gcao_native_blocked_seconds_total{version="comb"} 0.01`) {
+		t.Fatalf("blocked counter not accumulated:\n%s", text)
+	}
+	if !strings.Contains(text, `gcao_native_fitted_l_seconds{version="comb"} 4e-05`) {
+		t.Fatalf("fitted L gauge missing or stale:\n%s", text)
+	}
+	if !strings.Contains(text, `gcao_native_fitted_g_seconds_per_byte{version="comb"} 1.1e-09`) {
+		t.Fatalf("fitted g gauge missing or stale:\n%s", text)
+	}
 }
 
 func TestCheckPromTextRejectsGarbage(t *testing.T) {

@@ -27,6 +27,12 @@ type Record struct {
 	// Slow marks records that crossed the recorder's latency
 	// threshold (they are retained longer).
 	Slow bool `json:"slow,omitempty"`
+	// NativeSkew and NativeBlockedSec are the runtime profiler's
+	// headline numbers when the request executed on the profiled
+	// native backend (zero otherwise): compute skew max/mean and total
+	// seconds blocked in communication.
+	NativeSkew       float64 `json:"native_skew,omitempty"`
+	NativeBlockedSec float64 `json:"native_blocked_sec,omitempty"`
 	// Trace is the full span tree. List endpoints serve Summary()
 	// instead, which drops it.
 	Trace *TraceDoc `json:"trace,omitempty"`

@@ -3,6 +3,7 @@ package obs
 import (
 	"sync"
 
+	"gcao/internal/native/prof"
 	"gcao/internal/obs/attr"
 )
 
@@ -22,6 +23,10 @@ type RequestRecord struct {
 	// Attr is the simulator's cost-attribution record, retained so
 	// GET /debug/critpath/{id} can analyze completed traffic.
 	Attr *attr.Run `json:"attr,omitempty"`
+	// NativeProf is the native backend's measured runtime profile,
+	// retained so GET /debug/nativeprof/{id} can answer "where did the
+	// processors actually spend their time?" after the fact.
+	NativeProf *prof.NativeProfile `json:"native_prof,omitempty"`
 }
 
 // DecisionRing is a bounded, concurrency-safe ring of RequestRecords:

@@ -50,6 +50,63 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileMassEdges pins the degenerate mass
+// distributions: every observation in one bucket. These are the shapes
+// the native profiler produces on tiny runs (all supersteps equally
+// fast, or all slower than the largest bound), so the estimator must
+// stay finite and ordered rather than divide by an empty bucket.
+func TestHistogramQuantileMassEdges(t *testing.T) {
+	// All mass in the first bucket: every quantile interpolates inside
+	// (0, 1] and never escapes it.
+	first := NewHistogram([]float64{1, 2, 4})
+	for i := 0; i < 10; i++ {
+		first.Observe(0.5)
+	}
+	for _, q := range []float64{0.01, 0.5, 1} {
+		got := first.Quantile(q)
+		if got <= 0 || got > 1 {
+			t.Fatalf("first-bucket q=%v = %v, want within (0,1]", q, got)
+		}
+	}
+	if first.Quantile(1) != 1 {
+		t.Fatalf("first-bucket q=1 = %v, want the bucket's upper bound", first.Quantile(1))
+	}
+
+	// All mass in the last finite bucket: quantiles interpolate inside
+	// (2, 4], never below the bucket's lower bound.
+	last := NewHistogram([]float64{1, 2, 4})
+	for i := 0; i < 10; i++ {
+		last.Observe(3)
+	}
+	for _, q := range []float64{0.01, 0.5, 1} {
+		got := last.Quantile(q)
+		if got <= 2 || got > 4 {
+			t.Fatalf("last-bucket q=%v = %v, want within (2,4]", q, got)
+		}
+	}
+
+	// All mass past the largest bound: the histogram cannot resolve
+	// beyond its range, so every quantile clamps to that bound.
+	over := NewHistogram([]float64{1, 2, 4})
+	for i := 0; i < 10; i++ {
+		over.Observe(1000)
+	}
+	for _, q := range []float64{0.01, 0.5, 1} {
+		if got := over.Quantile(q); got != 4 {
+			t.Fatalf("overflow q=%v = %v, want clamp to 4", q, got)
+		}
+	}
+
+	// No finite bounds at all: only the +Inf bucket exists, so the best
+	// available estimate is the mean.
+	unbounded := NewHistogram(nil)
+	unbounded.Observe(3)
+	unbounded.Observe(5)
+	if got := unbounded.Quantile(0.5); got != 4 {
+		t.Fatalf("unbounded q=0.5 = %v, want the mean 4", got)
+	}
+}
+
 // TestRegistryREDFamilies pins the serving-layer exposition: the
 // two-label request counter, the per-route latency histogram, the
 // queue-wait histogram and the build-info sample all render as valid

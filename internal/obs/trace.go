@@ -2,8 +2,10 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 
+	"gcao/internal/native/prof"
 	"gcao/internal/obs/attr"
 )
 
@@ -41,6 +43,7 @@ func (r *Recorder) WriteTrace(w io.Writer) error {
 		counters[k] = v
 	}
 	attrRun := r.attrRun
+	natProf := r.natProf
 	r.mu.Unlock()
 	f := traceFile{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
 	for _, s := range spans {
@@ -84,6 +87,37 @@ func (r *Recorder) WriteTrace(w io.Writer) error {
 			ts += cost
 		}
 	}
+	// A profiled native run renders as process 2: one lane per logical
+	// processor (tid = processor number), each comm event a complete
+	// span whose args carry the superstep, placement site and phase.
+	// The gaps between spans ARE the compute time — the profiler only
+	// records communication, so an empty stretch of lane reads as
+	// compute, exactly as the fold accounts it.
+	if natProf != nil {
+		for q, evs := range natProf.Events {
+			for _, ev := range evs {
+				if ev.Dur == 0 {
+					continue // zero-width markers clutter the lane
+				}
+				dur := ev.Dur / 1000
+				if dur < 1 {
+					dur = 1
+				}
+				f.TraceEvents = append(f.TraceEvents, traceEvent{
+					Name: fmt.Sprintf("%s %s", ev.Phase, natProf.SiteName(ev.Site)),
+					Ph:   "X",
+					TS:   ev.Start / 1000,
+					Dur:  dur,
+					PID:  2,
+					TID:  q,
+					Args: map[string]any{
+						"step": ev.Step, "site": natProf.SiteName(ev.Site),
+						"phase": ev.Phase.String(), "dur_ns": ev.Dur,
+					},
+				})
+			}
+		}
+	}
 	if len(counters) > 0 {
 		last := int64(0)
 		for _, s := range spans {
@@ -109,12 +143,13 @@ func (r *Recorder) WriteTrace(w io.Writer) error {
 // profile when one was recorded, and the raw spans. encoding/json
 // sorts map keys, so the output is deterministic.
 type MetricsDoc struct {
-	Counters  map[string]int64   `json:"counters"`
-	Gauges    map[string]float64 `json:"gauges,omitempty"`
-	Decisions []Decision         `json:"decisions,omitempty"`
-	Profile   *CommProfile       `json:"profile,omitempty"`
-	Attr      *attr.Run          `json:"attr,omitempty"`
-	Spans     []Span             `json:"spans,omitempty"`
+	Counters   map[string]int64    `json:"counters"`
+	Gauges     map[string]float64  `json:"gauges,omitempty"`
+	Decisions  []Decision          `json:"decisions,omitempty"`
+	Profile    *CommProfile        `json:"profile,omitempty"`
+	Attr       *attr.Run           `json:"attr,omitempty"`
+	NativeProf *prof.NativeProfile `json:"native_prof,omitempty"`
+	Spans      []Span              `json:"spans,omitempty"`
 }
 
 // Doc snapshots the recorder into an exportable document.
@@ -123,12 +158,13 @@ func (r *Recorder) Doc() MetricsDoc {
 		return MetricsDoc{Counters: map[string]int64{}}
 	}
 	return MetricsDoc{
-		Counters:  r.Counters(),
-		Gauges:    r.Gauges(),
-		Decisions: r.Decisions(),
-		Profile:   r.CommProfile(),
-		Attr:      r.Attribution(),
-		Spans:     r.Spans(),
+		Counters:   r.Counters(),
+		Gauges:     r.Gauges(),
+		Decisions:  r.Decisions(),
+		Profile:    r.CommProfile(),
+		Attr:       r.Attribution(),
+		NativeProf: r.NativeProfile(),
+		Spans:      r.Spans(),
 	}
 }
 
